@@ -1,0 +1,107 @@
+// Ablation study of the unified method's design choices (the optimisations
+// Section IV-D motivates):
+//   * reduction strategy: segmented scan vs per-thread atomics vs COO-style
+//     all-atomic (quantifies "segmented scan removes atomic updates"),
+//   * column tiling: the paper's one-column-per-block layout vs tiles that
+//     reuse the loaded indices for several rank columns,
+//   * atomic traffic counters per strategy (from the simulator).
+#include <cstdio>
+
+#include "baselines/two_step.hpp"
+#include "bench_common.hpp"
+#include "core/spmttkrp.hpp"
+
+using namespace ust;
+
+int main(int argc, char** argv) {
+  Cli cli = bench::make_bench_cli("bench_ablation",
+                                  "ablations: reduction strategy and column tiling");
+  if (!cli.parse(argc, argv)) return 1;
+  sim::Device dev;
+  bench::print_platform(dev.props());
+
+  const auto rank = static_cast<index_t>(cli.get_int("rank"));
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  const auto datasets = bench::load_from_cli(cli);
+  const int mode = 0;
+
+  print_banner("Ablation 1: reduction strategy (SpMTTKRP mode-1)");
+  {
+    Table t({"dataset", "strategy", "time (s)", "atomic ops", "atomics/nnz"});
+    for (const auto& d : datasets) {
+      const auto factors = bench::make_factors(d.tensor, rank);
+      core::UnifiedMttkrp op(dev, d.tensor, mode, d.spec.best_spmttkrp);
+      struct Row {
+        const char* name;
+        core::ReduceStrategy strategy;
+      };
+      for (const Row& row :
+           {Row{"segmented-scan", core::ReduceStrategy::kSegmentedScan},
+            Row{"adjacent-sync (fused)", core::ReduceStrategy::kAdjacentSync},
+            Row{"thread-atomic", core::ReduceStrategy::kThreadAtomic},
+            Row{"all-atomic (COO-style)", core::ReduceStrategy::kAllAtomic}}) {
+        const core::UnifiedOptions opt{.strategy = row.strategy};
+        dev.reset_counters();
+        op.run(factors, opt);
+        const auto atomics = dev.counters().atomic_ops;
+        const double s = bench::time_median([&] { op.run(factors, opt); }, reps);
+        t.add_row({d.name, row.name, Table::num(s, 4), std::to_string(atomics),
+                   Table::num(static_cast<double>(atomics) / static_cast<double>(d.tensor.nnz()),
+                              3)});
+      }
+    }
+    t.print();
+    std::printf(
+        "expected shape: all-atomic performs one atomic per nnz per column; segmented\n"
+        "scan cuts atomics by orders of magnitude and wins on skewed tensors where\n"
+        "popular output rows serialise the atomic variants.\n");
+  }
+
+  print_banner("Ablation 2: one-shot vs two-step SpMTTKRP (Figure 3a vs 3b)");
+  {
+    Table t({"dataset", "method", "time (s)", "intermediate bytes", "input bytes"});
+    for (const auto& d : datasets) {
+      const auto factors = bench::make_factors(d.tensor, rank);
+      core::UnifiedMttkrp one_shot(dev, d.tensor, mode, d.spec.best_spmttkrp);
+      const double one_s = bench::time_median([&] { one_shot.run(factors); }, reps);
+      t.add_row({d.name, "one-shot (unified)", Table::num(one_s, 4), "0",
+                 std::to_string(d.tensor.storage_bytes())});
+      const auto warm =
+          baseline::mttkrp_two_step(dev, d.tensor, mode, factors, d.spec.best_spmttkrp);
+      const double two_s = bench::time_median(
+          [&] { baseline::mttkrp_two_step(dev, d.tensor, mode, factors, d.spec.best_spmttkrp); },
+          reps);
+      t.add_row({d.name, "two-step (Fig. 3a)", Table::num(two_s, 4),
+                 std::to_string(warm.intermediate_bytes),
+                 std::to_string(d.tensor.storage_bytes())});
+    }
+    t.print();
+    std::printf(
+        "the two-step pipeline pays for the intermediate semi-sparse tensor (storage +\n"
+        "traffic) and a second traversal; one-shot eliminates both (Figure 3).\n");
+  }
+
+  print_banner("Ablation 3: column tiling (SpMTTKRP mode-1, segmented scan)");
+  {
+    Table t({"dataset", "columns per block (tile)", "time (s)", "speedup vs tile=1"});
+    for (const auto& d : datasets) {
+      const auto factors = bench::make_factors(d.tensor, rank);
+      core::UnifiedMttkrp op(dev, d.tensor, mode, d.spec.best_spmttkrp);
+      double base = 0.0;
+      for (unsigned tile : {1u, 2u, 4u, 8u}) {
+        if (tile > rank) break;
+        const core::UnifiedOptions opt{.column_tile = tile};
+        const double s = bench::time_median([&] { op.run(factors, opt); }, reps);
+        if (tile == 1) base = s;
+        t.add_row({d.name, std::to_string(tile), Table::num(s, 4),
+                   Table::num(base / s, 2) + "x"});
+      }
+    }
+    t.print();
+    std::printf(
+        "tile=1 is the paper's layout (grid.y = R, indices re-read per column);\n"
+        "larger tiles amortise index loads across columns at the cost of more\n"
+        "shared memory -- a design-space point the paper leaves unexplored.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 10 reproduction: CP decomposition running time broken down into
+// per-mode MTTKRP and "other" (dense algebra), SPLATT vs Unified, on brainq
+// and nell2, rank 8 (kept below brainq's smallest mode size of 9, as the
+// paper explains).
+#include <cstdio>
+
+#include "baselines/splatt.hpp"
+#include "bench_common.hpp"
+#include "core/cp_als.hpp"
+
+using namespace ust;
+
+int main(int argc, char** argv) {
+  Cli cli = bench::make_bench_cli("bench_cp", "Figure 10: CP-ALS time breakdown");
+  cli.option("iters", "3", "ALS iterations to time");
+  if (!cli.parse(argc, argv)) return 1;
+  sim::Device dev;
+  bench::print_platform(dev.props());
+
+  core::CpOptions opt;
+  opt.rank = static_cast<index_t>(cli.get_int("rank") == 16 ? 8 : cli.get_int("rank"));
+  opt.max_iterations = static_cast<int>(cli.get_int("iters"));
+  opt.fit_tolerance = 0.0;  // run all iterations for stable timing
+  opt.seed = 77;
+
+  std::vector<bench::BenchDataset> datasets;
+  if (!cli.get("tns").empty() || !cli.get("dataset").empty()) {
+    datasets = bench::load_from_cli(cli);
+  } else {
+    for (const char* name : {"brainq", "nell2"}) {
+      auto part = bench::load_replicas(cli.get_double("scale"), name);
+      for (auto& d : part) datasets.push_back(std::move(d));
+    }
+  }
+
+  print_banner("Figure 10: CP-ALS per-iteration time breakdown (seconds; lower is better)");
+  Table t({"run", "mode1 MTTKRP", "mode2 MTTKRP", "mode3 MTTKRP", "other", "total",
+           "final fit"});
+  for (const auto& d : datasets) {
+    opt.part = d.spec.best_spmttkrp;
+
+    const auto splatt = baseline::cp_als_splatt(d.tensor, opt, &bench::cpu_pool(cli));
+    const auto& st = splatt.timings;
+    t.add_row({d.name + "-SPLATT", Table::num(st.mttkrp_seconds[0], 3),
+               Table::num(st.mttkrp_seconds[1], 3), Table::num(st.mttkrp_seconds[2], 3),
+               Table::num(st.dense_seconds, 3), Table::num(st.total_seconds, 3),
+               Table::num(splatt.fit, 4)});
+
+    const auto unified = core::cp_als_unified(dev, d.tensor, opt);
+    const auto& ut = unified.timings;
+    t.add_row({d.name + "-Unified", Table::num(ut.mttkrp_seconds[0], 3),
+               Table::num(ut.mttkrp_seconds[1], 3), Table::num(ut.mttkrp_seconds[2], 3),
+               Table::num(ut.dense_seconds, 3), Table::num(ut.total_seconds, 3),
+               Table::num(unified.fit, 4)});
+
+    std::printf("%s: Unified speedup over SPLATT = %.2fx (paper: 14.9x brainq, 2.9x nell2)\n",
+                d.name.c_str(), st.total_seconds / ut.total_seconds);
+  }
+  t.print();
+  std::printf(
+      "paper reference: most time goes to the MTTKRPs; unified's three mode updates are\n"
+      "well balanced while SPLATT's are skewed (tree root vs leaf traversals); unified\n"
+      "is 14.9x (brainq) / 2.9x (nell2) faster end-to-end on the paper's hardware.\n"
+      "expected shape: Unified per-mode times near-equal; SPLATT's spread out; Unified\n"
+      "faster overall, with the larger margin on brainq.\n");
+  return 0;
+}

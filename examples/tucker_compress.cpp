@@ -1,0 +1,89 @@
+// Tensor compression with Tucker/HOOI -- the extension the paper sketches
+// ("a similar approach can be used to implement Tucker using unified").
+//
+// A smooth 3-D field sampled sparsely (think sensor readings over a spatial
+// grid across time) compresses extremely well under a small Tucker core.
+// This example builds such a field, runs HOOI on the unified SpTTMc kernel,
+// and reports the compression ratio versus achieved fit for several core
+// sizes.
+//
+// Run:  ./examples/tucker_compress [--dim 48] [--nnz 40000]
+#include <cmath>
+#include <cstdio>
+
+#include "core/tucker.hpp"
+#include "tensor/coo.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+using namespace ust;
+
+namespace {
+
+/// A fully sampled smooth trigonometric field: a sum of a few separable
+/// low-frequency harmonics, so the multilinear rank is genuinely small.
+/// (Every grid point is stored -- a sparsely sampled field would not be
+/// low-rank, because the structural zeros at missing positions are part of
+/// the tensor Tucker must fit.)
+CooTensor make_field(index_t dim, double noise, Prng& rng) {
+  CooTensor t({dim, dim, dim});
+  t.reserve(static_cast<nnz_t>(dim) * dim * dim);
+  std::vector<index_t> idx(3);
+  auto wave = [&](double x, int harmonic) {
+    return std::sin((harmonic + 1) * 3.14159265358979 * x) + 0.25 * harmonic;
+  };
+  for (index_t i = 0; i < dim; ++i) {
+    for (index_t j = 0; j < dim; ++j) {
+      for (index_t k = 0; k < dim; ++k) {
+        const double x = static_cast<double>(i) / dim;
+        const double y = static_cast<double>(j) / dim;
+        const double z = static_cast<double>(k) / dim;
+        double v = 0.0;
+        for (int h = 0; h < 3; ++h) v += wave(x, h) * wave(y, (h + 1) % 3) * wave(z, h);
+        v += noise * rng.next_gaussian();
+        idx = {i, j, k};
+        t.push_back(idx, static_cast<value_t>(v));
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("tucker_compress", "Tucker/HOOI compression of a sampled smooth field");
+  cli.option("dim", "40", "grid points per mode");
+  cli.option("noise", "0.02", "measurement noise sigma");
+  if (!cli.parse(argc, argv)) return 1;
+
+  Prng rng(11);
+  const auto dim = static_cast<index_t>(cli.get_int("dim"));
+  const CooTensor field = make_field(dim, cli.get_double("noise"), rng);
+  std::printf("field tensor: %s\n", field.describe().c_str());
+  const double raw_bytes = static_cast<double>(field.storage_bytes());
+
+  sim::Device device;
+  print_banner("Tucker compression sweep (HOOI on unified SpTTMc)");
+  Table t({"core", "fit", "iters", "compressed KB", "raw KB", "ratio"});
+  for (index_t r : {2u, 4u, 6u, 8u}) {
+    core::TuckerOptions opt;
+    opt.core_dims = {r, r, r};
+    opt.max_iterations = 12;
+    opt.part = Partitioning{.threadlen = 8, .block_size = 128};
+    const core::TuckerResult res = core::tucker_hooi_unified(device, field, opt);
+    const double compressed_bytes =
+        static_cast<double>(r) * r * r * sizeof(value_t) +
+        3.0 * static_cast<double>(dim) * r * sizeof(value_t);
+    t.add_row({std::to_string(r) + "^3", Table::num(res.fit, 4),
+               std::to_string(res.iterations), Table::num(compressed_bytes / 1024.0, 1),
+               Table::num(raw_bytes / 1024.0, 1),
+               Table::num(raw_bytes / compressed_bytes, 1) + "x"});
+  }
+  t.print();
+  std::printf(
+      "a smooth field should reach fit > 0.9 with a tiny core -- orders of\n"
+      "magnitude smaller than the raw sample list.\n");
+  return 0;
+}

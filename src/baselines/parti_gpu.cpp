@@ -1,0 +1,253 @@
+#include "baselines/parti_gpu.hpp"
+
+#include <algorithm>
+
+namespace ust::baseline {
+
+// ---------------------------------------------------------------------------
+// SpTTM: fiber-parallel with rank-dependent 2-D thread blocks.
+// ---------------------------------------------------------------------------
+
+PartiGpuSpttm::PartiGpuSpttm(sim::Device& device, const CooTensor& tensor, int mode,
+                             unsigned block_threads)
+    : device_(&device), mode_(mode), block_threads_(block_threads), dims_(tensor.dims()) {
+  UST_EXPECTS(mode >= 0 && mode < tensor.order());
+  UST_EXPECTS(block_threads_ >= 32);
+  for (int m = 0; m < tensor.order(); ++m) {
+    if (m != mode) index_modes_.push_back(m);
+  }
+  std::vector<int> order = index_modes_;
+  order.push_back(mode);
+  CooTensor sorted = tensor;
+  sorted.sort_by_modes(order);
+  sorted.coalesce();
+
+  const nnz_t n = sorted.nnz();
+  fiber_coords_.resize(index_modes_.size());
+  for (nnz_t x = 0; x < n; ++x) {
+    bool fresh = (x == 0);
+    if (!fresh) {
+      for (int m : index_modes_) {
+        if (sorted.index(x, m) != sorted.index(x - 1, m)) {
+          fresh = true;
+          break;
+        }
+      }
+    }
+    if (fresh) {
+      fiber_ptr_.push_back(x);
+      for (std::size_t m = 0; m < index_modes_.size(); ++m) {
+        fiber_coords_[m].push_back(sorted.index(x, index_modes_[m]));
+      }
+    }
+  }
+  fiber_ptr_.push_back(n);
+
+  d_fiber_ptr_ = device.alloc<nnz_t>(fiber_ptr_.size());
+  d_fiber_ptr_.copy_from_host(fiber_ptr_);
+  d_prod_idx_ = device.alloc<index_t>(n);
+  d_prod_idx_.copy_from_host(sorted.mode_indices(mode));
+  d_vals_ = device.alloc<value_t>(n);
+  d_vals_.copy_from_host(sorted.values());
+}
+
+SemiSparseTensor PartiGpuSpttm::run(const DenseMatrix& u) const {
+  UST_EXPECTS(u.rows() == dims_[static_cast<std::size_t>(mode_)]);
+  const index_t r = u.cols();
+  UST_EXPECTS(r >= 1 && r <= block_threads_);
+  const nnz_t nfibs = num_fibers();
+
+  if (d_factor_.size() != u.size()) d_factor_ = device_->alloc<value_t>(u.size());
+  d_factor_.copy_from_host(u.span());
+  const std::size_t out_elems = static_cast<std::size_t>(nfibs) * r;
+  if (d_out_.size() != out_elems) d_out_ = device_->alloc<value_t>(out_elems);
+  d_out_.fill(value_t{0});
+
+  // Rank-dependent 2-D block shape (the design the paper criticises): the
+  // block's threads are (fiber, column) pairs, so the shape -- and with it
+  // occupancy and memory access patterns -- changes with the rank.
+  const unsigned fibers_per_block = std::max(1u, block_threads_ / r);
+  sim::LaunchConfig cfg;
+  cfg.block_dim = block_threads_;
+  cfg.grid.x = static_cast<unsigned>(ceil_div<nnz_t>(nfibs, fibers_per_block));
+  cfg.grid.y = 1;
+
+  const nnz_t* fiber_ptr = d_fiber_ptr_.data();
+  const index_t* prod_idx = d_prod_idx_.data();
+  const value_t* vals = d_vals_.data();
+  const value_t* fac = d_factor_.data();
+  value_t* out = d_out_.data();
+
+  sim::launch(*device_, cfg, [=](sim::BlockCtx& blk) {
+    const nnz_t fiber_base = static_cast<nnz_t>(blk.block_idx().x) * fibers_per_block;
+    const unsigned bd = blk.block_dim();
+    float acc[32];
+    // Warp-synchronous lock-step: all 32 lanes of a warp advance together
+    // until the LONGEST fiber among them is exhausted; lanes whose fiber is
+    // shorter idle (the divergence cost of fiber-granularity parallelism).
+    for (unsigned warp0 = 0; warp0 < bd; warp0 += 32) {
+      const unsigned lanes = std::min(32u, bd - warp0);
+      nnz_t max_len = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        const nnz_t f = fiber_base + (warp0 + l) / r;
+        if (f >= nfibs) continue;
+        max_len = std::max(max_len, fiber_ptr[f + 1] - fiber_ptr[f]);
+        acc[l] = 0.0f;
+      }
+      if (max_len == 0) continue;
+      for (nnz_t step = 0; step < max_len; ++step) {
+        for (unsigned l = 0; l < lanes; ++l) {
+          const unsigned t = warp0 + l;
+          const nnz_t f = fiber_base + t / r;
+          if (f >= nfibs) continue;
+          const nnz_t s = fiber_ptr[f];
+          if (step >= fiber_ptr[f + 1] - s) continue;  // diverged lane idles
+          const nnz_t x = s + step;
+          const index_t col = t % r;
+          acc[l] += vals[x] * fac[static_cast<std::size_t>(prod_idx[x]) * r + col];
+        }
+      }
+      for (unsigned l = 0; l < lanes; ++l) {
+        const unsigned t = warp0 + l;
+        const nnz_t f = fiber_base + t / r;
+        if (f >= nfibs) continue;
+        out[static_cast<std::size_t>(f) * r + t % r] = acc[l];
+      }
+    }
+  });
+
+  std::vector<index_t> sparse_dims;
+  for (int m : index_modes_) sparse_dims.push_back(dims_[static_cast<std::size_t>(m)]);
+  SemiSparseTensor y(std::move(sparse_dims), nfibs, r, mode_);
+  for (std::size_t m = 0; m < fiber_coords_.size(); ++m) {
+    std::copy(fiber_coords_[m].begin(), fiber_coords_[m].end(),
+              y.coords(static_cast<int>(m)).begin());
+  }
+  d_out_.copy_to_host(y.values().span());
+  return y;
+}
+
+// ---------------------------------------------------------------------------
+// SpMTTKRP: COO two-phase with an nnz x R intermediate and per-nnz atomics.
+// ---------------------------------------------------------------------------
+
+PartiGpuMttkrp::PartiGpuMttkrp(sim::Device& device, const CooTensor& tensor, int mode,
+                               unsigned block_threads)
+    : device_(&device), mode_(mode), block_threads_(block_threads), dims_(tensor.dims()) {
+  UST_EXPECTS(mode >= 0 && mode < tensor.order());
+  for (int m = 0; m < tensor.order(); ++m) {
+    if (m != mode) product_modes_.push_back(m);
+  }
+  nnz_ = tensor.nnz();
+  d_out_idx_ = device.alloc<index_t>(nnz_);
+  d_out_idx_.copy_from_host(tensor.mode_indices(mode));
+  d_prod_idx_.reserve(product_modes_.size());
+  for (int m : product_modes_) {
+    auto buf = device.alloc<index_t>(nnz_);
+    buf.copy_from_host(tensor.mode_indices(m));
+    d_prod_idx_.push_back(std::move(buf));
+  }
+  d_vals_ = device.alloc<value_t>(nnz_);
+  d_vals_.copy_from_host(tensor.values());
+}
+
+DenseMatrix PartiGpuMttkrp::run(std::span<const DenseMatrix> factors) const {
+  UST_EXPECTS(factors.size() == dims_.size());
+  const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
+  for (int m : product_modes_) {
+    UST_EXPECTS(factors[static_cast<std::size_t>(m)].cols() == r);
+    UST_EXPECTS(factors[static_cast<std::size_t>(m)].rows() ==
+                dims_[static_cast<std::size_t>(m)]);
+  }
+  sim::Device& dev = *device_;
+
+  d_factors_.resize(product_modes_.size());
+  for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+    const auto& f = factors[static_cast<std::size_t>(product_modes_[p])];
+    if (d_factors_[p].size() != f.size()) d_factors_[p] = dev.alloc<value_t>(f.size());
+    d_factors_[p].copy_from_host(f.span());
+  }
+  const index_t out_rows = dims_[static_cast<std::size_t>(mode_)];
+  const std::size_t out_elems = static_cast<std::size_t>(out_rows) * r;
+  if (d_out_.size() != out_elems) d_out_ = dev.alloc<value_t>(out_elems);
+  d_out_.fill(value_t{0});
+
+  // The intermediate scratch buffer: nnz x R values. This is the allocation
+  // that makes ParTI's SpMTTKRP run out of device memory on the large
+  // tensors (throws sim::DeviceOutOfMemory, surfaced by the Figure 6b/9
+  // benches as "OOM").
+  auto d_scratch = dev.alloc<value_t>(static_cast<std::size_t>(nnz_) * r);
+
+  sim::LaunchConfig cfg;
+  cfg.block_dim = block_threads_;
+  cfg.grid.x = static_cast<unsigned>(ceil_div<nnz_t>(nnz_, block_threads_));
+  cfg.grid.y = 1;
+
+  const value_t* vals = d_vals_.data();
+  const index_t* out_idx = d_out_idx_.data();
+  value_t* scratch = d_scratch.data();
+  value_t* out = d_out_.data();
+  const nnz_t nnz = nnz_;
+  const std::size_t nprod = product_modes_.size();
+  std::array<const index_t*, 7> pidx{};
+  std::array<const value_t*, 7> pfac{};
+  UST_EXPECTS(nprod <= pidx.size());
+  for (std::size_t p = 0; p < nprod; ++p) {
+    pidx[p] = d_prod_idx_[p].data();
+    pfac[p] = d_factors_[p].data();
+  }
+
+  // Phase 1: per-non-zero products into scratch.
+  sim::launch(dev, cfg, [=](sim::BlockCtx& blk) {
+    const nnz_t base = static_cast<nnz_t>(blk.block_idx().x) * blk.block_dim();
+    const nnz_t end = std::min<nnz_t>(base + blk.block_dim(), nnz);
+    for (nnz_t x = base; x < end; ++x) {
+      const value_t v = vals[x];
+      value_t* dst = scratch + static_cast<std::size_t>(x) * r;
+      for (index_t c = 0; c < r; ++c) {
+        value_t prod = v;
+        for (std::size_t p = 0; p < nprod; ++p) {
+          prod *= pfac[p][static_cast<std::size_t>(pidx[p][x]) * r + c];
+        }
+        dst[c] = prod;
+      }
+    }
+  });
+
+  // Phase 2: atomic reduction of scratch rows into the output slices --
+  // one atomic add per non-zero per column, the contention the paper's
+  // segmented-scan method eliminates.
+  sim::launch(dev, cfg, [=](sim::BlockCtx& blk) {
+    const nnz_t base = static_cast<nnz_t>(blk.block_idx().x) * blk.block_dim();
+    const nnz_t end = std::min<nnz_t>(base + blk.block_dim(), nnz);
+    for (nnz_t x = base; x < end; ++x) {
+      const index_t row = out_idx[x];
+      const value_t* src = scratch + static_cast<std::size_t>(x) * r;
+      value_t* dst = out + static_cast<std::size_t>(row) * r;
+      for (index_t c = 0; c < r; ++c) {
+        blk.atomic_add_global(&dst[c], src[c]);
+      }
+    }
+  });
+
+  DenseMatrix result(out_rows, r);
+  d_out_.copy_to_host(result.span());
+  return result;
+}
+
+std::size_t PartiGpuMttkrp::required_bytes(nnz_t nnz, std::span<const index_t> dims,
+                                           int mode, index_t rank) {
+  const std::size_t order = dims.size();
+  std::size_t bytes = 0;
+  bytes += nnz * (order * sizeof(index_t) + sizeof(value_t));      // COO arrays
+  bytes += static_cast<std::size_t>(nnz) * rank * sizeof(value_t);  // scratch
+  for (std::size_t m = 0; m < order; ++m) {
+    if (static_cast<int>(m) == mode) continue;
+    bytes += static_cast<std::size_t>(dims[m]) * rank * sizeof(value_t);  // factors
+  }
+  bytes += static_cast<std::size_t>(dims[static_cast<std::size_t>(mode)]) * rank *
+           sizeof(value_t);  // output
+  return bytes;
+}
+
+}  // namespace ust::baseline

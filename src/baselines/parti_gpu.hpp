@@ -1,0 +1,82 @@
+// ParTI-style GPU baselines (Li et al. [13], [18]), re-implemented on the
+// simulator with the algorithm structure the paper describes and critiques:
+//
+//  * SpTTM parallelises over tensor FIBERS with two-dimensional thread
+//    blocks whose shape depends on the rank. Fibers have wildly different
+//    lengths in real tensors, so blocks carry unbalanced work and warps
+//    diverge (lanes idle until the longest fiber in the warp finishes).
+//  * SpMTTKRP runs in two phases over COO: a product kernel materialises an
+//    nnz x R intermediate scratch buffer (the memory hog Figure 9 measures;
+//    it is what drives ParTI out of memory on nell1/delicious), then a
+//    reduction kernel combines scratch rows into the output with one atomic
+//    add per non-zero per column.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "sim/device.hpp"
+#include "sim/executor.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/semisparse.hpp"
+
+namespace ust::baseline {
+
+class PartiGpuSpttm {
+ public:
+  PartiGpuSpttm(sim::Device& device, const CooTensor& tensor, int mode,
+                unsigned block_threads = 512);
+
+  int mode() const noexcept { return mode_; }
+  nnz_t num_fibers() const noexcept { return fiber_ptr_.size() - 1; }
+
+  SemiSparseTensor run(const DenseMatrix& u) const;
+
+ private:
+  sim::Device* device_;
+  int mode_;
+  unsigned block_threads_;
+  std::vector<index_t> dims_;
+  std::vector<int> index_modes_;
+  std::vector<nnz_t> fiber_ptr_;                    // host (also uploaded)
+  std::vector<std::vector<index_t>> fiber_coords_;  // per index mode
+  sim::DeviceBuffer<nnz_t> d_fiber_ptr_;
+  sim::DeviceBuffer<index_t> d_prod_idx_;
+  sim::DeviceBuffer<value_t> d_vals_;
+  mutable sim::DeviceBuffer<value_t> d_factor_;
+  mutable sim::DeviceBuffer<value_t> d_out_;
+};
+
+class PartiGpuMttkrp {
+ public:
+  /// Throws sim::DeviceOutOfMemory if the COO arrays do not fit; the nnz x R
+  /// scratch buffer is allocated per run() (it depends on R).
+  PartiGpuMttkrp(sim::Device& device, const CooTensor& tensor, int mode,
+                 unsigned block_threads = 256);
+
+  int mode() const noexcept { return mode_; }
+
+  DenseMatrix run(std::span<const DenseMatrix> factors) const;
+
+  /// Analytic device footprint of this algorithm at arbitrary scale:
+  /// COO storage + nnz x R scratch + factors + output (bytes). Used by the
+  /// Figure 9 bench to evaluate paper-scale datasets without running them.
+  static std::size_t required_bytes(nnz_t nnz, std::span<const index_t> dims, int mode,
+                                    index_t rank);
+
+ private:
+  sim::Device* device_;
+  int mode_;
+  unsigned block_threads_;
+  std::vector<index_t> dims_;
+  std::vector<int> product_modes_;
+  sim::DeviceBuffer<index_t> d_out_idx_;
+  std::vector<sim::DeviceBuffer<index_t>> d_prod_idx_;
+  sim::DeviceBuffer<value_t> d_vals_;
+  nnz_t nnz_ = 0;
+  mutable std::vector<sim::DeviceBuffer<value_t>> d_factors_;
+  mutable sim::DeviceBuffer<value_t> d_out_;
+};
+
+}  // namespace ust::baseline

@@ -1,0 +1,123 @@
+#include "baselines/parti_omp.hpp"
+
+#include <algorithm>
+
+#include "sim/atomic.hpp"
+
+namespace ust::baseline {
+
+PartiOmpSpttm::PartiOmpSpttm(const CooTensor& tensor, int mode, ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::global()),
+      mode_(mode),
+      dims_(tensor.dims()) {
+  UST_EXPECTS(mode >= 0 && mode < tensor.order());
+  for (int m = 0; m < tensor.order(); ++m) {
+    if (m != mode) index_modes_.push_back(m);
+  }
+  std::vector<int> order = index_modes_;
+  order.push_back(mode);
+  CooTensor sorted = tensor;
+  sorted.sort_by_modes(order);
+  sorted.coalesce();
+
+  const nnz_t n = sorted.nnz();
+  fiber_coords_.resize(index_modes_.size());
+  for (nnz_t x = 0; x < n; ++x) {
+    bool fresh = (x == 0);
+    if (!fresh) {
+      for (int m : index_modes_) {
+        if (sorted.index(x, m) != sorted.index(x - 1, m)) {
+          fresh = true;
+          break;
+        }
+      }
+    }
+    if (fresh) {
+      fiber_ptr_.push_back(x);
+      for (std::size_t m = 0; m < index_modes_.size(); ++m) {
+        fiber_coords_[m].push_back(sorted.index(x, index_modes_[m]));
+      }
+    }
+  }
+  fiber_ptr_.push_back(n);
+  const auto prod = sorted.mode_indices(mode);
+  prod_idx_.assign(prod.begin(), prod.end());
+  vals_.assign(sorted.values().begin(), sorted.values().end());
+}
+
+SemiSparseTensor PartiOmpSpttm::run(const DenseMatrix& u) const {
+  UST_EXPECTS(u.rows() == dims_[static_cast<std::size_t>(mode_)]);
+  const index_t r = u.cols();
+  const nnz_t nfibs = num_fibers();
+
+  std::vector<index_t> sparse_dims;
+  for (int m : index_modes_) sparse_dims.push_back(dims_[static_cast<std::size_t>(m)]);
+  SemiSparseTensor y(std::move(sparse_dims), nfibs, r, mode_);
+  for (std::size_t m = 0; m < fiber_coords_.size(); ++m) {
+    std::copy(fiber_coords_[m].begin(), fiber_coords_[m].end(),
+              y.coords(static_cast<int>(m)).begin());
+  }
+
+  // "#pragma omp parallel for schedule(dynamic)" over fibers.
+  value_t* out = y.values().data();
+  pool_->parallel_for(nfibs, /*grain=*/16, [&](std::size_t f) {
+    value_t* dst = out + f * r;
+    for (nnz_t x = fiber_ptr_[f]; x < fiber_ptr_[f + 1]; ++x) {
+      const value_t v = vals_[x];
+      const value_t* row = u.data() + static_cast<std::size_t>(prod_idx_[x]) * r;
+      for (index_t c = 0; c < r; ++c) dst[c] += v * row[c];
+    }
+  });
+  return y;
+}
+
+PartiOmpMttkrp::PartiOmpMttkrp(const CooTensor& tensor, int mode, ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::global()),
+      mode_(mode),
+      dims_(tensor.dims()) {
+  UST_EXPECTS(mode >= 0 && mode < tensor.order());
+  for (int m = 0; m < tensor.order(); ++m) {
+    if (m != mode) product_modes_.push_back(m);
+  }
+  const auto oidx = tensor.mode_indices(mode);
+  out_idx_.assign(oidx.begin(), oidx.end());
+  prod_idx_.resize(product_modes_.size());
+  for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+    const auto col = tensor.mode_indices(product_modes_[p]);
+    prod_idx_[p].assign(col.begin(), col.end());
+  }
+  vals_.assign(tensor.values().begin(), tensor.values().end());
+}
+
+DenseMatrix PartiOmpMttkrp::run(std::span<const DenseMatrix> factors) const {
+  UST_EXPECTS(factors.size() == dims_.size());
+  const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
+  const index_t out_rows = dims_[static_cast<std::size_t>(mode_)];
+  DenseMatrix m(out_rows, r);
+  value_t* out = m.data();
+  const nnz_t n = vals_.size();
+
+  std::array<const value_t*, 7> pfac{};
+  UST_EXPECTS(product_modes_.size() <= pfac.size());
+  for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+    pfac[p] = factors[static_cast<std::size_t>(product_modes_[p])].data();
+  }
+  const std::size_t nprod = product_modes_.size();
+
+  // "#pragma omp parallel for" over non-zeros with "#pragma omp atomic"
+  // output updates -- ParTI's multicore MTTKRP structure.
+  pool_->parallel_for(n, /*grain=*/1024, [&](std::size_t x) {
+    const value_t v = vals_[x];
+    value_t* dst = out + static_cast<std::size_t>(out_idx_[x]) * r;
+    for (index_t c = 0; c < r; ++c) {
+      value_t prod = v;
+      for (std::size_t p = 0; p < nprod; ++p) {
+        prod *= pfac[p][static_cast<std::size_t>(prod_idx_[p][x]) * r + c];
+      }
+      sim::atomic_add(&dst[c], prod);
+    }
+  });
+  return m;
+}
+
+}  // namespace ust::baseline

@@ -1,0 +1,54 @@
+// ParTI-style multicore CPU baselines ("ParTI-omp" in the paper's figures):
+// OpenMP-flavoured parallel loops over fibers (SpTTM) and non-zeros
+// (SpMTTKRP) with atomic output updates, executed on the shared worker pool.
+// These are the denominators of the Figure 6 speedup plots.
+#pragma once
+
+#include <span>
+
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/semisparse.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ust::baseline {
+
+class PartiOmpSpttm {
+ public:
+  PartiOmpSpttm(const CooTensor& tensor, int mode, ThreadPool* pool = nullptr);
+
+  int mode() const noexcept { return mode_; }
+  nnz_t num_fibers() const noexcept { return fiber_ptr_.size() - 1; }
+
+  SemiSparseTensor run(const DenseMatrix& u) const;
+
+ private:
+  ThreadPool* pool_;
+  int mode_;
+  std::vector<index_t> dims_;
+  std::vector<int> index_modes_;
+  std::vector<nnz_t> fiber_ptr_;
+  std::vector<std::vector<index_t>> fiber_coords_;
+  std::vector<index_t> prod_idx_;
+  std::vector<value_t> vals_;
+};
+
+class PartiOmpMttkrp {
+ public:
+  PartiOmpMttkrp(const CooTensor& tensor, int mode, ThreadPool* pool = nullptr);
+
+  int mode() const noexcept { return mode_; }
+
+  DenseMatrix run(std::span<const DenseMatrix> factors) const;
+
+ private:
+  ThreadPool* pool_;
+  int mode_;
+  std::vector<index_t> dims_;
+  std::vector<int> product_modes_;
+  std::vector<index_t> out_idx_;
+  std::vector<std::vector<index_t>> prod_idx_;
+  std::vector<value_t> vals_;
+};
+
+}  // namespace ust::baseline

@@ -1,0 +1,183 @@
+#include "baselines/reference.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/dense_ops.hpp"
+
+namespace ust::baseline {
+
+SemiSparseTensor ttm_reference(const CooTensor& x, int mode, const DenseMatrix& u) {
+  UST_EXPECTS(mode >= 0 && mode < x.order());
+  UST_EXPECTS(u.rows() == x.dim(mode));
+  const index_t r = u.cols();
+
+  // Sort by (index modes..., product mode) so fibers are contiguous.
+  std::vector<int> index_modes;
+  for (int m = 0; m < x.order(); ++m) {
+    if (m != mode) index_modes.push_back(m);
+  }
+  std::vector<int> order = index_modes;
+  order.push_back(mode);
+  CooTensor sorted = x;
+  sorted.sort_by_modes(order);
+  sorted.coalesce();
+
+  // Count fibers (distinct index-mode tuples, now contiguous).
+  const nnz_t n = sorted.nnz();
+  auto new_fiber = [&](nnz_t i) {
+    if (i == 0) return true;
+    for (int m : index_modes) {
+      if (sorted.index(i, m) != sorted.index(i - 1, m)) return true;
+    }
+    return false;
+  };
+  nnz_t nfibs = 0;
+  for (nnz_t i = 0; i < n; ++i) {
+    if (new_fiber(i)) ++nfibs;
+  }
+
+  std::vector<index_t> sparse_dims;
+  for (int m : index_modes) sparse_dims.push_back(x.dim(m));
+  SemiSparseTensor y(std::move(sparse_dims), nfibs, r, mode);
+
+  std::vector<double> acc(r, 0.0);
+  nnz_t fiber = static_cast<nnz_t>(-1);
+  auto flush = [&](nnz_t f) {
+    auto row = y.fiber(f);
+    for (index_t c = 0; c < r; ++c) row[c] = static_cast<value_t>(acc[c]);
+    std::fill(acc.begin(), acc.end(), 0.0);
+  };
+  for (nnz_t i = 0; i < n; ++i) {
+    if (new_fiber(i)) {
+      if (fiber != static_cast<nnz_t>(-1)) flush(fiber);
+      ++fiber;
+      for (std::size_t m = 0; m < index_modes.size(); ++m) {
+        y.coords(static_cast<int>(m))[fiber] = sorted.index(i, index_modes[m]);
+      }
+    }
+    const double v = sorted.value(i);
+    const auto urow = u.row(sorted.index(i, mode));
+    for (index_t c = 0; c < r; ++c) acc[c] += v * urow[c];
+  }
+  if (n > 0) flush(fiber);
+  return y;
+}
+
+DenseMatrix mttkrp_reference(const CooTensor& x, int mode,
+                             std::span<const DenseMatrix> factors) {
+  UST_EXPECTS(mode >= 0 && mode < x.order());
+  UST_EXPECTS(factors.size() == static_cast<std::size_t>(x.order()));
+  index_t r = 0;
+  for (int m = 0; m < x.order(); ++m) {
+    if (m == mode) continue;
+    const auto& f = factors[static_cast<std::size_t>(m)];
+    UST_EXPECTS(f.rows() == x.dim(m));
+    if (r == 0) r = f.cols();
+    UST_EXPECTS(f.cols() == r);
+  }
+
+  std::vector<double> acc(static_cast<std::size_t>(x.dim(mode)) * r, 0.0);
+  for (nnz_t i = 0; i < x.nnz(); ++i) {
+    const index_t row = x.index(i, mode);
+    const double v = x.value(i);
+    for (index_t c = 0; c < r; ++c) {
+      double prod = v;
+      for (int m = 0; m < x.order(); ++m) {
+        if (m == mode) continue;
+        prod *= factors[static_cast<std::size_t>(m)](x.index(i, m), c);
+      }
+      acc[static_cast<std::size_t>(row) * r + c] += prod;
+    }
+  }
+  DenseMatrix out(x.dim(mode), r);
+  for (std::size_t i = 0; i < acc.size(); ++i) out.span()[i] = static_cast<value_t>(acc[i]);
+  return out;
+}
+
+DenseMatrix ttmc_reference(const CooTensor& x, int mode, const DenseMatrix& u_first,
+                           const DenseMatrix& u_second) {
+  UST_EXPECTS(x.order() == 3);
+  std::vector<int> prod_modes;
+  for (int m = 0; m < 3; ++m) {
+    if (m != mode) prod_modes.push_back(m);
+  }
+  UST_EXPECTS(u_first.rows() == x.dim(prod_modes[0]));
+  UST_EXPECTS(u_second.rows() == x.dim(prod_modes[1]));
+  const index_t r0 = u_first.cols();
+  const index_t r1 = u_second.cols();
+
+  std::vector<double> acc(static_cast<std::size_t>(x.dim(mode)) * r0 * r1, 0.0);
+  for (nnz_t i = 0; i < x.nnz(); ++i) {
+    const index_t row = x.index(i, mode);
+    const double v = x.value(i);
+    const auto a = u_first.row(x.index(i, prod_modes[0]));
+    const auto b = u_second.row(x.index(i, prod_modes[1]));
+    double* dst = acc.data() + static_cast<std::size_t>(row) * r0 * r1;
+    for (index_t c0 = 0; c0 < r0; ++c0) {
+      for (index_t c1 = 0; c1 < r1; ++c1) {
+        dst[static_cast<std::size_t>(c0) * r1 + c1] += v * a[c0] * b[c1];
+      }
+    }
+  }
+  DenseMatrix out(x.dim(mode), r0 * r1);
+  for (std::size_t i = 0; i < acc.size(); ++i) out.span()[i] = static_cast<value_t>(acc[i]);
+  return out;
+}
+
+DenseMatrix mttkrp_via_khatri_rao(const CooTensor& x, int mode,
+                                  std::span<const DenseMatrix> factors) {
+  UST_EXPECTS(x.order() == 3);
+  std::vector<int> prod_modes;
+  for (int m = 0; m < 3; ++m) {
+    if (m != mode) prod_modes.push_back(m);
+  }
+  const int ma = prod_modes[0];  // the "B" role (faster-varying in z)
+  const int mb = prod_modes[1];  // the "C" role
+  const auto& fb = factors[static_cast<std::size_t>(ma)];
+  const auto& fc = factors[static_cast<std::size_t>(mb)];
+  const index_t j_dim = x.dim(ma);
+  const index_t r = fb.cols();
+
+  // KR = C (.) B with row z = k * J + j, per Equation (6).
+  const DenseMatrix kr = linalg::khatri_rao(fc, fb);
+  std::vector<double> acc(static_cast<std::size_t>(x.dim(mode)) * r, 0.0);
+  for (nnz_t i = 0; i < x.nnz(); ++i) {
+    const index_t row = x.index(i, mode);
+    const auto z = static_cast<index_t>(
+        static_cast<std::size_t>(x.index(i, mb)) * j_dim + x.index(i, ma));
+    const double v = x.value(i);
+    const auto krow = kr.row(z);
+    for (index_t c = 0; c < r; ++c) {
+      acc[static_cast<std::size_t>(row) * r + c] += v * krow[c];
+    }
+  }
+  DenseMatrix out(x.dim(mode), r);
+  for (std::size_t i = 0; i < acc.size(); ++i) out.span()[i] = static_cast<value_t>(acc[i]);
+  return out;
+}
+
+double cp_residual_at_nonzeros(const CooTensor& x, std::span<const DenseMatrix> factors,
+                               std::span<const double> lambda) {
+  UST_EXPECTS(factors.size() == static_cast<std::size_t>(x.order()));
+  const index_t r = factors[0].cols();
+  UST_EXPECTS(lambda.size() == r);
+  double num = 0.0;
+  double den = 0.0;
+  for (nnz_t i = 0; i < x.nnz(); ++i) {
+    double model = 0.0;
+    for (index_t c = 0; c < r; ++c) {
+      double prod = lambda[c];
+      for (int m = 0; m < x.order(); ++m) {
+        prod *= factors[static_cast<std::size_t>(m)](x.index(i, m), c);
+      }
+      model += prod;
+    }
+    const double d = x.value(i) - model;
+    num += d * d;
+    den += static_cast<double>(x.value(i)) * x.value(i);
+  }
+  return den == 0.0 ? 0.0 : std::sqrt(num / den);
+}
+
+}  // namespace ust::baseline

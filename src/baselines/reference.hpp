@@ -1,0 +1,43 @@
+// Serial reference implementations of every tensor operation: the
+// correctness oracles for the unified kernels and the parallel baselines.
+// All accumulate in double and are deliberately written with independent
+// (naive) code paths so a shared bug with the optimised kernels is unlikely.
+#pragma once
+
+#include <span>
+
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/semisparse.hpp"
+
+namespace ust::baseline {
+
+/// Y = X x_mode U, serial, fibers emitted in lexicographic index-mode order
+/// (matching the unified SpTTM's output ordering).
+SemiSparseTensor ttm_reference(const CooTensor& x, int mode, const DenseMatrix& u);
+
+/// MTTKRP on `mode`: M(i_mode,:) = sum over nnz of val * Hadamard of the
+/// other factors' rows. `factors[m]` is the mode-m factor; factors[mode] is
+/// not read.
+DenseMatrix mttkrp_reference(const CooTensor& x, int mode,
+                             std::span<const DenseMatrix> factors);
+
+/// TTMc on `mode` for 3-order tensors: Y(mode)(i,:) = sum val * (U_a (x) U_b)
+/// where a < b are the two product modes.
+DenseMatrix ttmc_reference(const CooTensor& x, int mode, const DenseMatrix& u_first,
+                           const DenseMatrix& u_second);
+
+/// Literal Equation (5): materialises the Khatri-Rao product (C (.) B) and
+/// multiplies the mode-1-style unfolding against it. Exponential memory --
+/// tiny test tensors only. Cross-validates the index arithmetic (z = k*J + j)
+/// of the one-shot formulation for 3-order tensors.
+DenseMatrix mttkrp_via_khatri_rao(const CooTensor& x, int mode,
+                                  std::span<const DenseMatrix> factors);
+
+/// Dense reconstruction of a CP model [[lambda; factors]] evaluated at the
+/// coordinates of `x` only; returns the relative residual
+/// ||x - model||_F / ||x||_F over those coordinates. Used by CP tests.
+double cp_residual_at_nonzeros(const CooTensor& x, std::span<const DenseMatrix> factors,
+                               std::span<const double> lambda);
+
+}  // namespace ust::baseline

@@ -1,0 +1,136 @@
+#include "baselines/splatt.hpp"
+
+#include <array>
+
+#include "sim/atomic.hpp"
+
+namespace ust::baseline {
+
+namespace {
+std::vector<int> natural_order(int order) {
+  std::vector<int> v(static_cast<std::size_t>(order));
+  for (int m = 0; m < order; ++m) v[static_cast<std::size_t>(m)] = m;
+  return v;
+}
+}  // namespace
+
+SplattMttkrp::SplattMttkrp(const CooTensor& tensor, ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::global()), dims_(tensor.dims()) {
+  UST_EXPECTS(tensor.order() == 3);
+  csf_ = CsfTensor::build(tensor, natural_order(3));
+}
+
+DenseMatrix SplattMttkrp::run(int mode, std::span<const DenseMatrix> factors) const {
+  UST_EXPECTS(mode >= 0 && mode < 3);
+  UST_EXPECTS(factors.size() == 3);
+  switch (mode) {
+    case 0: return run_root(factors);
+    case 1: return run_middle(factors);
+    default: return run_leaf(factors);
+  }
+}
+
+// M(i,:) = sum_j B(j,:) * (sum_k X(i,j,k) C(k,:)) -- fiber sums are reused
+// and each output row is owned by one slice: embarrassingly parallel.
+DenseMatrix SplattMttkrp::run_root(std::span<const DenseMatrix> factors) const {
+  const DenseMatrix& b = factors[1];
+  const DenseMatrix& c = factors[2];
+  const index_t r = b.cols();
+  DenseMatrix m(dims_[0], r);
+
+  const auto slice_ids = csf_.level_ids(0);
+  const auto slice_ptr = csf_.level_ptr(0);
+  const auto fiber_ids = csf_.level_ids(1);
+  const auto fiber_ptr = csf_.level_ptr(1);
+  const auto leaf_ids = csf_.level_ids(2);
+  const auto vals = csf_.values();
+
+  pool_->parallel_for(slice_ids.size(), /*grain=*/4, [&](std::size_t s) {
+    std::vector<value_t> fsum(r);
+    value_t* dst = m.data() + static_cast<std::size_t>(slice_ids[s]) * r;
+    for (nnz_t fb = slice_ptr[s]; fb < slice_ptr[s + 1]; ++fb) {
+      std::fill(fsum.begin(), fsum.end(), value_t{0});
+      for (nnz_t x = fiber_ptr[fb]; x < fiber_ptr[fb + 1]; ++x) {
+        const value_t v = vals[x];
+        const value_t* crow = c.data() + static_cast<std::size_t>(leaf_ids[x]) * r;
+        for (index_t q = 0; q < r; ++q) fsum[q] += v * crow[q];
+      }
+      const value_t* brow = b.data() + static_cast<std::size_t>(fiber_ids[fb]) * r;
+      for (index_t q = 0; q < r; ++q) dst[q] += brow[q] * fsum[q];
+    }
+  });
+  return m;
+}
+
+// M(j,:) += A(i,:) * (sum_k X(i,j,k) C(k,:)) -- output rows are shared
+// across slices, so updates are atomic.
+DenseMatrix SplattMttkrp::run_middle(std::span<const DenseMatrix> factors) const {
+  const DenseMatrix& a = factors[0];
+  const DenseMatrix& c = factors[2];
+  const index_t r = a.cols();
+  DenseMatrix m(dims_[1], r);
+
+  const auto slice_ids = csf_.level_ids(0);
+  const auto slice_ptr = csf_.level_ptr(0);
+  const auto fiber_ids = csf_.level_ids(1);
+  const auto fiber_ptr = csf_.level_ptr(1);
+  const auto leaf_ids = csf_.level_ids(2);
+  const auto vals = csf_.values();
+
+  pool_->parallel_for(slice_ids.size(), /*grain=*/4, [&](std::size_t s) {
+    std::vector<value_t> fsum(r);
+    const value_t* arow = a.data() + static_cast<std::size_t>(slice_ids[s]) * r;
+    for (nnz_t fb = slice_ptr[s]; fb < slice_ptr[s + 1]; ++fb) {
+      std::fill(fsum.begin(), fsum.end(), value_t{0});
+      for (nnz_t x = fiber_ptr[fb]; x < fiber_ptr[fb + 1]; ++x) {
+        const value_t v = vals[x];
+        const value_t* crow = c.data() + static_cast<std::size_t>(leaf_ids[x]) * r;
+        for (index_t q = 0; q < r; ++q) fsum[q] += v * crow[q];
+      }
+      value_t* dst = m.data() + static_cast<std::size_t>(fiber_ids[fb]) * r;
+      for (index_t q = 0; q < r; ++q) sim::atomic_add(&dst[q], arow[q] * fsum[q]);
+    }
+  });
+  return m;
+}
+
+// M(k,:) += X(i,j,k) * (A(i,:) * B(j,:)) -- one atomic row update per leaf.
+DenseMatrix SplattMttkrp::run_leaf(std::span<const DenseMatrix> factors) const {
+  const DenseMatrix& a = factors[0];
+  const DenseMatrix& b = factors[1];
+  const index_t r = a.cols();
+  DenseMatrix m(dims_[2], r);
+
+  const auto slice_ids = csf_.level_ids(0);
+  const auto slice_ptr = csf_.level_ptr(0);
+  const auto fiber_ids = csf_.level_ids(1);
+  const auto fiber_ptr = csf_.level_ptr(1);
+  const auto leaf_ids = csf_.level_ids(2);
+  const auto vals = csf_.values();
+
+  pool_->parallel_for(slice_ids.size(), /*grain=*/4, [&](std::size_t s) {
+    std::vector<value_t> w(r);
+    const value_t* arow = a.data() + static_cast<std::size_t>(slice_ids[s]) * r;
+    for (nnz_t fb = slice_ptr[s]; fb < slice_ptr[s + 1]; ++fb) {
+      const value_t* brow = b.data() + static_cast<std::size_t>(fiber_ids[fb]) * r;
+      for (index_t q = 0; q < r; ++q) w[q] = arow[q] * brow[q];
+      for (nnz_t x = fiber_ptr[fb]; x < fiber_ptr[fb + 1]; ++x) {
+        const value_t v = vals[x];
+        value_t* dst = m.data() + static_cast<std::size_t>(leaf_ids[x]) * r;
+        for (index_t q = 0; q < r; ++q) sim::atomic_add(&dst[q], v * w[q]);
+      }
+    }
+  });
+  return m;
+}
+
+core::CpResult cp_als_splatt(const CooTensor& tensor, const core::CpOptions& options,
+                             ThreadPool* pool) {
+  SplattMttkrp op(tensor, pool);
+  return core::cp_als_driver(
+      tensor, options, [&](int mode, const std::vector<DenseMatrix>& factors) {
+        return op.run(mode, factors);
+      });
+}
+
+}  // namespace ust::baseline

@@ -1,0 +1,33 @@
+// The "previous method" of the paper's Figure 3a: SpMTTKRP decomposed into a
+// chain of sparse operations. For mode-1 of a 3-order tensor:
+//
+//   step 1:  Y(i,j,:) = sum_k X(i,j,k) * C(k,:)     (SpTTM on mode-3)
+//   step 2:  M(i,:)  += Y(i,j,:) * B(j,:)           (semi-sparse contraction)
+//
+// The intermediate semi-sparse tensor Y is larger than X whenever fibers are
+// shorter than R, and step 2 needs a different traversal order -- exactly
+// the storage and mode-change costs the one-shot method eliminates
+// (Figure 3b). Kept as a baseline so the one-shot equivalence can be tested
+// and its advantage benchmarked (bench_ablation).
+#pragma once
+
+#include <span>
+
+#include "core/spttm.hpp"
+#include "sim/device.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+
+namespace ust::baseline {
+
+struct TwoStepResult {
+  DenseMatrix m;
+  std::size_t intermediate_bytes = 0;  // sCOO footprint of Y
+};
+
+/// Two-step MTTKRP on `mode` of a 3-order tensor. The SpTTM step runs as a
+/// unified kernel on `device`; the contraction step runs on the device pool.
+TwoStepResult mttkrp_two_step(sim::Device& device, const CooTensor& tensor, int mode,
+                              std::span<const DenseMatrix> factors, Partitioning part);
+
+}  // namespace ust::baseline

@@ -1,0 +1,52 @@
+#include "core/mode_plan.hpp"
+
+namespace ust::core {
+
+namespace {
+ModePlan make_plan(TensorOp op, int order, int mode, bool mode_is_index) {
+  UST_EXPECTS(order >= 2);
+  UST_EXPECTS(mode >= 0 && mode < order);
+  ModePlan plan;
+  plan.op = op;
+  plan.target_mode = mode;
+  for (int m = 0; m < order; ++m) {
+    const bool is_target = (m == mode);
+    if (is_target == mode_is_index) {
+      plan.index_modes.push_back(m);
+    } else {
+      plan.product_modes.push_back(m);
+    }
+  }
+  return plan;
+}
+}  // namespace
+
+ModePlan make_mode_plan_spttm(int order, int mode) {
+  return make_plan(TensorOp::kSpTTM, order, mode, /*mode_is_index=*/false);
+}
+
+ModePlan make_mode_plan_spmttkrp(int order, int mode) {
+  return make_plan(TensorOp::kSpMTTKRP, order, mode, /*mode_is_index=*/true);
+}
+
+ModePlan make_mode_plan_spttmc(int order, int mode) {
+  return make_plan(TensorOp::kSpTTMc, order, mode, /*mode_is_index=*/true);
+}
+
+std::string ModePlan::describe() const {
+  auto list = [](const std::vector<int>& v) {
+    std::string s = "(";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i != 0) s += ",";
+      s += std::to_string(v[i] + 1);  // 1-based, as the paper writes modes
+    }
+    return s + ")";
+  };
+  const char* name = op == TensorOp::kSpTTM      ? "SpTTM"
+                     : op == TensorOp::kSpMTTKRP ? "SpMTTKRP"
+                                                 : "SpTTMc";
+  return std::string(name) + " on mode-" + std::to_string(target_mode + 1) +
+         ": product" + list(product_modes) + " index" + list(index_modes);
+}
+
+}  // namespace ust::core

@@ -1,0 +1,38 @@
+// Mode classification for sparse tensor operations (the paper's Table I).
+// Every operation is described by which modes are *product* modes (the tensor
+// is multiplied by a matrix along them; their indices guide the Hadamard /
+// Kronecker products and must be stored) and which are *index* modes (they
+// identify the output segment; F-COO compresses them into bit flags).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ust::core {
+
+enum class TensorOp { kSpTTM, kSpMTTKRP, kSpTTMc };
+
+struct ModePlan {
+  TensorOp op;
+  int target_mode = 0;             // the mode the operation is "on"
+  std::vector<int> index_modes;    // ascending
+  std::vector<int> product_modes;  // ascending
+
+  std::string describe() const;
+};
+
+/// SpTTM on `mode`: product mode = {mode}, index modes = the rest (Table I
+/// row 1: SpTTM on mode-3 has product mode-3, index modes (1,2)).
+ModePlan make_mode_plan_spttm(int order, int mode);
+
+/// SpMTTKRP on `mode`: index mode = {mode}, product modes = the rest
+/// (Table I row 2: SpMTTKRP on mode-1 has product modes (2,3), index mode 1).
+ModePlan make_mode_plan_spmttkrp(int order, int mode);
+
+/// SpTTMc on `mode`: same mode split as SpMTTKRP (Table I row 3) but the
+/// per-non-zero combination is a Kronecker product instead of Hadamard.
+ModePlan make_mode_plan_spttmc(int order, int mode);
+
+}  // namespace ust::core

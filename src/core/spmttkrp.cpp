@@ -1,0 +1,128 @@
+#include "core/spmttkrp.hpp"
+
+#include <memory>
+
+#include "tensor/fcoo.hpp"
+
+namespace ust::core {
+
+namespace {
+
+constexpr std::size_t kMaxProductModes = 7;  // supports tensors up to order 8
+
+/// Hadamard product expression over two product modes (the 3-order fast
+/// path: the overwhelmingly common case in the paper's evaluation).
+struct MttkrpExpr2 {
+  const index_t* idx0;
+  const index_t* idx1;
+  const value_t* fac0;
+  const value_t* fac1;
+  index_t r;
+
+  float operator()(nnz_t x, index_t col) const {
+    return fac0[static_cast<std::size_t>(idx0[x]) * r + col] *
+           fac1[static_cast<std::size_t>(idx1[x]) * r + col];
+  }
+};
+
+/// General N-order Hadamard expression.
+struct MttkrpExprN {
+  const index_t* idx[kMaxProductModes];
+  const value_t* fac[kMaxProductModes];
+  std::size_t nprod;
+  index_t r;
+
+  float operator()(nnz_t x, index_t col) const {
+    float v = 1.0f;
+    for (std::size_t p = 0; p < nprod; ++p) {
+      v *= fac[p][static_cast<std::size_t>(idx[p][x]) * r + col];
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+UnifiedMttkrp::UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode,
+                             Partitioning part)
+    : mode_(mode) {
+  const ModePlan mp = make_mode_plan_spmttkrp(tensor.order(), mode);
+  const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
+  plan_ = std::make_unique<UnifiedPlan>(device, fcoo, part);
+}
+
+DenseMatrix UnifiedMttkrp::run(std::span<const DenseMatrix> factors,
+                               const UnifiedOptions& opt) const {
+  const index_t rows = plan_->dims()[static_cast<std::size_t>(mode_)];
+  const index_t r = factors[static_cast<std::size_t>(
+                                plan_->product_modes().front())].cols();
+  DenseMatrix out(rows, r);
+  run(factors, out, opt);
+  return out;
+}
+
+void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
+                        const UnifiedOptions& opt) const {
+  const auto& prod_modes = plan_->product_modes();
+  UST_EXPECTS(factors.size() == plan_->dims().size());
+  UST_EXPECTS(prod_modes.size() <= kMaxProductModes);
+  const index_t r = factors[static_cast<std::size_t>(prod_modes.front())].cols();
+  for (int m : prod_modes) {
+    const auto& f = factors[static_cast<std::size_t>(m)];
+    UST_EXPECTS(f.cols() == r);
+    UST_EXPECTS(f.rows() == plan_->dims()[static_cast<std::size_t>(m)]);
+  }
+  const index_t rows = plan_->dims()[static_cast<std::size_t>(mode_)];
+  UST_EXPECTS(out.rows() == rows && out.cols() == r);
+
+  sim::Device& dev = plan_->device();
+
+  // Stage factors on the device (transfers are re-done every call because
+  // CP-ALS mutates the factors between calls).
+  factor_bufs_.resize(prod_modes.size());
+  for (std::size_t p = 0; p < prod_modes.size(); ++p) {
+    const auto& f = factors[static_cast<std::size_t>(prod_modes[p])];
+    if (factor_bufs_[p].size() != f.size()) factor_bufs_[p] = dev.alloc<value_t>(f.size());
+    factor_bufs_[p].copy_from_host(f.span());
+  }
+  if (out_buf_.size() != out.size()) out_buf_ = dev.alloc<value_t>(out.size());
+  out_buf_.fill(value_t{0});
+
+  FcooView view = plan_->view();
+  OutView out_view{out_buf_.data(), r, r};
+  const UnifiedOptions ropt = plan_->resolve_options(r, opt);
+  const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
+  std::unique_ptr<sim::CarryChain> chain;
+  if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+    chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+  }
+
+  if (prod_modes.size() == 2) {
+    MttkrpExpr2 expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
+                     factor_bufs_[0].data(), factor_bufs_[1].data(), r};
+    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+    });
+  } else {
+    MttkrpExprN expr{};
+    expr.nprod = prod_modes.size();
+    expr.r = r;
+    for (std::size_t p = 0; p < prod_modes.size(); ++p) {
+      expr.idx[p] = plan_->product_indices(p).data();
+      expr.fac[p] = factor_bufs_[p].data();
+    }
+    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+    });
+  }
+  out_buf_.copy_to_host(out.span());
+}
+
+DenseMatrix spmttkrp_unified(sim::Device& device, const CooTensor& tensor, int mode,
+                             std::span<const DenseMatrix> factors, Partitioning part,
+                             const UnifiedOptions& opt) {
+  UnifiedMttkrp op(device, tensor, mode, part);
+  return op.run(factors, opt);
+}
+
+}  // namespace ust::core

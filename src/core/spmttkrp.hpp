@@ -1,0 +1,49 @@
+// Unified one-shot SpMTTKRP (Section IV-C): M(i,:) += X(i,j,k) * (B(j,:) *
+// C(k,:)) computed directly on the non-zeros -- no intermediate semi-sparse
+// tensor, no explicit Khatri-Rao product, no mode conversion. Generalises to
+// any order (the Hadamard product runs over all N-1 product-mode factor
+// rows).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/mode_plan.hpp"
+#include "core/unified_plan.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+
+namespace ust::core {
+
+class UnifiedMttkrp {
+ public:
+  /// Preprocesses `tensor` for MTTKRP on `mode` (0-based) and uploads the
+  /// F-COO arrays to `device`.
+  UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part);
+
+  int mode() const noexcept { return mode_; }
+  const UnifiedPlan& plan() const noexcept { return *plan_; }
+
+  /// Runs the kernel. `factors[m]` is the mode-m factor matrix (dims[m] x R);
+  /// factors[mode()] is not read. Returns M of shape dims[mode()] x R.
+  DenseMatrix run(std::span<const DenseMatrix> factors, const UnifiedOptions& opt = {}) const;
+
+  /// As above but writes into a preallocated output (must be dims[mode] x R).
+  void run(std::span<const DenseMatrix> factors, DenseMatrix& out,
+           const UnifiedOptions& opt = {}) const;
+
+ private:
+  int mode_;
+  std::unique_ptr<UnifiedPlan> plan_;
+  // Device-resident factor/output staging, grown lazily and reused across
+  // iterations (CP-ALS calls run() three times per iteration).
+  mutable std::vector<sim::DeviceBuffer<value_t>> factor_bufs_;
+  mutable sim::DeviceBuffer<value_t> out_buf_;
+};
+
+/// One-shot convenience wrapper (builds a plan, runs once).
+DenseMatrix spmttkrp_unified(sim::Device& device, const CooTensor& tensor, int mode,
+                             std::span<const DenseMatrix> factors, Partitioning part,
+                             const UnifiedOptions& opt = {});
+
+}  // namespace ust::core

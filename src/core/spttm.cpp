@@ -1,0 +1,85 @@
+#include "core/spttm.hpp"
+
+#include <memory>
+
+#include "tensor/fcoo.hpp"
+
+namespace ust::core {
+
+namespace {
+
+/// SpTTM product expression: gather one row of the dense factor.
+struct SpttmExpr {
+  const index_t* idx;
+  const value_t* fac;
+  index_t r;
+
+  float operator()(nnz_t x, index_t col) const {
+    return fac[static_cast<std::size_t>(idx[x]) * r + col];
+  }
+};
+
+}  // namespace
+
+UnifiedSpttm::UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode,
+                           Partitioning part)
+    : mode_(mode) {
+  const ModePlan mp = make_mode_plan_spttm(tensor.order(), mode);
+  const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
+  // Keep the per-fiber coordinates on the host for assembling the sCOO
+  // output (the device kernel only needs segment ordinals).
+  fiber_coords_.resize(mp.index_modes.size());
+  for (std::size_t m = 0; m < mp.index_modes.size(); ++m) {
+    const auto coords = fcoo.segment_coords(m);
+    fiber_coords_[m].assign(coords.begin(), coords.end());
+  }
+  plan_ = std::make_unique<UnifiedPlan>(device, fcoo, part);
+}
+
+SemiSparseTensor UnifiedSpttm::run(const DenseMatrix& u, const UnifiedOptions& opt) const {
+  UST_EXPECTS(u.rows() == plan_->dims()[static_cast<std::size_t>(mode_)]);
+  const index_t r = u.cols();
+  sim::Device& dev = plan_->device();
+
+  if (factor_buf_.size() != u.size()) factor_buf_ = dev.alloc<value_t>(u.size());
+  factor_buf_.copy_from_host(u.span());
+
+  const nnz_t nfibs = plan_->num_segments();
+  const std::size_t out_elems = static_cast<std::size_t>(nfibs) * r;
+  if (out_buf_.size() != out_elems) out_buf_ = dev.alloc<value_t>(out_elems);
+  out_buf_.fill(value_t{0});
+
+  FcooView view = plan_->view();
+  OutView out_view{out_buf_.data(), r, r};
+  const UnifiedOptions ropt = plan_->resolve_options(r, opt);
+  const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
+  std::unique_ptr<sim::CarryChain> chain;
+  if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+    chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+  }
+  SpttmExpr expr{plan_->product_indices(0).data(), factor_buf_.data(), r};
+  sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+    unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+  });
+
+  // Assemble the sCOO result.
+  std::vector<index_t> sparse_dims;
+  for (int m : plan_->index_modes()) {
+    sparse_dims.push_back(plan_->dims()[static_cast<std::size_t>(m)]);
+  }
+  SemiSparseTensor y(std::move(sparse_dims), nfibs, r, mode_);
+  for (std::size_t m = 0; m < fiber_coords_.size(); ++m) {
+    std::copy(fiber_coords_[m].begin(), fiber_coords_[m].end(), y.coords(static_cast<int>(m)).begin());
+  }
+  out_buf_.copy_to_host(y.values().span());
+  return y;
+}
+
+SemiSparseTensor spttm_unified(sim::Device& device, const CooTensor& tensor, int mode,
+                               const DenseMatrix& u, Partitioning part,
+                               const UnifiedOptions& opt) {
+  UnifiedSpttm op(device, tensor, mode, part);
+  return op.run(u, opt);
+}
+
+}  // namespace ust::core

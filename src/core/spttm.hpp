@@ -1,0 +1,44 @@
+// Unified SpTTM: Y = X x_n U (sparse tensor times dense matrix on mode n),
+// Equation (3) of the paper. The output is semi-sparse -- each surviving
+// fiber along mode n is dense with length R -- and is returned in sCOO form.
+// Runs the same unified block program as SpMTTKRP; only the product
+// expression (a single factor-row gather) differs.
+#pragma once
+
+#include <memory>
+
+#include "core/mode_plan.hpp"
+#include "core/unified_plan.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/semisparse.hpp"
+
+namespace ust::core {
+
+class UnifiedSpttm {
+ public:
+  UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part);
+
+  int mode() const noexcept { return mode_; }
+  const UnifiedPlan& plan() const noexcept { return *plan_; }
+  nnz_t num_output_fibers() const noexcept { return plan_->num_segments(); }
+
+  /// Runs Y = X x_mode U. `u` must be dims[mode] x R; the result has one
+  /// dense fiber of length R per distinct index-mode coordinate pair, in
+  /// lexicographic order.
+  SemiSparseTensor run(const DenseMatrix& u, const UnifiedOptions& opt = {}) const;
+
+ private:
+  int mode_;
+  std::unique_ptr<UnifiedPlan> plan_;
+  std::vector<std::vector<index_t>> fiber_coords_;  // host copy, per index mode
+  mutable sim::DeviceBuffer<value_t> factor_buf_;
+  mutable sim::DeviceBuffer<value_t> out_buf_;
+};
+
+/// One-shot convenience wrapper.
+SemiSparseTensor spttm_unified(sim::Device& device, const CooTensor& tensor, int mode,
+                               const DenseMatrix& u, Partitioning part,
+                               const UnifiedOptions& opt = {});
+
+}  // namespace ust::core

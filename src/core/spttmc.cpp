@@ -1,0 +1,83 @@
+#include "core/spttmc.hpp"
+
+#include <memory>
+
+#include "tensor/fcoo.hpp"
+
+namespace ust::core {
+
+namespace {
+
+/// Kronecker product expression: column c of the R2*R3-wide output row is
+/// U2(j, c / R3) * U3(k, c % R3).
+struct TtmcExpr {
+  const index_t* idx0;
+  const index_t* idx1;
+  const value_t* fac0;
+  const value_t* fac1;
+  index_t r0;
+  index_t r1;
+
+  float operator()(nnz_t x, index_t col) const {
+    return fac0[static_cast<std::size_t>(idx0[x]) * r0 + col / r1] *
+           fac1[static_cast<std::size_t>(idx1[x]) * r1 + col % r1];
+  }
+};
+
+}  // namespace
+
+UnifiedTtmc::UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode,
+                         Partitioning part)
+    : mode_(mode) {
+  UST_EXPECTS(tensor.order() == 3);
+  const ModePlan mp = make_mode_plan_spttmc(tensor.order(), mode);
+  const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
+  plan_ = std::make_unique<UnifiedPlan>(device, fcoo, part);
+}
+
+DenseMatrix UnifiedTtmc::run(const DenseMatrix& u_first, const DenseMatrix& u_second,
+                             const UnifiedOptions& opt) const {
+  const auto& prod = plan_->product_modes();
+  UST_EXPECTS(u_first.rows() == plan_->dims()[static_cast<std::size_t>(prod[0])]);
+  UST_EXPECTS(u_second.rows() == plan_->dims()[static_cast<std::size_t>(prod[1])]);
+  const index_t r0 = u_first.cols();
+  const index_t r1 = u_second.cols();
+  const index_t cols = r0 * r1;
+  sim::Device& dev = plan_->device();
+
+  if (fac0_buf_.size() != u_first.size()) fac0_buf_ = dev.alloc<value_t>(u_first.size());
+  fac0_buf_.copy_from_host(u_first.span());
+  if (fac1_buf_.size() != u_second.size()) fac1_buf_ = dev.alloc<value_t>(u_second.size());
+  fac1_buf_.copy_from_host(u_second.span());
+
+  const index_t rows = plan_->dims()[static_cast<std::size_t>(mode_)];
+  DenseMatrix out(rows, cols);
+  const std::size_t out_elems = out.size();
+  if (out_buf_.size() != out_elems) out_buf_ = dev.alloc<value_t>(out_elems);
+  out_buf_.fill(value_t{0});
+
+  FcooView view = plan_->view();
+  OutView out_view{out_buf_.data(), cols, cols};
+  const UnifiedOptions ropt = plan_->resolve_options(cols, opt);
+  const sim::LaunchConfig cfg = plan_->launch_config(cols, ropt);
+  std::unique_ptr<sim::CarryChain> chain;
+  if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+    chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+  }
+  TtmcExpr expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
+                fac0_buf_.data(), fac1_buf_.data(), r0, r1};
+  sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+    unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+  });
+  out_buf_.copy_to_host(out.span());
+  return out;
+}
+
+DenseMatrix spttmc_unified(sim::Device& device, const CooTensor& tensor, int mode,
+                           const DenseMatrix& u_first, const DenseMatrix& u_second,
+                           Partitioning part, const UnifiedOptions& opt) {
+  UnifiedTtmc op(device, tensor, mode, part);
+  return op.run(u_first, u_second, opt);
+}
+
+}  // namespace ust::core

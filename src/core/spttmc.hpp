@@ -1,0 +1,47 @@
+// Unified SpTTMc (tensor-times-matrix chain, Equation (4)): the Tucker/HOOI
+// building block. For a 3-order tensor on mode-1:
+//   Y(1)(i,:) += X(i,j,k) * (U2(j,:) (x) U3(k,:))
+// i.e. the same one-shot skeleton as SpMTTKRP with the Hadamard product
+// replaced by a Kronecker product of the factor rows, producing R2*R3 output
+// columns (Table I row 3).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/mode_plan.hpp"
+#include "core/unified_plan.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+
+namespace ust::core {
+
+class UnifiedTtmc {
+ public:
+  /// Currently implemented for 3-order tensors (the paper's evaluation
+  /// scope); `mode` selects the index mode.
+  UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part);
+
+  int mode() const noexcept { return mode_; }
+  const UnifiedPlan& plan() const noexcept { return *plan_; }
+
+  /// Runs the chain product with the two product-mode factors (in ascending
+  /// mode order). Result is the mode-matricised Y(mode):
+  /// dims[mode] x (r(u_first) * r(u_second)).
+  DenseMatrix run(const DenseMatrix& u_first, const DenseMatrix& u_second,
+                  const UnifiedOptions& opt = {}) const;
+
+ private:
+  int mode_;
+  std::unique_ptr<UnifiedPlan> plan_;
+  mutable sim::DeviceBuffer<value_t> fac0_buf_;
+  mutable sim::DeviceBuffer<value_t> fac1_buf_;
+  mutable sim::DeviceBuffer<value_t> out_buf_;
+};
+
+/// One-shot convenience wrapper.
+DenseMatrix spttmc_unified(sim::Device& device, const CooTensor& tensor, int mode,
+                           const DenseMatrix& u_first, const DenseMatrix& u_second,
+                           Partitioning part, const UnifiedOptions& opt = {});
+
+}  // namespace ust::core

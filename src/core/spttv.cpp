@@ -1,0 +1,92 @@
+#include "core/spttv.hpp"
+
+#include <memory>
+
+#include "tensor/fcoo.hpp"
+
+namespace ust::core {
+
+namespace {
+
+constexpr std::size_t kMaxProductModes = 7;
+
+/// TTV product expression: the scalar product of the contraction vectors'
+/// entries at the non-zero's product-mode indices. Output has one column.
+struct TtvExpr {
+  const index_t* idx[kMaxProductModes];
+  const value_t* vec[kMaxProductModes];
+  std::size_t nprod;
+
+  float operator()(nnz_t x, index_t /*col*/) const {
+    float v = 1.0f;
+    for (std::size_t p = 0; p < nprod; ++p) {
+      v *= vec[p][idx[p][x]];
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+UnifiedTtv::UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode,
+                       Partitioning part)
+    : mode_(mode) {
+  // Same mode split as MTTKRP (all modes but `mode` are contracted), so the
+  // same F-COO layout serves both operations -- the unification at work.
+  const ModePlan mp = make_mode_plan_spmttkrp(tensor.order(), mode);
+  UST_EXPECTS(mp.product_modes.size() <= kMaxProductModes);
+  const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
+  plan_ = std::make_unique<UnifiedPlan>(device, fcoo, part);
+}
+
+std::vector<value_t> UnifiedTtv::run(std::span<const std::vector<value_t>> vectors,
+                                     const UnifiedOptions& opt) const {
+  const auto& prod_modes = plan_->product_modes();
+  UST_EXPECTS(vectors.size() == plan_->dims().size());
+  for (int m : prod_modes) {
+    UST_EXPECTS(vectors[static_cast<std::size_t>(m)].size() ==
+                plan_->dims()[static_cast<std::size_t>(m)]);
+  }
+  sim::Device& dev = plan_->device();
+
+  vec_bufs_.resize(prod_modes.size());
+  for (std::size_t p = 0; p < prod_modes.size(); ++p) {
+    const auto& v = vectors[static_cast<std::size_t>(prod_modes[p])];
+    if (vec_bufs_[p].size() != v.size()) vec_bufs_[p] = dev.alloc<value_t>(v.size());
+    vec_bufs_[p].copy_from_host(v);
+  }
+  const index_t out_rows = plan_->dims()[static_cast<std::size_t>(mode_)];
+  if (out_buf_.size() != out_rows) out_buf_ = dev.alloc<value_t>(out_rows);
+  out_buf_.fill(value_t{0});
+
+  FcooView view = plan_->view();
+  OutView out_view{out_buf_.data(), 1, 1};
+  const UnifiedOptions ropt = plan_->resolve_options(1, opt);
+  const sim::LaunchConfig cfg = plan_->launch_config(1, ropt);
+  std::unique_ptr<sim::CarryChain> chain;
+  if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+    chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+  }
+  TtvExpr expr{};
+  expr.nprod = prod_modes.size();
+  for (std::size_t p = 0; p < prod_modes.size(); ++p) {
+    expr.idx[p] = plan_->product_indices(p).data();
+    expr.vec[p] = vec_bufs_[p].data();
+  }
+  sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+    unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+  });
+
+  std::vector<value_t> out(out_rows);
+  out_buf_.copy_to_host(out);
+  return out;
+}
+
+std::vector<value_t> spttv_unified(sim::Device& device, const CooTensor& tensor, int mode,
+                                   std::span<const std::vector<value_t>> vectors,
+                                   Partitioning part, const UnifiedOptions& opt) {
+  UnifiedTtv op(device, tensor, mode, part);
+  return op.run(vectors, opt);
+}
+
+}  // namespace ust::core

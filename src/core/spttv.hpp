@@ -1,0 +1,48 @@
+// Unified SpTTV (sparse tensor-times-vector chain): contracts every mode
+// except `mode` with a dense vector,
+//
+//   y(i) = sum_{j,k,...} X(i,j,k,...) * v2(j) * v3(k) * ...
+//
+// This is the rank-1 specialisation of SpMTTKRP and the inner operation of
+// tensor power iteration (dominant rank-1 component / Z-eigenvector
+// computation). It is not evaluated in the paper; it is included here as a
+// demonstration of the conclusion's claim that the unified method "can be
+// extended to support other sparse tensor operations" -- the kernel is the
+// same block program with a scalar product expression.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/mode_plan.hpp"
+#include "core/unified_plan.hpp"
+#include "tensor/coo.hpp"
+
+namespace ust::core {
+
+class UnifiedTtv {
+ public:
+  UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part);
+
+  int mode() const noexcept { return mode_; }
+  const UnifiedPlan& plan() const noexcept { return *plan_; }
+
+  /// Contracts with `vectors[m]` along every mode m != mode() (vectors[mode]
+  /// is not read). Returns the dims[mode]-length result.
+  std::vector<value_t> run(std::span<const std::vector<value_t>> vectors,
+                           const UnifiedOptions& opt = {}) const;
+
+ private:
+  int mode_;
+  std::unique_ptr<UnifiedPlan> plan_;
+  mutable std::vector<sim::DeviceBuffer<value_t>> vec_bufs_;
+  mutable sim::DeviceBuffer<value_t> out_buf_;
+};
+
+/// One-shot convenience wrapper.
+std::vector<value_t> spttv_unified(sim::Device& device, const CooTensor& tensor, int mode,
+                                   std::span<const std::vector<value_t>> vectors,
+                                   Partitioning part, const UnifiedOptions& opt = {});
+
+}  // namespace ust::core

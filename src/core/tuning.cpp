@@ -1,0 +1,39 @@
+#include "core/tuning.hpp"
+
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace ust::core {
+
+std::vector<unsigned> default_threadlens() { return {8, 16, 24, 32, 40, 48, 56, 64}; }
+
+std::vector<unsigned> default_block_sizes() { return {32, 64, 128, 256, 512, 768, 1024}; }
+
+TuneResult tune(const std::function<double(Partitioning)>& runner,
+                std::vector<unsigned> threadlens, std::vector<unsigned> block_sizes) {
+  UST_EXPECTS(!threadlens.empty() && !block_sizes.empty());
+  TuneResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+  for (unsigned bs : block_sizes) {
+    for (unsigned tl : threadlens) {
+      const Partitioning part{.threadlen = tl, .block_size = bs};
+      double s = std::numeric_limits<double>::quiet_NaN();
+      try {
+        s = runner(part);
+      } catch (const std::exception& e) {
+        UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << "): " << e.what();
+        continue;
+      }
+      result.samples.push_back({part, s});
+      if (s < result.best_seconds) {
+        result.best_seconds = s;
+        result.best = part;
+      }
+    }
+  }
+  UST_ENSURES(!result.samples.empty());
+  return result;
+}
+
+}  // namespace ust::core

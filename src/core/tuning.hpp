@@ -1,0 +1,38 @@
+// Parameter auto-tuner for the (threadlen, BLOCK_SIZE) launch configuration
+// (the paper's Section V, Figure 5 / Table V experiment). The sweep measures
+// a caller-supplied runner over the full grid and reports every sample so the
+// tuning surface can be printed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/fcoo.hpp"
+#include "util/common.hpp"
+
+namespace ust::core {
+
+struct TuneSample {
+  Partitioning part;
+  double seconds = 0.0;
+};
+
+struct TuneResult {
+  Partitioning best;
+  double best_seconds = 0.0;
+  std::vector<TuneSample> samples;  // full sweep, row-major over the grid
+};
+
+/// The paper's sweep axes: threadlen 8..64 step 8, BLOCK_SIZE {32,...,1024}.
+std::vector<unsigned> default_threadlens();
+std::vector<unsigned> default_block_sizes();
+
+/// Runs `runner` (which should execute the operation once and return elapsed
+/// seconds, typically a median of repeats) for every configuration.
+/// Configurations whose runner throws (e.g. shared-memory overflow) are
+/// skipped.
+TuneResult tune(const std::function<double(Partitioning)>& runner,
+                std::vector<unsigned> threadlens = default_threadlens(),
+                std::vector<unsigned> block_sizes = default_block_sizes());
+
+}  // namespace ust::core

@@ -1,0 +1,400 @@
+// The unified parallel kernel skeleton (Section IV-D of the paper).
+//
+// All three sparse tensor operations (SpTTM, SpMTTKRP, SpTTMc) execute the
+// SAME block program; they differ only in the per-non-zero product expression
+// (a matrix-row gather for SpTTM, a Hadamard product of rows for SpMTTKRP, a
+// Kronecker product of rows for SpTTMc) -- this is the paper's central
+// unification claim, expressed here as a C++ template parameter.
+//
+// Launch geometry (paper Figure 4): a 2-D grid of 1-D thread blocks.
+//   blockIdx.x -> a partition of BLOCK_SIZE * threadlen non-zeros
+//   blockIdx.y -> a tile of dense-factor columns (the rank dimension)
+// Because block shape never depends on the rank, performance is insensitive
+// to rank changes (the Figure 8 experiment).
+//
+// Reduction (the paper's "enabling segmented scan"):
+//   1. Each thread walks its `threadlen` non-zeros, accumulating a running
+//      sum that restarts at every bit-flag head. Segments that both start
+//      and end inside the thread are written directly -- conflict-free.
+//   2. The per-thread trailing partial sums are combined with a block-wide
+//      segmented scan built from warp-level (shuffle-style) segmented scans
+//      plus a warp-carry scan, exactly the Sengupta et al. construction.
+//   3. Only segments that cross a block boundary are committed with atomic
+//      adds -- at most one per block edge -- which is how the method avoids
+//      the atomic-per-non-zero cost of COO baselines (kAllAtomic reproduces
+//      that cost for the ablation study).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/collectives.hpp"
+#include "sim/executor.hpp"
+#include "tensor/fcoo.hpp"
+#include "util/common.hpp"
+
+namespace ust::core {
+
+/// Reduction strategy; kSegmentedScan is the paper's method, kAdjacentSync
+/// is its fully fused form (Section IV-D's "adjacent synchronization is used
+/// to perform inter-block communication and to fuse the kernels"), and the
+/// atomics variants are ablation baselines (see bench/bench_ablation.cpp).
+enum class ReduceStrategy {
+  kSegmentedScan,  // warp/block segmented scan, atomics only at block edges
+  kAdjacentSync,   // segmented scan + StreamScan carry chain: zero atomics
+  kThreadAtomic,   // per-thread boundary partials committed atomically
+  kAllAtomic       // one atomic per non-zero (COO-style; no local reuse)
+};
+
+/// Execution options for a unified kernel run. The partitioning itself
+/// (threadlen, block size) is a property of the UnifiedPlan, because the
+/// per-partition metadata is precomputed for it.
+///
+/// column_tile is the number of rank columns each block computes per pass
+/// over its non-zeros. The paper's CUDA layout is tile = 1 (grid.y = R, one
+/// column per block) -- on a real GPU the R column-blocks run concurrently
+/// on different SMs, so re-reading the tensor per column is hidden by the
+/// memory hierarchy. On the CPU-backed simulator that re-read is paid in
+/// full, so the default (0) auto-selects the widest tile that fits shared
+/// memory while keeping enough blocks to occupy the worker pool; set 1 to
+/// reproduce the paper's layout (see bench_ablation).
+struct UnifiedOptions {
+  ReduceStrategy strategy = ReduceStrategy::kSegmentedScan;
+  unsigned column_tile = 0;  // 0 = auto; 1 = paper layout; n = fixed tile
+};
+
+/// Raw device-side view of an F-COO tensor plus partition metadata, passed
+/// by value into kernels (pointers reference DeviceBuffer storage owned by a
+/// UnifiedPlan).
+struct FcooView {
+  const std::uint64_t* bf_words = nullptr;  // packed head flags
+  const value_t* vals = nullptr;
+  const index_t* thread_first_seg = nullptr;  // segment id of each partition's first nnz
+  const index_t* seg_row = nullptr;           // output row of each segment
+  nnz_t nnz = 0;
+  nnz_t num_segments = 0;
+  unsigned threadlen = 8;  // non-zeros per thread (partitioning)
+
+  bool head(nnz_t x) const { return (bf_words[x >> 6] >> (x & 63)) & 1ull; }
+};
+
+/// Output view: row-major matrix out[row * ld + col].
+struct OutView {
+  value_t* data = nullptr;
+  index_t ld = 0;        // leading dimension (number of output columns)
+  index_t num_cols = 0;  // total columns of this operation
+};
+
+namespace detail {
+
+/// Block-wide inclusive segmented scan over per-thread trailing partials.
+/// `vals`/`flags` are lane arrays of size block_dim; flags are head flags and
+/// are replaced by propagated flags ("run ending at this lane contains a
+/// head inside the block"). Built hierarchically from warp-level scans so the
+/// dataflow matches the shuffle implementation on a real GPU.
+inline void block_segmented_scan(std::span<float> vals, std::span<std::uint8_t> flags,
+                                 std::span<float> warp_carry,
+                                 std::span<std::uint8_t> warp_flag) {
+  const std::size_t n = vals.size();
+  UST_EXPECTS(flags.size() == n);
+  const std::size_t nwarps = ceil_div<std::size_t>(n, sim::kWarpSize);
+  UST_EXPECTS(warp_carry.size() >= nwarps && warp_flag.size() >= nwarps);
+
+  for (std::size_t w = 0; w < nwarps; ++w) {
+    const std::size_t lo = w * sim::kWarpSize;
+    const std::size_t len = std::min<std::size_t>(sim::kWarpSize, n - lo);
+    sim::warp_segmented_scan_add(vals.subspan(lo, len), flags.subspan(lo, len));
+    warp_carry[w] = vals[lo + len - 1];
+    warp_flag[w] = flags[lo + len - 1];
+  }
+  if (nwarps > 1) {
+    // Scan the warp carries (at most 32 for block_dim <= 1024).
+    sim::warp_segmented_scan_add(warp_carry.first(nwarps), warp_flag.first(nwarps));
+    // Add the incoming carry to each warp's leading run (propagated flag 0).
+    for (std::size_t w = 1; w < nwarps; ++w) {
+      const float incoming = warp_carry[w - 1];
+      const std::uint8_t incoming_flag = warp_flag[w - 1];
+      const std::size_t lo = w * sim::kWarpSize;
+      const std::size_t len = std::min<std::size_t>(sim::kWarpSize, n - lo);
+      for (std::size_t l = 0; l < len; ++l) {
+        if (flags[lo + l] == 0) {
+          vals[lo + l] += incoming;
+          flags[lo + l] = incoming_flag;
+        }
+      }
+    }
+  }
+}
+
+/// Per-lane state captured by the thread-local pass.
+struct LaneState {
+  float head_partial = 0.0f;  // first-run partial continuing an earlier thread
+  index_t first_seg = 0;      // segment id of the partition's first nnz
+  index_t tail_seg = 0;       // segment id open at partition end
+  std::uint8_t has_head_partial = 0;
+  std::uint8_t tail_closes = 0;  // partition end coincides with a segment end
+  std::uint8_t active = 0;
+};
+
+}  // namespace detail
+
+/// The unified block program. `Expr` is invocable as expr(x, col) -> float,
+/// returning the product-mode contribution of non-zero x for output column
+/// col (the value multiplier is applied by the kernel). The reduction
+/// strategy is a template parameter so the per-non-zero inner loop carries
+/// no strategy branches.
+template <ReduceStrategy kStrategy, class Expr>
+void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const OutView& out,
+                                const UnifiedOptions& opt, const Expr& expr,
+                                sim::CarryChain* chain = nullptr) {
+  const unsigned block_dim = blk.block_dim();
+  const unsigned threadlen = f.threadlen;
+  const nnz_t block_base =
+      static_cast<nnz_t>(blk.block_idx().x) * block_dim * threadlen;
+  if (block_base >= f.nnz) return;
+
+  const index_t col0 = static_cast<index_t>(blk.block_idx().y) * opt.column_tile;
+  const index_t cols =
+      std::min<index_t>(opt.column_tile, out.num_cols > col0 ? out.num_cols - col0 : 0);
+  if (cols == 0) return;
+
+  // Shared-memory lane arrays (per column tile where value-carrying).
+  auto states = blk.shared_array<detail::LaneState>(block_dim);
+  auto tails = blk.shared_array<float>(static_cast<std::size_t>(block_dim) * cols);
+  auto heads = blk.shared_array<float>(static_cast<std::size_t>(block_dim) * cols);
+  auto flags0 = blk.shared_array<std::uint8_t>(block_dim);
+  auto flags = blk.shared_array<std::uint8_t>(block_dim);
+  auto warp_carry = blk.shared_array<float>(blk.warp_count());
+  auto warp_flag = blk.shared_array<std::uint8_t>(blk.warp_count());
+  auto col_sum = blk.shared_array<float>(cols);  // running sums of one thread
+
+  const nnz_t thread0 = block_base / threadlen;  // global index of lane 0's partition
+  unsigned last_active = 0;
+
+  // ---- Phase 1: thread-local pass ----------------------------------------
+  for (unsigned t = 0; t < block_dim; ++t) {
+    detail::LaneState st;
+    const nnz_t s = block_base + static_cast<nnz_t>(t) * threadlen;
+    for (index_t c = 0; c < cols; ++c) {
+      tails[static_cast<std::size_t>(c) * block_dim + t] = 0.0f;
+      heads[static_cast<std::size_t>(c) * block_dim + t] = 0.0f;
+    }
+    flags0[t] = 1;  // inactive lanes terminate scan runs
+    if (s >= f.nnz) {
+      states[t] = st;
+      continue;
+    }
+    st.active = 1;
+    last_active = t;
+    const nnz_t e = std::min<nnz_t>(s + threadlen, f.nnz);
+    index_t seg = f.thread_first_seg[thread0 + t];
+    st.first_seg = seg;
+    const bool starts_fresh = f.head(s);
+    bool closed_any = false;
+    for (index_t c = 0; c < cols; ++c) col_sum[c] = 0.0f;
+
+    // The bit-flag word is cached across up to 64 non-zeros (the "read bf in
+    // registers" optimisation the format is designed for).
+    std::uint64_t bf_word = f.bf_words[s >> 6];
+    for (nnz_t x = s; x < e; ++x) {
+      if ((x & 63) == 0) bf_word = f.bf_words[x >> 6];
+      const bool is_head = (bf_word >> (x & 63)) & 1ull;
+      if (x > s && is_head) {
+        // The run [.., x-1] of segment `seg` closes here.
+        const index_t row = f.seg_row[seg];
+        if (!starts_fresh && !closed_any) {
+          if constexpr (kStrategy == ReduceStrategy::kThreadAtomic) {
+            for (index_t c = 0; c < cols; ++c) {
+              blk.atomic_add_global(&out.data[static_cast<std::size_t>(row) * out.ld + col0 + c],
+                                    col_sum[c]);
+            }
+          } else {
+            st.has_head_partial = 1;
+            for (index_t c = 0; c < cols; ++c) {
+              heads[static_cast<std::size_t>(c) * block_dim + t] = col_sum[c];
+            }
+          }
+        } else {
+          // Interior segment: fully contained in this thread; direct write.
+          for (index_t c = 0; c < cols; ++c) {
+            out.data[static_cast<std::size_t>(row) * out.ld + col0 + c] += col_sum[c];
+          }
+        }
+        closed_any = true;
+        ++seg;
+        for (index_t c = 0; c < cols; ++c) col_sum[c] = 0.0f;
+      }
+      const float v = f.vals[x];
+      if constexpr (kStrategy == ReduceStrategy::kAllAtomic) {
+        // COO-style: no local accumulation at all (ablation baseline).
+        const index_t row = f.seg_row[seg];
+        for (index_t c = 0; c < cols; ++c) {
+          blk.atomic_add_global(&out.data[static_cast<std::size_t>(row) * out.ld + col0 + c],
+                                v * expr(x, col0 + c));
+        }
+      } else {
+        for (index_t c = 0; c < cols; ++c) col_sum[c] += v * expr(x, col0 + c);
+      }
+    }
+
+    st.tail_seg = seg;
+    st.tail_closes = (e >= f.nnz) || f.head(e);
+    flags0[t] = (starts_fresh || closed_any) ? 1 : 0;
+    if constexpr (kStrategy == ReduceStrategy::kAllAtomic) {
+      states[t] = st;
+      continue;
+    }
+    if constexpr (kStrategy == ReduceStrategy::kThreadAtomic) {
+      // Commit the trailing partial immediately: direct when the segment is
+      // fully contained in this thread, atomic otherwise.
+      const index_t row = f.seg_row[seg];
+      const bool exclusive = (flags0[t] != 0) && st.tail_closes;
+      for (index_t c = 0; c < cols; ++c) {
+        value_t* addr = &out.data[static_cast<std::size_t>(row) * out.ld + col0 + c];
+        if (exclusive) {
+          *addr += col_sum[c];
+        } else {
+          blk.atomic_add_global(addr, col_sum[c]);
+        }
+      }
+      states[t] = st;
+      continue;
+    }
+    for (index_t c = 0; c < cols; ++c) {
+      tails[static_cast<std::size_t>(c) * block_dim + t] = col_sum[c];
+    }
+    states[t] = st;
+  }
+
+  if constexpr (kStrategy != ReduceStrategy::kSegmentedScan &&
+                kStrategy != ReduceStrategy::kAdjacentSync) {
+    return;
+  }
+
+  constexpr bool kUseCarry = (kStrategy == ReduceStrategy::kAdjacentSync);
+  if constexpr (kUseCarry) UST_EXPECTS(chain != nullptr);
+  // Carry-chain slots are linear block ids; chains run along blockIdx.x for
+  // a fixed blockIdx.y, which is contiguous in dispatch order.
+  const std::size_t slot =
+      static_cast<std::size_t>(blk.block_idx().y) * blk.grid_dim().x + blk.block_idx().x;
+
+  // ---- Phase 2 + 3 per column: block segmented scan, then commits --------
+  for (index_t c = 0; c < cols; ++c) {
+    auto tail_lane = tails.subspan(static_cast<std::size_t>(c) * block_dim, block_dim);
+    std::copy(flags0.begin(), flags0.end(), flags.begin());
+    detail::block_segmented_scan(tail_lane, flags, warp_carry, warp_flag);
+
+    // The carry entering this block: contributions of all earlier blocks to
+    // the segment open at block start. Fetched lazily (it blocks on the
+    // predecessor) and consumed by exactly one closing write or re-published.
+    float carry_in = 0.0f;
+    bool carry_fetched = blk.block_idx().x == 0;  // block 0 starts the chain
+    auto fetch_carry = [&]() -> float {
+      if constexpr (kUseCarry) {
+        if (!carry_fetched) {
+          carry_in = chain->wait(slot - 1, c);
+          carry_fetched = true;
+        }
+      }
+      return carry_in;
+    };
+
+    if constexpr (kUseCarry) {
+      // Publish the trailing open partial as early as possible (before the
+      // commit loop): successors only stall on pure pass-through blocks.
+      const detail::LaneState& last_st = states[last_active];
+      if (last_st.tail_closes) {
+        chain->publish(slot, c, 0.0f);  // successor starts a fresh segment
+      } else if (flags[last_active] != 0) {
+        chain->publish(slot, c, tail_lane[last_active]);
+      } else {
+        chain->publish(slot, c, tail_lane[last_active] + fetch_carry());
+      }
+    }
+
+    for (unsigned t = 0; t < block_dim; ++t) {
+      const detail::LaneState& st = states[t];
+      if (!st.active) continue;
+      value_t* out_base = out.data;
+
+      // Head-partial commit: segment st.first_seg closed inside this thread
+      // but started in an earlier one.
+      if (st.has_head_partial) {
+        float total = heads[static_cast<std::size_t>(c) * block_dim + t];
+        bool in_block = false;
+        if (t > 0) {
+          total += tail_lane[t - 1];
+          in_block = flags[t - 1] != 0;
+        }
+        value_t* addr =
+            &out_base[static_cast<std::size_t>(f.seg_row[st.first_seg]) * out.ld + col0 + c];
+        if constexpr (kUseCarry) {
+          if (!in_block) total += fetch_carry();
+          *addr += total;  // the closing write owns the segment: no atomic
+        } else {
+          if (in_block) {
+            *addr += total;
+          } else {
+            blk.atomic_add_global(addr, total);
+          }
+        }
+      }
+
+      // Trailing-run commit: lane t owns the write iff its run ends at its
+      // partition boundary; without a carry chain the last active lane must
+      // also flush its open partial (atomically).
+      if constexpr (kUseCarry) {
+        if (st.tail_closes) {
+          float total = tail_lane[t];
+          if (flags[t] == 0) total += fetch_carry();
+          out_base[static_cast<std::size_t>(f.seg_row[st.tail_seg]) * out.ld + col0 + c] +=
+              total;
+        }
+        // Open trailing runs were re-published to the successor above.
+      } else {
+        const bool run_ends_here = st.tail_closes || (t == last_active);
+        if (run_ends_here) {
+          value_t* addr =
+              &out_base[static_cast<std::size_t>(f.seg_row[st.tail_seg]) * out.ld + col0 + c];
+          const bool contained = st.tail_closes && flags[t] != 0;
+          if (contained) {
+            *addr += tail_lane[t];
+          } else {
+            blk.atomic_add_global(addr, tail_lane[t]);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Runtime dispatcher over the reduction strategy. `chain` is required for
+/// (and only used by) kAdjacentSync; it must have grid.x * grid.y slots with
+/// stride == column_tile.
+template <class Expr>
+void unified_block_program(sim::BlockCtx& blk, const FcooView& f, const OutView& out,
+                           const UnifiedOptions& opt, const Expr& expr,
+                           sim::CarryChain* chain = nullptr) {
+  switch (opt.strategy) {
+    case ReduceStrategy::kSegmentedScan:
+      unified_block_program_impl<ReduceStrategy::kSegmentedScan>(blk, f, out, opt, expr);
+      return;
+    case ReduceStrategy::kAdjacentSync:
+      unified_block_program_impl<ReduceStrategy::kAdjacentSync>(blk, f, out, opt, expr,
+                                                                chain);
+      return;
+    case ReduceStrategy::kThreadAtomic:
+      unified_block_program_impl<ReduceStrategy::kThreadAtomic>(blk, f, out, opt, expr);
+      return;
+    case ReduceStrategy::kAllAtomic:
+      unified_block_program_impl<ReduceStrategy::kAllAtomic>(blk, f, out, opt, expr);
+      return;
+  }
+  UST_ENSURES(false);
+}
+
+/// Shared-memory bytes the block program needs for a given configuration
+/// (used to size LaunchConfig::shared_bytes).
+std::size_t unified_shared_bytes(unsigned block_dim, unsigned column_tile);
+
+}  // namespace ust::core

@@ -1,0 +1,66 @@
+// Host-side plan: uploads an F-COO tensor (for one operation/mode) to the
+// device once, precomputes partition metadata, and hands kernels a raw
+// FcooView. Mirrors the paper's CP-decomposition strategy of preprocessing
+// F-COO for every mode on the host and transferring it to the GPU a single
+// time (Section IV-D, "Complete tensor-based algorithms").
+#pragma once
+
+#include <vector>
+
+#include "core/unified_kernel.hpp"
+#include "sim/device.hpp"
+#include "tensor/fcoo.hpp"
+
+namespace ust::core {
+
+class UnifiedPlan {
+ public:
+  /// Uploads `fcoo` to `device` with partitioning `part`. The FcooTensor may
+  /// be discarded afterwards; the plan owns the device copies.
+  UnifiedPlan(sim::Device& device, const FcooTensor& fcoo, Partitioning part);
+
+  sim::Device& device() const noexcept { return *device_; }
+  const Partitioning& partitioning() const noexcept { return part_; }
+  nnz_t nnz() const noexcept { return nnz_; }
+  nnz_t num_segments() const noexcept { return num_segments_; }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+  const std::vector<int>& index_modes() const noexcept { return index_modes_; }
+  const std::vector<int>& product_modes() const noexcept { return product_modes_; }
+
+  /// Raw kernel view (pointers remain valid for the plan's lifetime).
+  FcooView view() const;
+
+  /// Device copy of the p-th product-mode index array.
+  const sim::DeviceBuffer<index_t>& product_indices(std::size_t p) const {
+    UST_EXPECTS(p < pidx_.size());
+    return pidx_[p];
+  }
+
+  /// Resolves opt.column_tile == 0 ("auto") to a concrete tile: the widest
+  /// tile that fits the device's shared memory, halved until the launch has
+  /// enough blocks to occupy the worker pool. Non-zero tiles pass through.
+  UnifiedOptions resolve_options(index_t num_cols, UnifiedOptions opt) const;
+
+  /// Launch geometry for `num_cols` output columns under resolved `opt`.
+  sim::LaunchConfig launch_config(index_t num_cols, const UnifiedOptions& opt) const;
+
+  /// Device memory held by this plan, in bytes.
+  std::size_t device_bytes() const;
+
+ private:
+  sim::Device* device_;
+  Partitioning part_;
+  nnz_t nnz_ = 0;
+  nnz_t num_segments_ = 0;
+  std::vector<index_t> dims_;
+  std::vector<int> index_modes_;
+  std::vector<int> product_modes_;
+
+  sim::DeviceBuffer<std::uint64_t> bf_words_;
+  std::vector<sim::DeviceBuffer<index_t>> pidx_;
+  sim::DeviceBuffer<value_t> vals_;
+  sim::DeviceBuffer<index_t> thread_first_seg_;
+  sim::DeviceBuffer<index_t> seg_row_;
+};
+
+}  // namespace ust::core

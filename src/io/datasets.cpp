@@ -1,0 +1,113 @@
+#include "io/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "io/generate.hpp"
+
+namespace ust::io {
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  static const std::vector<DatasetSpec> specs = [] {
+    std::vector<DatasetSpec> v;
+
+    // nell1: 2.9M x 2.1M x 25.5M, 144M nnz, density 9.3e-13 (hyper-sparse,
+    // NLP triples with Zipfian noun/verb popularity).
+    DatasetSpec nell1;
+    nell1.name = "nell1";
+    nell1.paper_dims = {2'900'000, 2'100'000, 25'500'000};
+    nell1.paper_nnz = 144'000'000;
+    nell1.paper_density = 9.3e-13;
+    nell1.replica_dims = {29'000, 21'000, 255'000};
+    nell1.replica_nnz = 1'440'000;
+    nell1.zipf_s = {1.05, 1.05, 1.1};
+    nell1.seed = 0x4e454c4c31ull;
+    nell1.best_spttm = {.threadlen = 8, .block_size = 32};      // Table V (32,8)
+    nell1.best_spmttkrp = {.threadlen = 16, .block_size = 32};  // Table V (32,16)
+    v.push_back(nell1);
+
+    // delicious: 0.5M x 17.3M x 2.5M, 140M nnz, density 6.1e-12
+    // (user-item-tag; extremely long tag tail).
+    DatasetSpec delicious;
+    delicious.name = "delicious";
+    delicious.paper_dims = {500'000, 17'300'000, 2'500'000};
+    delicious.paper_nnz = 140'000'000;
+    delicious.paper_density = 6.1e-12;
+    delicious.replica_dims = {5'000, 173'000, 25'000};
+    delicious.replica_nnz = 1'400'000;
+    delicious.zipf_s = {0.9, 1.1, 1.2};
+    delicious.seed = 0x44454c49ull;
+    delicious.best_spttm = {.threadlen = 8, .block_size = 512};    // (512,8)
+    delicious.best_spmttkrp = {.threadlen = 8, .block_size = 32};  // (32,8)
+    v.push_back(delicious);
+
+    // nell2: 12K x 9K x 29K, 77M nnz, density 2.5e-5 (dense-ish NLP subset).
+    DatasetSpec nell2;
+    nell2.name = "nell2";
+    nell2.paper_dims = {12'000, 9'000, 29'000};
+    nell2.paper_nnz = 77'000'000;
+    nell2.paper_density = 2.5e-5;
+    nell2.replica_dims = {3'000, 2'250, 7'250};
+    nell2.replica_nnz = 1'200'000;
+    nell2.zipf_s = {0.8, 0.8, 0.9};
+    nell2.seed = 0x4e454c4c32ull;
+    nell2.best_spttm = {.threadlen = 64, .block_size = 256};       // (256,64)
+    nell2.best_spmttkrp = {.threadlen = 64, .block_size = 1024};   // (1024,64)
+    v.push_back(nell2);
+
+    // brainq: 60 x 70K x 9, 11M nnz, density 2.9e-1 ("oddly shaped", nearly
+    // dense fMRI measurements; index popularity close to uniform).
+    DatasetSpec brainq;
+    brainq.name = "brainq";
+    brainq.paper_dims = {60, 70'000, 9};
+    brainq.paper_nnz = 11'000'000;
+    brainq.paper_density = 2.9e-1;
+    brainq.replica_dims = {60, 1'100, 9};
+    brainq.replica_nnz = 172'000;
+    brainq.zipf_s = {0.0, 0.0, 0.0};
+    brainq.seed = 0x425241494eull;
+    brainq.best_spttm = {.threadlen = 32, .block_size = 1024};     // (1024,32)
+    brainq.best_spmttkrp = {.threadlen = 64, .block_size = 128};   // (128,64)
+    v.push_back(brainq);
+
+    return v;
+  }();
+  return specs;
+}
+
+std::optional<DatasetSpec> find_dataset(const std::string& name) {
+  for (const auto& s : paper_datasets()) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+CooTensor make_replica(const DatasetSpec& spec, double scale) {
+  UST_EXPECTS(scale > 0.0 && scale <= 1.0);
+  const auto nnz = std::max<nnz_t>(1, static_cast<nnz_t>(static_cast<double>(spec.replica_nnz) * scale));
+
+  // Shrink the large mode sizes together with the non-zero count so the
+  // density -- and with it the fiber-length profile, which drives the
+  // performance behaviour the benchmarks measure -- is preserved at every
+  // scale. Small "shape oddity" modes (brainq's 60 and 9) stay fixed.
+  std::vector<index_t> dims = spec.replica_dims;
+  if (scale < 1.0) {
+    std::size_t large = 0;
+    for (index_t d : dims) {
+      if (d > 100) ++large;
+    }
+    if (large > 0) {
+      const double factor = std::pow(scale, 1.0 / static_cast<double>(large));
+      for (auto& d : dims) {
+        if (d > 100) d = std::max<index_t>(100, static_cast<index_t>(static_cast<double>(d) * factor));
+      }
+    }
+  }
+
+  const bool uniform = std::all_of(spec.zipf_s.begin(), spec.zipf_s.end(),
+                                   [](double s) { return s == 0.0; });
+  if (uniform) return generate_uniform(dims, nnz, spec.seed);
+  return generate_zipf(dims, nnz, spec.zipf_s, spec.seed);
+}
+
+}  // namespace ust::io

@@ -1,0 +1,45 @@
+// Registry of the paper's four FROSTT datasets (Table IV) and their
+// calibrated synthetic replicas. Each replica preserves the original's
+// mode-size ratios, "shape oddity" (e.g. brainq's 60 x 70K x 9), sparsity
+// regime and per-mode popularity skew at a benchmark-friendly non-zero count;
+// full paper-scale dimensions are retained alongside so the analytic memory
+// experiment (Figure 9) runs at true scale.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/fcoo.hpp"
+
+namespace ust::io {
+
+struct DatasetSpec {
+  std::string name;
+  // Paper-scale description (Table IV).
+  std::vector<index_t> paper_dims;
+  nnz_t paper_nnz = 0;
+  double paper_density = 0.0;
+  // Replica parameters.
+  std::vector<index_t> replica_dims;
+  nnz_t replica_nnz = 0;
+  std::vector<double> zipf_s;  // per-mode popularity skew (0 = uniform)
+  std::uint64_t seed = 0;
+  // Best launch parameters from Table V, as (block_size, threadlen).
+  Partitioning best_spttm;
+  Partitioning best_spmttkrp;
+};
+
+/// The four paper datasets in the paper's presentation order:
+/// nell1, delicious, nell2, brainq.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// Lookup by name; nullopt if unknown.
+std::optional<DatasetSpec> find_dataset(const std::string& name);
+
+/// Generates the replica tensor for a spec. `scale` in (0, 1] further
+/// scales the replica non-zero count (1 = calibrated default).
+CooTensor make_replica(const DatasetSpec& spec, double scale = 1.0);
+
+}  // namespace ust::io

@@ -1,0 +1,160 @@
+#include "io/generate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ust::io {
+
+namespace {
+
+std::uint64_t coord_key(std::span<const index_t> idx, std::span<const index_t> dims) {
+  // Mixes coordinates into a 64-bit key; exact (not a hash) when the index
+  // space fits 64 bits, which holds for every generator configuration here.
+  std::uint64_t key = 0;
+  for (std::size_t m = 0; m < idx.size(); ++m) {
+    key = key * dims[m] + idx[m];
+  }
+  return key;
+}
+
+double index_space_cells(std::span<const index_t> dims) {
+  double cells = 1.0;
+  for (index_t d : dims) cells *= static_cast<double>(d);
+  return cells;
+}
+
+}  // namespace
+
+CooTensor generate_uniform(std::vector<index_t> dims, nnz_t nnz, std::uint64_t seed) {
+  UST_EXPECTS(!dims.empty());
+  Prng rng(seed);
+  const double cells = index_space_cells(dims);
+  const auto max_nnz = static_cast<nnz_t>(std::min(cells, 4.0e9));
+  nnz = std::min(nnz, max_nnz);
+
+  CooTensor t(dims);
+  t.reserve(nnz);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz) * 2);
+  std::vector<index_t> idx(dims.size());
+  // Rejection sampling; for very dense requests (> cells/2) this still
+  // terminates quickly because each miss probability stays below 1/2 until
+  // near-saturation, and nnz is capped at the cell count.
+  while (t.nnz() < nnz) {
+    for (std::size_t m = 0; m < dims.size(); ++m) idx[m] = rng.next_index(dims[m]);
+    if (seen.insert(coord_key(idx, dims)).second) {
+      t.push_back(idx, rng.next_float(0.5f, 1.5f));
+    }
+  }
+  return t;
+}
+
+CooTensor generate_zipf(std::vector<index_t> dims, nnz_t nnz, std::vector<double> zipf_s,
+                        std::uint64_t seed) {
+  UST_EXPECTS(!dims.empty());
+  UST_EXPECTS(zipf_s.size() == dims.size());
+  Prng rng(seed);
+
+  // Per-mode popularity permutation so the hot indices are scattered across
+  // the mode rather than clustered at 0.
+  std::vector<std::vector<index_t>> perm(dims.size());
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(dims.size());
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    perm[m].resize(dims[m]);
+    for (index_t i = 0; i < dims[m]; ++i) perm[m][i] = i;
+    rng.shuffle(perm[m].begin(), perm[m].end());
+    samplers.emplace_back(dims[m], zipf_s[m]);
+  }
+
+  // Sample in rounds, coalescing between rounds, until the target count is
+  // reached: heavy skew produces many duplicate coordinates, so a fixed
+  // oversample factor is not enough for small index spaces. A round cap
+  // guards against saturated hot cells making the target unreachable.
+  CooTensor t(dims);
+  t.reserve(nnz + nnz / 4);
+  std::vector<index_t> idx(dims.size());
+  std::vector<int> natural(static_cast<std::size_t>(t.order()));
+  for (int m = 0; m < t.order(); ++m) natural[static_cast<std::size_t>(m)] = m;
+  for (int round = 0; round < 12 && t.nnz() < nnz; ++round) {
+    const nnz_t need = nnz - t.nnz();
+    const nnz_t batch = need + need / 4 + 16;
+    for (nnz_t x = 0; x < batch; ++x) {
+      for (std::size_t m = 0; m < dims.size(); ++m) {
+        idx[m] = perm[m][samplers[m].sample(rng)];
+      }
+      t.push_back(idx, rng.next_float(0.5f, 1.5f));
+    }
+    t.sort_by_modes(natural);
+    t.coalesce();
+  }
+
+  // Trim to the requested count if oversampling left extras (drop the tail;
+  // order is lexicographic so this removes a corner of the index space, which
+  // is harmless for benchmark purposes).
+  if (t.nnz() > nnz) {
+    CooTensor trimmed(dims);
+    trimmed.reserve(nnz);
+    for (nnz_t x = 0; x < nnz; ++x) {
+      std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+      for (int m = 0; m < t.order(); ++m) c[static_cast<std::size_t>(m)] = t.index(x, m);
+      trimmed.push_back(c, t.value(x));
+    }
+    return trimmed;
+  }
+  return t;
+}
+
+LowRankTensor generate_low_rank(std::vector<index_t> dims, index_t rank, nnz_t nnz,
+                                double noise_sigma, std::uint64_t seed) {
+  UST_EXPECTS(rank >= 1);
+  Prng rng(seed);
+  LowRankTensor out;
+  out.factors.reserve(dims.size());
+  for (index_t d : dims) {
+    DenseMatrix f(d, rank);
+    f.fill_random(rng, 0.0f, 1.0f);
+    out.factors.push_back(std::move(f));
+  }
+
+  CooTensor positions = generate_uniform(dims, nnz, rng.next_u64());
+  CooTensor t(dims);
+  t.reserve(positions.nnz());
+  std::vector<index_t> idx(dims.size());
+  for (nnz_t x = 0; x < positions.nnz(); ++x) {
+    double v = 0.0;
+    for (index_t r = 0; r < rank; ++r) {
+      double prod = 1.0;
+      for (std::size_t m = 0; m < dims.size(); ++m) {
+        prod *= out.factors[m](positions.index(x, static_cast<int>(m)), r);
+      }
+      v += prod;
+    }
+    v += noise_sigma * rng.next_gaussian();
+    for (std::size_t m = 0; m < dims.size(); ++m) idx[m] = positions.index(x, static_cast<int>(m));
+    t.push_back(idx, static_cast<value_t>(v));
+  }
+  out.tensor = std::move(t);
+  return out;
+}
+
+CooTensor generate_dense_as_sparse(std::vector<index_t> dims, std::uint64_t seed) {
+  Prng rng(seed);
+  const double cells = index_space_cells(dims);
+  UST_EXPECTS(cells <= 1e7);
+  CooTensor t(dims);
+  t.reserve(static_cast<nnz_t>(cells));
+  std::vector<index_t> idx(dims.size(), 0);
+  while (true) {
+    t.push_back(idx, rng.next_float(0.5f, 1.5f));
+    // Odometer increment.
+    std::size_t m = dims.size();
+    while (m-- > 0) {
+      if (++idx[m] < dims[m]) break;
+      idx[m] = 0;
+      if (m == 0) return t;
+    }
+  }
+}
+
+}  // namespace ust::io

@@ -1,0 +1,44 @@
+// Synthetic sparse tensor generators. Real FROSTT tensors are large (11M to
+// 144M non-zeros) and not redistributable inside this repository, so the
+// benchmark datasets are generated with matched shape, sparsity regime and
+// per-mode index-popularity skew (see io/datasets.hpp for the calibrated
+// replicas). Generators are fully deterministic given a seed.
+#pragma once
+
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+#include "util/prng.hpp"
+
+namespace ust::io {
+
+/// Uniformly random coordinates (deduplicated), values uniform in [0.5, 1.5).
+/// Asks for `nnz` distinct coordinates; if the space is too dense to find
+/// them it returns as many as exist.
+CooTensor generate_uniform(std::vector<index_t> dims, nnz_t nnz, std::uint64_t seed);
+
+/// Skewed coordinates: mode m's index is drawn Zipf(zipf_s[m]) through a
+/// fixed random permutation of [0, dims[m]), giving the hub-dominated
+/// index-popularity profiles of web/NLP tensors (nell, delicious) without
+/// placing all mass on low indices. Duplicates are coalesced (summed), so the
+/// returned nnz can be slightly below the request; the generator oversamples
+/// to compensate.
+CooTensor generate_zipf(std::vector<index_t> dims, nnz_t nnz,
+                        std::vector<double> zipf_s, std::uint64_t seed);
+
+/// Low-rank CP model plus noise: samples `nnz` distinct positions and sets
+/// X(i,j,k) = sum_r A(i,r)B(j,r)C(k,r) + sigma * N(0,1). Returns the tensor
+/// and the ground-truth factors; used by CP recovery tests and examples.
+struct LowRankTensor {
+  CooTensor tensor;
+  std::vector<DenseMatrix> factors;
+};
+LowRankTensor generate_low_rank(std::vector<index_t> dims, index_t rank, nnz_t nnz,
+                                double noise_sigma, std::uint64_t seed);
+
+/// Dense-as-sparse tensor: every coordinate present with random value.
+/// Only sensible for tiny dims; used by exhaustive correctness tests.
+CooTensor generate_dense_as_sparse(std::vector<index_t> dims, std::uint64_t seed);
+
+}  // namespace ust::io

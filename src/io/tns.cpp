@@ -1,0 +1,90 @@
+#include "io/tns.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ust::io {
+
+CooTensor read_tns(std::istream& in) {
+  std::string line;
+  int order = -1;
+  std::vector<std::vector<index_t>> idx;
+  std::vector<value_t> vals;
+  std::vector<index_t> dims;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::vector<double> fields;
+    double v = 0.0;
+    while (ls >> v) fields.push_back(v);
+    if (!ls.eof()) {
+      throw TnsParseError("line " + std::to_string(line_no) + ": non-numeric token");
+    }
+    if (fields.empty()) continue;
+    if (order < 0) {
+      order = static_cast<int>(fields.size()) - 1;
+      if (order < 1) {
+        throw TnsParseError("line " + std::to_string(line_no) +
+                            ": need at least one index and a value");
+      }
+      idx.resize(static_cast<std::size_t>(order));
+      dims.assign(static_cast<std::size_t>(order), 0);
+    }
+    if (static_cast<int>(fields.size()) != order + 1) {
+      throw TnsParseError("line " + std::to_string(line_no) + ": expected " +
+                          std::to_string(order + 1) + " fields, got " +
+                          std::to_string(fields.size()));
+    }
+    for (int m = 0; m < order; ++m) {
+      const double c = fields[static_cast<std::size_t>(m)];
+      if (c < 1.0 || c != static_cast<double>(static_cast<index_t>(c))) {
+        throw TnsParseError("line " + std::to_string(line_no) +
+                            ": coordinates must be positive integers");
+      }
+      const auto ci = static_cast<index_t>(c) - 1;  // to 0-based
+      idx[static_cast<std::size_t>(m)].push_back(ci);
+      dims[static_cast<std::size_t>(m)] = std::max(dims[static_cast<std::size_t>(m)], ci + 1);
+    }
+    vals.push_back(static_cast<value_t>(fields.back()));
+  }
+  if (order < 0) throw TnsParseError("empty .tns input");
+
+  CooTensor t(dims);
+  t.reserve(vals.size());
+  std::vector<index_t> coord(static_cast<std::size_t>(order));
+  for (nnz_t x = 0; x < vals.size(); ++x) {
+    for (int m = 0; m < order; ++m) coord[static_cast<std::size_t>(m)] = idx[static_cast<std::size_t>(m)][x];
+    t.push_back(coord, vals[x]);
+  }
+  return t;
+}
+
+CooTensor read_tns_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TnsParseError("cannot open " + path);
+  return read_tns(in);
+}
+
+void write_tns(std::ostream& out, const CooTensor& t) {
+  // max_digits10 so single-precision values survive a write/read round trip.
+  out.precision(9);
+  for (nnz_t x = 0; x < t.nnz(); ++x) {
+    for (int m = 0; m < t.order(); ++m) {
+      out << (t.index(x, m) + 1) << ' ';
+    }
+    out << t.value(x) << '\n';
+  }
+}
+
+void write_tns_file(const std::string& path, const CooTensor& t) {
+  std::ofstream out(path);
+  if (!out) throw TnsParseError("cannot open " + path + " for writing");
+  write_tns(out, t);
+}
+
+}  // namespace ust::io

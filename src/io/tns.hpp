@@ -1,0 +1,29 @@
+// FROSTT ".tns" text format: one non-zero per line, 1-based coordinates
+// followed by the value; '#' lines are comments. This is the format of the
+// paper's datasets (brainq, nell1, nell2, delicious), so real FROSTT files
+// can be dropped into any bench via --tns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo.hpp"
+
+namespace ust::io {
+
+/// Thrown on malformed input.
+class TnsParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads a .tns stream. Mode count is inferred from the first data line;
+/// mode sizes are the maximum coordinate seen per mode (FROSTT convention).
+CooTensor read_tns(std::istream& in);
+CooTensor read_tns_file(const std::string& path);
+
+/// Writes a .tns stream (1-based indices).
+void write_tns(std::ostream& out, const CooTensor& t);
+void write_tns_file(const std::string& path, const CooTensor& t);
+
+}  // namespace ust::io

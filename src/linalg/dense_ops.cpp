@@ -1,0 +1,141 @@
+#include "linalg/dense_ops.hpp"
+
+#include <cmath>
+
+namespace ust::linalg {
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  UST_EXPECTS(a.cols() == b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    auto crow = c.row(i);
+    for (index_t k = 0; k < a.cols(); ++k) {
+      const value_t aik = arow[k];
+      if (aik == value_t{0}) continue;
+      const auto brow = b.row(k);
+      for (index_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix gram(const DenseMatrix& a) {
+  const index_t r = a.cols();
+  std::vector<double> acc(static_cast<std::size_t>(r) * r, 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    for (index_t p = 0; p < r; ++p) {
+      const double v = row[p];
+      if (v == 0.0) continue;
+      for (index_t q = p; q < r; ++q) acc[static_cast<std::size_t>(p) * r + q] += v * row[q];
+    }
+  }
+  DenseMatrix g(r, r);
+  for (index_t p = 0; p < r; ++p) {
+    for (index_t q = p; q < r; ++q) {
+      const auto v = static_cast<value_t>(acc[static_cast<std::size_t>(p) * r + q]);
+      g(p, q) = v;
+      g(q, p) = v;
+    }
+  }
+  return g;
+}
+
+DenseMatrix hadamard(const DenseMatrix& a, const DenseMatrix& b) {
+  UST_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  DenseMatrix c(a.rows(), a.cols());
+  const auto sa = a.span();
+  const auto sb = b.span();
+  auto sc = c.span();
+  for (std::size_t i = 0; i < sa.size(); ++i) sc[i] = sa[i] * sb[i];
+  return c;
+}
+
+DenseMatrix transpose(const DenseMatrix& a) {
+  DenseMatrix t(a.cols(), a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+DenseMatrix khatri_rao(const DenseMatrix& a, const DenseMatrix& b) {
+  UST_EXPECTS(a.cols() == b.cols());
+  const index_t r = a.cols();
+  DenseMatrix k(static_cast<index_t>(static_cast<std::size_t>(a.rows()) * b.rows()), r);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    for (index_t j = 0; j < b.rows(); ++j) {
+      const auto brow = b.row(j);
+      auto krow = k.row(static_cast<index_t>(static_cast<std::size_t>(i) * b.rows() + j));
+      for (index_t c = 0; c < r; ++c) krow[c] = arow[c] * brow[c];
+    }
+  }
+  return k;
+}
+
+void kronecker_row(std::span<const value_t> a, std::span<const value_t> b,
+                   std::span<value_t> out) {
+  UST_EXPECTS(out.size() == a.size() * b.size());
+  std::size_t o = 0;
+  for (value_t av : a) {
+    for (value_t bv : b) out[o++] = av * bv;
+  }
+}
+
+std::vector<double> column_norms(const DenseMatrix& a) {
+  std::vector<double> norms(a.cols(), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    for (index_t j = 0; j < a.cols(); ++j) norms[j] += static_cast<double>(row[j]) * row[j];
+  }
+  for (auto& n : norms) n = std::sqrt(n);
+  return norms;
+}
+
+std::vector<double> normalize_columns(DenseMatrix& a) {
+  auto norms = column_norms(a);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    for (index_t j = 0; j < a.cols(); ++j) {
+      if (norms[j] > 0.0) row[j] = static_cast<value_t>(row[j] / norms[j]);
+    }
+  }
+  return norms;
+}
+
+void scale_columns(DenseMatrix& a, std::span<const double> s) {
+  UST_EXPECTS(s.size() == a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    for (index_t j = 0; j < a.cols(); ++j) row[j] = static_cast<value_t>(row[j] * s[j]);
+  }
+}
+
+DenseMatrix subtract(const DenseMatrix& a, const DenseMatrix& b) {
+  UST_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  DenseMatrix c(a.rows(), a.cols());
+  const auto sa = a.span();
+  const auto sb = b.span();
+  auto sc = c.span();
+  for (std::size_t i = 0; i < sa.size(); ++i) sc[i] = sa[i] - sb[i];
+  return c;
+}
+
+double frobenius_norm_squared(const DenseMatrix& a) {
+  double sum = 0.0;
+  for (value_t v : a.span()) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+double dot(const DenseMatrix& a, const DenseMatrix& b) {
+  UST_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double sum = 0.0;
+  const auto sa = a.span();
+  const auto sb = b.span();
+  for (std::size_t i = 0; i < sa.size(); ++i) sum += static_cast<double>(sa[i]) * sb[i];
+  return sum;
+}
+
+}  // namespace ust::linalg

@@ -1,0 +1,53 @@
+// Dense matrix kernels backing the CP/Tucker drivers: the paper offloads
+// these to CUBLAS on a second stream; UST implements them directly. All
+// matrices involved are tall-skinny (I x R) or tiny (R x R), so simple
+// blocked loops with double accumulation are accurate and fast enough.
+#pragma once
+
+#include "tensor/dense.hpp"
+#include "util/common.hpp"
+
+namespace ust::linalg {
+
+/// C = A * B (rows_a x cols_a) * (cols_a x cols_b).
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Gram matrix A^T * A (R x R), accumulated in double.
+DenseMatrix gram(const DenseMatrix& a);
+
+/// Elementwise (Hadamard) product; shapes must match.
+DenseMatrix hadamard(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Transpose.
+DenseMatrix transpose(const DenseMatrix& a);
+
+/// Khatri-Rao product A (.) B: (I x R, J x R) -> (I*J x R), row (i*J + j) =
+/// A(i,:) * B(j,:). Reference implementation -- the unified kernels never
+/// materialise this (that is the point of the one-shot method), but tests
+/// and the naive oracle use it.
+DenseMatrix khatri_rao(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Kronecker product of two row vectors a (len n) and b (len m) -> len n*m.
+void kronecker_row(std::span<const value_t> a, std::span<const value_t> b,
+                   std::span<value_t> out);
+
+/// Euclidean norms of each column.
+std::vector<double> column_norms(const DenseMatrix& a);
+
+/// Normalises columns to unit norm, returning the norms; zero-norm columns
+/// are left untouched with norm reported as 0 (caller decides policy).
+std::vector<double> normalize_columns(DenseMatrix& a);
+
+/// Scales column j by s[j].
+void scale_columns(DenseMatrix& a, std::span<const double> s);
+
+/// out = a - b (shapes must match).
+DenseMatrix subtract(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Sum of squares of all entries (double).
+double frobenius_norm_squared(const DenseMatrix& a);
+
+/// Dot product of all entries of two same-shape matrices (double).
+double dot(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace ust::linalg

@@ -1,0 +1,89 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/common.hpp"
+
+namespace ust::linalg {
+
+EigenResult jacobi_eigen_symmetric(const DenseMatrix& a, int max_sweeps, double tol) {
+  UST_EXPECTS(a.rows() == a.cols());
+  const index_t n = a.rows();
+
+  // Work in double throughout.
+  std::vector<double> m(static_cast<std::size_t>(n) * n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) m[static_cast<std::size_t>(i) * n + j] = a(i, j);
+  }
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+  for (index_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i) * n + i] = 1.0;
+
+  auto at = [&](std::vector<double>& mat, index_t i, index_t j) -> double& {
+    return mat[static_cast<std::size_t>(i) * n + j];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) off += at(m, p, q) * at(m, p, q);
+    }
+    if (off < tol * tol) break;
+
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = at(m, p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = at(m, p, p);
+        const double aqq = at(m, q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to rows/columns p and q of M (symmetric update).
+        for (index_t k = 0; k < n; ++k) {
+          const double mkp = at(m, k, p);
+          const double mkq = at(m, k, q);
+          at(m, k, p) = c * mkp - s * mkq;
+          at(m, k, q) = s * mkp + c * mkq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double mpk = at(m, p, k);
+          const double mqk = at(m, q, k);
+          at(m, p, k) = c * mpk - s * mqk;
+          at(m, q, k) = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors.
+        for (index_t k = 0; k < n; ++k) {
+          const double vkp = at(v, k, p);
+          const double vkq = at(v, k, q);
+          at(v, k, p) = c * vkp - s * vkq;
+          at(v, k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<index_t> order(n);
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return at(m, x, x) > at(m, y, y);
+  });
+
+  EigenResult r;
+  r.values.resize(n);
+  r.vectors = DenseMatrix(n, n);
+  for (index_t k = 0; k < n; ++k) {
+    r.values[k] = at(m, order[k], order[k]);
+    for (index_t i = 0; i < n; ++i) {
+      r.vectors(i, k) = static_cast<value_t>(at(v, i, order[k]));
+    }
+  }
+  return r;
+}
+
+}  // namespace ust::linalg

@@ -1,0 +1,21 @@
+// Cyclic Jacobi eigen-decomposition for small symmetric matrices (R x R,
+// R <= 256 here). Used by the pseudo-inverse and by the Tucker-HOOI
+// extension's leading-subspace computation.
+#pragma once
+
+#include <vector>
+
+#include "tensor/dense.hpp"
+
+namespace ust::linalg {
+
+struct EigenResult {
+  std::vector<double> values;  // eigenvalues, descending
+  DenseMatrix vectors;         // column k is the eigenvector of values[k]
+};
+
+/// Eigen-decomposition of a symmetric matrix by cyclic Jacobi sweeps.
+EigenResult jacobi_eigen_symmetric(const DenseMatrix& a, int max_sweeps = 50,
+                                   double tol = 1e-12);
+
+}  // namespace ust::linalg

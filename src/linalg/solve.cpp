@@ -1,0 +1,87 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "linalg/dense_ops.hpp"
+#include "linalg/eigen.hpp"
+
+namespace ust::linalg {
+
+std::optional<DenseMatrix> cholesky(const DenseMatrix& a) {
+  UST_EXPECTS(a.rows() == a.cols());
+  const index_t n = a.rows();
+  DenseMatrix l(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (index_t k = 0; k < j; ++k) diag -= static_cast<double>(l(j, k)) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = static_cast<value_t>(ljj);
+    for (index_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (index_t k = 0; k < j; ++k) sum -= static_cast<double>(l(i, k)) * l(j, k);
+      l(i, j) = static_cast<value_t>(sum / ljj);
+    }
+  }
+  return l;
+}
+
+std::optional<DenseMatrix> spd_solve(const DenseMatrix& a, const DenseMatrix& b) {
+  UST_EXPECTS(a.rows() == a.cols());
+  UST_EXPECTS(a.rows() == b.rows());
+  auto chol = cholesky(a);
+  if (!chol) return std::nullopt;
+  const DenseMatrix& l = *chol;
+  const index_t n = a.rows();
+  const index_t m = b.cols();
+  // Forward solve L Y = B, then backward solve L^T X = Y.
+  DenseMatrix x = b;
+  for (index_t j = 0; j < m; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double sum = x(i, j);
+      for (index_t k = 0; k < i; ++k) sum -= static_cast<double>(l(i, k)) * x(k, j);
+      x(i, j) = static_cast<value_t>(sum / l(i, i));
+    }
+    for (index_t ii = n; ii-- > 0;) {
+      double sum = x(ii, j);
+      for (index_t k = ii + 1; k < n; ++k) sum -= static_cast<double>(l(k, ii)) * x(k, j);
+      x(ii, j) = static_cast<value_t>(sum / l(ii, ii));
+    }
+  }
+  return x;
+}
+
+DenseMatrix pinv_symmetric(const DenseMatrix& a, double rcond) {
+  UST_EXPECTS(a.rows() == a.cols());
+  const auto eig = jacobi_eigen_symmetric(a);
+  const index_t n = a.rows();
+  double max_abs = 0.0;
+  for (double ev : eig.values) max_abs = std::max(max_abs, std::abs(ev));
+  const double cutoff = rcond * max_abs;
+  // pinv(A) = V diag(1/lambda_i where |lambda_i| > cutoff) V^T.
+  DenseMatrix result(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (index_t k = 0; k < n; ++k) {
+        const double ev = eig.values[k];
+        if (std::abs(ev) <= cutoff) continue;
+        sum += static_cast<double>(eig.vectors(i, k)) * eig.vectors(j, k) / ev;
+      }
+      result(i, j) = static_cast<value_t>(sum);
+    }
+  }
+  return result;
+}
+
+DenseMatrix solve_gram(const DenseMatrix& a, const DenseMatrix& b) {
+  UST_EXPECTS(a.rows() == a.cols());
+  UST_EXPECTS(b.cols() == a.rows());
+  // B has shape I x R, A is R x R; we want B * pinv(A). Solve A X^T = B^T
+  // when A is SPD (A symmetric: A X = B^T gives X = A^-1 B^T, and
+  // B A^-1 = (A^-1 B^T)^T since A^-1 is symmetric).
+  if (auto x = spd_solve(a, transpose(b))) return transpose(*x);
+  return matmul(b, pinv_symmetric(a));
+}
+
+}  // namespace ust::linalg

@@ -1,0 +1,31 @@
+// Small dense solvers for the R x R systems in CP-ALS (line 2 of Algorithm 1
+// applies the Moore-Penrose pseudo-inverse of B^T B * C^T C).
+#pragma once
+
+#include <optional>
+
+#include "tensor/dense.hpp"
+#include "util/common.hpp"
+
+namespace ust::linalg {
+
+/// Cholesky factorisation of a symmetric positive-definite matrix; returns
+/// the lower factor L with A = L L^T, or nullopt if A is not (numerically)
+/// positive definite.
+std::optional<DenseMatrix> cholesky(const DenseMatrix& a);
+
+/// Solves A X = B for SPD A via Cholesky; returns nullopt on failure.
+std::optional<DenseMatrix> spd_solve(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Moore-Penrose pseudo-inverse of a symmetric matrix via its eigen
+/// decomposition (Jacobi); singular values below `rcond * max_sv` are
+/// treated as zero. This is the robust path used when the Gram product in
+/// CP-ALS is rank deficient (e.g. rank > smallest mode size, the brainq
+/// situation the paper discusses in Section V-E).
+DenseMatrix pinv_symmetric(const DenseMatrix& a, double rcond = 1e-10);
+
+/// X = B * pinv(A) for symmetric A: the CP-ALS update applied row-wise.
+/// Uses Cholesky when A is SPD, otherwise the eigen pseudo-inverse.
+DenseMatrix solve_gram(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace ust::linalg

@@ -1,0 +1,38 @@
+// Device-global atomic operations. CUDA's atomicAdd(float*) is emulated with
+// a compare-exchange loop over std::atomic_ref, which has the same
+// correctness semantics and -- importantly for the benchmarks -- the same
+// contention behaviour: many threads updating the same address serialise.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ust::sim {
+
+/// Atomically adds `v` to `*addr` (relaxed ordering; tensor reductions do not
+/// require ordering beyond atomicity, matching CUDA atomicAdd).
+inline void atomic_add(float* addr, float v) {
+  std::atomic_ref<float> ref(*addr);
+  float old = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(old, old + v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_add(double* addr, double v) {
+  std::atomic_ref<double> ref(*addr);
+  double old = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(old, old + v, std::memory_order_relaxed)) {
+  }
+}
+
+inline std::uint32_t atomic_add(std::uint32_t* addr, std::uint32_t v) {
+  std::atomic_ref<std::uint32_t> ref(*addr);
+  return ref.fetch_add(v, std::memory_order_relaxed);
+}
+
+inline std::uint64_t atomic_add(std::uint64_t* addr, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t> ref(*addr);
+  return ref.fetch_add(v, std::memory_order_relaxed);
+}
+
+}  // namespace ust::sim

@@ -1,0 +1,64 @@
+// Warp-level collectives. On a real GPU these are built from __shfl_up_sync;
+// here a warp is materialised as a lane-indexed array (<= 32 entries) and the
+// collective transforms it in place using the same log-step dataflow, so the
+// numerical results (operation order) match the shuffle implementations of
+// Sengupta et al. (segmented scan) bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/common.hpp"
+
+namespace ust::sim {
+
+inline constexpr unsigned kWarpSize = 32;
+
+/// Inclusive +-scan across lanes (Hillis-Steele / shfl_up dataflow).
+/// `vals.size()` is the active lane count (<= 32).
+inline void warp_inclusive_scan_add(std::span<float> vals) {
+  UST_EXPECTS(vals.size() <= kWarpSize);
+  const std::size_t n = vals.size();
+  for (std::size_t delta = 1; delta < n; delta <<= 1) {
+    // shfl_up(delta): lane i reads lane i-delta's value from before this step.
+    // Iterate downwards so reads see the previous round's values.
+    for (std::size_t i = n; i-- > delta;) {
+      vals[i] += vals[i - delta];
+    }
+  }
+}
+
+/// Inclusive segmented +-scan across lanes. `head[i] != 0` marks lane i as
+/// the first element of a segment; the scan restarts at heads. This is the
+/// flag-propagation formulation used by shuffle-based GPU segmented scans:
+/// each log-step adds the neighbour's value only if no segment head lies in
+/// between, and ORs the head flags so later steps stop at segment starts.
+inline void warp_segmented_scan_add(std::span<float> vals, std::span<std::uint8_t> head) {
+  UST_EXPECTS(vals.size() == head.size());
+  UST_EXPECTS(vals.size() <= kWarpSize);
+  const std::size_t n = vals.size();
+  for (std::size_t delta = 1; delta < n; delta <<= 1) {
+    for (std::size_t i = n; i-- > delta;) {
+      if (!head[i]) {
+        vals[i] += vals[i - delta];
+        head[i] = head[i - delta];
+      }
+    }
+  }
+}
+
+/// Warp-wide +-reduction (butterfly / shfl_xor dataflow); returns the total.
+inline float warp_reduce_add(std::span<const float> vals) {
+  UST_EXPECTS(vals.size() <= kWarpSize);
+  float total = 0.0f;
+  for (float v : vals) total += v;
+  return total;
+}
+
+/// Broadcast of lane `src`'s value (shfl semantics).
+inline float warp_broadcast(std::span<const float> vals, std::size_t src) {
+  UST_EXPECTS(src < vals.size());
+  return vals[src];
+}
+
+}  // namespace ust::sim

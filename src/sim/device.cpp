@@ -1,0 +1,24 @@
+#include "sim/device.hpp"
+
+namespace ust::sim {
+
+void Device::account_alloc(std::size_t bytes) {
+  // Reserve optimistically, then roll back if over capacity. This keeps the
+  // common path a single atomic and still reports a consistent "in use" value
+  // in the OOM exception.
+  const std::size_t now = bytes_in_use_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (now > props_.global_mem_bytes) {
+    bytes_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw DeviceOutOfMemory(bytes, now - bytes, props_.global_mem_bytes);
+  }
+  // Peak update (racy max loop).
+  std::size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_bytes_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Device::account_free(std::size_t bytes) noexcept {
+  bytes_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace ust::sim

@@ -1,0 +1,212 @@
+// Simulated GPU device: memory capacity accounting (with out-of-memory
+// failure, needed to reproduce the paper's ParTI OOM results), performance
+// counters, and the worker pool that physically executes thread blocks.
+//
+// The simulator reproduces the *execution model* of a CUDA GPU -- grids of
+// thread blocks, 32-lane warps with shuffle collectives, per-block shared
+// memory, global-memory atomics, ordered block dispatch (required by
+// adjacent synchronisation / StreamScan-style kernel fusion) -- on a
+// multicore CPU. It does not model cycle-level timing; benchmark comparisons
+// are wall-clock over the same pool, so algorithmic properties (load balance,
+// atomic contention, memory footprint) drive the results, as they do on a
+// real GPU.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ust::sim {
+
+/// Static device properties (defaults describe the paper's GTX Titan X,
+/// Table III).
+struct DeviceProps {
+  std::string name = "SimTitanX";
+  std::size_t global_mem_bytes = 12ull << 30;  // 12 GB
+  int sm_count = 24;
+  int warp_size = 32;
+  unsigned max_threads_per_block = 1024;
+  std::size_t shared_mem_per_block = 96 * 1024;
+  double mem_bandwidth_gbps = 336.0;  // informational only
+
+  static DeviceProps titan_x() { return DeviceProps{}; }
+};
+
+/// Thrown when a device allocation exceeds the configured capacity --
+/// the simulator equivalent of cudaErrorMemoryAllocation.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t in_use, std::size_t capacity)
+      : std::runtime_error("device out of memory: requested " + std::to_string(requested) +
+                           " B with " + std::to_string(in_use) + " B in use of " +
+                           std::to_string(capacity) + " B"),
+        requested_bytes(requested),
+        in_use_bytes(in_use),
+        capacity_bytes(capacity) {}
+
+  std::size_t requested_bytes;
+  std::size_t in_use_bytes;
+  std::size_t capacity_bytes;
+};
+
+/// Aggregated execution counters, used by tests and ablation benches to
+/// verify claims such as "segmented scan reduces atomic updates".
+struct PerfCounters {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t blocks_executed = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+};
+
+template <class T>
+class DeviceBuffer;
+
+class Device {
+ public:
+  explicit Device(DeviceProps props = DeviceProps::titan_x(), ThreadPool* pool = nullptr)
+      : props_(std::move(props)), pool_(pool != nullptr ? pool : &ThreadPool::global()) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceProps& props() const noexcept { return props_; }
+  ThreadPool& pool() noexcept { return *pool_; }
+
+  /// Allocates an uninitialised device array of `n` elements.
+  /// Throws DeviceOutOfMemory when capacity would be exceeded.
+  template <class T>
+  DeviceBuffer<T> alloc(std::size_t n);
+
+  std::size_t bytes_in_use() const noexcept { return bytes_in_use_.load(std::memory_order_relaxed); }
+  std::size_t peak_bytes() const noexcept { return peak_bytes_.load(std::memory_order_relaxed); }
+  void reset_peak() noexcept { peak_bytes_.store(bytes_in_use(), std::memory_order_relaxed); }
+
+  PerfCounters counters() const noexcept {
+    PerfCounters c;
+    c.kernel_launches = kernel_launches_.load(std::memory_order_relaxed);
+    c.blocks_executed = blocks_executed_.load(std::memory_order_relaxed);
+    c.atomic_ops = atomic_ops_.load(std::memory_order_relaxed);
+    c.h2d_bytes = h2d_bytes_.load(std::memory_order_relaxed);
+    c.d2h_bytes = d2h_bytes_.load(std::memory_order_relaxed);
+    return c;
+  }
+  void reset_counters() noexcept {
+    kernel_launches_ = 0;
+    blocks_executed_ = 0;
+    atomic_ops_ = 0;
+    h2d_bytes_ = 0;
+    d2h_bytes_ = 0;
+  }
+
+  // --- internal accounting API (used by DeviceBuffer / executor) ---
+  void account_alloc(std::size_t bytes);
+  void account_free(std::size_t bytes) noexcept;
+  void note_kernel_launch(std::size_t blocks) noexcept {
+    kernel_launches_.fetch_add(1, std::memory_order_relaxed);
+    blocks_executed_.fetch_add(blocks, std::memory_order_relaxed);
+  }
+  void note_atomics(std::uint64_t n) noexcept { atomic_ops_.fetch_add(n, std::memory_order_relaxed); }
+  void note_h2d(std::size_t bytes) noexcept { h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed); }
+  void note_d2h(std::size_t bytes) noexcept { d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed); }
+
+ private:
+  DeviceProps props_;
+  ThreadPool* pool_;
+  std::atomic<std::size_t> bytes_in_use_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+  std::atomic<std::uint64_t> kernel_launches_{0};
+  std::atomic<std::uint64_t> blocks_executed_{0};
+  std::atomic<std::uint64_t> atomic_ops_{0};
+  std::atomic<std::uint64_t> h2d_bytes_{0};
+  std::atomic<std::uint64_t> d2h_bytes_{0};
+};
+
+/// RAII-owned device array. Physically host memory, but every byte is charged
+/// against the owning Device's capacity so memory-footprint experiments
+/// (Figure 9) and OOM behaviour (Figure 6b) are faithful.
+template <class T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer() { release(); }
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t byte_size() const noexcept { return data_.size() * sizeof(T); }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<T> span() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const noexcept { return {data_.data(), data_.size()}; }
+
+  /// Host-to-device copy (sizes must match).
+  void copy_from_host(std::span<const T> src) {
+    UST_EXPECTS(src.size() == data_.size());
+    std::copy(src.begin(), src.end(), data_.begin());
+    if (device_ != nullptr) device_->note_h2d(byte_size());
+  }
+  /// Device-to-host copy (sizes must match).
+  void copy_to_host(std::span<T> dst) const {
+    UST_EXPECTS(dst.size() == data_.size());
+    std::copy(data_.begin(), data_.end(), dst.begin());
+    if (device_ != nullptr) device_->note_d2h(byte_size());
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device& device, std::size_t n) : device_(&device), data_(n) {}
+
+  void release() noexcept {
+    if (device_ != nullptr) {
+      device_->account_free(byte_size());
+      device_ = nullptr;
+    }
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+  void swap(DeviceBuffer& other) noexcept {
+    std::swap(device_, other.device_);
+    std::swap(data_, other.data_);
+  }
+
+  Device* device_ = nullptr;
+  std::vector<T> data_;
+};
+
+template <class T>
+DeviceBuffer<T> Device::alloc(std::size_t n) {
+  account_alloc(n * sizeof(T));
+  try {
+    return DeviceBuffer<T>(*this, n);
+  } catch (...) {
+    account_free(n * sizeof(T));
+    throw;
+  }
+}
+
+}  // namespace ust::sim

@@ -1,0 +1,33 @@
+// CUDA-like launch geometry types for the GPU execution-model simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace ust::sim {
+
+/// 3-component grid/block extent, mirroring CUDA's dim3.
+struct Dim3 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned z = 1;
+
+  constexpr std::size_t count() const noexcept {
+    return static_cast<std::size_t>(x) * y * z;
+  }
+  constexpr bool operator==(const Dim3&) const = default;
+};
+
+/// Kernel launch configuration. UST follows the paper's launch shape:
+/// two-dimensional grids of one-dimensional thread blocks (Section IV-D),
+/// so blocks are 1-D (`block_dim` threads).
+struct LaunchConfig {
+  Dim3 grid;
+  unsigned block_dim = 128;
+  std::size_t shared_bytes = 0;
+
+  std::size_t total_blocks() const noexcept { return grid.count(); }
+};
+
+}  // namespace ust::sim

@@ -1,0 +1,41 @@
+#include "sim/executor.hpp"
+
+#include <memory>
+
+namespace ust::sim {
+
+void launch(Device& device, const LaunchConfig& cfg, const KernelFn& kernel) {
+  UST_EXPECTS(cfg.block_dim >= 1);
+  UST_EXPECTS(cfg.block_dim <= device.props().max_threads_per_block);
+  UST_EXPECTS(cfg.shared_bytes <= device.props().shared_mem_per_block);
+  const std::size_t num_blocks = cfg.total_blocks();
+  if (num_blocks == 0) return;
+  device.note_kernel_launch(num_blocks);
+
+  // One shared-memory arena per pool worker (+1 for the calling thread),
+  // reused across the blocks that worker executes.
+  ThreadPool& pool = device.pool();
+  const unsigned arenas = pool.size() + 1;
+  const std::size_t arena_bytes =
+      round_up(std::max<std::size_t>(cfg.shared_bytes, 1), alignof(std::max_align_t));
+  std::vector<std::unique_ptr<std::byte[]>> shared(arenas);
+  // for_overwrite: like CUDA __shared__, contents start uninitialised.
+  for (auto& a : shared) a = std::make_unique_for_overwrite<std::byte[]>(arena_bytes);
+
+  const Dim3 grid = cfg.grid;
+  pool.parallel_ranges(num_blocks, /*grain=*/1,
+                       [&](unsigned worker, std::size_t begin, std::size_t end) {
+    for (std::size_t linear = begin; linear < end; ++linear) {
+      Dim3 idx;
+      idx.x = static_cast<unsigned>(linear % grid.x);
+      idx.y = static_cast<unsigned>((linear / grid.x) % grid.y);
+      idx.z = static_cast<unsigned>(linear / (static_cast<std::size_t>(grid.x) * grid.y));
+      BlockCtx ctx(device, grid, idx, cfg.block_dim,
+                   {shared[worker].get(), arena_bytes});
+      kernel(ctx);
+      ctx.flush_counters();
+    }
+  });
+}
+
+}  // namespace ust::sim

@@ -1,0 +1,166 @@
+// Kernel launch machinery. A kernel is a callable executed once per thread
+// block; inside, the block program iterates its threads/warps explicitly
+// (hierarchical-parallelism style, as in Kokkos/SYCL CPU backends). Blocks
+// are dispatched to the worker pool in increasing linear-index order, which
+// is the scheduling guarantee adjacent synchronisation (StreamScan-style
+// fused kernels) requires.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/atomic.hpp"
+#include "sim/collectives.hpp"
+#include "sim/device.hpp"
+#include "sim/dim3.hpp"
+#include "util/common.hpp"
+
+namespace ust::sim {
+
+/// Per-block execution context handed to the kernel body. Provides the block
+/// coordinates, a bump-allocated shared-memory arena (reset between blocks),
+/// and instrumented atomic access to global memory.
+class BlockCtx {
+ public:
+  BlockCtx(Device& device, Dim3 grid_dim, Dim3 block_idx, unsigned block_dim,
+           std::span<std::byte> shared_arena)
+      : device_(&device),
+        grid_dim_(grid_dim),
+        block_idx_(block_idx),
+        block_dim_(block_dim),
+        shared_(shared_arena) {}
+
+  Dim3 grid_dim() const noexcept { return grid_dim_; }
+  Dim3 block_idx() const noexcept { return block_idx_; }
+  unsigned block_dim() const noexcept { return block_dim_; }
+  unsigned warp_count() const noexcept { return ceil_div(block_dim_, kWarpSizeU); }
+  Device& device() noexcept { return *device_; }
+
+  /// Bump-allocates `n` Ts from the block's shared-memory arena.
+  /// Contents are uninitialised, like CUDA __shared__.
+  template <class T>
+  std::span<T> shared_array(std::size_t n) {
+    const std::size_t bytes = round_up(n * sizeof(T), alignof(std::max_align_t));
+    UST_EXPECTS(shared_used_ + bytes <= shared_.size());
+    T* p = reinterpret_cast<T*>(shared_.data() + shared_used_);
+    shared_used_ += bytes;
+    return {p, n};
+  }
+
+  /// Instrumented global-memory atomic add (counts toward Device counters).
+  template <class T>
+  void atomic_add_global(T* addr, T v) {
+    ++local_atomic_ops_;
+    sim::atomic_add(addr, v);
+  }
+
+  std::uint64_t local_atomic_ops() const noexcept { return local_atomic_ops_; }
+
+  // Called by the executor after the kernel body returns.
+  void flush_counters() {
+    if (local_atomic_ops_ != 0) device_->note_atomics(local_atomic_ops_);
+    local_atomic_ops_ = 0;
+  }
+
+ private:
+  static constexpr unsigned kWarpSizeU = kWarpSize;
+
+  Device* device_;
+  Dim3 grid_dim_;
+  Dim3 block_idx_;
+  unsigned block_dim_;
+  std::span<std::byte> shared_;
+  std::size_t shared_used_ = 0;
+  std::uint64_t local_atomic_ops_ = 0;
+};
+
+using KernelFn = std::function<void(BlockCtx&)>;
+
+/// Launches `kernel` over `cfg.grid` blocks on `device`'s pool. Blocks are
+/// dispatched in increasing linear index order (x fastest); the call blocks
+/// until the whole grid has completed, like a cudaDeviceSynchronize after
+/// the launch. Exceptions from the kernel body propagate to the caller.
+void launch(Device& device, const LaunchConfig& cfg, const KernelFn& kernel);
+
+/// Multi-lane adjacent-synchronisation chain: one carry vector of `stride`
+/// floats per block slot. Used by the fused unified kernel to pass open
+/// segment partials (one per rank column in the tile) from block to block
+/// instead of committing them with atomics. Correct only under `launch`'s
+/// ordered dispatch guarantee.
+class CarryChain {
+ public:
+  CarryChain(std::size_t num_slots, std::size_t stride)
+      : stride_(stride),
+        ready_(num_slots * stride),
+        carry_(num_slots * stride, 0.0f) {
+    UST_EXPECTS(stride >= 1);
+    for (auto& f : ready_) f.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t num_slots() const noexcept { return ready_.size() / stride_; }
+  std::size_t stride() const noexcept { return stride_; }
+
+  void publish(std::size_t slot, std::size_t lane, float carry) {
+    const std::size_t i = index(slot, lane);
+    carry_[i] = carry;
+    ready_[i].store(1, std::memory_order_release);
+  }
+
+  float wait(std::size_t slot, std::size_t lane) const {
+    const std::size_t i = index(slot, lane);
+    while (ready_[i].load(std::memory_order_acquire) == 0) {
+      // Busy-wait: the predecessor block is guaranteed to be running.
+    }
+    return carry_[i];
+  }
+
+ private:
+  std::size_t index(std::size_t slot, std::size_t lane) const {
+    UST_EXPECTS(lane < stride_);
+    const std::size_t i = slot * stride_ + lane;
+    UST_EXPECTS(i < carry_.size());
+    return i;
+  }
+
+  std::size_t stride_;
+  mutable std::vector<std::atomic<std::uint8_t>> ready_;
+  std::vector<float> carry_;
+};
+
+/// Inter-block adjacent synchronisation (Yan et al., StreamScan): block i
+/// publishes a carry value that block i+1 consumes. Correct only under the
+/// ordered dispatch guarantee that `launch` provides.
+class AdjacentSignal {
+ public:
+  explicit AdjacentSignal(std::size_t num_blocks)
+      : ready_(num_blocks), carry_(num_blocks, 0.0f) {
+    for (auto& f : ready_) f.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const noexcept { return ready_.size(); }
+
+  /// Publishes block `i`'s carry and marks it ready.
+  void publish(std::size_t i, float carry) {
+    UST_EXPECTS(i < ready_.size());
+    carry_[i] = carry;
+    ready_[i].store(1, std::memory_order_release);
+  }
+
+  /// Spins until block `i`'s carry is available, then returns it.
+  float wait(std::size_t i) const {
+    UST_EXPECTS(i < ready_.size());
+    while (ready_[i].load(std::memory_order_acquire) == 0) {
+      // Busy-wait: predecessors are guaranteed to be running already.
+    }
+    return carry_[i];
+  }
+
+ private:
+  mutable std::vector<std::atomic<std::uint8_t>> ready_;
+  std::vector<float> carry_;
+};
+
+}  // namespace ust::sim

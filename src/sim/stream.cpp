@@ -1,0 +1,59 @@
+#include "sim/stream.hpp"
+
+namespace ust::sim {
+
+Stream::Stream() : worker_([this] { worker_loop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> fn) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Stream::worker_loop() {
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      fn();
+    } catch (...) {
+      std::scoped_lock lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace ust::sim

@@ -1,0 +1,43 @@
+// CUDA-stream analogue: an in-order asynchronous work queue backed by a
+// dedicated host thread. The CP decomposition driver uses two streams (one
+// for SpMTTKRP kernels, one for the dense matrix algebra) so the overlap the
+// paper describes in Section V-E is real concurrency here, not a model.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ust::sim {
+
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues work; returns immediately. Work items run in FIFO order.
+  void enqueue(std::function<void()> fn);
+
+  /// Blocks until every enqueued item has finished (cudaStreamSynchronize).
+  /// Rethrows the first exception raised by a work item, if any.
+  void synchronize();
+
+ private:
+  void worker_loop();
+
+  std::thread worker_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr error_;
+  bool busy_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace ust::sim

@@ -1,0 +1,168 @@
+#include "tensor/coo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <unordered_set>
+
+namespace ust {
+
+CooTensor::CooTensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
+  UST_EXPECTS(!dims_.empty());
+  for (index_t d : dims_) UST_EXPECTS(d > 0);
+  idx_.resize(dims_.size());
+}
+
+double CooTensor::density() const {
+  double cells = 1.0;
+  for (index_t d : dims_) cells *= static_cast<double>(d);
+  return cells == 0.0 ? 0.0 : static_cast<double>(nnz()) / cells;
+}
+
+void CooTensor::reserve(nnz_t n) {
+  for (auto& v : idx_) v.reserve(n);
+  vals_.reserve(n);
+}
+
+void CooTensor::push_back(std::span<const index_t> idx, value_t v) {
+  UST_EXPECTS(idx.size() == dims_.size());
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    UST_EXPECTS(idx[m] < dims_[m]);
+    idx_[m].push_back(idx[m]);
+  }
+  vals_.push_back(v);
+}
+
+void CooTensor::sort_by_modes(std::span<const int> mode_order) {
+  UST_EXPECTS(static_cast<int>(mode_order.size()) == order());
+  const nnz_t n = nnz();
+  std::vector<nnz_t> perm(n);
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (int m : mode_order) {
+      const auto& col = idx_[static_cast<std::size_t>(m)];
+      if (col[a] != col[b]) return col[a] < col[b];
+    }
+    return false;
+  });
+  // Apply the permutation out of place (simple and cache-friendly for the
+  // sizes used here).
+  for (auto& col : idx_) {
+    std::vector<index_t> tmp(n);
+    for (nnz_t i = 0; i < n; ++i) tmp[i] = col[perm[i]];
+    col = std::move(tmp);
+  }
+  std::vector<value_t> tmp(n);
+  for (nnz_t i = 0; i < n; ++i) tmp[i] = vals_[perm[i]];
+  vals_ = std::move(tmp);
+}
+
+bool CooTensor::is_sorted_by(std::span<const int> mode_order) const {
+  UST_EXPECTS(static_cast<int>(mode_order.size()) == order());
+  for (nnz_t x = 1; x < nnz(); ++x) {
+    for (int m : mode_order) {
+      const auto& col = idx_[static_cast<std::size_t>(m)];
+      if (col[x - 1] < col[x]) break;
+      if (col[x - 1] > col[x]) return false;
+    }
+  }
+  return true;
+}
+
+nnz_t CooTensor::coalesce() {
+  const nnz_t n = nnz();
+  if (n == 0) return 0;
+  auto same_coord = [&](nnz_t a, nnz_t b) {
+    for (const auto& col : idx_) {
+      if (col[a] != col[b]) return false;
+    }
+    return true;
+  };
+  nnz_t write = 0;
+  for (nnz_t read = 0; read < n; ++read) {
+    if (write > 0 && same_coord(write - 1, read)) {
+      vals_[write - 1] += vals_[read];
+      continue;
+    }
+    if (write != read) {
+      for (auto& col : idx_) col[write] = col[read];
+      vals_[write] = vals_[read];
+    }
+    ++write;
+  }
+  // Drop explicit zeros produced by cancellation.
+  nnz_t keep = 0;
+  for (nnz_t x = 0; x < write; ++x) {
+    if (vals_[x] == value_t{0}) continue;
+    if (keep != x) {
+      for (auto& col : idx_) col[keep] = col[x];
+      vals_[keep] = vals_[x];
+    }
+    ++keep;
+  }
+  for (auto& col : idx_) col.resize(keep);
+  vals_.resize(keep);
+  return n - keep;
+}
+
+nnz_t CooTensor::count_distinct(std::span<const int> fixed_modes) const {
+  UST_EXPECTS(!fixed_modes.empty());
+  // Hash the fixed-mode tuple of each non-zero. 64-bit mixing of up to a few
+  // 32-bit coordinates is collision-safe for the sizes involved here.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz()));
+  for (nnz_t x = 0; x < nnz(); ++x) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (int m : fixed_modes) {
+      h ^= idx_[static_cast<std::size_t>(m)][x] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdull;
+    }
+    seen.insert(h);
+  }
+  return seen.size();
+}
+
+double CooTensor::frobenius_norm() const {
+  double sum = 0.0;
+  for (value_t v : vals_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+std::string CooTensor::describe() const {
+  std::string s;
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    if (m != 0) s += " x ";
+    s += std::to_string(dims_[m]);
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ", nnz=%llu, density=%.2e",
+                static_cast<unsigned long long>(nnz()), density());
+  return s + buf;
+}
+
+void CooTensor::validate() const {
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    UST_ENSURES(idx_[m].size() == vals_.size());
+    for (index_t v : idx_[m]) UST_ENSURES(v < dims_[m]);
+  }
+}
+
+std::vector<int> modes_front(int order, std::span<const int> front_modes) {
+  UST_EXPECTS(order >= 1);
+  std::vector<bool> in_front(static_cast<std::size_t>(order), false);
+  std::vector<int> result;
+  result.reserve(static_cast<std::size_t>(order));
+  for (int m : front_modes) {
+    UST_EXPECTS(m >= 0 && m < order);
+    UST_EXPECTS(!in_front[static_cast<std::size_t>(m)]);
+    in_front[static_cast<std::size_t>(m)] = true;
+    result.push_back(m);
+  }
+  for (int m = 0; m < order; ++m) {
+    if (!in_front[static_cast<std::size_t>(m)]) result.push_back(m);
+  }
+  return result;
+}
+
+}  // namespace ust

@@ -1,0 +1,129 @@
+#include "tensor/csf.hpp"
+
+#include <algorithm>
+
+namespace ust {
+
+CsfTensor CsfTensor::build(const CooTensor& coo, std::span<const int> mode_order) {
+  UST_EXPECTS(static_cast<int>(mode_order.size()) == coo.order());
+  CooTensor sorted = coo;
+  sorted.sort_by_modes(mode_order);
+  sorted.coalesce();
+
+  CsfTensor t;
+  t.dims_ = sorted.dims();
+  t.mode_order_.assign(mode_order.begin(), mode_order.end());
+  const int order = t.order();
+  t.ids_.resize(static_cast<std::size_t>(order));
+  t.ptr_.resize(static_cast<std::size_t>(order - 1));
+
+  const nnz_t n = sorted.nnz();
+  t.vals_.assign(sorted.values().begin(), sorted.values().end());
+
+  // Leaf level: one node per non-zero.
+  {
+    const auto leaf = sorted.mode_indices(mode_order[static_cast<std::size_t>(order - 1)]);
+    t.ids_.back().assign(leaf.begin(), leaf.end());
+  }
+
+  // Upper levels: a node starts where the prefix (modes 0..l) changes.
+  for (int l = order - 2; l >= 0; --l) {
+    auto& ids = t.ids_[static_cast<std::size_t>(l)];
+    auto& ptr = t.ptr_[static_cast<std::size_t>(l)];
+    // Determine, for every non-zero, whether it begins a new level-l node;
+    // then compress against the level below.
+    const int child = l + 1;
+    // First pass over non-zeros to find node boundaries at both levels.
+    std::vector<nnz_t> node_first_nnz;      // first non-zero of each level-l node
+    std::vector<nnz_t> child_first_nnz;     // first non-zero of each level-child node
+    for (nnz_t x = 0; x < n; ++x) {
+      auto prefix_changed = [&](int upto) {
+        if (x == 0) return true;
+        for (int m = 0; m <= upto; ++m) {
+          const int mode = mode_order[static_cast<std::size_t>(m)];
+          if (sorted.index(x, mode) != sorted.index(x - 1, mode)) return true;
+        }
+        return false;
+      };
+      if (prefix_changed(l)) node_first_nnz.push_back(x);
+      if (child < order - 1) {
+        if (prefix_changed(child)) child_first_nnz.push_back(x);
+      }
+    }
+    if (child == order - 1) {
+      // Children are individual non-zeros.
+      child_first_nnz.resize(n);
+      for (nnz_t x = 0; x < n; ++x) child_first_nnz[x] = x;
+    }
+
+    ids.reserve(node_first_nnz.size());
+    ptr.reserve(node_first_nnz.size() + 1);
+    ptr.push_back(0);
+    std::size_t c = 0;
+    for (std::size_t nd = 0; nd < node_first_nnz.size(); ++nd) {
+      ids.push_back(sorted.index(node_first_nnz[nd], mode_order[static_cast<std::size_t>(l)]));
+      const nnz_t next_first =
+          nd + 1 < node_first_nnz.size() ? node_first_nnz[nd + 1] : n;
+      while (c < child_first_nnz.size() && child_first_nnz[c] < next_first) ++c;
+      ptr.push_back(c);
+    }
+  }
+  return t;
+}
+
+std::size_t CsfTensor::storage_bytes() const {
+  std::size_t bytes = vals_.size() * sizeof(value_t);
+  for (const auto& ids : ids_) bytes += ids.size() * sizeof(index_t);
+  for (const auto& ptr : ptr_) bytes += ptr.size() * sizeof(nnz_t);
+  return bytes;
+}
+
+CooTensor CsfTensor::reconstruct_coo() const {
+  CooTensor coo(dims_);
+  coo.reserve(nnz());
+  const int order = this->order();
+  std::vector<index_t> idx(static_cast<std::size_t>(order));
+
+  // Walk the tree depth-first; levels are contiguous so an iterative walk
+  // with per-level cursors suffices.
+  struct Frame {
+    nnz_t node;
+    nnz_t end;
+  };
+  std::vector<Frame> stack(static_cast<std::size_t>(order));
+  if (nnz() == 0) return coo;
+  const nnz_t roots = level_size(0);
+  for (nnz_t r = 0; r < roots; ++r) {
+    stack[0] = {r, r + 1};
+    int l = 0;
+    idx[static_cast<std::size_t>(mode_order_[0])] = ids_[0][r];
+    // Descend iteratively.
+    std::vector<nnz_t> cursor(static_cast<std::size_t>(order), 0);
+    std::vector<nnz_t> limit(static_cast<std::size_t>(order), 0);
+    cursor[0] = r;
+    limit[0] = r + 1;
+    l = 0;
+    while (true) {
+      if (cursor[static_cast<std::size_t>(l)] >= limit[static_cast<std::size_t>(l)]) {
+        if (l == 0) break;
+        --l;
+        ++cursor[static_cast<std::size_t>(l)];
+        continue;
+      }
+      const nnz_t node = cursor[static_cast<std::size_t>(l)];
+      idx[static_cast<std::size_t>(mode_order_[static_cast<std::size_t>(l)])] =
+          ids_[static_cast<std::size_t>(l)][node];
+      if (l == order - 1) {
+        coo.push_back(idx, vals_[node]);
+        ++cursor[static_cast<std::size_t>(l)];
+      } else {
+        cursor[static_cast<std::size_t>(l + 1)] = ptr_[static_cast<std::size_t>(l)][node];
+        limit[static_cast<std::size_t>(l + 1)] = ptr_[static_cast<std::size_t>(l)][node + 1];
+        ++l;
+      }
+    }
+  }
+  return coo;
+}
+
+}  // namespace ust

@@ -1,0 +1,65 @@
+// Compressed Sparse Fiber (CSF): the tree-based format of Smith & Karypis
+// used by SPLATT. Implemented here as the substrate of the SPLATT-style
+// CPU baseline (Section III-A of the paper discusses why CSF's recursive,
+// fiber-centric structure is a poor fit for GPUs -- the property the
+// Figure 7b mode-behaviour experiment demonstrates).
+//
+// An N-order tensor sorted by `mode_order` becomes an N-level tree:
+// level 0 nodes are the distinct root-mode indices; each level-l node owns a
+// contiguous range of level-(l+1) nodes; leaves carry the values.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "util/common.hpp"
+
+namespace ust {
+
+class CsfTensor {
+ public:
+  CsfTensor() = default;
+
+  /// Builds CSF with the given mode ordering (mode_order[0] = root level).
+  /// The input is copied, sorted and coalesced.
+  static CsfTensor build(const CooTensor& coo, std::span<const int> mode_order);
+
+  int order() const noexcept { return static_cast<int>(mode_order_.size()); }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+  const std::vector<int>& mode_order() const noexcept { return mode_order_; }
+  nnz_t nnz() const noexcept { return vals_.size(); }
+
+  /// Number of nodes at tree level l (level order-1 == nnz).
+  nnz_t level_size(int l) const {
+    UST_EXPECTS(l >= 0 && l < order());
+    return ids_[static_cast<std::size_t>(l)].size();
+  }
+  /// Index values at level l (in the mode mode_order()[l]).
+  std::span<const index_t> level_ids(int l) const {
+    UST_EXPECTS(l >= 0 && l < order());
+    return ids_[static_cast<std::size_t>(l)];
+  }
+  /// Children of node n at level l live at [ptr(l)[n], ptr(l)[n+1]) in
+  /// level l+1. Defined for l in [0, order-2].
+  std::span<const nnz_t> level_ptr(int l) const {
+    UST_EXPECTS(l >= 0 && l < order() - 1);
+    return ptr_[static_cast<std::size_t>(l)];
+  }
+  std::span<const value_t> values() const noexcept { return vals_; }
+
+  /// Storage footprint in bytes (ids + ptrs + values).
+  std::size_t storage_bytes() const;
+
+  /// Rebuilds the COO tensor; used by round-trip tests.
+  CooTensor reconstruct_coo() const;
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<int> mode_order_;
+  std::vector<std::vector<index_t>> ids_;  // per level
+  std::vector<std::vector<nnz_t>> ptr_;    // per level except leaf
+  std::vector<value_t> vals_;
+};
+
+}  // namespace ust

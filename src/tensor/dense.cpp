@@ -1,0 +1,50 @@
+#include "tensor/dense.hpp"
+
+#include <cmath>
+
+namespace ust {
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  UST_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    const double d = std::abs(static_cast<double>(a.data_[i]) - b.data_[i]);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (value_t v : data_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+DenseTensor::DenseTensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
+  UST_EXPECTS(!dims_.empty());
+  strides_.resize(dims_.size());
+  std::size_t stride = 1;
+  for (std::size_t m = dims_.size(); m-- > 0;) {
+    strides_[m] = stride;
+    stride *= dims_[m];
+  }
+  data_.assign(stride, value_t{0});
+}
+
+std::size_t DenseTensor::offset(std::span<const index_t> idx) const {
+  UST_EXPECTS(idx.size() == dims_.size());
+  std::size_t off = 0;
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    UST_EXPECTS(idx[m] < dims_[m]);
+    off += idx[m] * strides_[m];
+  }
+  return off;
+}
+
+double DenseTensor::frobenius_norm() const {
+  double sum = 0.0;
+  for (value_t v : data_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace ust

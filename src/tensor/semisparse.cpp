@@ -1,0 +1,35 @@
+#include "tensor/semisparse.hpp"
+
+namespace ust {
+
+CooTensor SemiSparseTensor::to_coo() const {
+  std::vector<index_t> dims = sparse_dims_;
+  dims.push_back(std::max<index_t>(1, dense_length()));
+  CooTensor t(dims);
+  t.reserve(num_fibers() * dense_length());
+  std::vector<index_t> idx(dims.size());
+  for (nnz_t f = 0; f < num_fibers(); ++f) {
+    for (std::size_t m = 0; m < coords_.size(); ++m) idx[m] = coords_[m][f];
+    const auto row = fiber(f);
+    for (index_t c = 0; c < dense_length(); ++c) {
+      if (row[c] == value_t{0}) continue;
+      idx.back() = c;
+      t.push_back(idx, row[c]);
+    }
+  }
+  return t;
+}
+
+double SemiSparseTensor::max_abs_diff(const SemiSparseTensor& a, const SemiSparseTensor& b) {
+  UST_EXPECTS(a.num_fibers() == b.num_fibers());
+  UST_EXPECTS(a.dense_length() == b.dense_length());
+  UST_EXPECTS(a.num_sparse_modes() == b.num_sparse_modes());
+  for (int m = 0; m < a.num_sparse_modes(); ++m) {
+    const auto ca = a.coords(m);
+    const auto cb = b.coords(m);
+    for (nnz_t f = 0; f < a.num_fibers(); ++f) UST_EXPECTS(ca[f] == cb[f]);
+  }
+  return DenseMatrix::max_abs_diff(a.values(), b.values());
+}
+
+}  // namespace ust

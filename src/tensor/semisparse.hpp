@@ -1,0 +1,78 @@
+// Semi-sparse tensor in sCOO layout (Li et al.): the output of SpTTM. The
+// tensor is sparse in the index modes but every surviving fiber along the
+// product mode is dense with length R, so sCOO stores index-mode coordinates
+// once per fiber plus an nfibs x R dense value block -- no indices for the
+// dense mode.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+#include "util/common.hpp"
+
+namespace ust {
+
+class SemiSparseTensor {
+ public:
+  SemiSparseTensor() = default;
+
+  /// Creates an sCOO tensor with `nfibs` fibers of dense length `r`.
+  /// `sparse_dims` are the index-mode sizes; `dense_mode_pos` records which
+  /// original tensor mode became dense (informational).
+  SemiSparseTensor(std::vector<index_t> sparse_dims, nnz_t nfibs, index_t r,
+                   int dense_mode_pos)
+      : sparse_dims_(std::move(sparse_dims)),
+        coords_(sparse_dims_.size()),
+        values_(static_cast<index_t>(nfibs), r),
+        dense_mode_pos_(dense_mode_pos) {
+    for (auto& c : coords_) c.resize(nfibs);
+  }
+
+  nnz_t num_fibers() const noexcept { return values_.rows(); }
+  index_t dense_length() const noexcept { return values_.cols(); }
+  int num_sparse_modes() const noexcept { return static_cast<int>(sparse_dims_.size()); }
+  int dense_mode_pos() const noexcept { return dense_mode_pos_; }
+  const std::vector<index_t>& sparse_dims() const noexcept { return sparse_dims_; }
+
+  std::span<index_t> coords(int m) {
+    UST_EXPECTS(m >= 0 && m < num_sparse_modes());
+    return coords_[static_cast<std::size_t>(m)];
+  }
+  std::span<const index_t> coords(int m) const {
+    UST_EXPECTS(m >= 0 && m < num_sparse_modes());
+    return coords_[static_cast<std::size_t>(m)];
+  }
+
+  DenseMatrix& values() noexcept { return values_; }
+  const DenseMatrix& values() const noexcept { return values_; }
+
+  std::span<value_t> fiber(nnz_t f) { return values_.row(static_cast<index_t>(f)); }
+  std::span<const value_t> fiber(nnz_t f) const {
+    return values_.row(static_cast<index_t>(f));
+  }
+
+  /// sCOO storage footprint (index-mode coords + dense values).
+  std::size_t storage_bytes() const {
+    return coords_.size() * static_cast<std::size_t>(num_fibers()) * sizeof(index_t) +
+           values_.byte_size();
+  }
+
+  /// Max |a-b| over values of two identically-shaped semi-sparse tensors with
+  /// identical fiber coordinate lists (throws otherwise).
+  static double max_abs_diff(const SemiSparseTensor& a, const SemiSparseTensor& b);
+
+  /// Expands to a COO tensor whose mode layout is (sparse modes in their
+  /// stored order..., dense mode last); entries with value 0 are dropped.
+  /// Used to compose operations (e.g. TTM chains) and in tests.
+  CooTensor to_coo() const;
+
+ private:
+  std::vector<index_t> sparse_dims_;
+  std::vector<std::vector<index_t>> coords_;  // [sparse mode][fiber]
+  DenseMatrix values_;                        // nfibs x R
+  int dense_mode_pos_ = -1;
+};
+
+}  // namespace ust

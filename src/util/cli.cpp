@@ -1,0 +1,100 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/common.hpp"
+
+namespace ust {
+
+Cli& Cli::option(const std::string& name, const std::string& default_value,
+                 const std::string& help) {
+  UST_EXPECTS(!opts_.contains(name));
+  opts_[name] = Opt{default_value, help, false};
+  order_.push_back(name);
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, const std::string& help) {
+  UST_EXPECTS(!opts_.contains(name));
+  opts_[name] = Opt{"false", help, true};
+  order_.push_back(name);
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string key = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const auto it = opts_.find(key);
+    if (it == opts_.end()) {
+      std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+      print_usage();
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[key] = has_value ? value : "true";
+    } else if (has_value) {
+      values_[key] = value;
+    } else if (i + 1 < argc) {
+      values_[key] = argv[++i];
+    } else {
+      std::fprintf(stderr, "option --%s requires a value\n", key.c_str());
+      print_usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  const auto opt = opts_.find(name);
+  UST_EXPECTS(opt != opts_.end());
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt->second.default_value;
+}
+
+long Cli::get_int(const std::string& name) const {
+  return std::strtol(get(name).c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+void Cli::print_usage() const {
+  std::fprintf(stderr, "%s -- %s\n\noptions:\n", program_.c_str(), description_.c_str());
+  for (const auto& name : order_) {
+    const auto& opt = opts_.at(name);
+    if (opt.is_flag) {
+      std::fprintf(stderr, "  --%-22s %s\n", name.c_str(), opt.help.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-22s %s (default: %s)\n", (name + " <v>").c_str(),
+                   opt.help.c_str(), opt.default_value.c_str());
+    }
+  }
+}
+
+}  // namespace ust

@@ -1,0 +1,48 @@
+// Tiny declarative command-line parser shared by benches and examples.
+// Supports --flag, --key=value and --key value forms plus -h/--help.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ust {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Declares an option with a default value and help text.
+  Cli& option(const std::string& name, const std::string& default_value,
+              const std::string& help);
+  /// Declares a boolean flag (default false).
+  Cli& flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on -h/--help or on a
+  /// parse error (unknown option, missing value).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_usage() const;
+
+ private:
+  struct Opt {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Opt> opts_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ust

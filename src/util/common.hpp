@@ -1,0 +1,67 @@
+// Common fundamental types and contract-checking macros used across UST.
+//
+// UST indexes tensor modes with 32-bit unsigned integers (mode sizes in the
+// paper's datasets reach 25.5M, well within range) and counts non-zeros with
+// 64-bit offsets. Values are single precision by default, matching the
+// paper's storage-cost analysis (Table II assumes 4-byte indices and values);
+// reference implementations accumulate in double.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ust {
+
+/// Index value within one tensor mode.
+using index_t = std::uint32_t;
+/// Count/offset over non-zeros.
+using nnz_t = std::uint64_t;
+/// Default value type for tensor elements (paper uses single precision).
+using value_t = float;
+
+/// Thrown when a UST precondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::source_location& loc) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          loc.file_name() + ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+/// Precondition check; always on (UST favours loud failure over UB).
+#define UST_EXPECTS(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::ust::detail::contract_fail("precondition", #cond,                     \
+                                   std::source_location::current());          \
+  } while (0)
+
+/// Invariant/postcondition check.
+#define UST_ENSURES(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::ust::detail::contract_fail("invariant", #cond,                        \
+                                   std::source_location::current());          \
+  } while (0)
+
+/// Integer ceiling division.
+template <class T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to a multiple of `b`.
+template <class T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace ust

@@ -1,0 +1,52 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ust {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+
+void init_from_env() {
+  const char* env = std::getenv("UST_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "trace") == 0) g_level = LogLevel::kTrace;
+  else if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
+  else if (std::strcmp(env, "off") == 0) g_level = LogLevel::kOff;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  static std::mutex io_mutex;
+  std::scoped_lock lock(io_mutex);
+  std::fprintf(stderr, "[ust %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace ust

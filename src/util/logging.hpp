@@ -1,0 +1,42 @@
+// Minimal leveled logger. Level is controlled by UST_LOG (trace|debug|info|
+// warn|error) or programmatically; output goes to stderr so bench tables on
+// stdout stay machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ust {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define UST_LOG(level)                            \
+  if (::ust::log_level() <= ::ust::LogLevel::level) \
+  ::ust::detail::LogLine(::ust::LogLevel::level)
+
+#define UST_LOG_INFO UST_LOG(kInfo)
+#define UST_LOG_WARN UST_LOG(kWarn)
+#define UST_LOG_DEBUG UST_LOG(kDebug)
+
+}  // namespace ust

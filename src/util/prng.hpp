@@ -1,0 +1,146 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// UST uses SplitMix64 as the core generator: it is tiny, fast, passes BigCrush
+// for the use cases here (synthetic tensor generation, test shuffles) and --
+// crucially for reproducible experiments -- produces identical streams on
+// every platform, unlike std::mt19937 + std::uniform_*_distribution whose
+// distributions are implementation-defined.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/common.hpp"
+
+namespace ust {
+
+/// SplitMix64 generator with portable uniform/Gaussian/Zipf helpers.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    UST_EXPECTS(bound > 0);
+    // Lemire's multiply-shift rejection method for unbiased bounded ints.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform index in [0, n).
+  index_t next_index(index_t n) { return static_cast<index_t>(next_below(n)); }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo = 0.0f, float hi = 1.0f) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double next_gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = next_double();
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <class RandomIt>
+  void shuffle(RandomIt first, RandomIt last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = next_below(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+  /// Fork an independent stream (for per-thread determinism).
+  Prng fork() { return Prng(next_u64() ^ 0xd2b74407b1ce6e93ull); }
+
+ private:
+  std::uint64_t state_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// Samples from a Zipf(s) distribution over ranks {0, .., n-1} using the
+/// rejection-inversion method of Hoermann & Derflinger; used to give
+/// synthetic tensors the skewed fiber-length profiles of real FROSTT data.
+class ZipfSampler {
+ public:
+  ZipfSampler(index_t n, double s) : n_(n), s_(s) {
+    UST_EXPECTS(n >= 1);
+    UST_EXPECTS(s >= 0.0);
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    dist_range_ = h_x1_ - h_n_;
+  }
+
+  index_t sample(Prng& rng) const {
+    if (n_ == 1) return 0;
+    // Degenerate s == 0 is plain uniform.
+    if (s_ == 0.0) return rng.next_index(n_);
+    while (true) {
+      const double u = h_n_ + rng.next_double() * dist_range_;
+      const double x = h_inv(u);
+      auto k = static_cast<double>(static_cast<std::uint64_t>(x + 0.5));
+      if (k < 1.0) k = 1.0;
+      if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+      if (k - x <= s_threshold() || u >= h(k + 0.5) - std::exp(-std::log(k) * s_)) {
+        return static_cast<index_t>(k) - 1;
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-s; closed forms for s != 1.
+  double h(double x) const {
+    if (s_ == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+  double h_inv(double u) const {
+    if (s_ == 1.0) return std::exp(u);
+    return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+  static constexpr double s_threshold() { return 0.5; }
+
+  index_t n_;
+  double s_;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double dist_range_ = 0.0;
+};
+
+}  // namespace ust

@@ -1,0 +1,58 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ust {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = sorted[sorted.size() / 2];
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1 ? std::sqrt(var / static_cast<double>(sorted.size() - 1)) : 0.0;
+  return s;
+}
+
+double coefficient_of_variation(std::span<const double> values) {
+  const Summary s = summarize(values);
+  if (s.mean == 0.0) return 0.0;
+  return s.stddev / s.mean;
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::vector<std::size_t> histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins) {
+  UST_EXPECTS(bins > 0);
+  UST_EXPECTS(hi > lo);
+  std::vector<std::size_t> h(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    auto b = static_cast<std::ptrdiff_t>((v - lo) / width);
+    b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+}  // namespace ust

@@ -1,0 +1,33 @@
+// Small descriptive-statistics helpers for benchmark post-processing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ust {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes a five-number-style summary of `values` (empty input -> zeros).
+Summary summarize(std::span<const double> values);
+
+/// Coefficient of variation (stddev/mean); 0 for degenerate input. Used to
+/// quantify "mode insensitivity" (Figure 7): low CV across modes == flat.
+double coefficient_of_variation(std::span<const double> values);
+
+/// Geometric mean of strictly positive values (0 if any non-positive).
+double geometric_mean(std::span<const double> values);
+
+/// Histogram with `bins` equal-width buckets over [lo, hi].
+std::vector<std::size_t> histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace ust

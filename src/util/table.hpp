@@ -1,0 +1,31 @@
+// Aligned ASCII table printer used by every benchmark harness so that the
+// output mirrors the paper's tables/figure series row-by-row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ust {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Renders the table with column alignment and a header rule.
+  std::string to_string() const;
+  /// Prints to stdout.
+  void print() const;
+
+  /// Helper: fixed-precision formatting.
+  static std::string num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used to delimit experiments.
+void print_banner(const std::string& title);
+
+}  // namespace ust

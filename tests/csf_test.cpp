@@ -1,0 +1,107 @@
+// Tests for the CSF (compressed sparse fiber) tree format.
+#include <gtest/gtest.h>
+
+#include "io/generate.hpp"
+#include "tensor/csf.hpp"
+
+namespace ust {
+namespace {
+
+std::vector<int> natural(int order) {
+  std::vector<int> v(static_cast<std::size_t>(order));
+  for (int m = 0; m < order; ++m) v[static_cast<std::size_t>(m)] = m;
+  return v;
+}
+
+TEST(Csf, HandBuiltTreeStructure) {
+  // X(0,0,0)=1, X(0,0,1)=2, X(0,1,0)=3, X(2,1,1)=4
+  CooTensor t({3, 2, 2});
+  t.push_back(std::vector<index_t>{0, 0, 0}, 1.0f);
+  t.push_back(std::vector<index_t>{0, 0, 1}, 2.0f);
+  t.push_back(std::vector<index_t>{0, 1, 0}, 3.0f);
+  t.push_back(std::vector<index_t>{2, 1, 1}, 4.0f);
+
+  const CsfTensor c = CsfTensor::build(t, natural(3));
+  EXPECT_EQ(c.nnz(), 4u);
+  // Two slices (i=0, i=2).
+  ASSERT_EQ(c.level_size(0), 2u);
+  EXPECT_EQ(c.level_ids(0)[0], 0u);
+  EXPECT_EQ(c.level_ids(0)[1], 2u);
+  // Three fibers: (0,0), (0,1), (2,1).
+  ASSERT_EQ(c.level_size(1), 3u);
+  EXPECT_EQ(c.level_ids(1)[0], 0u);
+  EXPECT_EQ(c.level_ids(1)[1], 1u);
+  EXPECT_EQ(c.level_ids(1)[2], 1u);
+  // Slice 0 owns fibers [0,2), slice 1 owns [2,3).
+  EXPECT_EQ(c.level_ptr(0)[0], 0u);
+  EXPECT_EQ(c.level_ptr(0)[1], 2u);
+  EXPECT_EQ(c.level_ptr(0)[2], 3u);
+  // Fiber leaf ranges.
+  EXPECT_EQ(c.level_ptr(1)[0], 0u);
+  EXPECT_EQ(c.level_ptr(1)[1], 2u);
+  EXPECT_EQ(c.level_ptr(1)[2], 3u);
+  EXPECT_EQ(c.level_ptr(1)[3], 4u);
+  // Leaves carry k indices and values.
+  EXPECT_EQ(c.level_ids(2)[0], 0u);
+  EXPECT_EQ(c.level_ids(2)[1], 1u);
+  EXPECT_FLOAT_EQ(c.values()[3], 4.0f);
+}
+
+TEST(Csf, RoundTripReconstruction) {
+  const CooTensor t = io::generate_zipf({12, 9, 14}, 300, {0.9, 0.7, 0.8}, 55);
+  for (const auto& order :
+       {std::vector<int>{0, 1, 2}, std::vector<int>{2, 0, 1}, std::vector<int>{1, 2, 0}}) {
+    const CsfTensor c = CsfTensor::build(t, order);
+    CooTensor back = c.reconstruct_coo();
+    CooTensor ref = t;
+    ref.sort_by_modes(natural(3));
+    ref.coalesce();
+    back.sort_by_modes(natural(3));
+    back.coalesce();
+    ASSERT_EQ(back.nnz(), ref.nnz());
+    for (nnz_t x = 0; x < ref.nnz(); ++x) {
+      for (int m = 0; m < 3; ++m) ASSERT_EQ(back.index(x, m), ref.index(x, m));
+      ASSERT_FLOAT_EQ(back.value(x), ref.value(x));
+    }
+  }
+}
+
+TEST(Csf, CompressesComparedToCoo) {
+  // Long fibers compress well: many non-zeros share slice/fiber prefixes.
+  CooTensor t({4, 4, 500});
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      for (index_t k = 0; k < 500; k += 2) {
+        t.push_back(std::vector<index_t>{i, j, k}, 1.0f);
+      }
+    }
+  }
+  const CsfTensor c = CsfTensor::build(t, natural(3));
+  EXPECT_LT(c.storage_bytes(), t.storage_bytes());
+}
+
+TEST(Csf, FourOrderTree) {
+  const CooTensor t = io::generate_uniform({5, 6, 7, 8}, 200, 77);
+  const CsfTensor c = CsfTensor::build(t, natural(4));
+  EXPECT_EQ(c.order(), 4);
+  EXPECT_EQ(c.nnz(), t.nnz());
+  CooTensor back = c.reconstruct_coo();
+  back.sort_by_modes(natural(4));
+  CooTensor ref = t;
+  ref.sort_by_modes(natural(4));
+  ASSERT_EQ(back.nnz(), ref.nnz());
+  for (nnz_t x = 0; x < ref.nnz(); ++x) {
+    for (int m = 0; m < 4; ++m) ASSERT_EQ(back.index(x, m), ref.index(x, m));
+  }
+}
+
+TEST(Csf, LevelSizesAreMonotone) {
+  const CooTensor t = io::generate_zipf({30, 20, 25}, 800, {1.0, 0.9, 0.8}, 88);
+  const CsfTensor c = CsfTensor::build(t, natural(3));
+  EXPECT_LE(c.level_size(0), c.level_size(1));
+  EXPECT_LE(c.level_size(1), c.level_size(2));
+  EXPECT_EQ(c.level_size(2), c.nnz());
+}
+
+}  // namespace
+}  // namespace ust

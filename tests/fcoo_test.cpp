@@ -1,0 +1,279 @@
+// Tests for the F-COO storage format: head-flag construction, start flags,
+// segment coordinates, storage accounting against the paper's Table II
+// formula, round-trip reconstruction, and property sweeps over mode splits.
+#include <gtest/gtest.h>
+
+#include "core/mode_plan.hpp"
+#include "io/generate.hpp"
+#include "tensor/fcoo.hpp"
+
+namespace ust {
+namespace {
+
+// The paper's Figure 2 example: a (2,2,5)-shaped tensor with 12 non-zeros
+// val 1..12, laid out as in the COO panel (a).
+CooTensor figure2_tensor() {
+  CooTensor t({2, 2, 5});
+  const index_t rows[12][3] = {{0, 0, 0}, {0, 0, 1}, {0, 0, 2}, {0, 0, 3},
+                               {0, 0, 4}, {1, 0, 0}, {1, 0, 1}, {1, 0, 2},
+                               {1, 0, 3}, {1, 1, 0}, {1, 1, 1}, {1, 1, 2}};
+  for (int i = 0; i < 12; ++i) {
+    const std::vector<index_t> c{rows[i][0], rows[i][1], rows[i][2]};
+    t.push_back(c, static_cast<value_t>(i + 1));
+  }
+  return t;
+}
+
+TEST(Fcoo, Figure2SpttmMode3Layout) {
+  // SpTTM on mode-3: index modes (i,j), product mode k. Segments are the
+  // three fibers (0,0,:), (1,0,:), (1,1,:).
+  const CooTensor t = figure2_tensor();
+  const auto plan = core::make_mode_plan_spttm(3, 2);
+  const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+  EXPECT_EQ(f.nnz(), 12u);
+  EXPECT_EQ(f.num_segments(), 3u);
+  // Heads at the first non-zero of each fiber: positions 0, 5, 9.
+  for (nnz_t x = 0; x < 12; ++x) {
+    EXPECT_EQ(f.is_head(x), x == 0 || x == 5 || x == 9) << "x=" << x;
+  }
+  // Product-mode indices are the k values.
+  const index_t expect_k[12] = {0, 1, 2, 3, 4, 0, 1, 2, 3, 0, 1, 2};
+  const auto k = f.product_indices(0);
+  for (nnz_t x = 0; x < 12; ++x) EXPECT_EQ(k[x], expect_k[x]);
+  // Segment coordinates: (i,j) per fiber.
+  EXPECT_EQ(f.segment_coord(0, 0), 0u);
+  EXPECT_EQ(f.segment_coord(0, 1), 0u);
+  EXPECT_EQ(f.segment_coord(1, 0), 1u);
+  EXPECT_EQ(f.segment_coord(1, 1), 0u);
+  EXPECT_EQ(f.segment_coord(2, 0), 1u);
+  EXPECT_EQ(f.segment_coord(2, 1), 1u);
+}
+
+TEST(Fcoo, Figure2SpmttkrpMode1StartFlags) {
+  // SpMTTKRP on mode-1: index mode i; segments are slices i=0 (5 nnz) and
+  // i=1 (7 nnz). With threadlen=4 the partitions start at 0, 4, 8; only the
+  // first starts a new slice -- sf = (1, 0, 0), matching the paper's figure
+  // caption ("sf for thread 0 is always 1").
+  const CooTensor t = figure2_tensor();
+  const auto plan = core::make_mode_plan_spmttkrp(3, 0);
+  const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+  EXPECT_EQ(f.num_segments(), 2u);
+  const BitArray sf = f.start_flags(4);
+  ASSERT_EQ(sf.size(), 3u);
+  EXPECT_TRUE(sf.get(0));
+  EXPECT_FALSE(sf.get(1));
+  EXPECT_FALSE(sf.get(2));
+  // With threadlen=5 the second partition starts exactly at slice i=1.
+  const BitArray sf5 = f.start_flags(5);
+  ASSERT_EQ(sf5.size(), 3u);
+  EXPECT_TRUE(sf5.get(0));
+  EXPECT_TRUE(sf5.get(1));
+  EXPECT_FALSE(sf5.get(2));
+}
+
+TEST(Fcoo, SegmentOfMatchesHeadRank) {
+  const CooTensor t = figure2_tensor();
+  const auto plan = core::make_mode_plan_spttm(3, 2);
+  const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+  EXPECT_EQ(f.segment_of(0), 0u);
+  EXPECT_EQ(f.segment_of(4), 0u);
+  EXPECT_EQ(f.segment_of(5), 1u);
+  EXPECT_EQ(f.segment_of(8), 1u);
+  EXPECT_EQ(f.segment_of(9), 2u);
+  EXPECT_EQ(f.segment_of(11), 2u);
+}
+
+TEST(Fcoo, StorageMatchesTable2Formula) {
+  const CooTensor t = io::generate_uniform({40, 50, 60}, 4000, 7);
+  // SpTTM (one product mode): (8 + 1/8 + 1/(8*threadlen)) bytes per nnz.
+  {
+    const auto plan = core::make_mode_plan_spttm(3, 2);
+    const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+    for (unsigned tl : {8u, 16u, 64u}) {
+      const std::size_t formula = FcooTensor::table2_formula_bytes(f.nnz(), 1, tl);
+      const std::size_t actual = f.paper_storage_bytes(tl);
+      // Formula truncates; actual rounds bit arrays up to whole bytes.
+      EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(formula), 16.0);
+    }
+  }
+  // SpMTTKRP (two product modes): (12 + 1/8 + 1/(8*threadlen)) per nnz.
+  {
+    const auto plan = core::make_mode_plan_spmttkrp(3, 0);
+    const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+    const std::size_t formula = FcooTensor::table2_formula_bytes(f.nnz(), 2, 8);
+    EXPECT_NEAR(static_cast<double>(f.paper_storage_bytes(8)),
+                static_cast<double>(formula), 16.0);
+  }
+}
+
+TEST(Fcoo, FcooIsSmallerThanCoo) {
+  const CooTensor t = io::generate_uniform({30, 30, 30}, 3000, 11);
+  const auto plan = core::make_mode_plan_spttm(3, 2);
+  const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+  EXPECT_LT(f.paper_storage_bytes(8), t.storage_bytes());
+  EXPECT_LT(f.measured_storage_bytes(8), t.storage_bytes());
+}
+
+TEST(Fcoo, RoundTripReconstructsCoo) {
+  const CooTensor t = io::generate_uniform({9, 8, 7}, 150, 13);
+  for (int mode = 0; mode < 3; ++mode) {
+    for (bool spttm : {true, false}) {
+      const auto plan = spttm ? core::make_mode_plan_spttm(3, mode)
+                              : core::make_mode_plan_spmttkrp(3, mode);
+      const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+      CooTensor back = f.reconstruct_coo();
+      // Canonicalise both.
+      const std::vector<int> order{0, 1, 2};
+      CooTensor ref = t;
+      ref.sort_by_modes(order);
+      ref.coalesce();
+      back.sort_by_modes(order);
+      back.coalesce();
+      ASSERT_EQ(back.nnz(), ref.nnz());
+      for (nnz_t x = 0; x < ref.nnz(); ++x) {
+        for (int m = 0; m < 3; ++m) ASSERT_EQ(back.index(x, m), ref.index(x, m));
+        ASSERT_FLOAT_EQ(back.value(x), ref.value(x));
+      }
+    }
+  }
+}
+
+TEST(Fcoo, IndexModeDenseDetection) {
+  // A tensor with every i present is "index-mode dense" for SpMTTKRP mode-1.
+  CooTensor dense_i({3, 2, 2});
+  for (index_t i = 0; i < 3; ++i) {
+    const std::vector<index_t> c{i, 0, 0};
+    dense_i.push_back(c, 1.0f);
+  }
+  const auto plan = core::make_mode_plan_spmttkrp(3, 0);
+  const FcooTensor f = FcooTensor::build(dense_i, plan.index_modes, plan.product_modes);
+  EXPECT_TRUE(f.index_mode_dense());
+
+  CooTensor sparse_i({3, 2, 2});
+  const std::vector<index_t> c0{0, 0, 0};
+  const std::vector<index_t> c2{2, 0, 0};
+  sparse_i.push_back(c0, 1.0f);
+  sparse_i.push_back(c2, 1.0f);  // i=1 empty
+  const FcooTensor g = FcooTensor::build(sparse_i, plan.index_modes, plan.product_modes);
+  EXPECT_FALSE(g.index_mode_dense());
+  EXPECT_EQ(g.num_segments(), 2u);
+  EXPECT_EQ(g.segment_coord(1, 0), 2u);  // empty slices handled via seg_out
+}
+
+TEST(Fcoo, BuildRejectsBadModeSplit) {
+  const CooTensor t = figure2_tensor();
+  const std::vector<int> index_modes{0, 1};
+  const std::vector<int> overlapping{1, 2};  // mode 1 in both lists
+  EXPECT_THROW(FcooTensor::build(t, index_modes, overlapping), ContractViolation);
+  const std::vector<int> empty;
+  const std::vector<int> all{0, 1, 2};
+  EXPECT_THROW(FcooTensor::build(t, empty, all), ContractViolation);
+}
+
+TEST(Fcoo, BuildCoalescesDuplicates) {
+  CooTensor t({2, 2, 2});
+  const std::vector<index_t> c{1, 1, 1};
+  t.push_back(c, 2.0f);
+  t.push_back(c, 3.0f);
+  const auto plan = core::make_mode_plan_spttm(3, 2);
+  const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+  EXPECT_EQ(f.nnz(), 1u);
+  EXPECT_FLOAT_EQ(f.values()[0], 5.0f);
+}
+
+TEST(Fcoo, SingleGiantSegmentAndAllSingletonSegments) {
+  // One fiber holding every non-zero: exactly one head.
+  CooTensor giant({1, 1, 64});
+  for (index_t k = 0; k < 64; ++k) {
+    const std::vector<index_t> c{0, 0, k};
+    giant.push_back(c, 1.0f);
+  }
+  const auto plan = core::make_mode_plan_spttm(3, 2);
+  const FcooTensor f = FcooTensor::build(giant, plan.index_modes, plan.product_modes);
+  EXPECT_EQ(f.num_segments(), 1u);
+  EXPECT_EQ(f.bit_flags().popcount(), 1u);
+  const BitArray sf = f.start_flags(8);
+  EXPECT_TRUE(sf.get(0));
+  for (std::size_t p = 1; p < sf.size(); ++p) EXPECT_FALSE(sf.get(p));
+
+  // Every non-zero its own fiber: all heads.
+  CooTensor singletons({64, 1, 1});
+  for (index_t i = 0; i < 64; ++i) {
+    const std::vector<index_t> c{i, 0, 0};
+    singletons.push_back(c, 1.0f);
+  }
+  const auto plan1 = core::make_mode_plan_spttm(3, 2);
+  const FcooTensor g = FcooTensor::build(singletons, plan1.index_modes, plan1.product_modes);
+  EXPECT_EQ(g.num_segments(), 64u);
+  EXPECT_EQ(g.bit_flags().popcount(), 64u);
+}
+
+// Property sweep: for random tensors and every mode/op combination, the head
+// flags partition the non-zeros into contiguous runs of constant index-mode
+// coordinates, and segment counts match the distinct-tuple count.
+struct FcooSweepParam {
+  int mode;
+  bool spttm;
+};
+
+class FcooSweep : public ::testing::TestWithParam<FcooSweepParam> {};
+
+TEST_P(FcooSweep, SegmentsMatchDistinctIndexTuples) {
+  const auto [mode, spttm] = GetParam();
+  const CooTensor t = io::generate_zipf({20, 15, 25}, 600, {0.8, 0.8, 0.8}, 1234);
+  const auto plan = spttm ? core::make_mode_plan_spttm(3, mode)
+                          : core::make_mode_plan_spmttkrp(3, mode);
+  const FcooTensor f = FcooTensor::build(t, plan.index_modes, plan.product_modes);
+
+  CooTensor dedup = t;
+  const std::vector<int> order{0, 1, 2};
+  dedup.sort_by_modes(order);
+  dedup.coalesce();
+  EXPECT_EQ(f.num_segments(), dedup.count_distinct(plan.index_modes));
+  EXPECT_EQ(f.bit_flags().popcount(), f.num_segments());
+  EXPECT_EQ(f.nnz(), dedup.nnz());
+
+  // start_flags consistency for several threadlens.
+  for (unsigned tl : {1u, 3u, 8u, 17u, 64u}) {
+    const BitArray sf = f.start_flags(tl);
+    ASSERT_EQ(sf.size(), ceil_div<nnz_t>(f.nnz(), tl));
+    for (nnz_t p = 0; p < sf.size(); ++p) {
+      EXPECT_EQ(sf.get(p), f.is_head(p * tl));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModesBothOps, FcooSweep,
+                         ::testing::Values(FcooSweepParam{0, true}, FcooSweepParam{1, true},
+                                           FcooSweepParam{2, true}, FcooSweepParam{0, false},
+                                           FcooSweepParam{1, false}, FcooSweepParam{2, false}),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.spttm ? "spttm" : "mttkrp") +
+                                  "_mode" + std::to_string(param_info.param.mode + 1);
+                         });
+
+TEST(ModePlan, Table1Classification) {
+  // Row 1: SpTTM on mode-3 -> product mode-3, index modes (1,2).
+  const auto ttm = core::make_mode_plan_spttm(3, 2);
+  EXPECT_EQ(ttm.product_modes, (std::vector<int>{2}));
+  EXPECT_EQ(ttm.index_modes, (std::vector<int>{0, 1}));
+  // Row 2: SpMTTKRP on mode-1 -> product modes (2,3), index mode 1.
+  const auto mttkrp = core::make_mode_plan_spmttkrp(3, 0);
+  EXPECT_EQ(mttkrp.product_modes, (std::vector<int>{1, 2}));
+  EXPECT_EQ(mttkrp.index_modes, (std::vector<int>{0}));
+  // Row 3: SpTTMc on mode-1 -> same split as SpMTTKRP.
+  const auto ttmc = core::make_mode_plan_spttmc(3, 0);
+  EXPECT_EQ(ttmc.product_modes, mttkrp.product_modes);
+  EXPECT_EQ(ttmc.index_modes, mttkrp.index_modes);
+  EXPECT_NE(ttmc.describe().find("SpTTMc on mode-1"), std::string::npos);
+}
+
+TEST(ModePlan, GeneralisesToHigherOrder) {
+  const auto p = core::make_mode_plan_spmttkrp(5, 2);
+  EXPECT_EQ(p.index_modes, (std::vector<int>{2}));
+  EXPECT_EQ(p.product_modes, (std::vector<int>{0, 1, 3, 4}));
+  EXPECT_THROW(core::make_mode_plan_spttm(3, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ust

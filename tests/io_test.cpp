@@ -1,0 +1,196 @@
+// Tests for I/O: FROSTT .tns parsing/writing (including malformed input),
+// synthetic generators, and the paper-dataset registry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/datasets.hpp"
+#include "io/generate.hpp"
+#include "io/tns.hpp"
+
+namespace ust::io {
+namespace {
+
+TEST(Tns, ParsesBasicFile) {
+  std::istringstream in(
+      "# a comment\n"
+      "1 1 1 1.5\n"
+      "2 3 4 -2.0\n"
+      "\n"
+      "2 1 2 0.25  # trailing comment\n");
+  const CooTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 3u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_EQ(t.index(1, 2), 3u);  // 1-based 4 -> 0-based 3
+  EXPECT_FLOAT_EQ(t.value(2), 0.25f);
+}
+
+TEST(Tns, RoundTripPreservesContent) {
+  const CooTensor t = generate_uniform({6, 7, 8}, 100, 42);
+  std::stringstream buf;
+  write_tns(buf, t);
+  const CooTensor back = read_tns(buf);
+  ASSERT_EQ(back.nnz(), t.nnz());
+  // Dims inferred from max coordinate may be smaller; indices must match.
+  for (nnz_t x = 0; x < t.nnz(); ++x) {
+    for (int m = 0; m < 3; ++m) EXPECT_EQ(back.index(x, m), t.index(x, m));
+    EXPECT_FLOAT_EQ(back.value(x), t.value(x));
+  }
+}
+
+TEST(Tns, RejectsMalformedInput) {
+  {
+    std::istringstream in("1 2 not_a_number\n");
+    EXPECT_THROW(read_tns(in), TnsParseError);
+  }
+  {
+    std::istringstream in("1 1 1 1.0\n1 1 1.0\n");  // arity change
+    EXPECT_THROW(read_tns(in), TnsParseError);
+  }
+  {
+    std::istringstream in("0 1 1 1.0\n");  // 0 coordinate in 1-based format
+    EXPECT_THROW(read_tns(in), TnsParseError);
+  }
+  {
+    std::istringstream in("1.5 1 1 1.0\n");  // fractional coordinate
+    EXPECT_THROW(read_tns(in), TnsParseError);
+  }
+  {
+    std::istringstream in("# only comments\n\n");
+    EXPECT_THROW(read_tns(in), TnsParseError);
+  }
+  EXPECT_THROW(read_tns_file("/nonexistent/path.tns"), TnsParseError);
+}
+
+TEST(Generate, UniformProducesRequestedDistinctNnz) {
+  const CooTensor t = generate_uniform({50, 40, 30}, 5000, 1);
+  EXPECT_EQ(t.nnz(), 5000u);
+  t.validate();
+  CooTensor dedup = t;
+  const std::vector<int> order{0, 1, 2};
+  dedup.sort_by_modes(order);
+  EXPECT_EQ(dedup.coalesce(), 0u);  // already distinct
+}
+
+TEST(Generate, UniformIsDeterministicPerSeed) {
+  const CooTensor a = generate_uniform({20, 20, 20}, 500, 7);
+  const CooTensor b = generate_uniform({20, 20, 20}, 500, 7);
+  const CooTensor c = generate_uniform({20, 20, 20}, 500, 8);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  bool all_same = true;
+  for (nnz_t x = 0; x < a.nnz(); ++x) {
+    for (int m = 0; m < 3; ++m) {
+      EXPECT_EQ(a.index(x, m), b.index(x, m));
+      all_same &= a.index(x, m) == c.index(x, m);
+    }
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Generate, UniformCapsAtFullDensity) {
+  const CooTensor t = generate_uniform({3, 3}, 1000, 2);
+  EXPECT_EQ(t.nnz(), 9u);
+}
+
+TEST(Generate, ZipfSkewsFiberSizes) {
+  const CooTensor t = generate_zipf({200, 200, 200}, 20000, {1.2, 1.2, 1.2}, 3);
+  EXPECT_GT(t.nnz(), 18000u);
+  t.validate();
+  // Count per-index occupancy on mode 0; Zipf should give a heavy head.
+  std::vector<nnz_t> counts(200, 0);
+  for (nnz_t x = 0; x < t.nnz(); ++x) ++counts[t.index(x, 0)];
+  std::sort(counts.rbegin(), counts.rend());
+  nnz_t top5 = 0;
+  for (int i = 0; i < 5; ++i) top5 += counts[static_cast<std::size_t>(i)];
+  EXPECT_GT(top5, t.nnz() / 5);  // top 2.5% of indices hold >20% of mass
+}
+
+TEST(Generate, LowRankModelIsApproximatelyLowRank) {
+  const auto lr = generate_low_rank({30, 25, 20}, 3, 2000, 0.0, 4);
+  EXPECT_EQ(lr.factors.size(), 3u);
+  EXPECT_EQ(lr.factors[0].rows(), 30u);
+  EXPECT_EQ(lr.factors[0].cols(), 3u);
+  // With zero noise, every value equals the CP model exactly.
+  for (nnz_t x = 0; x < lr.tensor.nnz(); ++x) {
+    double expect = 0.0;
+    for (index_t r = 0; r < 3; ++r) {
+      double prod = 1.0;
+      for (int m = 0; m < 3; ++m) prod *= lr.factors[static_cast<std::size_t>(m)](
+          lr.tensor.index(x, m), r);
+      expect += prod;
+    }
+    ASSERT_NEAR(lr.tensor.value(x), expect, 1e-4);
+  }
+}
+
+TEST(Generate, DenseAsSparseEnumeratesEveryCell) {
+  const CooTensor t = generate_dense_as_sparse({3, 4, 5}, 5);
+  EXPECT_EQ(t.nnz(), 60u);
+  CooTensor dedup = t;
+  const std::vector<int> order{0, 1, 2};
+  dedup.sort_by_modes(order);
+  EXPECT_EQ(dedup.coalesce(), 0u);
+}
+
+TEST(Datasets, RegistryMatchesTable4) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 4u);
+  const auto nell1 = find_dataset("nell1");
+  ASSERT_TRUE(nell1.has_value());
+  EXPECT_EQ(nell1->paper_dims, (std::vector<index_t>{2'900'000, 2'100'000, 25'500'000}));
+  EXPECT_EQ(nell1->paper_nnz, 144'000'000u);
+  const auto brainq = find_dataset("brainq");
+  ASSERT_TRUE(brainq.has_value());
+  EXPECT_EQ(brainq->paper_dims, (std::vector<index_t>{60, 70'000, 9}));
+  // Table V best configs, as (block_size, threadlen).
+  EXPECT_EQ(brainq->best_spmttkrp.block_size, 128u);
+  EXPECT_EQ(brainq->best_spmttkrp.threadlen, 64u);
+  EXPECT_EQ(nell1->best_spmttkrp.block_size, 32u);
+  EXPECT_EQ(nell1->best_spmttkrp.threadlen, 16u);
+  EXPECT_FALSE(find_dataset("nope").has_value());
+}
+
+TEST(Datasets, ReplicasPreserveShapeRatiosAndScale) {
+  for (const auto& spec : paper_datasets()) {
+    const CooTensor full = make_replica(spec, 1.0);
+    EXPECT_EQ(full.dims(), spec.replica_dims) << spec.name;
+
+    const CooTensor t = make_replica(spec, 0.05);
+    t.validate();
+    EXPECT_GT(t.nnz(), 0u);
+    EXPECT_LE(t.nnz(), spec.replica_nnz / 15) << spec.name;
+    // Large modes shrink with the scale; small "shape oddity" modes stay.
+    for (int m = 0; m < t.order(); ++m) {
+      const index_t orig = spec.replica_dims[static_cast<std::size_t>(m)];
+      if (orig <= 100) {
+        EXPECT_EQ(t.dim(m), orig) << spec.name << " mode " << m;
+      } else {
+        EXPECT_LT(t.dim(m), orig) << spec.name << " mode " << m;
+      }
+    }
+    // Density (the fiber-length driver) stays within a small factor of the
+    // full replica's.
+    const double ratio = t.density() / full.density();
+    EXPECT_GT(ratio, 0.2) << spec.name;
+    EXPECT_LT(ratio, 5.0) << spec.name;
+  }
+}
+
+TEST(Datasets, BrainqReplicaIsDensest) {
+  // Density ordering must match Table IV: brainq >> nell2 >> delicious/nell1.
+  double brainq_d = 0.0, nell2_d = 0.0, nell1_d = 0.0;
+  for (const auto& spec : paper_datasets()) {
+    const CooTensor t = make_replica(spec, 0.05);
+    if (spec.name == "brainq") brainq_d = t.density();
+    if (spec.name == "nell2") nell2_d = t.density();
+    if (spec.name == "nell1") nell1_d = t.density();
+  }
+  EXPECT_GT(brainq_d, nell2_d);
+  EXPECT_GT(nell2_d, nell1_d);
+}
+
+}  // namespace
+}  // namespace ust::io

@@ -1,0 +1,294 @@
+// Correctness tests for the unified one-shot SpMTTKRP kernel against the
+// serial reference, parameterized over modes, ranks, partitionings and
+// reduction strategies, plus adversarial segment layouts.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+#include "baselines/two_step.hpp"
+#include "core/spmttkrp.hpp"
+#include "io/generate.hpp"
+#include "sim/device.hpp"
+#include "util/prng.hpp"
+
+namespace ust {
+namespace {
+
+std::vector<DenseMatrix> random_factors(const CooTensor& t, index_t rank,
+                                        std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<DenseMatrix> factors;
+  for (int m = 0; m < t.order(); ++m) {
+    DenseMatrix f(t.dim(m), rank);
+    f.fill_random(rng, -1.0f, 1.0f);
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+double relative_error(const DenseMatrix& got, const DenseMatrix& want) {
+  const double diff = DenseMatrix::max_abs_diff(got, want);
+  const double scale = std::max(1.0, want.frobenius_norm());
+  return diff / scale;
+}
+
+struct MttkrpParam {
+  int mode;
+  index_t rank;
+  unsigned threadlen;
+  unsigned block_size;
+  core::ReduceStrategy strategy;
+  unsigned column_tile;
+};
+
+std::string param_name(const ::testing::TestParamInfo<MttkrpParam>& info) {
+  const auto& p = info.param;
+  const char* strat = p.strategy == core::ReduceStrategy::kSegmentedScan   ? "segscan"
+                      : p.strategy == core::ReduceStrategy::kAdjacentSync  ? "adjacent"
+                      : p.strategy == core::ReduceStrategy::kThreadAtomic ? "threadatomic"
+                                                                          : "allatomic";
+  return "mode" + std::to_string(p.mode + 1) + "_r" + std::to_string(p.rank) + "_tl" +
+         std::to_string(p.threadlen) + "_bs" + std::to_string(p.block_size) + "_" + strat +
+         "_ct" + std::to_string(p.column_tile);
+}
+
+class MttkrpSweep : public ::testing::TestWithParam<MttkrpParam> {};
+
+TEST_P(MttkrpSweep, MatchesSerialReference) {
+  const auto& p = GetParam();
+  const CooTensor t = io::generate_zipf({60, 45, 70}, 4000, {0.9, 0.8, 0.7}, 2024);
+  const auto factors = random_factors(t, p.rank, 99);
+
+  sim::Device dev;
+  const Partitioning part{.threadlen = p.threadlen, .block_size = p.block_size};
+  const core::UnifiedOptions opt{.strategy = p.strategy, .column_tile = p.column_tile};
+  const DenseMatrix got = core::spmttkrp_unified(dev, t, p.mode, factors, part, opt);
+  const DenseMatrix want = baseline::mttkrp_reference(t, p.mode, factors);
+  EXPECT_LT(relative_error(got, want), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesRanksConfigs, MttkrpSweep,
+    ::testing::Values(
+        // Mode sweep at the paper's default rank.
+        MttkrpParam{0, 16, 8, 128, core::ReduceStrategy::kSegmentedScan, 1},
+        MttkrpParam{1, 16, 8, 128, core::ReduceStrategy::kSegmentedScan, 1},
+        MttkrpParam{2, 16, 8, 128, core::ReduceStrategy::kSegmentedScan, 1},
+        // Rank sweep (Figure 8 axis).
+        MttkrpParam{0, 8, 16, 64, core::ReduceStrategy::kSegmentedScan, 1},
+        MttkrpParam{0, 32, 16, 64, core::ReduceStrategy::kSegmentedScan, 1},
+        MttkrpParam{0, 64, 16, 64, core::ReduceStrategy::kSegmentedScan, 1},
+        // Partitioning extremes (Table V axes).
+        MttkrpParam{0, 16, 1, 32, core::ReduceStrategy::kSegmentedScan, 1},
+        MttkrpParam{0, 16, 64, 1024, core::ReduceStrategy::kSegmentedScan, 1},
+        MttkrpParam{1, 16, 3, 33, core::ReduceStrategy::kSegmentedScan, 1},
+        // Odd rank (not a multiple of anything convenient).
+        MttkrpParam{2, 5, 8, 128, core::ReduceStrategy::kSegmentedScan, 1},
+        // Ablation strategies.
+        MttkrpParam{0, 16, 8, 128, core::ReduceStrategy::kThreadAtomic, 1},
+        MttkrpParam{0, 16, 8, 128, core::ReduceStrategy::kAllAtomic, 1},
+        MttkrpParam{1, 16, 16, 256, core::ReduceStrategy::kThreadAtomic, 1},
+        // Fused adjacent-synchronisation variant (zero atomics).
+        MttkrpParam{0, 16, 8, 128, core::ReduceStrategy::kAdjacentSync, 1},
+        MttkrpParam{1, 16, 4, 64, core::ReduceStrategy::kAdjacentSync, 2},
+        MttkrpParam{2, 8, 16, 256, core::ReduceStrategy::kAdjacentSync, 8},
+        // Column tiling variants.
+        MttkrpParam{0, 16, 8, 128, core::ReduceStrategy::kSegmentedScan, 4},
+        MttkrpParam{0, 16, 8, 128, core::ReduceStrategy::kSegmentedScan, 16},
+        MttkrpParam{2, 7, 8, 64, core::ReduceStrategy::kSegmentedScan, 3}),
+    param_name);
+
+TEST(Mttkrp, MatchesKhatriRaoFormulation) {
+  // Cross-validate the one-shot method against the literal Equation (5)
+  // (materialised Khatri-Rao product) on a tiny tensor.
+  const CooTensor t = io::generate_uniform({12, 10, 8}, 300, 5);
+  const auto factors = random_factors(t, 6, 6);
+  sim::Device dev;
+  for (int mode = 0; mode < 3; ++mode) {
+    const DenseMatrix got =
+        core::spmttkrp_unified(dev, t, mode, factors, Partitioning{});
+    const DenseMatrix via_kr = baseline::mttkrp_via_khatri_rao(t, mode, factors);
+    EXPECT_LT(relative_error(got, via_kr), 1e-3) << "mode " << mode;
+  }
+}
+
+TEST(Mttkrp, SingleGiantSliceSpansManyBlocks) {
+  // All non-zeros share i=0: one segment crossing every thread and block;
+  // exercises the cross-block atomic path exclusively.
+  CooTensor t({1, 64, 64});
+  Prng rng(17);
+  for (index_t j = 0; j < 64; ++j) {
+    for (index_t k = 0; k < 64; ++k) {
+      t.push_back(std::vector<index_t>{0, j, k}, rng.next_float(-1.0f, 1.0f));
+    }
+  }
+  const auto factors = random_factors(t, 16, 18);
+  sim::Device dev;
+  const Partitioning part{.threadlen = 4, .block_size = 32};  // many blocks
+  const DenseMatrix got = core::spmttkrp_unified(dev, t, 0, factors, part);
+  const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
+  EXPECT_LT(relative_error(got, want), 1e-3);
+}
+
+TEST(Mttkrp, AllSingletonSlices) {
+  // Every non-zero is its own slice: all segments interior, no atomics
+  // should be needed.
+  CooTensor t({512, 4, 4});
+  Prng rng(19);
+  for (index_t i = 0; i < 512; ++i) {
+    t.push_back(std::vector<index_t>{i, rng.next_index(4), rng.next_index(4)},
+                rng.next_float(-1.0f, 1.0f));
+  }
+  const auto factors = random_factors(t, 8, 20);
+  sim::Device dev;
+  const DenseMatrix got =
+      core::spmttkrp_unified(dev, t, 0, factors, Partitioning{.threadlen = 8, .block_size = 64});
+  const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
+  EXPECT_LT(relative_error(got, want), 1e-3);
+  EXPECT_EQ(dev.counters().atomic_ops, 0u);
+}
+
+TEST(Mttkrp, EmptySlicesAreHandled) {
+  // i values with no non-zeros must yield zero rows (the seg_out mapping).
+  CooTensor t({10, 6, 6});
+  t.push_back(std::vector<index_t>{2, 1, 1}, 1.5f);
+  t.push_back(std::vector<index_t>{7, 3, 2}, -2.5f);
+  const auto factors = random_factors(t, 4, 21);
+  sim::Device dev;
+  const DenseMatrix got = core::spmttkrp_unified(dev, t, 0, factors, Partitioning{});
+  const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
+  EXPECT_LT(relative_error(got, want), 1e-4);
+  for (index_t c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(got(0, c), 0.0f);
+    EXPECT_FLOAT_EQ(got(5, c), 0.0f);
+    EXPECT_FLOAT_EQ(got(9, c), 0.0f);
+  }
+}
+
+TEST(Mttkrp, FourthOrderTensor) {
+  // The unified method extends beyond 3-order (Section IV-B's claim).
+  const CooTensor t = io::generate_uniform({12, 10, 9, 8}, 1500, 23);
+  const auto factors = random_factors(t, 8, 24);
+  sim::Device dev;
+  for (int mode = 0; mode < 4; ++mode) {
+    const DenseMatrix got = core::spmttkrp_unified(dev, t, mode, factors,
+                                                   Partitioning{.threadlen = 8, .block_size = 64});
+    const DenseMatrix want = baseline::mttkrp_reference(t, mode, factors);
+    EXPECT_LT(relative_error(got, want), 1e-3) << "mode " << mode;
+  }
+}
+
+TEST(Mttkrp, SegmentedScanUsesFarFewerAtomicsThanAllAtomic) {
+  // The quantitative claim behind the method: segmented scan reduces atomic
+  // updates from O(nnz * R) to at most O(blocks * R).
+  const CooTensor t = io::generate_zipf({50, 40, 60}, 8000, {0.9, 0.9, 0.9}, 31);
+  const auto factors = random_factors(t, 16, 32);
+  const Partitioning part{.threadlen = 8, .block_size = 128};
+
+  sim::Device dev_scan;
+  core::UnifiedMttkrp op_scan(dev_scan, t, 0, part);
+  op_scan.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan});
+  const auto scan_atomics = dev_scan.counters().atomic_ops;
+
+  sim::Device dev_atomic;
+  core::UnifiedMttkrp op_atomic(dev_atomic, t, 0, part);
+  op_atomic.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAllAtomic});
+  const auto all_atomics = dev_atomic.counters().atomic_ops;
+
+  EXPECT_EQ(all_atomics, t.nnz() * 16);  // one per nnz per column
+  EXPECT_LT(scan_atomics * 20, all_atomics);
+  const nnz_t blocks = part.num_blocks(t.nnz());
+  EXPECT_LE(scan_atomics, 2 * blocks * 16);  // at most ~2 boundary atomics/block/col
+}
+
+TEST(Mttkrp, AdjacentSyncUsesZeroAtomics) {
+  // The fused variant replaces even the block-boundary atomics with a
+  // StreamScan carry chain: correctness must hold with the atomic counter
+  // at exactly zero, including on a single segment spanning every block.
+  CooTensor t({1, 80, 80});
+  Prng rng(23);
+  for (index_t j = 0; j < 80; ++j) {
+    for (index_t k = 0; k < 80; ++k) {
+      t.push_back(std::vector<index_t>{0, j, k}, rng.next_float(-1.0f, 1.0f));
+    }
+  }
+  const auto factors = random_factors(t, 16, 24);
+  sim::Device dev;
+  const Partitioning part{.threadlen = 4, .block_size = 32};  // many blocks
+  core::UnifiedMttkrp op(dev, t, 0, part);
+  dev.reset_counters();
+  const DenseMatrix got =
+      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync});
+  EXPECT_EQ(dev.counters().atomic_ops, 0u);
+  const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
+  EXPECT_LT(relative_error(got, want), 1e-3);
+}
+
+TEST(Mttkrp, AdjacentSyncMatchesSegmentedScan) {
+  // Same per-block partials, different cross-block combination (carry chain
+  // vs atomics), so results agree up to float reassociation noise.
+  const CooTensor t = io::generate_zipf({50, 40, 60}, 6000, {0.9, 0.9, 0.9}, 29);
+  const auto factors = random_factors(t, 16, 30);
+  sim::Device dev;
+  core::UnifiedMttkrp op(dev, t, 0, Partitioning{.threadlen = 8, .block_size = 64});
+  const DenseMatrix scan =
+      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan});
+  const DenseMatrix fused =
+      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync});
+  EXPECT_LT(relative_error(fused, scan), 1e-4);
+}
+
+TEST(Mttkrp, OneShotEquivalentToTwoStep) {
+  // The paper's Figure 3 claim: the one-shot method computes exactly the
+  // MTTKRP that the fiber-centric two-step pipeline (SpTTM then semi-sparse
+  // contraction) computes, without the intermediate tensor.
+  const CooTensor t = io::generate_zipf({30, 25, 40}, 2500, {0.9, 0.8, 0.9}, 37);
+  const auto factors = random_factors(t, 12, 38);
+  sim::Device dev;
+  for (int mode = 0; mode < 3; ++mode) {
+    const DenseMatrix one_shot =
+        core::spmttkrp_unified(dev, t, mode, factors, Partitioning{});
+    const auto two_step =
+        baseline::mttkrp_two_step(dev, t, mode, factors, Partitioning{});
+    EXPECT_LT(relative_error(two_step.m, one_shot), 1e-3) << "mode " << mode;
+    EXPECT_GT(two_step.intermediate_bytes, 0u);
+  }
+}
+
+TEST(Mttkrp, TwoStepIntermediateDwarfsInput) {
+  // On a hyper-sparse tensor (mostly singleton fibers) the semi-sparse
+  // intermediate is ~R/1 times the input -- the storage blow-up of
+  // Figure 3a that motivates the one-shot method.
+  const CooTensor t = io::generate_uniform({200, 200, 400}, 4000, 39);
+  const auto factors = random_factors(t, 16, 40);
+  sim::Device dev;
+  const auto two_step = baseline::mttkrp_two_step(dev, t, 0, factors, Partitioning{});
+  EXPECT_GT(two_step.intermediate_bytes, 2 * t.storage_bytes());
+}
+
+TEST(Mttkrp, PlanReuseAcrossRuns) {
+  // A plan must be reusable with different factor values (the CP-ALS usage).
+  const CooTensor t = io::generate_uniform({20, 20, 20}, 800, 41);
+  sim::Device dev;
+  core::UnifiedMttkrp op(dev, t, 1, Partitioning{});
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto factors = random_factors(t, 8, seed);
+    const DenseMatrix got = op.run(factors);
+    const DenseMatrix want = baseline::mttkrp_reference(t, 1, factors);
+    EXPECT_LT(relative_error(got, want), 1e-3);
+  }
+}
+
+TEST(Mttkrp, RejectsMismatchedFactorShapes) {
+  const CooTensor t = io::generate_uniform({10, 10, 10}, 100, 43);
+  auto factors = random_factors(t, 8, 44);
+  sim::Device dev;
+  core::UnifiedMttkrp op(dev, t, 0, Partitioning{});
+  factors[1] = DenseMatrix(5, 8);  // wrong rows
+  EXPECT_THROW(op.run(factors), ContractViolation);
+  factors = random_factors(t, 8, 44);
+  factors[2] = DenseMatrix(10, 4);  // wrong rank vs factor 1
+  EXPECT_THROW(op.run(factors), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ust

@@ -1,0 +1,100 @@
+// Correctness tests for the unified SpTTMc (TTM-chain) kernel.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+#include "core/spttmc.hpp"
+#include "io/generate.hpp"
+#include "sim/device.hpp"
+#include "util/prng.hpp"
+
+namespace ust {
+namespace {
+
+DenseMatrix random_u(index_t rows, index_t rank, std::uint64_t seed) {
+  Prng rng(seed);
+  DenseMatrix u(rows, rank);
+  u.fill_random(rng, -1.0f, 1.0f);
+  return u;
+}
+
+double relative_error(const DenseMatrix& got, const DenseMatrix& want) {
+  return DenseMatrix::max_abs_diff(got, want) / std::max(1.0, want.frobenius_norm());
+}
+
+TEST(Ttmc, MatchesReferenceOnAllModes) {
+  const CooTensor t = io::generate_zipf({25, 20, 30}, 1500, {0.8, 0.8, 0.8}, 404);
+  sim::Device dev;
+  for (int mode = 0; mode < 3; ++mode) {
+    std::vector<int> prod;
+    for (int m = 0; m < 3; ++m) {
+      if (m != mode) prod.push_back(m);
+    }
+    const DenseMatrix u1 = random_u(t.dim(prod[0]), 4, 1);
+    const DenseMatrix u2 = random_u(t.dim(prod[1]), 5, 2);
+    const DenseMatrix got = core::spttmc_unified(dev, t, mode, u1, u2, Partitioning{});
+    const DenseMatrix want = baseline::ttmc_reference(t, mode, u1, u2);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    EXPECT_LT(relative_error(got, want), 1e-3) << "mode " << mode;
+  }
+}
+
+TEST(Ttmc, KroneckerColumnLayout) {
+  // Column c of the output must be U_a(:, c / R_b) x U_b(:, c % R_b): check
+  // against a single-non-zero tensor where the expected value is explicit.
+  CooTensor t({3, 2, 2});
+  t.push_back(std::vector<index_t>{1, 1, 0}, 2.0f);
+  const DenseMatrix u1 = random_u(2, 3, 7);  // mode-2 factor
+  const DenseMatrix u2 = random_u(2, 2, 8);  // mode-3 factor
+  sim::Device dev;
+  const DenseMatrix y = core::spttmc_unified(dev, t, 0, u1, u2, Partitioning{});
+  ASSERT_EQ(y.cols(), 6u);
+  for (index_t c0 = 0; c0 < 3; ++c0) {
+    for (index_t c1 = 0; c1 < 2; ++c1) {
+      EXPECT_NEAR(y(1, c0 * 2 + c1), 2.0f * u1(1, c0) * u2(0, c1), 1e-5);
+    }
+  }
+  // Rows without non-zeros stay zero.
+  for (index_t c = 0; c < 6; ++c) {
+    EXPECT_FLOAT_EQ(y(0, c), 0.0f);
+    EXPECT_FLOAT_EQ(y(2, c), 0.0f);
+  }
+}
+
+TEST(Ttmc, LargeColumnCounts) {
+  // R2 * R3 = 16 * 16 = 256 output columns: stresses the grid.y dimension.
+  const CooTensor t = io::generate_uniform({20, 15, 15}, 600, 10);
+  const DenseMatrix u1 = random_u(t.dim(1), 16, 11);
+  const DenseMatrix u2 = random_u(t.dim(2), 16, 12);
+  sim::Device dev;
+  const DenseMatrix got = core::spttmc_unified(dev, t, 0, u1, u2,
+                                               Partitioning{.threadlen = 8, .block_size = 64});
+  const DenseMatrix want = baseline::ttmc_reference(t, 0, u1, u2);
+  EXPECT_LT(relative_error(got, want), 1e-3);
+}
+
+TEST(Ttmc, AgreesWithMttkrpWhenDiagonal) {
+  // If we restrict TTMc's Kronecker columns to the diagonal (c0 == c1) we
+  // recover MTTKRP's Hadamard columns: verify column extraction matches.
+  const CooTensor t = io::generate_uniform({10, 8, 9}, 250, 13);
+  const DenseMatrix u1 = random_u(t.dim(1), 4, 14);
+  const DenseMatrix u2 = random_u(t.dim(2), 4, 15);
+  sim::Device dev;
+  const DenseMatrix ttmc = core::spttmc_unified(dev, t, 0, u1, u2, Partitioning{});
+  const std::vector<DenseMatrix> factors{DenseMatrix(t.dim(0), 4), u1, u2};
+  const DenseMatrix mttkrp = baseline::mttkrp_reference(t, 0, factors);
+  for (index_t i = 0; i < t.dim(0); ++i) {
+    for (index_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(ttmc(i, c * 4 + c), mttkrp(i, c), 1e-3);
+    }
+  }
+}
+
+TEST(Ttmc, RejectsNon3OrderTensors) {
+  const CooTensor t4 = io::generate_uniform({4, 4, 4, 4}, 50, 16);
+  sim::Device dev;
+  EXPECT_THROW(core::UnifiedTtmc(dev, t4, 0, Partitioning{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ust

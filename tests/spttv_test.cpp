@@ -1,0 +1,137 @@
+// Tests for the unified SpTTV extension: correctness against MTTKRP with
+// rank-1 factors, and an end-to-end tensor power iteration that recovers a
+// planted dominant rank-1 component.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/reference.hpp"
+#include "core/spttv.hpp"
+#include "io/generate.hpp"
+#include "sim/device.hpp"
+#include "util/prng.hpp"
+
+namespace ust {
+namespace {
+
+std::vector<std::vector<value_t>> random_vectors(const CooTensor& t, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<std::vector<value_t>> vecs;
+  for (int m = 0; m < t.order(); ++m) {
+    std::vector<value_t> v(t.dim(m));
+    for (auto& x : v) x = rng.next_float(-1.0f, 1.0f);
+    vecs.push_back(std::move(v));
+  }
+  return vecs;
+}
+
+TEST(Ttv, MatchesRankOneMttkrpReference) {
+  const CooTensor t = io::generate_zipf({30, 25, 35}, 2000, {0.9, 0.8, 0.9}, 51);
+  const auto vecs = random_vectors(t, 52);
+  sim::Device dev;
+  for (int mode = 0; mode < 3; ++mode) {
+    const auto got = core::spttv_unified(dev, t, mode, vecs, Partitioning{});
+    // Oracle: MTTKRP with the vectors as 1-column factors.
+    std::vector<DenseMatrix> factors;
+    for (int m = 0; m < 3; ++m) {
+      DenseMatrix f(t.dim(m), 1);
+      for (index_t i = 0; i < t.dim(m); ++i) f(i, 0) = vecs[static_cast<std::size_t>(m)][i];
+      factors.push_back(std::move(f));
+    }
+    const DenseMatrix want = baseline::mttkrp_reference(t, mode, factors);
+    ASSERT_EQ(got.size(), want.rows());
+    for (index_t i = 0; i < want.rows(); ++i) {
+      EXPECT_NEAR(got[i], want(i, 0), 1e-3 * std::max(1.0f, std::abs(want(i, 0))))
+          << "mode " << mode << " row " << i;
+    }
+  }
+}
+
+TEST(Ttv, FourthOrderAndAllStrategies) {
+  const CooTensor t = io::generate_uniform({10, 9, 8, 7}, 800, 53);
+  const auto vecs = random_vectors(t, 54);
+  sim::Device dev;
+  core::UnifiedTtv op(dev, t, 0, Partitioning{.threadlen = 4, .block_size = 32});
+  const auto scan =
+      op.run(vecs, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan});
+  for (auto strategy : {core::ReduceStrategy::kAdjacentSync,
+                        core::ReduceStrategy::kThreadAtomic,
+                        core::ReduceStrategy::kAllAtomic}) {
+    const auto other = op.run(vecs, core::UnifiedOptions{.strategy = strategy});
+    ASSERT_EQ(other.size(), scan.size());
+    for (std::size_t i = 0; i < scan.size(); ++i) {
+      EXPECT_NEAR(other[i], scan[i], 1e-3 * std::max(1.0f, std::abs(scan[i])));
+    }
+  }
+}
+
+TEST(Ttv, PowerIterationRecoversDominantRankOneComponent) {
+  // Plant lambda * a (x) b (x) c with unit-norm vectors and a large weight;
+  // alternating TTV power iteration must recover the planted directions.
+  Prng rng(55);
+  const std::vector<index_t> dims{25, 20, 15};
+  std::vector<std::vector<value_t>> planted;
+  for (index_t d : dims) {
+    std::vector<value_t> v(d);
+    double norm = 0.0;
+    for (auto& x : v) {
+      x = rng.next_float(0.1f, 1.0f);
+      norm += static_cast<double>(x) * x;
+    }
+    for (auto& x : v) x = static_cast<value_t>(x / std::sqrt(norm));
+    planted.push_back(std::move(v));
+  }
+  const float weight = 50.0f;
+  CooTensor t(dims);
+  std::vector<index_t> idx(3);
+  Prng noise(56);
+  for (index_t i = 0; i < dims[0]; ++i) {
+    for (index_t j = 0; j < dims[1]; ++j) {
+      for (index_t k = 0; k < dims[2]; ++k) {
+        idx = {i, j, k};
+        const float v = weight * planted[0][i] * planted[1][j] * planted[2][k] +
+                        0.01f * noise.next_float(-1.0f, 1.0f);
+        t.push_back(idx, v);
+      }
+    }
+  }
+
+  sim::Device dev;
+  std::vector<core::UnifiedTtv> ops;
+  for (int m = 0; m < 3; ++m) ops.emplace_back(dev, t, m, Partitioning{});
+  auto guesses = random_vectors(t, 57);
+  auto normalize = [](std::vector<value_t>& v) {
+    double norm = 0.0;
+    for (value_t x : v) norm += static_cast<double>(x) * x;
+    norm = std::sqrt(norm);
+    for (auto& x : v) x = static_cast<value_t>(x / norm);
+  };
+  for (auto& g : guesses) normalize(g);
+
+  for (int it = 0; it < 15; ++it) {
+    for (int m = 0; m < 3; ++m) {
+      guesses[static_cast<std::size_t>(m)] = ops[static_cast<std::size_t>(m)].run(guesses);
+      normalize(guesses[static_cast<std::size_t>(m)]);
+    }
+  }
+  for (int m = 0; m < 3; ++m) {
+    double dot = 0.0;
+    for (index_t i = 0; i < dims[static_cast<std::size_t>(m)]; ++i) {
+      dot += static_cast<double>(guesses[static_cast<std::size_t>(m)][i]) *
+             planted[static_cast<std::size_t>(m)][i];
+    }
+    EXPECT_GT(std::abs(dot), 0.99) << "mode " << m;
+  }
+}
+
+TEST(Ttv, RejectsWrongVectorLengths) {
+  const CooTensor t = io::generate_uniform({5, 5, 5}, 50, 58);
+  sim::Device dev;
+  core::UnifiedTtv op(dev, t, 0, Partitioning{});
+  auto vecs = random_vectors(t, 59);
+  vecs[1].resize(3);
+  EXPECT_THROW(op.run(vecs), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ust

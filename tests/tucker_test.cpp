@@ -1,0 +1,79 @@
+// Tests for the Tucker-HOOI extension built on unified SpTTMc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tucker.hpp"
+#include "io/generate.hpp"
+#include "linalg/dense_ops.hpp"
+
+namespace ust {
+namespace {
+
+core::TuckerOptions basic_options(index_t r) {
+  core::TuckerOptions opt;
+  opt.core_dims = {r, r, r};
+  opt.max_iterations = 15;
+  opt.fit_tolerance = 1e-6;
+  opt.part = Partitioning{.threadlen = 8, .block_size = 64};
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(Tucker, FactorsAreOrthonormal) {
+  const auto lr = io::generate_low_rank({22, 18, 14}, 3, 1800, 0.05, 201);
+  sim::Device dev;
+  const auto result = core::tucker_hooi_unified(dev, lr.tensor, basic_options(3));
+  for (const auto& u : result.factors) {
+    const DenseMatrix g = linalg::gram(u);
+    for (index_t p = 0; p < g.rows(); ++p) {
+      for (index_t q = 0; q < g.cols(); ++q) {
+        EXPECT_NEAR(g(p, q), p == q ? 1.0 : 0.0, 1e-3);
+      }
+    }
+  }
+}
+
+TEST(Tucker, FitImprovesAndIsBounded) {
+  const auto lr = io::generate_low_rank({20, 20, 20}, 3, 2000, 0.05, 202);
+  sim::Device dev;
+  const auto result = core::tucker_hooi_unified(dev, lr.tensor, basic_options(4));
+  ASSERT_GE(result.fit_history.size(), 2u);
+  EXPECT_GE(result.fit_history.back(), result.fit_history.front() - 1e-3);
+  EXPECT_LE(result.fit, 1.0 + 1e-9);
+  for (double f : result.fit_history) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(Tucker, CapturesLowRankStructure) {
+  // A rank-2 CP tensor sampled at every position has multilinear rank
+  // <= (2,2,2); HOOI with a (2,2,2) core should capture nearly all the
+  // energy. (A sparsely sampled tensor would not be low-rank -- the
+  // structural zeros break the CP structure.)
+  const auto lr = io::generate_low_rank({12, 11, 10}, 2, 12 * 11 * 10, 0.0, 203);
+  sim::Device dev;
+  const auto result = core::tucker_hooi_unified(dev, lr.tensor, basic_options(2));
+  EXPECT_GT(result.fit, 0.9);
+}
+
+TEST(Tucker, CoreTensorShapeAndEnergy) {
+  const auto lr = io::generate_low_rank({15, 12, 10}, 3, 1000, 0.0, 204);
+  sim::Device dev;
+  core::TuckerOptions opt;
+  opt.core_dims = {4, 3, 2};
+  opt.part = Partitioning{.threadlen = 8, .block_size = 64};
+  const auto result = core::tucker_hooi_unified(dev, lr.tensor, opt);
+  EXPECT_EQ(result.core.dims(), (std::vector<index_t>{4, 3, 2}));
+  // Core energy never exceeds the tensor's (orthonormal projections).
+  EXPECT_LE(result.core.frobenius_norm(), lr.tensor.frobenius_norm() + 1e-3);
+}
+
+TEST(Tucker, RejectsCoreLargerThanModes) {
+  const auto lr = io::generate_low_rank({6, 6, 6}, 2, 100, 0.0, 205);
+  sim::Device dev;
+  core::TuckerOptions opt;
+  opt.core_dims = {8, 2, 2};  // 8 > dim 6
+  EXPECT_THROW(core::tucker_hooi_unified(dev, lr.tensor, opt), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ust

@@ -1,0 +1,200 @@
+// Tests for the UnifiedPlan machinery (device-resident F-COO, option
+// resolution, launch geometry) plus cross-operation composition properties
+// and a randomized fuzz sweep over tensors x modes x configurations.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+#include "core/spmttkrp.hpp"
+#include "core/spttm.hpp"
+#include "core/spttmc.hpp"
+#include "core/unified_plan.hpp"
+#include "io/generate.hpp"
+#include "linalg/dense_ops.hpp"
+#include "sim/device.hpp"
+#include "util/prng.hpp"
+
+namespace ust {
+namespace {
+
+FcooTensor make_fcoo(const CooTensor& t, int mode) {
+  const auto plan = core::make_mode_plan_spmttkrp(t.order(), mode);
+  return FcooTensor::build(t, plan.index_modes, plan.product_modes);
+}
+
+TEST(UnifiedPlan, DeviceBytesMatchAccounting) {
+  const CooTensor t = io::generate_uniform({30, 30, 30}, 2000, 1);
+  sim::Device dev;
+  const std::size_t before = dev.bytes_in_use();
+  core::UnifiedPlan plan(dev, make_fcoo(t, 0), Partitioning{.threadlen = 8, .block_size = 64});
+  EXPECT_EQ(dev.bytes_in_use() - before, plan.device_bytes());
+}
+
+TEST(UnifiedPlan, ThreadFirstSegMatchesBitArrayRank) {
+  const CooTensor t = io::generate_zipf({25, 20, 30}, 1500, {0.9, 0.9, 0.9}, 2);
+  const FcooTensor f = make_fcoo(t, 0);
+  sim::Device dev;
+  const Partitioning part{.threadlen = 7, .block_size = 32};  // odd threadlen
+  core::UnifiedPlan plan(dev, f, part);
+  const core::FcooView view = plan.view();
+  const nnz_t threads = part.num_threads(f.nnz());
+  for (nnz_t th = 0; th < threads; ++th) {
+    const nnz_t s = th * part.threadlen;
+    EXPECT_EQ(view.thread_first_seg[th], f.segment_of(s)) << "thread " << th;
+  }
+}
+
+TEST(UnifiedPlan, ViewHeadsMatchFormat) {
+  const CooTensor t = io::generate_uniform({20, 20, 20}, 800, 3);
+  const FcooTensor f = make_fcoo(t, 1);
+  sim::Device dev;
+  core::UnifiedPlan plan(dev, f, Partitioning{});
+  const core::FcooView view = plan.view();
+  ASSERT_EQ(view.nnz, f.nnz());
+  for (nnz_t x = 0; x < f.nnz(); ++x) {
+    EXPECT_EQ(view.head(x), f.is_head(x)) << "x=" << x;
+  }
+}
+
+TEST(UnifiedPlan, ResolveOptionsAutoRespectsSharedMemory) {
+  const CooTensor t = io::generate_uniform({50, 50, 50}, 60000, 4);
+  sim::Device dev;
+  core::UnifiedPlan plan(dev, make_fcoo(t, 0),
+                         Partitioning{.threadlen = 8, .block_size = 1024});
+  const auto resolved = plan.resolve_options(64, core::UnifiedOptions{});
+  ASSERT_GE(resolved.column_tile, 1u);
+  EXPECT_LE(core::unified_shared_bytes(1024, resolved.column_tile),
+            dev.props().shared_mem_per_block);
+}
+
+TEST(UnifiedPlan, ResolveOptionsKeepsExplicitTile) {
+  const CooTensor t = io::generate_uniform({20, 20, 20}, 500, 5);
+  sim::Device dev;
+  core::UnifiedPlan plan(dev, make_fcoo(t, 0), Partitioning{});
+  const auto resolved = plan.resolve_options(16, core::UnifiedOptions{.column_tile = 3});
+  EXPECT_EQ(resolved.column_tile, 3u);
+}
+
+TEST(UnifiedPlan, LaunchConfigCoversAllColumnsAndNnz) {
+  const CooTensor t = io::generate_uniform({40, 40, 40}, 5000, 6);
+  sim::Device dev;
+  const Partitioning part{.threadlen = 8, .block_size = 128};
+  core::UnifiedPlan plan(dev, make_fcoo(t, 0), part);
+  for (index_t cols : {1u, 5u, 16u, 64u}) {
+    const auto opt = plan.resolve_options(cols, core::UnifiedOptions{});
+    const auto cfg = plan.launch_config(cols, opt);
+    EXPECT_GE(static_cast<nnz_t>(cfg.grid.x) * part.nnz_per_block(), plan.nnz());
+    EXPECT_GE(static_cast<index_t>(cfg.grid.y) * opt.column_tile, cols);
+    EXPECT_EQ(cfg.block_dim, part.block_size);
+  }
+}
+
+TEST(UnifiedSharedBytes, MonotoneInBlockAndTile) {
+  EXPECT_LT(core::unified_shared_bytes(64, 1), core::unified_shared_bytes(128, 1));
+  EXPECT_LT(core::unified_shared_bytes(128, 1), core::unified_shared_bytes(128, 4));
+}
+
+// --- Composition properties --------------------------------------------
+
+TEST(Composition, TtmChainEqualsTtmc) {
+  // X x2 U2 x3 U3, computed as two chained unified SpTTMs with an sCOO ->
+  // COO conversion in between, must equal the one-shot SpTTMc (the Tucker
+  // building block, Equation (4)).
+  const CooTensor x = io::generate_zipf({15, 12, 18}, 700, {0.8, 0.8, 0.8}, 7);
+  Prng rng(8);
+  DenseMatrix u2(x.dim(1), 4);
+  DenseMatrix u3(x.dim(2), 3);
+  u2.fill_random(rng, -1.0f, 1.0f);
+  u3.fill_random(rng, -1.0f, 1.0f);
+  sim::Device dev;
+
+  // Step 1: contract mode 2 (j). Result modes: (i, k, c2).
+  const SemiSparseTensor y1 = core::spttm_unified(dev, x, 1, u2, Partitioning{});
+  const CooTensor y1_coo = y1.to_coo();
+  // Step 2: contract the original mode 3 (now mode 1 of y1_coo).
+  const SemiSparseTensor y2 = core::spttm_unified(dev, y1_coo, 1, u3, Partitioning{});
+  const CooTensor y2_coo = y2.to_coo();  // modes (i, c2, c3)
+
+  const DenseMatrix ttmc = core::spttmc_unified(dev, x, 0, u2, u3, Partitioning{});
+  // Compare: ttmc(i, c2 * 3 + c3) vs y2_coo entries.
+  DenseMatrix via_chain(x.dim(0), 12);
+  for (nnz_t e = 0; e < y2_coo.nnz(); ++e) {
+    via_chain(y2_coo.index(e, 0), y2_coo.index(e, 1) * 3 + y2_coo.index(e, 2)) =
+        y2_coo.value(e);
+  }
+  EXPECT_LT(DenseMatrix::max_abs_diff(via_chain, ttmc) /
+                std::max(1.0, ttmc.frobenius_norm()),
+            1e-3);
+}
+
+TEST(Composition, MttkrpIsLinearInTensorValues) {
+  // MTTKRP(aX + bY) == a MTTKRP(X) + b MTTKRP(Y) for tensors with the same
+  // sparsity pattern.
+  const CooTensor base = io::generate_uniform({20, 15, 25}, 900, 9);
+  CooTensor x = base;
+  CooTensor y = base;
+  Prng rng(10);
+  for (nnz_t e = 0; e < base.nnz(); ++e) {
+    x.values()[e] = rng.next_float(-1.0f, 1.0f);
+    y.values()[e] = rng.next_float(-1.0f, 1.0f);
+  }
+  CooTensor combo = base;
+  for (nnz_t e = 0; e < base.nnz(); ++e) {
+    combo.values()[e] = 2.0f * x.values()[e] - 3.0f * y.values()[e];
+  }
+  std::vector<DenseMatrix> factors;
+  for (int m = 0; m < 3; ++m) {
+    DenseMatrix f(base.dim(m), 6);
+    f.fill_random(rng, -1.0f, 1.0f);
+    factors.push_back(std::move(f));
+  }
+  sim::Device dev;
+  const DenseMatrix mx = core::spmttkrp_unified(dev, x, 0, factors, Partitioning{});
+  const DenseMatrix my = core::spmttkrp_unified(dev, y, 0, factors, Partitioning{});
+  const DenseMatrix mc = core::spmttkrp_unified(dev, combo, 0, factors, Partitioning{});
+  DenseMatrix expect(mx.rows(), mx.cols());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect.span()[i] = 2.0f * mx.span()[i] - 3.0f * my.span()[i];
+  }
+  EXPECT_LT(DenseMatrix::max_abs_diff(mc, expect) / std::max(1.0, expect.frobenius_norm()),
+            1e-3);
+}
+
+// --- Randomized fuzz sweep ----------------------------------------------
+
+TEST(Fuzz, RandomTensorsModesAndConfigsMatchReference) {
+  Prng rng(0xF00D);
+  sim::Device dev;
+  for (int trial = 0; trial < 30; ++trial) {
+    const index_t d0 = 2 + rng.next_index(40);
+    const index_t d1 = 2 + rng.next_index(40);
+    const index_t d2 = 2 + rng.next_index(40);
+    const double cells = static_cast<double>(d0) * d1 * d2;
+    const nnz_t nnz = 1 + rng.next_below(static_cast<std::uint64_t>(
+                              std::min(3000.0, cells * 0.9)));
+    const CooTensor t = io::generate_uniform({d0, d1, d2}, nnz, rng.next_u64());
+    const auto mode = static_cast<int>(rng.next_below(3));
+    const index_t rank = 1 + rng.next_index(24);
+    const Partitioning part{.threadlen = 1 + rng.next_index(64),
+                            .block_size = 32 + rng.next_index(256)};
+    const auto strategy = static_cast<core::ReduceStrategy>(rng.next_below(4));
+    const core::UnifiedOptions opt{.strategy = strategy,
+                                   .column_tile = rng.next_index(4)};  // 0 = auto
+
+    std::vector<DenseMatrix> factors;
+    for (int m = 0; m < 3; ++m) {
+      DenseMatrix f(t.dim(m), rank);
+      f.fill_random(rng, -1.0f, 1.0f);
+      factors.push_back(std::move(f));
+    }
+    const DenseMatrix got = core::spmttkrp_unified(dev, t, mode, factors, part, opt);
+    const DenseMatrix want = baseline::mttkrp_reference(t, mode, factors);
+    const double err =
+        DenseMatrix::max_abs_diff(got, want) / std::max(1.0, want.frobenius_norm());
+    ASSERT_LT(err, 1e-3) << "trial " << trial << " mode " << mode << " rank " << rank
+                         << " tl " << part.threadlen << " bs " << part.block_size
+                         << " strat " << static_cast<int>(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace ust

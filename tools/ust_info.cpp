@@ -1,0 +1,115 @@
+// ust_info: inspect a sparse tensor -- shape, density, per-mode fiber-length
+// distribution (the property that drives kernel performance), and the
+// storage cost of every format UST implements.
+//
+//   ust_info tensor.tns
+//   ust_info --dataset nell2 --scale 0.25
+#include <algorithm>
+#include <cstdio>
+
+#include "core/mode_plan.hpp"
+#include "io/datasets.hpp"
+#include "io/tns.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/fcoo.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ust;
+
+namespace {
+
+/// Per-mode fiber statistics: fix all modes except `mode`, look at the
+/// distribution of non-zeros per fiber.
+void print_fiber_stats(const CooTensor& t) {
+  print_banner("Fiber-length distribution per mode");
+  Table tab({"mode", "fibers", "avg nnz/fiber", "median", "max", "singleton %"});
+  for (int mode = 0; mode < t.order(); ++mode) {
+    std::vector<int> index_modes;
+    for (int m = 0; m < t.order(); ++m) {
+      if (m != mode) index_modes.push_back(m);
+    }
+    CooTensor sorted = t;
+    std::vector<int> order = index_modes;
+    order.push_back(mode);
+    sorted.sort_by_modes(order);
+    std::vector<double> lengths;
+    nnz_t run = 0;
+    for (nnz_t x = 0; x < sorted.nnz(); ++x) {
+      bool fresh = (x == 0);
+      if (!fresh) {
+        for (int m : index_modes) {
+          if (sorted.index(x, m) != sorted.index(x - 1, m)) {
+            fresh = true;
+            break;
+          }
+        }
+      }
+      if (fresh && run > 0) {
+        lengths.push_back(static_cast<double>(run));
+        run = 0;
+      }
+      ++run;
+    }
+    if (run > 0) lengths.push_back(static_cast<double>(run));
+    const Summary s = summarize(lengths);
+    const auto singletons = static_cast<double>(
+        std::count(lengths.begin(), lengths.end(), 1.0));
+    tab.add_row({std::to_string(mode + 1), std::to_string(lengths.size()),
+                 Table::num(s.mean, 2), Table::num(s.median, 0), Table::num(s.max, 0),
+                 Table::num(lengths.empty() ? 0.0 : 100.0 * singletons /
+                                                        static_cast<double>(lengths.size()),
+                            1)});
+  }
+  tab.print();
+}
+
+void print_storage(const CooTensor& t) {
+  print_banner("Storage cost per format");
+  Table tab({"format", "bytes", "bytes/nnz"});
+  const double n = static_cast<double>(t.nnz());
+  tab.add_row({"COO", std::to_string(t.storage_bytes()),
+               Table::num(static_cast<double>(t.storage_bytes()) / n, 2)});
+  if (t.order() == 3) {
+    const auto ttm = core::make_mode_plan_spttm(3, 2);
+    const FcooTensor f1 = FcooTensor::build(t, ttm.index_modes, ttm.product_modes);
+    tab.add_row({"F-COO (SpTTM m3, tl=8)", std::to_string(f1.measured_storage_bytes(8)),
+                 Table::num(static_cast<double>(f1.measured_storage_bytes(8)) / n, 2)});
+    const auto kr = core::make_mode_plan_spmttkrp(3, 0);
+    const FcooTensor f2 = FcooTensor::build(t, kr.index_modes, kr.product_modes);
+    tab.add_row({"F-COO (SpMTTKRP m1, tl=8)", std::to_string(f2.measured_storage_bytes(8)),
+                 Table::num(static_cast<double>(f2.measured_storage_bytes(8)) / n, 2)});
+  }
+  std::vector<int> natural(static_cast<std::size_t>(t.order()));
+  for (int m = 0; m < t.order(); ++m) natural[static_cast<std::size_t>(m)] = m;
+  const CsfTensor csf = CsfTensor::build(t, natural);
+  tab.add_row({"CSF (natural order)", std::to_string(csf.storage_bytes()),
+               Table::num(static_cast<double>(csf.storage_bytes()) / n, 2)});
+  tab.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("ust_info", "inspect a sparse tensor (.tns file or dataset replica)");
+  cli.option("dataset", "", "paper dataset replica (nell1|delicious|nell2|brainq)");
+  cli.option("scale", "1.0", "replica scale");
+  if (!cli.parse(argc, argv)) return 1;
+
+  CooTensor t;
+  if (!cli.positional().empty()) {
+    t = io::read_tns_file(cli.positional().front());
+  } else if (const auto spec = io::find_dataset(cli.get("dataset")); spec.has_value()) {
+    t = io::make_replica(*spec, cli.get_double("scale"));
+  } else {
+    std::fprintf(stderr, "usage: ust_info <file.tns> | --dataset <name> [--scale s]\n");
+    return 1;
+  }
+
+  print_banner("Tensor");
+  std::printf("%s\n", t.describe().c_str());
+  print_fiber_stats(t);
+  print_storage(t);
+  return 0;
+}
