@@ -4,6 +4,7 @@
 //   * reports results in the same rows/series as the paper's tables/figures.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <limits>
@@ -85,7 +86,8 @@ inline double time_median(const std::function<void()>& fn, int reps = 3) {
 }
 
 /// Standard bench CLI: --scale, --rank, --reps, --dataset, --tns,
-/// --cpu-threads.
+/// --cpu-threads. Benches that emit machine-readable results additionally
+/// declare `--json` themselves (see bench_spmttkrp).
 inline Cli make_bench_cli(const std::string& name, const std::string& what) {
   Cli cli(name, what);
   cli.option("scale", "0.25", "replica size multiplier in (0,1]");
@@ -98,6 +100,96 @@ inline Cli make_bench_cli(const std::string& name, const std::string& what) {
              "ran them with 12 threads while the GPU used the whole device");
   return cli;
 }
+
+/// Flat key/value results sink for machine-readable output. Benches add one
+/// entry per (dataset, metric) cell and call write() at the end; perf PRs
+/// diff the resulting BENCH_*.json files across commits.
+class JsonResults {
+ public:
+  explicit JsonResults(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      // JSON has no inf/nan literal; keep the file parseable.
+      entries_.push_back({key, value > 0 ? "inf" : (value < 0 ? "-inf" : "nan"),
+                          /*quoted=*/true});
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    entries_.push_back({key, buf, /*quoted=*/false});
+  }
+  void add(const std::string& key, const std::string& value) {
+    entries_.push_back({key, value, /*quoted=*/true});
+  }
+
+  /// Writes `{"bench": ..., "results": {...}}` to `path`; no-op when `path`
+  /// is empty. Returns false (with a message) if the file cannot be written.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": {", escape(bench_).c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      std::fprintf(f, "%s\n    \"%s\": ", i == 0 ? "" : ",", escape(e.key).c_str());
+      if (e.quoted) {
+        std::fprintf(f, "\"%s\"", escape(e.value).c_str());
+      } else {
+        std::fprintf(f, "%s", e.value.c_str());
+      }
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    const bool ok = std::ferror(f) == 0;
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool quoted;
+  };
+
+  /// Minimal JSON string escaping (keys may be --tns paths).
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    const auto esc = [&out](char c) {
+      out.push_back('\\');
+      out.push_back(c);
+    };
+    for (const char c : s) {
+      switch (c) {
+        case '"': esc('"'); break;
+        case '\\': esc('\\'); break;
+        case '\n': esc('n'); break;
+        case '\t': esc('t'); break;
+        case '\r': esc('r'); break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out.append(buf);
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
 
 /// Dedicated pool for the CPU baselines, sized per --cpu-threads (the
 /// simulated device keeps the full machine via the global pool).

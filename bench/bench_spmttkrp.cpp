@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cli.option("device-gb-per-mnnz", "0.085",
              "simulated capacity in GB per million replica non-zeros (keeps the "
              "paper's 12GB-vs-144Mnnz OOM ratio at replica scale)");
+  cli.option("json", "", "also write results to this path as a BENCH_*.json file");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto rank = static_cast<index_t>(cli.get_int("rank"));
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   print_banner("Figure 6b: SpMTTKRP on mode-1, speedup over ParTI-OMP (higher is better)");
   Table t({"dataset", "ParTI-OMP (s)", "ParTI-GPU (s)", "SPLATT (s)", "Unified (s)",
            "ParTI-GPU spd", "SPLATT spd", "Unified spd"});
+  bench::JsonResults json("bench_spmttkrp");
   for (const auto& d : datasets) {
     const auto factors = bench::make_factors(d.tensor, rank);
 
@@ -54,8 +56,10 @@ int main(int argc, char** argv) {
       const double gpu_s = bench::time_median([&] { gpu_op.run(factors); }, reps);
       gpu_cell = Table::num(gpu_s, 4);
       gpu_spd = Table::num(omp_s / gpu_s, 2) + "x";
+      json.add(d.name + ".parti_gpu_s", gpu_s);
     } catch (const sim::DeviceOutOfMemory& e) {
       std::printf("  %s: ParTI-GPU out of device memory (%s)\n", d.name.c_str(), e.what());
+      json.add(d.name + ".parti_gpu_s", std::string("OOM"));
     }
 
     baseline::SplattMttkrp splatt_op(d.tensor, &bench::cpu_pool(cli));
@@ -80,8 +84,13 @@ int main(int argc, char** argv) {
     t.add_row({d.name, Table::num(omp_s, 4), gpu_cell, Table::num(splatt_s, 4),
                Table::num(uni_s, 4), gpu_spd, Table::num(omp_s / splatt_s, 2) + "x",
                Table::num(omp_s / uni_s, 2) + "x"});
+    json.add(d.name + ".parti_omp_s", omp_s);
+    json.add(d.name + ".splatt_s", splatt_s);
+    json.add(d.name + ".unified_s", uni_s);
+    json.add(d.name + ".unified_speedup_vs_omp", omp_s / uni_s);
   }
   t.print();
+  if (!json.write(cli.get("json"))) return 1;
   std::printf(
       "paper reference: Unified over ParTI-OMP 8.1x (nell1) to 102.5x (brainq);\n"
       "over ParTI-GPU 23.7x (nell2), 30.6x (brainq); over SPLATT 1.4x (nell2),\n"

@@ -2,6 +2,10 @@
 
 namespace ust::sim {
 
+// worker_ is the last declared member, so every field worker_loop() touches
+// is constructed before the thread starts (the seed declared worker_ first
+// and launched it from the init list -- the thread could lock mutex_ before
+// its constructor ran, crashing anything that used a Stream).
 Stream::Stream() : worker_([this] { worker_loop(); }) {}
 
 Stream::~Stream() {

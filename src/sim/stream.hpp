@@ -30,7 +30,6 @@ class Stream {
  private:
   void worker_loop();
 
-  std::thread worker_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable cv_idle_;
@@ -38,6 +37,9 @@ class Stream {
   std::exception_ptr error_;
   bool busy_ = false;
   bool stopping_ = false;
+  // Last member on purpose: the worker thread reads every field above, so it
+  // must be constructed after all of them (and join before they destruct).
+  std::thread worker_;
 };
 
 }  // namespace ust::sim

@@ -8,28 +8,14 @@
 #include "core/spmttkrp.hpp"
 #include "io/generate.hpp"
 #include "sim/device.hpp"
+#include "test_support.hpp"
 #include "util/prng.hpp"
 
 namespace ust {
 namespace {
 
-std::vector<DenseMatrix> random_factors(const CooTensor& t, index_t rank,
-                                        std::uint64_t seed) {
-  Prng rng(seed);
-  std::vector<DenseMatrix> factors;
-  for (int m = 0; m < t.order(); ++m) {
-    DenseMatrix f(t.dim(m), rank);
-    f.fill_random(rng, -1.0f, 1.0f);
-    factors.push_back(std::move(f));
-  }
-  return factors;
-}
-
-double relative_error(const DenseMatrix& got, const DenseMatrix& want) {
-  const double diff = DenseMatrix::max_abs_diff(got, want);
-  const double scale = std::max(1.0, want.frobenius_norm());
-  return diff / scale;
-}
+using test::random_factors;
+using test::relative_error;
 
 struct MttkrpParam {
   int mode;
@@ -63,7 +49,7 @@ TEST_P(MttkrpSweep, MatchesSerialReference) {
   const core::UnifiedOptions opt{.strategy = p.strategy, .column_tile = p.column_tile};
   const DenseMatrix got = core::spmttkrp_unified(dev, t, p.mode, factors, part, opt);
   const DenseMatrix want = baseline::mttkrp_reference(t, p.mode, factors);
-  EXPECT_LT(relative_error(got, want), 1e-3);
+  EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -107,7 +93,7 @@ TEST(Mttkrp, MatchesKhatriRaoFormulation) {
     const DenseMatrix got =
         core::spmttkrp_unified(dev, t, mode, factors, Partitioning{});
     const DenseMatrix via_kr = baseline::mttkrp_via_khatri_rao(t, mode, factors);
-    EXPECT_LT(relative_error(got, via_kr), 1e-3) << "mode " << mode;
+    EXPECT_LT(relative_error(got, via_kr), test::kUnifiedTol) << "mode " << mode;
   }
 }
 
@@ -126,7 +112,7 @@ TEST(Mttkrp, SingleGiantSliceSpansManyBlocks) {
   const Partitioning part{.threadlen = 4, .block_size = 32};  // many blocks
   const DenseMatrix got = core::spmttkrp_unified(dev, t, 0, factors, part);
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
-  EXPECT_LT(relative_error(got, want), 1e-3);
+  EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
 }
 
 TEST(Mttkrp, AllSingletonSlices) {
@@ -143,7 +129,7 @@ TEST(Mttkrp, AllSingletonSlices) {
   const DenseMatrix got =
       core::spmttkrp_unified(dev, t, 0, factors, Partitioning{.threadlen = 8, .block_size = 64});
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
-  EXPECT_LT(relative_error(got, want), 1e-3);
+  EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
   EXPECT_EQ(dev.counters().atomic_ops, 0u);
 }
 
@@ -173,7 +159,7 @@ TEST(Mttkrp, FourthOrderTensor) {
     const DenseMatrix got = core::spmttkrp_unified(dev, t, mode, factors,
                                                    Partitioning{.threadlen = 8, .block_size = 64});
     const DenseMatrix want = baseline::mttkrp_reference(t, mode, factors);
-    EXPECT_LT(relative_error(got, want), 1e-3) << "mode " << mode;
+    EXPECT_LT(relative_error(got, want), test::kUnifiedTol) << "mode " << mode;
   }
 }
 
@@ -220,7 +206,7 @@ TEST(Mttkrp, AdjacentSyncUsesZeroAtomics) {
       op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync});
   EXPECT_EQ(dev.counters().atomic_ops, 0u);
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
-  EXPECT_LT(relative_error(got, want), 1e-3);
+  EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
 }
 
 TEST(Mttkrp, AdjacentSyncMatchesSegmentedScan) {
@@ -274,7 +260,7 @@ TEST(Mttkrp, PlanReuseAcrossRuns) {
     const auto factors = random_factors(t, 8, seed);
     const DenseMatrix got = op.run(factors);
     const DenseMatrix want = baseline::mttkrp_reference(t, 1, factors);
-    EXPECT_LT(relative_error(got, want), 1e-3);
+    EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
   }
 }
 

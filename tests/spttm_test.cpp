@@ -6,23 +6,13 @@
 #include "core/spttm.hpp"
 #include "io/generate.hpp"
 #include "sim/device.hpp"
+#include "test_support.hpp"
 #include "util/prng.hpp"
 
 namespace ust {
 namespace {
 
-DenseMatrix random_u(index_t rows, index_t rank, std::uint64_t seed) {
-  Prng rng(seed);
-  DenseMatrix u(rows, rank);
-  u.fill_random(rng, -1.0f, 1.0f);
-  return u;
-}
-
-double semisparse_error(const SemiSparseTensor& got, const SemiSparseTensor& want) {
-  const double diff = SemiSparseTensor::max_abs_diff(got, want);
-  const double scale = std::max(1.0, static_cast<double>(want.values().frobenius_norm()));
-  return diff / scale;
-}
+using test::relative_error;
 
 struct SpttmParam {
   int mode;
@@ -36,14 +26,14 @@ class SpttmSweep : public ::testing::TestWithParam<SpttmParam> {};
 TEST_P(SpttmSweep, MatchesSerialReference) {
   const auto& p = GetParam();
   const CooTensor t = io::generate_zipf({40, 35, 50}, 3000, {0.8, 0.9, 0.7}, 777);
-  const DenseMatrix u = random_u(t.dim(p.mode), p.rank, 11);
+  const DenseMatrix u = test::random_matrix(t.dim(p.mode), p.rank, 11);
 
   sim::Device dev;
   const Partitioning part{.threadlen = p.threadlen, .block_size = p.block_size};
   const SemiSparseTensor got = core::spttm_unified(dev, t, p.mode, u, part);
   const SemiSparseTensor want = baseline::ttm_reference(t, p.mode, u);
   ASSERT_EQ(got.num_fibers(), want.num_fibers());
-  EXPECT_LT(semisparse_error(got, want), 1e-3);
+  EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -63,7 +53,7 @@ TEST(Spttm, OutputIsSemiSparseWithDenseFibers) {
   // Shapes per Section II: Y(i,j,:) dense of length R; fiber count equals
   // the number of distinct (i,j) pairs.
   const CooTensor t = io::generate_uniform({15, 12, 20}, 400, 3);
-  const DenseMatrix u = random_u(t.dim(2), 10, 4);
+  const DenseMatrix u = test::random_matrix(t.dim(2), 10, 4);
   sim::Device dev;
   const SemiSparseTensor y = core::spttm_unified(dev, t, 2, u, Partitioning{});
   const std::vector<int> ij{0, 1};
@@ -75,7 +65,7 @@ TEST(Spttm, OutputIsSemiSparseWithDenseFibers) {
 
 TEST(Spttm, FiberCoordinatesSorted) {
   const CooTensor t = io::generate_uniform({9, 11, 13}, 350, 5);
-  const DenseMatrix u = random_u(t.dim(2), 6, 6);
+  const DenseMatrix u = test::random_matrix(t.dim(2), 6, 6);
   sim::Device dev;
   const SemiSparseTensor y = core::spttm_unified(dev, t, 2, u, Partitioning{});
   const auto ci = y.coords(0);
@@ -89,7 +79,7 @@ TEST(Spttm, FiberCoordinatesSorted) {
 
 TEST(Spttm, AllStrategiesAgree) {
   const CooTensor t = io::generate_zipf({30, 25, 35}, 2500, {1.0, 0.8, 0.9}, 9);
-  const DenseMatrix u = random_u(t.dim(2), 16, 10);
+  const DenseMatrix u = test::random_matrix(t.dim(2), 16, 10);
   sim::Device dev;
   core::UnifiedSpttm op(dev, t, 2, Partitioning{.threadlen = 8, .block_size = 64});
   const SemiSparseTensor scan =
@@ -100,26 +90,26 @@ TEST(Spttm, AllStrategiesAgree) {
       op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAllAtomic});
   const SemiSparseTensor adjacent =
       op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync});
-  EXPECT_LT(semisparse_error(thread_atomic, scan), 1e-3);
-  EXPECT_LT(semisparse_error(all_atomic, scan), 1e-3);
-  EXPECT_LT(semisparse_error(adjacent, scan), 1e-3);
+  EXPECT_LT(relative_error(thread_atomic, scan), test::kUnifiedTol);
+  EXPECT_LT(relative_error(all_atomic, scan), test::kUnifiedTol);
+  EXPECT_LT(relative_error(adjacent, scan), test::kUnifiedTol);
 }
 
 TEST(Spttm, RankOneAndRankOddColumns) {
   const CooTensor t = io::generate_uniform({8, 8, 30}, 200, 12);
   sim::Device dev;
   for (index_t r : {1u, 3u, 17u}) {
-    const DenseMatrix u = random_u(t.dim(2), r, 13 + r);
+    const DenseMatrix u = test::random_matrix(t.dim(2), r, 13 + r);
     const SemiSparseTensor got = core::spttm_unified(dev, t, 2, u, Partitioning{});
     const SemiSparseTensor want = baseline::ttm_reference(t, 2, u);
-    EXPECT_LT(semisparse_error(got, want), 1e-3) << "rank " << r;
+    EXPECT_LT(relative_error(got, want), test::kUnifiedTol) << "rank " << r;
   }
 }
 
 TEST(Spttm, TinyTensorSingleNnz) {
   CooTensor t({2, 2, 2});
   t.push_back(std::vector<index_t>{1, 0, 1}, 3.0f);
-  const DenseMatrix u = random_u(2, 4, 14);
+  const DenseMatrix u = test::random_matrix(2, 4, 14);
   sim::Device dev;
   const SemiSparseTensor y = core::spttm_unified(dev, t, 2, u, Partitioning{});
   ASSERT_EQ(y.num_fibers(), 1u);
@@ -132,20 +122,20 @@ TEST(Spttm, FourthOrderTensor) {
   // SpTTM generalises to higher orders: three index modes, sCOO output with
   // three coordinate arrays.
   const CooTensor t = io::generate_uniform({8, 7, 6, 20}, 600, 17);
-  const DenseMatrix u = random_u(t.dim(3), 5, 18);
+  const DenseMatrix u = test::random_matrix(t.dim(3), 5, 18);
   sim::Device dev;
   const SemiSparseTensor got = core::spttm_unified(dev, t, 3, u, Partitioning{});
   const SemiSparseTensor want = baseline::ttm_reference(t, 3, u);
   ASSERT_EQ(got.num_fibers(), want.num_fibers());
   EXPECT_EQ(got.num_sparse_modes(), 3);
-  EXPECT_LT(semisparse_error(got, want), 1e-3);
+  EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
 }
 
 TEST(Spttm, RejectsWrongFactorRows) {
   const CooTensor t = io::generate_uniform({5, 5, 5}, 50, 15);
   sim::Device dev;
   core::UnifiedSpttm op(dev, t, 2, Partitioning{});
-  const DenseMatrix bad = random_u(4, 8, 16);
+  const DenseMatrix bad = test::random_matrix(4, 8, 16);
   EXPECT_THROW(op.run(bad), ContractViolation);
 }
 

@@ -5,21 +5,13 @@
 #include "core/spttmc.hpp"
 #include "io/generate.hpp"
 #include "sim/device.hpp"
+#include "test_support.hpp"
 #include "util/prng.hpp"
 
 namespace ust {
 namespace {
 
-DenseMatrix random_u(index_t rows, index_t rank, std::uint64_t seed) {
-  Prng rng(seed);
-  DenseMatrix u(rows, rank);
-  u.fill_random(rng, -1.0f, 1.0f);
-  return u;
-}
-
-double relative_error(const DenseMatrix& got, const DenseMatrix& want) {
-  return DenseMatrix::max_abs_diff(got, want) / std::max(1.0, want.frobenius_norm());
-}
+using test::relative_error;
 
 TEST(Ttmc, MatchesReferenceOnAllModes) {
   const CooTensor t = io::generate_zipf({25, 20, 30}, 1500, {0.8, 0.8, 0.8}, 404);
@@ -29,13 +21,13 @@ TEST(Ttmc, MatchesReferenceOnAllModes) {
     for (int m = 0; m < 3; ++m) {
       if (m != mode) prod.push_back(m);
     }
-    const DenseMatrix u1 = random_u(t.dim(prod[0]), 4, 1);
-    const DenseMatrix u2 = random_u(t.dim(prod[1]), 5, 2);
+    const DenseMatrix u1 = test::random_matrix(t.dim(prod[0]), 4, 1);
+    const DenseMatrix u2 = test::random_matrix(t.dim(prod[1]), 5, 2);
     const DenseMatrix got = core::spttmc_unified(dev, t, mode, u1, u2, Partitioning{});
     const DenseMatrix want = baseline::ttmc_reference(t, mode, u1, u2);
     ASSERT_EQ(got.rows(), want.rows());
     ASSERT_EQ(got.cols(), want.cols());
-    EXPECT_LT(relative_error(got, want), 1e-3) << "mode " << mode;
+    EXPECT_LT(relative_error(got, want), test::kUnifiedTol) << "mode " << mode;
   }
 }
 
@@ -44,8 +36,8 @@ TEST(Ttmc, KroneckerColumnLayout) {
   // against a single-non-zero tensor where the expected value is explicit.
   CooTensor t({3, 2, 2});
   t.push_back(std::vector<index_t>{1, 1, 0}, 2.0f);
-  const DenseMatrix u1 = random_u(2, 3, 7);  // mode-2 factor
-  const DenseMatrix u2 = random_u(2, 2, 8);  // mode-3 factor
+  const DenseMatrix u1 = test::random_matrix(2, 3, 7);  // mode-2 factor
+  const DenseMatrix u2 = test::random_matrix(2, 2, 8);  // mode-3 factor
   sim::Device dev;
   const DenseMatrix y = core::spttmc_unified(dev, t, 0, u1, u2, Partitioning{});
   ASSERT_EQ(y.cols(), 6u);
@@ -64,21 +56,21 @@ TEST(Ttmc, KroneckerColumnLayout) {
 TEST(Ttmc, LargeColumnCounts) {
   // R2 * R3 = 16 * 16 = 256 output columns: stresses the grid.y dimension.
   const CooTensor t = io::generate_uniform({20, 15, 15}, 600, 10);
-  const DenseMatrix u1 = random_u(t.dim(1), 16, 11);
-  const DenseMatrix u2 = random_u(t.dim(2), 16, 12);
+  const DenseMatrix u1 = test::random_matrix(t.dim(1), 16, 11);
+  const DenseMatrix u2 = test::random_matrix(t.dim(2), 16, 12);
   sim::Device dev;
   const DenseMatrix got = core::spttmc_unified(dev, t, 0, u1, u2,
                                                Partitioning{.threadlen = 8, .block_size = 64});
   const DenseMatrix want = baseline::ttmc_reference(t, 0, u1, u2);
-  EXPECT_LT(relative_error(got, want), 1e-3);
+  EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
 }
 
 TEST(Ttmc, AgreesWithMttkrpWhenDiagonal) {
   // If we restrict TTMc's Kronecker columns to the diagonal (c0 == c1) we
   // recover MTTKRP's Hadamard columns: verify column extraction matches.
   const CooTensor t = io::generate_uniform({10, 8, 9}, 250, 13);
-  const DenseMatrix u1 = random_u(t.dim(1), 4, 14);
-  const DenseMatrix u2 = random_u(t.dim(2), 4, 15);
+  const DenseMatrix u1 = test::random_matrix(t.dim(1), 4, 14);
+  const DenseMatrix u2 = test::random_matrix(t.dim(2), 4, 15);
   sim::Device dev;
   const DenseMatrix ttmc = core::spttmc_unified(dev, t, 0, u1, u2, Partitioning{});
   const std::vector<DenseMatrix> factors{DenseMatrix(t.dim(0), 4), u1, u2};

@@ -1,0 +1,92 @@
+// Shared fixtures for the UST test suites: seeded random tensors and dense
+// factors, F-COO construction shortcuts, and tolerance-aware comparison
+// against the serial reference (baselines/reference). Suites keep only the
+// helpers that are genuinely local to them; anything used by two or more
+// suites belongs here.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/mode_plan.hpp"
+#include "io/generate.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/fcoo.hpp"
+#include "tensor/semisparse.hpp"
+#include "util/prng.hpp"
+
+namespace ust::test {
+
+/// Tolerance used by every kernel-vs-reference comparison. float
+/// accumulation order differs between the unified kernels and the serial
+/// reference, so exact equality is not expected.
+inline constexpr double kUnifiedTol = 1e-3;
+
+/// Seeded random dense matrix with entries in [lo, hi).
+inline DenseMatrix random_matrix(index_t rows, index_t cols, std::uint64_t seed,
+                                 float lo = -1.0f, float hi = 1.0f) {
+  Prng rng(seed);
+  DenseMatrix m(rows, cols);
+  m.fill_random(rng, lo, hi);
+  return m;
+}
+
+/// One random factor matrix per mode of `t`, each t.dim(m) x rank, drawn
+/// from an ongoing stream (for fuzz loops driven by one master Prng).
+inline std::vector<DenseMatrix> random_factors(const CooTensor& t, index_t rank, Prng& rng,
+                                               float lo = -1.0f, float hi = 1.0f) {
+  std::vector<DenseMatrix> factors;
+  factors.reserve(static_cast<std::size_t>(t.order()));
+  for (int m = 0; m < t.order(); ++m) {
+    DenseMatrix f(t.dim(m), rank);
+    f.fill_random(rng, lo, hi);
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+/// Same, from a fresh seed.
+inline std::vector<DenseMatrix> random_factors(const CooTensor& t, index_t rank,
+                                               std::uint64_t seed, float lo = -1.0f,
+                                               float hi = 1.0f) {
+  Prng rng(seed);
+  return random_factors(t, rank, rng, lo, hi);
+}
+
+/// Max-abs difference normalised by the reference's Frobenius norm (clamped
+/// at 1 so near-zero references don't blow the ratio up).
+inline double relative_error(const DenseMatrix& got, const DenseMatrix& want) {
+  const double diff = DenseMatrix::max_abs_diff(got, want);
+  return diff / std::max(1.0, want.frobenius_norm());
+}
+
+/// Same comparison for SpTTM's semi-sparse output.
+inline double relative_error(const SemiSparseTensor& got, const SemiSparseTensor& want) {
+  const double diff = SemiSparseTensor::max_abs_diff(got, want);
+  return diff / std::max(1.0, static_cast<double>(want.values().frobenius_norm()));
+}
+
+/// F-COO for an SpMTTKRP on `mode` (index mode = mode, the rest product).
+inline FcooTensor make_mttkrp_fcoo(const CooTensor& t, int mode) {
+  const auto plan = core::make_mode_plan_spmttkrp(t.order(), mode);
+  return FcooTensor::build(t, plan.index_modes, plan.product_modes);
+}
+
+/// A random uniform 3-order tensor with dims in [2, 2+max_dim) and between
+/// 1 and max_nnz non-zeros (capped below the cell count so coalescing keeps
+/// the tensor non-trivial). Draws shape, size and data seed from `rng` so
+/// fuzz loops stay reproducible from one master seed.
+inline CooTensor random_coo3(Prng& rng, index_t max_dim = 40, nnz_t max_nnz = 3000) {
+  const index_t d0 = 2 + rng.next_index(max_dim);
+  const index_t d1 = 2 + rng.next_index(max_dim);
+  const index_t d2 = 2 + rng.next_index(max_dim);
+  const double cells = static_cast<double>(d0) * d1 * d2;
+  const nnz_t nnz = 1 + rng.next_below(static_cast<std::uint64_t>(
+                            std::min(static_cast<double>(max_nnz), cells * 0.9)));
+  return io::generate_uniform({d0, d1, d2}, nnz, rng.next_u64());
+}
+
+}  // namespace ust::test

@@ -11,15 +11,13 @@
 #include "io/generate.hpp"
 #include "linalg/dense_ops.hpp"
 #include "sim/device.hpp"
+#include "test_support.hpp"
 #include "util/prng.hpp"
 
 namespace ust {
 namespace {
 
-FcooTensor make_fcoo(const CooTensor& t, int mode) {
-  const auto plan = core::make_mode_plan_spmttkrp(t.order(), mode);
-  return FcooTensor::build(t, plan.index_modes, plan.product_modes);
-}
+FcooTensor make_fcoo(const CooTensor& t, int mode) { return test::make_mttkrp_fcoo(t, mode); }
 
 TEST(UnifiedPlan, DeviceBytesMatchAccounting) {
   const CooTensor t = io::generate_uniform({30, 30, 30}, 2000, 1);
@@ -165,13 +163,7 @@ TEST(Fuzz, RandomTensorsModesAndConfigsMatchReference) {
   Prng rng(0xF00D);
   sim::Device dev;
   for (int trial = 0; trial < 30; ++trial) {
-    const index_t d0 = 2 + rng.next_index(40);
-    const index_t d1 = 2 + rng.next_index(40);
-    const index_t d2 = 2 + rng.next_index(40);
-    const double cells = static_cast<double>(d0) * d1 * d2;
-    const nnz_t nnz = 1 + rng.next_below(static_cast<std::uint64_t>(
-                              std::min(3000.0, cells * 0.9)));
-    const CooTensor t = io::generate_uniform({d0, d1, d2}, nnz, rng.next_u64());
+    const CooTensor t = test::random_coo3(rng);
     const auto mode = static_cast<int>(rng.next_below(3));
     const index_t rank = 1 + rng.next_index(24);
     const Partitioning part{.threadlen = 1 + rng.next_index(64),
@@ -180,17 +172,12 @@ TEST(Fuzz, RandomTensorsModesAndConfigsMatchReference) {
     const core::UnifiedOptions opt{.strategy = strategy,
                                    .column_tile = rng.next_index(4)};  // 0 = auto
 
-    std::vector<DenseMatrix> factors;
-    for (int m = 0; m < 3; ++m) {
-      DenseMatrix f(t.dim(m), rank);
-      f.fill_random(rng, -1.0f, 1.0f);
-      factors.push_back(std::move(f));
-    }
+    const auto factors = test::random_factors(t, rank, rng);
     const DenseMatrix got = core::spmttkrp_unified(dev, t, mode, factors, part, opt);
     const DenseMatrix want = baseline::mttkrp_reference(t, mode, factors);
     const double err =
         DenseMatrix::max_abs_diff(got, want) / std::max(1.0, want.frobenius_norm());
-    ASSERT_LT(err, 1e-3) << "trial " << trial << " mode " << mode << " rank " << rank
+    ASSERT_LT(err, test::kUnifiedTol) << "trial " << trial << " mode " << mode << " rank " << rank
                          << " tl " << part.threadlen << " bs " << part.block_size
                          << " strat " << static_cast<int>(strategy);
   }

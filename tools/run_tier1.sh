@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure + build + ctest, fail-fast.
+# Usage:
+#   tools/run_tier1.sh [build-dir] [extra cmake args...]   # plain configure
+#   tools/run_tier1.sh --preset <name>                     # CMakePresets.json
+# CI runs the preset form on every push (.github/workflows/ci.yml) so the
+# configurations it tests are exactly the ones CMakePresets.json defines.
+set -eu
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+if [ "${1:-}" = "--preset" ]; then
+  [ "$#" -ge 2 ] || { echo "error: --preset requires a name" >&2; exit 2; }
+  PRESET="$2"
+  echo "== tier-1: configure (preset ${PRESET}) =="
+  cmake --preset "${PRESET}"
+  echo "== tier-1: build (-j${JOBS}) =="
+  cmake --build --preset "${PRESET}" -j "${JOBS}"
+  echo "== tier-1: ctest =="
+  ctest --preset "${PRESET}" -j "${JOBS}" --stop-on-failure
+else
+  BUILD_DIR="${1:-build}"
+  [ "$#" -gt 0 ] && shift
+  echo "== tier-1: configure (${BUILD_DIR}) =="
+  cmake -B "${BUILD_DIR}" -S . "$@"
+  echo "== tier-1: build (-j${JOBS}) =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  echo "== tier-1: ctest =="
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" --stop-on-failure
+fi
+
+echo "== tier-1: OK =="
