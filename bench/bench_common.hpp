@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/unified_kernel.hpp"
 #include "io/datasets.hpp"
 #include "io/tns.hpp"
 #include "sim/device.hpp"
@@ -86,8 +87,8 @@ inline double time_median(const std::function<void()>& fn, int reps = 3) {
 }
 
 /// Standard bench CLI: --scale, --rank, --reps, --dataset, --tns,
-/// --cpu-threads. Benches that emit machine-readable results additionally
-/// declare `--json` themselves (see bench_spmttkrp).
+/// --cpu-threads, --backend, --json. Every bench writes a BENCH_*.json when
+/// --json is given (see JsonResults below).
 inline Cli make_bench_cli(const std::string& name, const std::string& what) {
   Cli cli(name, what);
   cli.option("scale", "0.25", "replica size multiplier in (0,1]");
@@ -98,7 +99,29 @@ inline Cli make_bench_cli(const std::string& name, const std::string& what) {
   cli.option("cpu-threads", "12",
              "worker threads for the CPU baselines (ParTI-OMP, SPLATT); the paper "
              "ran them with 12 threads while the GPU used the whole device");
+  cli.option("backend", "native",
+             "unified kernel execution backend: 'native' (thread-pool fast path) or "
+             "'sim' (GPU execution-model simulator, the fidelity oracle)");
+  cli.option("json", "", "also write results to this path as a BENCH_*.json file");
   return cli;
+}
+
+/// Resolves --backend. Unknown values fall back to native with a warning.
+inline core::ExecBackend backend_from_cli(const Cli& cli) {
+  const std::string b = cli.get("backend");
+  if (b == "sim") return core::ExecBackend::kSim;
+  if (b != "native") {
+    std::fprintf(stderr, "warning: unknown --backend '%s', using native\n", b.c_str());
+  }
+  return core::ExecBackend::kNative;
+}
+
+/// Default kernel options for this bench invocation (currently: the
+/// selected execution backend).
+inline core::UnifiedOptions kernel_options(const Cli& cli) {
+  core::UnifiedOptions opt;
+  opt.backend = backend_from_cli(cli);
+  return opt;
 }
 
 /// Flat key/value results sink for machine-readable output. Benches add one

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   opt.max_iterations = static_cast<int>(cli.get_int("iters"));
   opt.fit_tolerance = 0.0;  // run all iterations for stable timing
   opt.seed = 77;
+  opt.kernel = bench::kernel_options(cli);  // --backend flows into every MTTKRP
 
   std::vector<bench::BenchDataset> datasets;
   if (!cli.get("tns").empty() || !cli.get("dataset").empty()) {
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
   print_banner("Figure 10: CP-ALS per-iteration time breakdown (seconds; lower is better)");
   Table t({"run", "mode1 MTTKRP", "mode2 MTTKRP", "mode3 MTTKRP", "other", "total",
            "final fit"});
+  bench::JsonResults json("bench_cp");
   for (const auto& d : datasets) {
     opt.part = d.spec.best_spmttkrp;
 
@@ -55,8 +57,13 @@ int main(int argc, char** argv) {
 
     std::printf("%s: Unified speedup over SPLATT = %.2fx (paper: 14.9x brainq, 2.9x nell2)\n",
                 d.name.c_str(), st.total_seconds / ut.total_seconds);
+    json.add(d.name + ".splatt_total_s", st.total_seconds);
+    json.add(d.name + ".unified_total_s", ut.total_seconds);
+    json.add(d.name + ".unified_speedup_vs_splatt", st.total_seconds / ut.total_seconds);
+    json.add(d.name + ".unified_fit", unified.fit);
   }
   t.print();
+  if (!json.write(cli.get("json"))) return 1;
   std::printf(
       "paper reference: most time goes to the MTTKRPs; unified's three mode updates are\n"
       "well balanced while SPLATT's are skewed (tree root vs leaf traversals); unified\n"

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   bench::print_platform(sim::DeviceProps::titan_x());
   const auto rank = static_cast<index_t>(cli.get_int("rank"));
   const int mode = 0;
+  bench::JsonResults json("bench_memory");
 
   print_banner("Figure 9 (analytic, FULL paper scale): SpMTTKRP mode-1 memory (MB)");
   {
@@ -63,6 +64,8 @@ int main(int argc, char** argv) {
       const std::string fits = parti_mb > twelve_gb ? "ParTI: NO (OOM)" : "both: yes";
       t.add_row({spec.name, Table::num(parti_mb, 0), Table::num(uni_mb, 0),
                  Table::num(100.0 * (1.0 - uni_mb / parti_mb), 1) + "%", fits});
+      json.add(spec.name + ".analytic_parti_mb", parti_mb);
+      json.add(spec.name + ".analytic_unified_mb", uni_mb);
     }
     t.print();
     std::printf(
@@ -88,13 +91,16 @@ int main(int argc, char** argv) {
       {
         sim::Device dev;
         core::UnifiedMttkrp op(dev, d.tensor, mode, d.spec.best_spmttkrp);
-        op.run(factors);
+        op.run(factors, bench::kernel_options(cli));
         uni_mb = static_cast<double>(dev.peak_bytes()) / (1024.0 * 1024.0);
       }
       t.add_row({d.name, Table::num(parti_mb, 1), Table::num(uni_mb, 1),
                  Table::num(100.0 * (1.0 - uni_mb / parti_mb), 1) + "%"});
+      json.add(d.name + ".measured_parti_peak_mb", parti_mb);
+      json.add(d.name + ".measured_unified_peak_mb", uni_mb);
     }
     t.print();
   }
+  if (!json.write(cli.get("json"))) return 1;
   return 0;
 }

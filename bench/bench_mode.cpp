@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   const auto& d = datasets.front();
+  const core::UnifiedOptions kopt = bench::kernel_options(cli);
+  bench::JsonResults json("bench_mode");
 
   print_banner("Figure 7a: SpTTM per mode on " + d.name + " (seconds; lower is better)");
   {
@@ -48,15 +50,17 @@ int main(int argc, char** argv) {
         part = bench::quick_tune(
             [&](Partitioning p) {
               core::UnifiedSpttm op(dev, d.tensor, mode, p);
-              op.run(u);  // warm
+              op.run(u, kopt);  // warm
               Timer timer;
-              op.run(u);
+              op.run(u, kopt);
               return timer.seconds();
             },
             part);
       }
       core::UnifiedSpttm uni_op(dev, d.tensor, mode, part);
-      const double uni_s = bench::time_median([&] { uni_op.run(u); }, reps);
+      const double uni_s = bench::time_median([&] { uni_op.run(u, kopt); }, reps);
+      json.add("spttm.mode" + std::to_string(mode + 1) + ".unified_s", uni_s);
+      json.add("spttm.mode" + std::to_string(mode + 1) + ".parti_gpu_s", gpu_s);
       parti_times.push_back(gpu_s);
       unified_times.push_back(uni_s);
       t.add_row({std::to_string(mode + 1), Table::num(gpu_s, 4), Table::num(uni_s, 4),
@@ -66,6 +70,7 @@ int main(int argc, char** argv) {
     std::printf("coefficient of variation across modes: ParTI-GPU %.2f, Unified %.2f\n",
                 coefficient_of_variation(parti_times),
                 coefficient_of_variation(unified_times));
+    json.add("spttm.unified_cv", coefficient_of_variation(unified_times));
   }
 
   print_banner("Figure 7b: SpMTTKRP per mode on " + d.name + " (seconds; lower is better)");
@@ -84,15 +89,16 @@ int main(int argc, char** argv) {
         part = bench::quick_tune(
             [&](Partitioning p) {
               core::UnifiedMttkrp op(dev, d.tensor, mode, p);
-              op.run(factors);  // warm
+              op.run(factors, kopt);  // warm
               Timer timer;
-              op.run(factors);
+              op.run(factors, kopt);
               return timer.seconds();
             },
             part);
       }
       core::UnifiedMttkrp uni_op(dev, d.tensor, mode, part);
-      const double uni_s = bench::time_median([&] { uni_op.run(factors); }, reps);
+      const double uni_s = bench::time_median([&] { uni_op.run(factors, kopt); }, reps);
+      json.add("spmttkrp.mode" + std::to_string(mode + 1) + ".unified_s", uni_s);
       parti_times.push_back(gpu_s);
       splatt_times.push_back(splatt_s);
       unified_times.push_back(uni_s);
@@ -104,7 +110,9 @@ int main(int argc, char** argv) {
         "coefficient of variation across modes: ParTI-GPU %.2f, SPLATT %.2f, Unified %.2f\n",
         coefficient_of_variation(parti_times), coefficient_of_variation(splatt_times),
         coefficient_of_variation(unified_times));
+    json.add("spmttkrp.unified_cv", coefficient_of_variation(unified_times));
   }
+  if (!json.write(cli.get("json"))) return 1;
   std::printf(
       "paper reference: unified's running time 'remains relatively the same' across\n"
       "modes while ParTI-GPU and SPLATT vary strongly (e.g. ParTI launches only 540\n"

@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
 
   print_banner("Figure 8: SpTTM execution time vs rank (seconds; lower is better)");
   Table t({"dataset", "rank", "ParTI-GPU (s)", "Unified (s)", "Unified speedup"});
+  const core::UnifiedOptions kopt = bench::kernel_options(cli);
+  bench::JsonResults json("bench_rank");
   for (const auto& d : datasets) {
     baseline::PartiGpuSpttm gpu_op(dev, d.tensor, mode);
     Partitioning part = d.spec.best_spttm;
@@ -44,9 +46,9 @@ int main(int argc, char** argv) {
       part = bench::quick_tune(
           [&](Partitioning p) {
             core::UnifiedSpttm op(dev, d.tensor, mode, p);
-            op.run(u16);  // warm
+            op.run(u16, kopt);  // warm
             Timer timer;
-            op.run(u16);
+            op.run(u16, kopt);
             return timer.seconds();
           },
           part);
@@ -58,7 +60,9 @@ int main(int argc, char** argv) {
       DenseMatrix u(d.tensor.dim(mode), r);
       u.fill_random(rng, 0.0f, 1.0f);
       const double gpu_s = bench::time_median([&] { gpu_op.run(u); }, reps);
-      const double uni_s = bench::time_median([&] { uni_op.run(u); }, reps);
+      const double uni_s = bench::time_median([&] { uni_op.run(u, kopt); }, reps);
+      json.add(d.name + ".r" + std::to_string(r) + ".parti_gpu_s", gpu_s);
+      json.add(d.name + ".r" + std::to_string(r) + ".unified_s", uni_s);
       if (r == ranks.front()) {
         first_gpu = gpu_s;
         first_uni = uni_s;
@@ -70,8 +74,11 @@ int main(int argc, char** argv) {
     }
     std::printf("%s growth rank 8 -> 64: ParTI-GPU %.1fx, Unified %.1fx\n", d.name.c_str(),
                 last_gpu / first_gpu, last_uni / first_uni);
+    json.add(d.name + ".unified_growth_8_to_64", last_uni / first_uni);
+    json.add(d.name + ".parti_gpu_growth_8_to_64", last_gpu / first_gpu);
   }
   t.print();
+  if (!json.write(cli.get("json"))) return 1;
   std::printf(
       "paper reference: as rank goes 8 -> 64, ParTI's time increases at a faster rate;\n"
       "unified's speedup over ParTI-GPU is 3.7-4.3x (brainq) and 2.1-2.4x (nell2).\n"

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
            "Unified speedup", "paper: Unified vs ParTI-GPU"});
   const char* paper_ratio[4] = {"1.1x", "-", "-", "3.7x"};  // nell1..brainq endpoints
   int row = 0;
+  const core::UnifiedOptions kopt = bench::kernel_options(cli);
+  bench::JsonResults json("bench_spttm");
   for (const auto& d : datasets) {
     Prng rng(1);
     DenseMatrix u(d.tensor.dim(mode), rank);
@@ -43,22 +45,27 @@ int main(int argc, char** argv) {
       part = bench::quick_tune(
           [&](Partitioning p) {
             core::UnifiedSpttm op(dev, d.tensor, mode, p);
-            op.run(u);  // warm
+            op.run(u, kopt);  // warm
             Timer timer;
-            op.run(u);
+            op.run(u, kopt);
             return timer.seconds();
           },
           part);
     }
     core::UnifiedSpttm unified_op(dev, d.tensor, mode, part);
-    const double uni_s = bench::time_median([&] { unified_op.run(u); }, reps);
+    const double uni_s = bench::time_median([&] { unified_op.run(u, kopt); }, reps);
 
     t.add_row({d.name, Table::num(omp_s, 4), Table::num(gpu_s, 4), Table::num(uni_s, 4),
                Table::num(omp_s / gpu_s, 2) + "x", Table::num(omp_s / uni_s, 2) + "x",
                row < 4 ? paper_ratio[row] : "-"});
     ++row;
+    json.add(d.name + ".parti_omp_s", omp_s);
+    json.add(d.name + ".parti_gpu_s", gpu_s);
+    json.add(d.name + ".unified_s", uni_s);
+    json.add(d.name + ".unified_speedup_vs_omp", omp_s / uni_s);
   }
   t.print();
+  if (!json.write(cli.get("json"))) return 1;
   std::printf(
       "paper reference (Titan X vs 12-thread CPU): Unified over ParTI-OMP 5.3x (nell1)\n"
       "to 215.7x (brainq); Unified over ParTI-GPU 1.1x (nell1) to 3.7x (brainq).\n"

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   Cli cli = bench::make_bench_cli("bench_storage", "Table II/IV: storage cost COO vs F-COO");
   if (!cli.parse(argc, argv)) return 1;
   bench::print_platform(sim::DeviceProps::titan_x());
+  bench::JsonResults json("bench_storage");
 
   print_banner("Datasets (Table IV analogue; replicas of the FROSTT tensors)");
   {
@@ -72,6 +73,10 @@ int main(int argc, char** argv) {
         s.add_row({d.name, row.op, std::to_string(row.threadlen), Table::num(coo_b, 2),
                    Table::num(formula_b, 3), Table::num(paper_b, 3), Table::num(measured_b, 3),
                    Table::num(csf_b, 2), Table::num(paper_b / coo_b, 3)});
+        const std::string key = d.name + "." + row.op;
+        json.add(key + ".coo_bytes_per_nnz", coo_b);
+        json.add(key + ".fcoo_paper_bytes_per_nnz", paper_b);
+        json.add(key + ".fcoo_measured_bytes_per_nnz", measured_b);
       }
     }
     s.print();
@@ -81,5 +86,6 @@ int main(int argc, char** argv) {
         "'+seg_out' adds this implementation's per-segment output coordinates\n"
         "(elided by the paper under the dense-index-mode assumption).\n");
   }
+  if (!json.write(cli.get("json"))) return 1;
   return 0;
 }

@@ -17,10 +17,13 @@ core::TuneResult tune_mttkrp(sim::Device& dev, const CooTensor& t,
                              const std::vector<DenseMatrix>& factors,
                              const std::vector<unsigned>& threadlens,
                              const std::vector<unsigned>& blocks, int reps) {
-  return core::tune(
-      [&](Partitioning part) {
+  // The backend joins the search grid: every (threadlen, BLOCK_SIZE) cell is
+  // measured on both engines and the best sample records the winner.
+  return core::tune_backends(
+      [&](Partitioning part, core::ExecBackend backend) {
         core::UnifiedMttkrp op(dev, t, 0, part);
-        return bench::time_median([&] { op.run(factors); }, reps);
+        const core::UnifiedOptions opt{.backend = backend};
+        return bench::time_median([&] { op.run(factors, opt); }, reps);
       },
       threadlens, blocks);
 }
@@ -28,10 +31,11 @@ core::TuneResult tune_mttkrp(sim::Device& dev, const CooTensor& t,
 core::TuneResult tune_spttm(sim::Device& dev, const CooTensor& t, const DenseMatrix& u,
                             const std::vector<unsigned>& threadlens,
                             const std::vector<unsigned>& blocks, int reps) {
-  return core::tune(
-      [&](Partitioning part) {
+  return core::tune_backends(
+      [&](Partitioning part, core::ExecBackend backend) {
         core::UnifiedSpttm op(dev, t, 2, part);
-        return bench::time_median([&] { op.run(u); }, reps);
+        const core::UnifiedOptions opt{.backend = backend};
+        return bench::time_median([&] { op.run(u, opt); }, reps);
       },
       threadlens, blocks);
 }
@@ -44,22 +48,26 @@ void print_surface(const core::TuneResult& r, const std::vector<unsigned>& threa
   for (unsigned bs : blocks) {
     std::vector<std::string> row{std::to_string(bs)};
     for (unsigned tl : threadlens) {
+      // Best time across backends for this (BLOCK_SIZE, threadlen) cell.
       std::string cell = "-";
+      double best_cell = 0.0;
       for (const auto& s : r.samples) {
-        if (s.part.block_size == bs && s.part.threadlen == tl) {
+        if (s.part.block_size == bs && s.part.threadlen == tl &&
+            (cell == "-" || s.seconds < best_cell)) {
+          best_cell = s.seconds;
           cell = Table::num(s.seconds * 1e3, 2);
-          if (s.part.block_size == r.best.block_size && s.part.threadlen == r.best.threadlen) {
-            cell += "*";
-          }
-          break;
+          cell += s.backend == core::ExecBackend::kNative ? "n" : "s";
         }
       }
+      if (cell != "-" && bs == r.best.block_size && tl == r.best.threadlen) cell += "*";
       row.push_back(cell);
     }
     t.add_row(row);
   }
   t.print();
-  std::printf("cells are milliseconds; * marks the best configuration.\n");
+  std::printf(
+      "cells are milliseconds (best across backends; n = native, s = sim won);\n"
+      "* marks the best configuration.\n");
 }
 
 }  // namespace
@@ -93,9 +101,11 @@ int main(int argc, char** argv) {
                 d.name == "brainq" ? "(128, 64)" : "(32, 16)");
   }
 
-  // Table V: best configuration per dataset and operation.
+  // Table V: best configuration per dataset and operation (the backend is a
+  // third axis of the search grid here).
   print_banner("Table V: best (BLOCK_SIZE, threadlen) per dataset");
-  Table t({"dataset", "op", "best here", "best time (ms)", "paper best"});
+  Table t({"dataset", "op", "best here", "backend", "best time (ms)", "paper best"});
+  bench::JsonResults json("bench_tuning");
   for (const auto& d : datasets) {
     const auto factors = bench::make_factors(d.tensor, rank);
     {
@@ -103,18 +113,24 @@ int main(int argc, char** argv) {
       t.add_row({d.name, "SpTTM m3",
                  "(" + std::to_string(r.best.block_size) + ", " +
                      std::to_string(r.best.threadlen) + ")",
+                 core::backend_name(r.best_backend),
                  Table::num(r.best_seconds * 1e3, 2),
                  "(" + std::to_string(d.spec.best_spttm.block_size) + ", " +
                      std::to_string(d.spec.best_spttm.threadlen) + ")"});
+      json.add(d.name + ".spttm.best_s", r.best_seconds);
+      json.add(d.name + ".spttm.best_backend", core::backend_name(r.best_backend));
     }
     {
       const auto r = tune_mttkrp(dev, d.tensor, factors, threadlens, blocks, reps);
       t.add_row({d.name, "SpMTTKRP m1",
                  "(" + std::to_string(r.best.block_size) + ", " +
                      std::to_string(r.best.threadlen) + ")",
+                 core::backend_name(r.best_backend),
                  Table::num(r.best_seconds * 1e3, 2),
                  "(" + std::to_string(d.spec.best_spmttkrp.block_size) + ", " +
                      std::to_string(d.spec.best_spmttkrp.threadlen) + ")"});
+      json.add(d.name + ".spmttkrp.best_s", r.best_seconds);
+      json.add(d.name + ".spmttkrp.best_backend", core::backend_name(r.best_backend));
     }
   }
   t.print();
@@ -123,5 +139,6 @@ int main(int argc, char** argv) {
       "this run tunes the simulator on the host CPU), so exact matches are not expected --\n"
       "the reproduced claim is that performance varies substantially across the grid\n"
       "and that per-dataset tuning pays off.\n");
+  if (!json.write(cli.get("json"))) return 1;
   return 0;
 }

@@ -2,10 +2,11 @@
 //
 //   1. build (or load) a sparse tensor in COO form,
 //   2. inspect its F-COO encoding for an operation,
-//   3. run unified SpTTM and SpMTTKRP on the simulated GPU,
+//   3. run unified SpTTM and SpMTTKRP (native backend by default;
+//      --backend sim runs the GPU execution-model simulator),
 //   4. factorise it with CP-ALS.
 //
-// Run:  ./examples/quickstart [--tns file.tns]
+// Run:  ./examples/quickstart [--tns file.tns] [--backend native|sim]
 #include <cstdio>
 
 #include "core/cp_als.hpp"
@@ -21,7 +22,16 @@ using namespace ust;
 int main(int argc, char** argv) {
   Cli cli("quickstart", "UST quickstart tour");
   cli.option("tns", "", "optional FROSTT .tns file to load instead of a synthetic tensor");
+  cli.option("backend", "native",
+             "unified kernel execution backend: 'native' (thread-pool fast path) or "
+             "'sim' (GPU execution-model simulator)");
   if (!cli.parse(argc, argv)) return 1;
+  core::UnifiedOptions kernel_opt;
+  if (const std::string b = cli.get("backend"); b == "sim") {
+    kernel_opt.backend = core::ExecBackend::kSim;
+  } else if (b != "native") {
+    std::fprintf(stderr, "warning: unknown --backend '%s', using native\n", b.c_str());
+  }
 
   // --- 1. A sparse tensor ---------------------------------------------------
   CooTensor x;
@@ -52,7 +62,8 @@ int main(int argc, char** argv) {
   DenseMatrix u(x.dim(2), rank);
   u.fill_random(rng);
 
-  const SemiSparseTensor y = core::spttm_unified(device, x, /*mode=*/2, u, Partitioning{});
+  const SemiSparseTensor y =
+      core::spttm_unified(device, x, /*mode=*/2, u, Partitioning{}, kernel_opt);
   std::printf("SpTTM mode-3: %llu dense fibers of length %u\n",
               static_cast<unsigned long long>(y.num_fibers()), y.dense_length());
 
@@ -62,7 +73,8 @@ int main(int argc, char** argv) {
     f.fill_random(rng);
     factors.push_back(std::move(f));
   }
-  const DenseMatrix m1 = core::spmttkrp_unified(device, x, /*mode=*/0, factors, Partitioning{});
+  const DenseMatrix m1 =
+      core::spmttkrp_unified(device, x, /*mode=*/0, factors, Partitioning{}, kernel_opt);
   std::printf("SpMTTKRP mode-1: %u x %u output, device peak %.1f MB, %llu atomic ops\n",
               m1.rows(), m1.cols(),
               static_cast<double>(device.peak_bytes()) / (1024.0 * 1024.0),
@@ -72,6 +84,7 @@ int main(int argc, char** argv) {
   core::CpOptions opt;
   opt.rank = 8;
   opt.max_iterations = 10;
+  opt.kernel = kernel_opt;
   const core::CpResult cp = core::cp_als_unified(device, x, opt);
   std::printf("CP-ALS: fit %.4f after %d iterations (%s); lambda[0] = %.3f\n", cp.fit,
               cp.iterations, cp.converged ? "converged" : "iteration cap", cp.lambda[0]);

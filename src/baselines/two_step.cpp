@@ -5,7 +5,8 @@
 namespace ust::baseline {
 
 TwoStepResult mttkrp_two_step(sim::Device& device, const CooTensor& tensor, int mode,
-                              std::span<const DenseMatrix> factors, Partitioning part) {
+                              std::span<const DenseMatrix> factors, Partitioning part,
+                              const core::UnifiedOptions& opt) {
   UST_EXPECTS(tensor.order() == 3);
   UST_EXPECTS(factors.size() == 3);
   // Product modes in ascending order; contract the LAST one first (the
@@ -25,7 +26,7 @@ TwoStepResult mttkrp_two_step(sim::Device& device, const CooTensor& tensor, int 
   // per distinct (index-mode, j) pair. This is the intermediate whose
   // storage the one-shot method avoids.
   core::UnifiedSpttm spttm(device, tensor, k_mode, part);
-  const SemiSparseTensor y = spttm.run(c_fac);
+  const SemiSparseTensor y = spttm.run(c_fac, opt);
 
   TwoStepResult result;
   result.intermediate_bytes = y.storage_bytes();

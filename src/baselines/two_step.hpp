@@ -26,8 +26,10 @@ struct TwoStepResult {
 };
 
 /// Two-step MTTKRP on `mode` of a 3-order tensor. The SpTTM step runs as a
-/// unified kernel on `device`; the contraction step runs on the device pool.
+/// unified kernel on `device` under `opt` (backend included); the
+/// contraction step runs on the device pool.
 TwoStepResult mttkrp_two_step(sim::Device& device, const CooTensor& tensor, int mode,
-                              std::span<const DenseMatrix> factors, Partitioning part);
+                              std::span<const DenseMatrix> factors, Partitioning part,
+                              const core::UnifiedOptions& opt = {});
 
 }  // namespace ust::baseline

@@ -1,0 +1,25 @@
+#include "core/native_exec.hpp"
+
+namespace ust::core::native {
+
+std::vector<Chunk> make_chunks(nnz_t nnz, unsigned threadlen, unsigned workers) {
+  std::vector<Chunk> chunks;
+  if (nnz == 0) return chunks;
+  UST_EXPECTS(threadlen >= 1);
+  const nnz_t partitions = ceil_div<nnz_t>(nnz, threadlen);
+  // ~4 chunks per worker: enough slack for dynamic load balancing without
+  // making the serial boundary pass or the tile allocations noticeable.
+  const nnz_t target = std::max<nnz_t>(1, static_cast<nnz_t>(workers) * 4);
+  const nnz_t n = std::min<nnz_t>(partitions, target);
+  chunks.reserve(n);
+  for (nnz_t k = 0; k < n; ++k) {
+    const nnz_t p0 = k * partitions / n;
+    const nnz_t p1 = (k + 1) * partitions / n;
+    if (p0 == p1) continue;  // more chunks requested than partitions exist
+    chunks.push_back(Chunk{p0 * threadlen, std::min<nnz_t>(p1 * threadlen, nnz)});
+  }
+  UST_ENSURES(!chunks.empty() && chunks.front().lo == 0 && chunks.back().hi == nnz);
+  return chunks;
+}
+
+}  // namespace ust::core::native

@@ -1,0 +1,182 @@
+// Native CPU execution backend for the unified kernel (ExecBackend::kNative).
+//
+// The simulator (`sim/executor.hpp`) reproduces the paper's GPU *dataflow* --
+// blocks, warps, shared-memory arenas, segmented scans -- which is what makes
+// kernel-level claims testable, but it pays full emulation overhead on every
+// production run: a std::function dispatch per block, bump-allocated shared
+// arenas, column-strided lane arrays, and a per-non-zero-per-column
+// expr(x, col) indirection. This backend executes the SAME UnifiedPlan
+// metadata (FcooView: bf head flags, thread_first_seg, seg_row) as one tight
+// loop per thread-pool worker over contiguous non-zero ranges:
+//
+//   * each worker owns a chunk of non-zeros aligned to threadlen partition
+//     boundaries (so `thread_first_seg` gives its starting segment id),
+//   * the per-non-zero product is a branch-free FMA over a *contiguous*
+//     per-chunk accumulator tile -- factor-row base pointers are hoisted once
+//     per non-zero by the op-specific Expr (see `accumulate` below),
+//   * segments fully contained in a chunk are committed with plain stores
+//     (seg_row is injective: one segment per output row, as the sim kernel's
+//     conflict-free interior writes already assume),
+//   * segments crossing a chunk boundary are resolved by a single carry
+//     handoff per boundary -- the kAdjacentSync dataflow, realised here as a
+//     cheap serial pass over the O(chunks * cols) boundary partials after the
+//     parallel phase. Zero atomics, and (unlike the GPU carry chain) no
+//     spinning: the handoff runs after the pool joins.
+//
+// The result is bitwise deterministic run-to-run regardless of worker
+// scheduling: chunk boundaries are fixed by (nnz, threadlen, pool size), each
+// segment's partials are summed in storage order, and boundary partials are
+// combined left-to-right. The simulator remains the fidelity/ablation oracle
+// (ReduceStrategy only changes the dataflow there); this backend is the
+// default for end-to-end runs. See DESIGN.md §8.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/unified_kernel.hpp"
+#include "sim/device.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ust::core::native {
+
+/// A contiguous range of non-zeros processed by one worker task. `lo` is
+/// always a multiple of the plan's threadlen (so thread_first_seg[lo /
+/// threadlen] is the segment id of the first non-zero); `hi` is either a
+/// multiple of threadlen or nnz.
+struct Chunk {
+  nnz_t lo = 0;
+  nnz_t hi = 0;
+};
+
+/// Splits [0, nnz) into up to ~4 chunks per worker (dynamic scheduling evens
+/// out skew), each aligned to `threadlen` partition boundaries. Returns an
+/// empty vector for an empty tensor.
+std::vector<Chunk> make_chunks(nnz_t nnz, unsigned threadlen, unsigned workers);
+
+/// Per-chunk boundary state produced by the parallel phase and consumed by
+/// the serial carry pass.
+struct ChunkState {
+  index_t first_seg = 0;          // segment id of the chunk's first non-zero
+  index_t tail_seg = 0;           // segment id open at chunk end
+  std::uint8_t has_head_partial = 0;  // leading run continued a predecessor
+  std::uint8_t tail_closes = 0;       // chunk end coincides with a segment end
+  std::uint8_t tail_committed = 0;    // trailing run already written in phase 1
+};
+
+/// Phase 1 worker body: walks one chunk, committing interior segments
+/// directly and leaving boundary partials in `acc` (trailing run) and
+/// `head_partial` (leading run continuing the previous chunk). `acc` and
+/// `head_partial` are this chunk's contiguous `cols`-wide tiles.
+template <class Expr>
+inline void run_chunk(const FcooView& f, const OutView& out, const Expr& expr,
+                      Chunk ch, float* UST_RESTRICT acc,
+                      float* UST_RESTRICT head_partial, ChunkState& st) {
+  const std::size_t cols = out.num_cols;
+  index_t seg = f.thread_first_seg[ch.lo / f.threadlen];
+  st.first_seg = seg;
+  const bool starts_fresh = f.head(ch.lo);
+  bool closed_any = false;
+  std::fill(acc, acc + cols, 0.0f);
+
+  // The bit-flag word is cached across up to 64 non-zeros, as in the sim
+  // kernel ("read bf in registers").
+  std::uint64_t bf_word = f.bf_words[ch.lo >> 6];
+  for (nnz_t x = ch.lo; x < ch.hi; ++x) {
+    if ((x & 63) == 0) bf_word = f.bf_words[x >> 6];
+    if (x > ch.lo && ((bf_word >> (x & 63)) & 1ull)) {
+      // The run [.., x-1] of segment `seg` closes here.
+      if (!starts_fresh && !closed_any) {
+        // Leading run of a segment opened in an earlier chunk: defer.
+        std::copy(acc, acc + cols, head_partial);
+        st.has_head_partial = 1;
+      } else {
+        // Interior segment, exclusively owned: plain stores.
+        value_t* UST_RESTRICT dst =
+            out.data + static_cast<std::size_t>(f.seg_row[seg]) * out.ld;
+        for (std::size_t c = 0; c < cols; ++c) dst[c] += acc[c];
+      }
+      std::fill(acc, acc + cols, 0.0f);
+      closed_any = true;
+      ++seg;
+    }
+    expr.accumulate(x, f.vals[x], acc);
+  }
+
+  st.tail_seg = seg;
+  st.tail_closes = (ch.hi >= f.nnz) || f.head(ch.hi);
+  if (st.tail_closes && (starts_fresh || closed_any)) {
+    // Trailing segment both opened and closed within this chunk: commit now.
+    value_t* UST_RESTRICT dst =
+        out.data + static_cast<std::size_t>(f.seg_row[seg]) * out.ld;
+    for (std::size_t c = 0; c < cols; ++c) dst[c] += acc[c];
+    st.tail_committed = 1;
+  }
+  // Otherwise `acc` (the chunk's tails tile) carries the open partial into
+  // the serial boundary pass.
+}
+
+/// Executes the unified operation natively over `device`'s worker pool.
+/// `expr.accumulate(x, v, acc)` must add v * expr(x, c) into acc[c] for every
+/// output column c (the contiguous-tile form of the sim kernel's
+/// expr(x, col)). The output must be zero-initialised, exactly as for the
+/// sim path.
+template <class Expr>
+void execute(sim::Device& device, const FcooView& f, const OutView& out,
+             const Expr& expr) {
+  if (f.nnz == 0) return;
+  ThreadPool& pool = device.pool();
+  const std::vector<Chunk> chunks = make_chunks(f.nnz, f.threadlen, pool.size() + 1);
+  const std::size_t cols = out.num_cols;
+  if (chunks.empty() || cols == 0) return;
+  // A native run still counts as one launch in the device counters so
+  // end-to-end accounting (launches per ALS iteration etc.) stays meaningful
+  // across backends; blocks_executed counts worker chunks.
+  device.note_kernel_launch(chunks.size());
+
+  // Contiguous per-chunk accumulator tiles: tails doubles as the running
+  // accumulator during phase 1 and holds the trailing open partial after.
+  std::vector<float> tails(chunks.size() * cols);
+  std::vector<float> head_partials(chunks.size() * cols);
+  std::vector<ChunkState> states(chunks.size());
+
+  // ---- Phase 1 (parallel): one tight loop per chunk ----------------------
+  pool.parallel_ranges(chunks.size(), /*grain=*/1,
+                       [&](unsigned /*worker*/, std::size_t begin, std::size_t end) {
+                         for (std::size_t k = begin; k < end; ++k) {
+                           run_chunk(f, out, expr, chunks[k], &tails[k * cols],
+                                     &head_partials[k * cols], states[k]);
+                         }
+                       });
+
+  // ---- Phase 2 (serial): carry handoff across chunk boundaries -----------
+  // Walks chunks left to right with one running carry tile; each boundary
+  // segment receives exactly one closing write (the kAdjacentSync ownership
+  // rule), so no atomics are needed here either.
+  std::vector<float> carry(cols, 0.0f);
+  for (std::size_t k = 0; k < chunks.size(); ++k) {
+    const ChunkState& st = states[k];
+    if (st.has_head_partial) {
+      // Segment st.first_seg opened earlier and closed inside chunk k.
+      value_t* UST_RESTRICT dst =
+          out.data + static_cast<std::size_t>(f.seg_row[st.first_seg]) * out.ld;
+      const float* UST_RESTRICT hp = &head_partials[k * cols];
+      for (std::size_t c = 0; c < cols; ++c) dst[c] += carry[c] + hp[c];
+      std::fill(carry.begin(), carry.end(), 0.0f);
+    }
+    if (st.tail_committed == 0) {
+      const float* UST_RESTRICT tp = &tails[k * cols];
+      if (st.tail_closes) {
+        value_t* UST_RESTRICT dst =
+            out.data + static_cast<std::size_t>(f.seg_row[st.tail_seg]) * out.ld;
+        for (std::size_t c = 0; c < cols; ++c) dst[c] += carry[c] + tp[c];
+        std::fill(carry.begin(), carry.end(), 0.0f);
+      } else {
+        for (std::size_t c = 0; c < cols; ++c) carry[c] += tp[c];
+      }
+    }
+  }
+  // The last chunk always closes at nnz, so the carry has been flushed.
+}
+
+}  // namespace ust::core::native

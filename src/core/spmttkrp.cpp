@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/native_exec.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -23,6 +24,14 @@ struct MttkrpExpr2 {
     return fac0[static_cast<std::size_t>(idx0[x]) * r + col] *
            fac1[static_cast<std::size_t>(idx1[x]) * r + col];
   }
+
+  /// Native-backend form: both factor-row base pointers are hoisted once per
+  /// non-zero, leaving a branch-free FMA over the contiguous tile.
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    const value_t* UST_RESTRICT row0 = fac0 + static_cast<std::size_t>(idx0[x]) * r;
+    const value_t* UST_RESTRICT row1 = fac1 + static_cast<std::size_t>(idx1[x]) * r;
+    for (index_t c = 0; c < r; ++c) acc[c] += v * row0[c] * row1[c];
+  }
 };
 
 /// General N-order Hadamard expression.
@@ -38,6 +47,18 @@ struct MttkrpExprN {
       v *= fac[p][static_cast<std::size_t>(idx[p][x]) * r + col];
     }
     return v;
+  }
+
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    const value_t* rows[kMaxProductModes];
+    for (std::size_t p = 0; p < nprod; ++p) {
+      rows[p] = fac[p] + static_cast<std::size_t>(idx[p][x]) * r;
+    }
+    for (index_t c = 0; c < r; ++c) {
+      float h = v;
+      for (std::size_t p = 0; p < nprod; ++p) h *= rows[p][c];
+      acc[c] += h;
+    }
   }
 };
 
@@ -90,6 +111,26 @@ void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
 
   FcooView view = plan_->view();
   OutView out_view{out_buf_.data(), r, r};
+
+  if (opt.backend == ExecBackend::kNative) {
+    if (prod_modes.size() == 2) {
+      MttkrpExpr2 expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
+                       factor_bufs_[0].data(), factor_bufs_[1].data(), r};
+      native::execute(dev, view, out_view, expr);
+    } else {
+      MttkrpExprN expr{};
+      expr.nprod = prod_modes.size();
+      expr.r = r;
+      for (std::size_t p = 0; p < prod_modes.size(); ++p) {
+        expr.idx[p] = plan_->product_indices(p).data();
+        expr.fac[p] = factor_bufs_[p].data();
+      }
+      native::execute(dev, view, out_view, expr);
+    }
+    out_buf_.copy_to_host(out.span());
+    return;
+  }
+
   const UnifiedOptions ropt = plan_->resolve_options(r, opt);
   const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
   std::unique_ptr<sim::CarryChain> chain;

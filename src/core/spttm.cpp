@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/native_exec.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -16,6 +17,13 @@ struct SpttmExpr {
 
   float operator()(nnz_t x, index_t col) const {
     return fac[static_cast<std::size_t>(idx[x]) * r + col];
+  }
+
+  /// Native-backend form: the factor-row base pointer is hoisted once per
+  /// non-zero; the column loop is a pure axpy into the contiguous tile.
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    const value_t* UST_RESTRICT row = fac + static_cast<std::size_t>(idx[x]) * r;
+    for (index_t c = 0; c < r; ++c) acc[c] += v * row[c];
   }
 };
 
@@ -51,16 +59,20 @@ SemiSparseTensor UnifiedSpttm::run(const DenseMatrix& u, const UnifiedOptions& o
 
   FcooView view = plan_->view();
   OutView out_view{out_buf_.data(), r, r};
-  const UnifiedOptions ropt = plan_->resolve_options(r, opt);
-  const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
-  std::unique_ptr<sim::CarryChain> chain;
-  if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-    chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
-  }
   SpttmExpr expr{plan_->product_indices(0).data(), factor_buf_.data(), r};
-  sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-    unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-  });
+  if (opt.backend == ExecBackend::kNative) {
+    native::execute(dev, view, out_view, expr);
+  } else {
+    const UnifiedOptions ropt = plan_->resolve_options(r, opt);
+    const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
+    std::unique_ptr<sim::CarryChain> chain;
+    if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+      chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+    }
+    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+    });
+  }
 
   // Assemble the sCOO result.
   std::vector<index_t> sparse_dims;

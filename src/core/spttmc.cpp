@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/native_exec.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -21,6 +22,19 @@ struct TtmcExpr {
   float operator()(nnz_t x, index_t col) const {
     return fac0[static_cast<std::size_t>(idx0[x]) * r0 + col / r1] *
            fac1[static_cast<std::size_t>(idx1[x]) * r1 + col % r1];
+  }
+
+  /// Native-backend form: the per-column div/mod disappears -- the Kronecker
+  /// structure becomes two nested loops over the hoisted factor rows.
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    const value_t* UST_RESTRICT row0 = fac0 + static_cast<std::size_t>(idx0[x]) * r0;
+    const value_t* UST_RESTRICT row1 = fac1 + static_cast<std::size_t>(idx1[x]) * r1;
+    float* UST_RESTRICT dst = acc;
+    for (index_t a = 0; a < r0; ++a) {
+      const float va = v * row0[a];
+      for (index_t b = 0; b < r1; ++b) dst[b] += va * row1[b];
+      dst += r1;
+    }
   }
 };
 
@@ -58,17 +72,21 @@ DenseMatrix UnifiedTtmc::run(const DenseMatrix& u_first, const DenseMatrix& u_se
 
   FcooView view = plan_->view();
   OutView out_view{out_buf_.data(), cols, cols};
-  const UnifiedOptions ropt = plan_->resolve_options(cols, opt);
-  const sim::LaunchConfig cfg = plan_->launch_config(cols, ropt);
-  std::unique_ptr<sim::CarryChain> chain;
-  if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-    chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
-  }
   TtmcExpr expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
                 fac0_buf_.data(), fac1_buf_.data(), r0, r1};
-  sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-    unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-  });
+  if (opt.backend == ExecBackend::kNative) {
+    native::execute(dev, view, out_view, expr);
+  } else {
+    const UnifiedOptions ropt = plan_->resolve_options(cols, opt);
+    const sim::LaunchConfig cfg = plan_->launch_config(cols, ropt);
+    std::unique_ptr<sim::CarryChain> chain;
+    if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+      chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+    }
+    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+    });
+  }
   out_buf_.copy_to_host(out.span());
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/native_exec.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -23,6 +24,11 @@ struct TtvExpr {
       v *= vec[p][idx[p][x]];
     }
     return v;
+  }
+
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    for (std::size_t p = 0; p < nprod; ++p) v *= vec[p][idx[p][x]];
+    acc[0] += v;
   }
 };
 
@@ -61,21 +67,25 @@ std::vector<value_t> UnifiedTtv::run(std::span<const std::vector<value_t>> vecto
 
   FcooView view = plan_->view();
   OutView out_view{out_buf_.data(), 1, 1};
-  const UnifiedOptions ropt = plan_->resolve_options(1, opt);
-  const sim::LaunchConfig cfg = plan_->launch_config(1, ropt);
-  std::unique_ptr<sim::CarryChain> chain;
-  if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-    chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
-  }
   TtvExpr expr{};
   expr.nprod = prod_modes.size();
   for (std::size_t p = 0; p < prod_modes.size(); ++p) {
     expr.idx[p] = plan_->product_indices(p).data();
     expr.vec[p] = vec_bufs_[p].data();
   }
-  sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-    unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-  });
+  if (opt.backend == ExecBackend::kNative) {
+    native::execute(dev, view, out_view, expr);
+  } else {
+    const UnifiedOptions ropt = plan_->resolve_options(1, opt);
+    const sim::LaunchConfig cfg = plan_->launch_config(1, ropt);
+    std::unique_ptr<sim::CarryChain> chain;
+    if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+      chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+    }
+    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+    });
+  }
 
   std::vector<value_t> out(out_rows);
   out_buf_.copy_to_host(out);

@@ -10,25 +10,46 @@ std::vector<unsigned> default_threadlens() { return {8, 16, 24, 32, 40, 48, 56, 
 
 std::vector<unsigned> default_block_sizes() { return {32, 64, 128, 256, 512, 768, 1024}; }
 
+std::vector<ExecBackend> default_backends() {
+  return {ExecBackend::kNative, ExecBackend::kSim};
+}
+
+const char* backend_name(ExecBackend backend) {
+  return backend == ExecBackend::kNative ? "native" : "sim";
+}
+
 TuneResult tune(const std::function<double(Partitioning)>& runner,
                 std::vector<unsigned> threadlens, std::vector<unsigned> block_sizes) {
-  UST_EXPECTS(!threadlens.empty() && !block_sizes.empty());
+  return tune_backends([&](Partitioning part, ExecBackend) { return runner(part); },
+                       std::move(threadlens), std::move(block_sizes),
+                       {ExecBackend::kNative});
+}
+
+TuneResult tune_backends(const std::function<double(Partitioning, ExecBackend)>& runner,
+                         std::vector<unsigned> threadlens,
+                         std::vector<unsigned> block_sizes,
+                         std::vector<ExecBackend> backends) {
+  UST_EXPECTS(!threadlens.empty() && !block_sizes.empty() && !backends.empty());
   TuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
   for (unsigned bs : block_sizes) {
     for (unsigned tl : threadlens) {
       const Partitioning part{.threadlen = tl, .block_size = bs};
-      double s = std::numeric_limits<double>::quiet_NaN();
-      try {
-        s = runner(part);
-      } catch (const std::exception& e) {
-        UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << "): " << e.what();
-        continue;
-      }
-      result.samples.push_back({part, s});
-      if (s < result.best_seconds) {
-        result.best_seconds = s;
-        result.best = part;
+      for (ExecBackend backend : backends) {
+        double s = std::numeric_limits<double>::quiet_NaN();
+        try {
+          s = runner(part, backend);
+        } catch (const std::exception& e) {
+          UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << ","
+                        << backend_name(backend) << "): " << e.what();
+          continue;
+        }
+        result.samples.push_back({part, backend, s});
+        if (s < result.best_seconds) {
+          result.best_seconds = s;
+          result.best = part;
+          result.best_backend = backend;
+        }
       }
     }
   }

@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/unified_kernel.hpp"
 #include "tensor/fcoo.hpp"
 #include "util/common.hpp"
 
@@ -14,11 +15,13 @@ namespace ust::core {
 
 struct TuneSample {
   Partitioning part;
+  ExecBackend backend = ExecBackend::kNative;
   double seconds = 0.0;
 };
 
 struct TuneResult {
   Partitioning best;
+  ExecBackend best_backend = ExecBackend::kNative;
   double best_seconds = 0.0;
   std::vector<TuneSample> samples;  // full sweep, row-major over the grid
 };
@@ -26,13 +29,27 @@ struct TuneResult {
 /// The paper's sweep axes: threadlen 8..64 step 8, BLOCK_SIZE {32,...,1024}.
 std::vector<unsigned> default_threadlens();
 std::vector<unsigned> default_block_sizes();
+/// Backend axis of the extended search grid: native first (the default
+/// production engine), then the simulator.
+std::vector<ExecBackend> default_backends();
 
 /// Runs `runner` (which should execute the operation once and return elapsed
 /// seconds, typically a median of repeats) for every configuration.
 /// Configurations whose runner throws (e.g. shared-memory overflow) are
-/// skipped.
+/// skipped. Partitioning-only sweep; samples carry backend == kNative.
 TuneResult tune(const std::function<double(Partitioning)>& runner,
                 std::vector<unsigned> threadlens = default_threadlens(),
                 std::vector<unsigned> block_sizes = default_block_sizes());
+
+/// Extended sweep with the execution backend as a third grid axis: the
+/// runner is measured for every (partitioning, backend) pair and the best
+/// sample records which backend won.
+TuneResult tune_backends(const std::function<double(Partitioning, ExecBackend)>& runner,
+                         std::vector<unsigned> threadlens = default_threadlens(),
+                         std::vector<unsigned> block_sizes = default_block_sizes(),
+                         std::vector<ExecBackend> backends = default_backends());
+
+/// Short display name for a backend ("native" / "sim").
+const char* backend_name(ExecBackend backend);
 
 }  // namespace ust::core

@@ -25,6 +25,7 @@
 //      that cost for the ablation study).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 
@@ -46,6 +47,19 @@ enum class ReduceStrategy {
   kAllAtomic       // one atomic per non-zero (COO-style; no local reuse)
 };
 
+/// Which engine executes the unified plan (DESIGN.md §8). kSim runs the
+/// paper-faithful GPU execution-model simulator (blocks, warps, segmented
+/// scans -- the fidelity/ablation oracle, where ReduceStrategy matters).
+/// kNative runs the same FcooView metadata as one tight loop per thread-pool
+/// worker with a single carry handoff per worker boundary (the kAdjacentSync
+/// dataflow, zero atomics); ReduceStrategy and column_tile are ignored
+/// there. Both backends agree within float tolerance
+/// (tests/backend_equivalence_test.cpp).
+enum class ExecBackend {
+  kSim,     // GPU execution-model simulator (src/sim/)
+  kNative   // direct thread-pool execution (src/core/native_exec.hpp)
+};
+
 /// Execution options for a unified kernel run. The partitioning itself
 /// (threadlen, block size) is a property of the UnifiedPlan, because the
 /// per-partition metadata is precomputed for it.
@@ -61,6 +75,7 @@ enum class ReduceStrategy {
 struct UnifiedOptions {
   ReduceStrategy strategy = ReduceStrategy::kSegmentedScan;
   unsigned column_tile = 0;  // 0 = auto; 1 = paper layout; n = fixed tile
+  ExecBackend backend = ExecBackend::kNative;  // sim path is the oracle
 };
 
 /// Raw device-side view of an F-COO tensor plus partition metadata, passed
@@ -126,11 +141,12 @@ inline void block_segmented_scan(std::span<float> vals, std::span<std::uint8_t> 
   }
 }
 
-/// Per-lane state captured by the thread-local pass.
+/// Per-lane state captured by the thread-local pass. Output rows are
+/// resolved (via f.seg_row) once here, so the per-column commit loops of
+/// phases 2-3 never re-read the segment tables.
 struct LaneState {
-  float head_partial = 0.0f;  // first-run partial continuing an earlier thread
-  index_t first_seg = 0;      // segment id of the partition's first nnz
-  index_t tail_seg = 0;       // segment id open at partition end
+  index_t head_row = 0;  // output row of the segment closed by the first head
+  index_t tail_row = 0;  // output row of the segment open at partition end
   std::uint8_t has_head_partial = 0;
   std::uint8_t tail_closes = 0;  // partition end coincides with a segment end
   std::uint8_t active = 0;
@@ -158,7 +174,11 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
       std::min<index_t>(opt.column_tile, out.num_cols > col0 ? out.num_cols - col0 : 0);
   if (cols == 0) return;
 
-  // Shared-memory lane arrays (per column tile where value-carrying).
+  // Shared-memory lane arrays. tails/heads hold each thread's per-column
+  // boundary partials in *thread-contiguous* layout ([t * cols + c]) so the
+  // phase-1 commits write one cache-friendly tile per lane -- the same
+  // accumulator shape the native backend uses. Phase 2 gathers one column's
+  // lane values into scan_vals before each block scan.
   auto states = blk.shared_array<detail::LaneState>(block_dim);
   auto tails = blk.shared_array<float>(static_cast<std::size_t>(block_dim) * cols);
   auto heads = blk.shared_array<float>(static_cast<std::size_t>(block_dim) * cols);
@@ -167,6 +187,7 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
   auto warp_carry = blk.shared_array<float>(blk.warp_count());
   auto warp_flag = blk.shared_array<std::uint8_t>(blk.warp_count());
   auto col_sum = blk.shared_array<float>(cols);  // running sums of one thread
+  auto scan_vals = blk.shared_array<float>(block_dim);  // one column's lanes
 
   const nnz_t thread0 = block_base / threadlen;  // global index of lane 0's partition
   unsigned last_active = 0;
@@ -175,10 +196,10 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
   for (unsigned t = 0; t < block_dim; ++t) {
     detail::LaneState st;
     const nnz_t s = block_base + static_cast<nnz_t>(t) * threadlen;
-    for (index_t c = 0; c < cols; ++c) {
-      tails[static_cast<std::size_t>(c) * block_dim + t] = 0.0f;
-      heads[static_cast<std::size_t>(c) * block_dim + t] = 0.0f;
-    }
+    float* tail_tile = &tails[static_cast<std::size_t>(t) * cols];
+    float* head_tile = &heads[static_cast<std::size_t>(t) * cols];
+    std::fill(tail_tile, tail_tile + cols, 0.0f);
+    std::fill(head_tile, head_tile + cols, 0.0f);
     flags0[t] = 1;  // inactive lanes terminate scan runs
     if (s >= f.nnz) {
       states[t] = st;
@@ -188,7 +209,6 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
     last_active = t;
     const nnz_t e = std::min<nnz_t>(s + threadlen, f.nnz);
     index_t seg = f.thread_first_seg[thread0 + t];
-    st.first_seg = seg;
     const bool starts_fresh = f.head(s);
     bool closed_any = false;
     for (index_t c = 0; c < cols; ++c) col_sum[c] = 0.0f;
@@ -200,25 +220,23 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
       if ((x & 63) == 0) bf_word = f.bf_words[x >> 6];
       const bool is_head = (bf_word >> (x & 63)) & 1ull;
       if (x > s && is_head) {
-        // The run [.., x-1] of segment `seg` closes here.
+        // The run [.., x-1] of segment `seg` closes here. The output row and
+        // its base pointer are resolved once, outside the column loop.
         const index_t row = f.seg_row[seg];
+        value_t* const out_row = &out.data[static_cast<std::size_t>(row) * out.ld + col0];
         if (!starts_fresh && !closed_any) {
           if constexpr (kStrategy == ReduceStrategy::kThreadAtomic) {
             for (index_t c = 0; c < cols; ++c) {
-              blk.atomic_add_global(&out.data[static_cast<std::size_t>(row) * out.ld + col0 + c],
-                                    col_sum[c]);
+              blk.atomic_add_global(out_row + c, col_sum[c]);
             }
           } else {
             st.has_head_partial = 1;
-            for (index_t c = 0; c < cols; ++c) {
-              heads[static_cast<std::size_t>(c) * block_dim + t] = col_sum[c];
-            }
+            st.head_row = row;
+            for (index_t c = 0; c < cols; ++c) head_tile[c] = col_sum[c];
           }
         } else {
           // Interior segment: fully contained in this thread; direct write.
-          for (index_t c = 0; c < cols; ++c) {
-            out.data[static_cast<std::size_t>(row) * out.ld + col0 + c] += col_sum[c];
-          }
+          for (index_t c = 0; c < cols; ++c) out_row[c] += col_sum[c];
         }
         closed_any = true;
         ++seg;
@@ -227,17 +245,17 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
       const float v = f.vals[x];
       if constexpr (kStrategy == ReduceStrategy::kAllAtomic) {
         // COO-style: no local accumulation at all (ablation baseline).
-        const index_t row = f.seg_row[seg];
+        value_t* const out_row =
+            &out.data[static_cast<std::size_t>(f.seg_row[seg]) * out.ld + col0];
         for (index_t c = 0; c < cols; ++c) {
-          blk.atomic_add_global(&out.data[static_cast<std::size_t>(row) * out.ld + col0 + c],
-                                v * expr(x, col0 + c));
+          blk.atomic_add_global(out_row + c, v * expr(x, col0 + c));
         }
       } else {
         for (index_t c = 0; c < cols; ++c) col_sum[c] += v * expr(x, col0 + c);
       }
     }
 
-    st.tail_seg = seg;
+    st.tail_row = f.seg_row[seg];
     st.tail_closes = (e >= f.nnz) || f.head(e);
     flags0[t] = (starts_fresh || closed_any) ? 1 : 0;
     if constexpr (kStrategy == ReduceStrategy::kAllAtomic) {
@@ -247,22 +265,20 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
     if constexpr (kStrategy == ReduceStrategy::kThreadAtomic) {
       // Commit the trailing partial immediately: direct when the segment is
       // fully contained in this thread, atomic otherwise.
-      const index_t row = f.seg_row[seg];
+      value_t* const out_row =
+          &out.data[static_cast<std::size_t>(st.tail_row) * out.ld + col0];
       const bool exclusive = (flags0[t] != 0) && st.tail_closes;
       for (index_t c = 0; c < cols; ++c) {
-        value_t* addr = &out.data[static_cast<std::size_t>(row) * out.ld + col0 + c];
         if (exclusive) {
-          *addr += col_sum[c];
+          out_row[c] += col_sum[c];
         } else {
-          blk.atomic_add_global(addr, col_sum[c]);
+          blk.atomic_add_global(out_row + c, col_sum[c]);
         }
       }
       states[t] = st;
       continue;
     }
-    for (index_t c = 0; c < cols; ++c) {
-      tails[static_cast<std::size_t>(c) * block_dim + t] = col_sum[c];
-    }
+    for (index_t c = 0; c < cols; ++c) tail_tile[c] = col_sum[c];
     states[t] = st;
   }
 
@@ -280,9 +296,13 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
 
   // ---- Phase 2 + 3 per column: block segmented scan, then commits --------
   for (index_t c = 0; c < cols; ++c) {
-    auto tail_lane = tails.subspan(static_cast<std::size_t>(c) * block_dim, block_dim);
+    // Gather column c's trailing partials out of the thread-contiguous tiles
+    // into a dense lane array for the scan (the shuffle exchange on a GPU).
+    for (unsigned t = 0; t < block_dim; ++t) {
+      scan_vals[t] = tails[static_cast<std::size_t>(t) * cols + c];
+    }
     std::copy(flags0.begin(), flags0.end(), flags.begin());
-    detail::block_segmented_scan(tail_lane, flags, warp_carry, warp_flag);
+    detail::block_segmented_scan(scan_vals, flags, warp_carry, warp_flag);
 
     // The carry entering this block: contributions of all earlier blocks to
     // the segment open at block start. Fetched lazily (it blocks on the
@@ -306,9 +326,9 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
       if (last_st.tail_closes) {
         chain->publish(slot, c, 0.0f);  // successor starts a fresh segment
       } else if (flags[last_active] != 0) {
-        chain->publish(slot, c, tail_lane[last_active]);
+        chain->publish(slot, c, scan_vals[last_active]);
       } else {
-        chain->publish(slot, c, tail_lane[last_active] + fetch_carry());
+        chain->publish(slot, c, scan_vals[last_active] + fetch_carry());
       }
     }
 
@@ -317,17 +337,17 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
       if (!st.active) continue;
       value_t* out_base = out.data;
 
-      // Head-partial commit: segment st.first_seg closed inside this thread
-      // but started in an earlier one.
+      // Head-partial commit: the segment closed by this thread's first head
+      // started in an earlier one (row resolved in phase 1).
       if (st.has_head_partial) {
-        float total = heads[static_cast<std::size_t>(c) * block_dim + t];
+        float total = heads[static_cast<std::size_t>(t) * cols + c];
         bool in_block = false;
         if (t > 0) {
-          total += tail_lane[t - 1];
+          total += scan_vals[t - 1];
           in_block = flags[t - 1] != 0;
         }
         value_t* addr =
-            &out_base[static_cast<std::size_t>(f.seg_row[st.first_seg]) * out.ld + col0 + c];
+            &out_base[static_cast<std::size_t>(st.head_row) * out.ld + col0 + c];
         if constexpr (kUseCarry) {
           if (!in_block) total += fetch_carry();
           *addr += total;  // the closing write owns the segment: no atomic
@@ -345,22 +365,21 @@ void unified_block_program_impl(sim::BlockCtx& blk, const FcooView& f, const Out
       // also flush its open partial (atomically).
       if constexpr (kUseCarry) {
         if (st.tail_closes) {
-          float total = tail_lane[t];
+          float total = scan_vals[t];
           if (flags[t] == 0) total += fetch_carry();
-          out_base[static_cast<std::size_t>(f.seg_row[st.tail_seg]) * out.ld + col0 + c] +=
-              total;
+          out_base[static_cast<std::size_t>(st.tail_row) * out.ld + col0 + c] += total;
         }
         // Open trailing runs were re-published to the successor above.
       } else {
         const bool run_ends_here = st.tail_closes || (t == last_active);
         if (run_ends_here) {
           value_t* addr =
-              &out_base[static_cast<std::size_t>(f.seg_row[st.tail_seg]) * out.ld + col0 + c];
+              &out_base[static_cast<std::size_t>(st.tail_row) * out.ld + col0 + c];
           const bool contained = st.tail_closes && flags[t] != 0;
           if (contained) {
-            *addr += tail_lane[t];
+            *addr += scan_vals[t];
           } else {
-            blk.atomic_add_global(addr, tail_lane[t]);
+            blk.atomic_add_global(addr, scan_vals[t]);
           }
         }
       }

@@ -15,6 +15,7 @@ std::size_t unified_shared_bytes(unsigned block_dim, unsigned column_tile) {
   total += padded(warps * sizeof(float));                              // warp_carry
   total += padded(warps * sizeof(std::uint8_t));                       // warp_flag
   total += padded(column_tile * sizeof(float));                        // col_sum
+  total += padded(block_dim * sizeof(float));                          // scan_vals
   return total;
 }
 
@@ -28,7 +29,8 @@ UnifiedPlan::UnifiedPlan(sim::Device& device, const FcooTensor& fcoo, Partitioni
       product_modes_(fcoo.product_modes()) {
   UST_EXPECTS(part_.threadlen >= 1);
   UST_EXPECTS(part_.block_size >= 1);
-  UST_EXPECTS(nnz_ > 0);
+  // nnz == 0 is allowed: all device arrays are empty, both backends launch
+  // zero work, and the operation's zero-filled output is already correct.
 
   // Upload packed bit flags.
   const auto words = fcoo.bit_flags().words();

@@ -6,10 +6,12 @@
 // fused kernels) requires.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "sim/atomic.hpp"
@@ -79,6 +81,39 @@ class BlockCtx {
 
 using KernelFn = std::function<void(BlockCtx&)>;
 
+namespace detail {
+
+/// One iteration of spin-wait backoff: a CPU pause hint (keeps the core's
+/// pipeline and hyper-twin responsive) without giving up the time slice.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Blocks until `flag` becomes non-zero: a bounded pause-hinted spin (the
+/// predecessor is usually one cache miss away under ordered dispatch), then
+/// yields the time slice so oversubscribed pools don't burn a core per
+/// stalled block.
+inline void spin_wait_ready(const std::atomic<std::uint8_t>& flag) noexcept {
+  constexpr int kSpinLimit = 4096;
+  int spins = 0;
+  while (flag.load(std::memory_order_acquire) == 0) {
+    if (spins < kSpinLimit) {
+      ++spins;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace detail
+
 /// Launches `kernel` over `cfg.grid` blocks on `device`'s pool. Blocks are
 /// dispatched in increasing linear index order (x fastest); the call blocks
 /// until the whole grid has completed, like a cudaDeviceSynchronize after
@@ -110,10 +145,11 @@ class CarryChain {
   }
 
   float wait(std::size_t slot, std::size_t lane) const {
+    // The predecessor block is guaranteed to be running (ordered dispatch),
+    // but on an oversubscribed pool it may not hold a core: bounded spin,
+    // then yield (see detail::spin_wait_ready).
     const std::size_t i = index(slot, lane);
-    while (ready_[i].load(std::memory_order_acquire) == 0) {
-      // Busy-wait: the predecessor block is guaranteed to be running.
-    }
+    detail::spin_wait_ready(ready_[i]);
     return carry_[i];
   }
 
@@ -149,12 +185,11 @@ class AdjacentSignal {
     ready_[i].store(1, std::memory_order_release);
   }
 
-  /// Spins until block `i`'s carry is available, then returns it.
+  /// Waits until block `i`'s carry is available, then returns it: bounded
+  /// pause-hinted spin, then yield (see detail::spin_wait_ready).
   float wait(std::size_t i) const {
     UST_EXPECTS(i < ready_.size());
-    while (ready_[i].load(std::memory_order_acquire) == 0) {
-      // Busy-wait: predecessors are guaranteed to be running already.
-    }
+    detail::spin_wait_ready(ready_[i]);
     return carry_[i];
   }
 

@@ -52,6 +52,14 @@ namespace detail {
                                    std::source_location::current());          \
   } while (0)
 
+/// No-alias hint for hot-loop pointers (vectorisation); expands to nothing on
+/// compilers without a restrict extension.
+#if defined(__GNUC__) || defined(__clang__)
+#define UST_RESTRICT __restrict__
+#else
+#define UST_RESTRICT
+#endif
+
 /// Integer ceiling division.
 template <class T>
 constexpr T ceil_div(T a, T b) {

@@ -4,6 +4,9 @@
 // float additions differently (scan tree vs carry chain vs atomics), so
 // bitwise equality is not required — but any real reduction bug (a dropped
 // boundary partial, a double-committed segment) shows up far above 1e-3.
+// All runs pin ExecBackend::kSim: reduction strategies only exist on the
+// simulator (the native backend has one dataflow, covered by
+// backend_equivalence_test.cpp).
 #include <gtest/gtest.h>
 
 #include "baselines/reference.hpp"
@@ -51,7 +54,8 @@ TEST(ReduceStrategyFuzz, AllStrategiesAgreeOnSharedInputs) {
     DenseMatrix results[4];
     for (std::size_t s = 0; s < 4; ++s) {
       const core::UnifiedOptions opt{.strategy = kAllStrategies[s],
-                                     .column_tile = column_tile};
+                                     .column_tile = column_tile,
+                                     .backend = core::ExecBackend::kSim};
       results[s] = core::spmttkrp_unified(dev, t, mode, factors, part, opt);
       ASSERT_LT(test::relative_error(results[s], want), test::kUnifiedTol)
           << "trial " << trial << " strategy " << strategy_name(kAllStrategies[s])
@@ -81,7 +85,9 @@ TEST(ReduceStrategyFuzz, DeterministicPerStrategy) {
   const auto factors = test::random_factors(t, 8, rng);
   const Partitioning part{.threadlen = 5, .block_size = 64};
   for (const auto strategy : kAllStrategies) {
-    const core::UnifiedOptions opt{.strategy = strategy, .column_tile = 0};
+    const core::UnifiedOptions opt{.strategy = strategy,
+                                   .column_tile = 0,
+                                   .backend = core::ExecBackend::kSim};
     const DenseMatrix a = core::spmttkrp_unified(dev, t, 0, factors, part, opt);
     const DenseMatrix b = core::spmttkrp_unified(dev, t, 0, factors, part, opt);
     EXPECT_EQ(DenseMatrix::max_abs_diff(a, b), 0.0)
@@ -116,7 +122,9 @@ TEST(ReduceStrategyFuzz, AdversarialSegmentLayouts) {
     const auto factors = test::random_factors(*t, 6, rng);
     const DenseMatrix want = baseline::mttkrp_reference(*t, 0, factors);
     for (const auto strategy : kAllStrategies) {
-      const core::UnifiedOptions opt{.strategy = strategy, .column_tile = 1};
+      const core::UnifiedOptions opt{.strategy = strategy,
+                                     .column_tile = 1,
+                                     .backend = core::ExecBackend::kSim};
       const DenseMatrix got = core::spmttkrp_unified(dev, *t, 0, factors, part, opt);
       EXPECT_LT(test::relative_error(got, want), test::kUnifiedTol)
           << "strategy " << strategy_name(strategy);

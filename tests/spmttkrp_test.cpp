@@ -46,7 +46,11 @@ TEST_P(MttkrpSweep, MatchesSerialReference) {
 
   sim::Device dev;
   const Partitioning part{.threadlen = p.threadlen, .block_size = p.block_size};
-  const core::UnifiedOptions opt{.strategy = p.strategy, .column_tile = p.column_tile};
+  // The sweep exercises the sim backend's reduction strategies and column
+  // tiles; the native backend is swept by tests/backend_equivalence_test.cpp.
+  const core::UnifiedOptions opt{.strategy = p.strategy,
+                                 .column_tile = p.column_tile,
+                                 .backend = core::ExecBackend::kSim};
   const DenseMatrix got = core::spmttkrp_unified(dev, t, p.mode, factors, part, opt);
   const DenseMatrix want = baseline::mttkrp_reference(t, p.mode, factors);
   EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
@@ -110,7 +114,8 @@ TEST(Mttkrp, SingleGiantSliceSpansManyBlocks) {
   const auto factors = random_factors(t, 16, 18);
   sim::Device dev;
   const Partitioning part{.threadlen = 4, .block_size = 32};  // many blocks
-  const DenseMatrix got = core::spmttkrp_unified(dev, t, 0, factors, part);
+  const DenseMatrix got = core::spmttkrp_unified(
+      dev, t, 0, factors, part, core::UnifiedOptions{.backend = core::ExecBackend::kSim});
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
   EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
 }
@@ -126,8 +131,9 @@ TEST(Mttkrp, AllSingletonSlices) {
   }
   const auto factors = random_factors(t, 8, 20);
   sim::Device dev;
-  const DenseMatrix got =
-      core::spmttkrp_unified(dev, t, 0, factors, Partitioning{.threadlen = 8, .block_size = 64});
+  const DenseMatrix got = core::spmttkrp_unified(
+      dev, t, 0, factors, Partitioning{.threadlen = 8, .block_size = 64},
+      core::UnifiedOptions{.backend = core::ExecBackend::kSim});
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
   EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
   EXPECT_EQ(dev.counters().atomic_ops, 0u);
@@ -172,12 +178,14 @@ TEST(Mttkrp, SegmentedScanUsesFarFewerAtomicsThanAllAtomic) {
 
   sim::Device dev_scan;
   core::UnifiedMttkrp op_scan(dev_scan, t, 0, part);
-  op_scan.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan});
+  op_scan.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan,
+                            .backend = core::ExecBackend::kSim});
   const auto scan_atomics = dev_scan.counters().atomic_ops;
 
   sim::Device dev_atomic;
   core::UnifiedMttkrp op_atomic(dev_atomic, t, 0, part);
-  op_atomic.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAllAtomic});
+  op_atomic.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAllAtomic,
+                              .backend = core::ExecBackend::kSim});
   const auto all_atomics = dev_atomic.counters().atomic_ops;
 
   EXPECT_EQ(all_atomics, t.nnz() * 16);  // one per nnz per column
@@ -203,7 +211,8 @@ TEST(Mttkrp, AdjacentSyncUsesZeroAtomics) {
   core::UnifiedMttkrp op(dev, t, 0, part);
   dev.reset_counters();
   const DenseMatrix got =
-      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync});
+      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync,
+                            .backend = core::ExecBackend::kSim});
   EXPECT_EQ(dev.counters().atomic_ops, 0u);
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
   EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
@@ -217,9 +226,11 @@ TEST(Mttkrp, AdjacentSyncMatchesSegmentedScan) {
   sim::Device dev;
   core::UnifiedMttkrp op(dev, t, 0, Partitioning{.threadlen = 8, .block_size = 64});
   const DenseMatrix scan =
-      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan});
+      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan,
+                            .backend = core::ExecBackend::kSim});
   const DenseMatrix fused =
-      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync});
+      op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync,
+                            .backend = core::ExecBackend::kSim});
   EXPECT_LT(relative_error(fused, scan), 1e-4);
 }
 

@@ -83,13 +83,17 @@ TEST(Spttm, AllStrategiesAgree) {
   sim::Device dev;
   core::UnifiedSpttm op(dev, t, 2, Partitioning{.threadlen = 8, .block_size = 64});
   const SemiSparseTensor scan =
-      op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan});
+      op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan,
+                           .backend = core::ExecBackend::kSim});
   const SemiSparseTensor thread_atomic =
-      op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kThreadAtomic});
+      op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kThreadAtomic,
+                           .backend = core::ExecBackend::kSim});
   const SemiSparseTensor all_atomic =
-      op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAllAtomic});
+      op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAllAtomic,
+                           .backend = core::ExecBackend::kSim});
   const SemiSparseTensor adjacent =
-      op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync});
+      op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync,
+                           .backend = core::ExecBackend::kSim});
   EXPECT_LT(relative_error(thread_atomic, scan), test::kUnifiedTol);
   EXPECT_LT(relative_error(all_atomic, scan), test::kUnifiedTol);
   EXPECT_LT(relative_error(adjacent, scan), test::kUnifiedTol);

@@ -53,11 +53,12 @@ TEST(Ttv, FourthOrderAndAllStrategies) {
   sim::Device dev;
   core::UnifiedTtv op(dev, t, 0, Partitioning{.threadlen = 4, .block_size = 32});
   const auto scan =
-      op.run(vecs, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan});
+      op.run(vecs, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan,
+                           .backend = core::ExecBackend::kSim});
   for (auto strategy : {core::ReduceStrategy::kAdjacentSync,
                         core::ReduceStrategy::kThreadAtomic,
                         core::ReduceStrategy::kAllAtomic}) {
-    const auto other = op.run(vecs, core::UnifiedOptions{.strategy = strategy});
+    const auto other = op.run(vecs, core::UnifiedOptions{.strategy = strategy, .backend = core::ExecBackend::kSim});
     ASSERT_EQ(other.size(), scan.size());
     for (std::size_t i = 0; i < scan.size(); ++i) {
       EXPECT_NEAR(other[i], scan[i], 1e-3 * std::max(1.0f, std::abs(scan[i])));
