@@ -13,31 +13,37 @@ using namespace ust;
 
 namespace {
 
+/// Chunk-size axis for the sweeps below: auto plus one fixed cap. The full
+/// default_chunk_nnzs() grid triples the native sample count; two values are
+/// enough to show whether capping the worker grid pays on a dataset.
+const std::vector<nnz_t> kChunkAxis{0, 16384};
+
 core::TuneResult tune_mttkrp(sim::Device& dev, const CooTensor& t,
                              const std::vector<DenseMatrix>& factors,
                              const std::vector<unsigned>& threadlens,
                              const std::vector<unsigned>& blocks, int reps) {
-  // The backend joins the search grid: every (threadlen, BLOCK_SIZE) cell is
-  // measured on both engines and the best sample records the winner.
+  // The backend and the native worker-chunk cap join the search grid: every
+  // (threadlen, BLOCK_SIZE) cell is measured on both engines (and per chunk
+  // cap on native) and the best sample records the winners.
   return core::tune_backends(
-      [&](Partitioning part, core::ExecBackend backend) {
+      [&](Partitioning part, core::ExecBackend backend, nnz_t chunk) {
         core::UnifiedMttkrp op(dev, t, 0, part);
-        const core::UnifiedOptions opt{.backend = backend};
+        const core::UnifiedOptions opt{.backend = backend, .chunk_nnz = chunk};
         return bench::time_median([&] { op.run(factors, opt); }, reps);
       },
-      threadlens, blocks);
+      threadlens, blocks, core::default_backends(), kChunkAxis);
 }
 
 core::TuneResult tune_spttm(sim::Device& dev, const CooTensor& t, const DenseMatrix& u,
                             const std::vector<unsigned>& threadlens,
                             const std::vector<unsigned>& blocks, int reps) {
   return core::tune_backends(
-      [&](Partitioning part, core::ExecBackend backend) {
+      [&](Partitioning part, core::ExecBackend backend, nnz_t chunk) {
         core::UnifiedSpttm op(dev, t, 2, part);
-        const core::UnifiedOptions opt{.backend = backend};
+        const core::UnifiedOptions opt{.backend = backend, .chunk_nnz = chunk};
         return bench::time_median([&] { op.run(u, opt); }, reps);
       },
-      threadlens, blocks);
+      threadlens, blocks, core::default_backends(), kChunkAxis);
 }
 
 void print_surface(const core::TuneResult& r, const std::vector<unsigned>& threadlens,
@@ -119,6 +125,7 @@ int main(int argc, char** argv) {
                      std::to_string(d.spec.best_spttm.threadlen) + ")"});
       json.add(d.name + ".spttm.best_s", r.best_seconds);
       json.add(d.name + ".spttm.best_backend", core::backend_name(r.best_backend));
+      json.add(d.name + ".spttm.best_chunk_nnz", static_cast<double>(r.best_chunk_nnz));
     }
     {
       const auto r = tune_mttkrp(dev, d.tensor, factors, threadlens, blocks, reps);
@@ -131,6 +138,7 @@ int main(int argc, char** argv) {
                      std::to_string(d.spec.best_spmttkrp.threadlen) + ")"});
       json.add(d.name + ".spmttkrp.best_s", r.best_seconds);
       json.add(d.name + ".spmttkrp.best_backend", core::backend_name(r.best_backend));
+      json.add(d.name + ".spmttkrp.best_chunk_nnz", static_cast<double>(r.best_chunk_nnz));
     }
   }
   t.print();

@@ -173,11 +173,14 @@ CpResult cp_als_driver(const CooTensor& tensor, const CpOptions& options,
 CpResult cp_als_unified(sim::Device& device, const CooTensor& tensor,
                         const CpOptions& options) {
   // Build one plan per mode up front; F-COO is transferred to the device
-  // once, and no format conversion happens inside the iteration.
+  // once, and no format conversion happens inside the iteration. With a
+  // plan cache, repeated solver calls on the same tensor skip this step
+  // entirely (every mode's plan is a cache hit).
   std::vector<UnifiedMttkrp> ops;
   ops.reserve(static_cast<std::size_t>(tensor.order()));
   for (int m = 0; m < tensor.order(); ++m) {
-    ops.emplace_back(device, tensor, m, options.part);
+    ops.emplace_back(device, tensor, m, options.part, options.streaming,
+                     options.plan_cache);
   }
   return cp_als_driver(tensor, options,
                        [&](int mode, const std::vector<DenseMatrix>& factors) {

@@ -16,6 +16,10 @@
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
 
+namespace ust::pipeline {
+class PlanCache;
+}
+
 namespace ust::core {
 
 struct CpOptions {
@@ -24,6 +28,14 @@ struct CpOptions {
   double fit_tolerance = 1e-5;  // stop when |fit - previous fit| < tol
   Partitioning part;
   UnifiedOptions kernel;
+  /// Per-mode MTTKRP plans are fetched from / inserted into this LRU cache
+  /// when non-null, so repeated solver invocations on the same tensor skip
+  /// F-COO construction and upload entirely (bench_pipeline measures the
+  /// cached-vs-cold gap). The cache must outlive the call.
+  pipeline::PlanCache* plan_cache = nullptr;
+  /// Streams every MTTKRP through bounded-memory chunk plans when enabled
+  /// (tensors larger than device memory); bypasses the plan cache.
+  StreamingOptions streaming;
   bool use_streams = true;   // overlap dense algebra with MTTKRP
   std::uint64_t seed = 42;   // factor initialisation
 };

@@ -2,14 +2,21 @@
 
 namespace ust::core::native {
 
-std::vector<Chunk> make_chunks(nnz_t nnz, unsigned threadlen, unsigned workers) {
+std::vector<Chunk> make_chunks(nnz_t nnz, unsigned threadlen, unsigned workers,
+                               nnz_t max_chunk_nnz) {
   std::vector<Chunk> chunks;
   if (nnz == 0) return chunks;
   UST_EXPECTS(threadlen >= 1);
   const nnz_t partitions = ceil_div<nnz_t>(nnz, threadlen);
   // ~4 chunks per worker: enough slack for dynamic load balancing without
-  // making the serial boundary pass or the tile allocations noticeable.
-  const nnz_t target = std::max<nnz_t>(1, static_cast<nnz_t>(workers) * 4);
+  // making the serial boundary pass or the tile allocations noticeable. A
+  // non-zero max_chunk_nnz raises the chunk count until every chunk fits the
+  // cap -- the knob the streaming pipeline and the tuner's fourth axis share.
+  nnz_t target = std::max<nnz_t>(1, static_cast<nnz_t>(workers) * 4);
+  if (max_chunk_nnz != 0) {
+    const nnz_t cap_partitions = std::max<nnz_t>(1, max_chunk_nnz / threadlen);
+    target = std::max(target, ceil_div<nnz_t>(partitions, cap_partitions));
+  }
   const nnz_t n = std::min<nnz_t>(partitions, target);
   chunks.reserve(n);
   for (nnz_t k = 0; k < n; ++k) {

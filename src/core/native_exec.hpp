@@ -50,9 +50,14 @@ struct Chunk {
 };
 
 /// Splits [0, nnz) into up to ~4 chunks per worker (dynamic scheduling evens
-/// out skew), each aligned to `threadlen` partition boundaries. Returns an
+/// out skew), each aligned to `threadlen` partition boundaries. A non-zero
+/// `max_chunk_nnz` (a multiple of threadlen, see core::validate) additionally
+/// caps every chunk's size, raising the chunk count as needed -- the grid is
+/// deterministic in (nnz, threadlen, workers, max_chunk_nnz), which is what
+/// the streaming pipeline's bitwise-identity guarantee rests on. Returns an
 /// empty vector for an empty tensor.
-std::vector<Chunk> make_chunks(nnz_t nnz, unsigned threadlen, unsigned workers);
+std::vector<Chunk> make_chunks(nnz_t nnz, unsigned threadlen, unsigned workers,
+                               nnz_t max_chunk_nnz = 0);
 
 /// Per-chunk boundary state produced by the parallel phase and consumed by
 /// the serial carry pass.
@@ -116,6 +121,42 @@ inline void run_chunk(const FcooView& f, const OutView& out, const Expr& expr,
   // the serial boundary pass.
 }
 
+/// Phase 2: the serial left-to-right carry fold over per-chunk boundary
+/// state. `seg_row` maps the segment ids stored in `states` to output rows
+/// (the plan's global table for single-shot, a chunk-local slice for the
+/// streaming executor). `carry` must hold `cols` floats and persists across
+/// calls -- the streaming pipeline folds chunk after chunk with one running
+/// carry, which is exactly what keeps streamed results bitwise identical to
+/// single-shot execution. Shared by both callers so the handoff rule can
+/// never diverge between them.
+inline void fold_boundaries(const index_t* seg_row, std::span<const ChunkState> states,
+                            const float* UST_RESTRICT tails,
+                            const float* UST_RESTRICT head_partials, std::size_t cols,
+                            const OutView& out, float* UST_RESTRICT carry) {
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    const ChunkState& st = states[k];
+    if (st.has_head_partial) {
+      // Segment st.first_seg opened earlier and closed inside chunk k.
+      value_t* UST_RESTRICT dst =
+          out.data + static_cast<std::size_t>(seg_row[st.first_seg]) * out.ld;
+      const float* UST_RESTRICT hp = &head_partials[k * cols];
+      for (std::size_t c = 0; c < cols; ++c) dst[c] += carry[c] + hp[c];
+      std::fill(carry, carry + cols, 0.0f);
+    }
+    if (st.tail_committed == 0) {
+      const float* UST_RESTRICT tp = &tails[k * cols];
+      if (st.tail_closes) {
+        value_t* UST_RESTRICT dst =
+            out.data + static_cast<std::size_t>(seg_row[st.tail_seg]) * out.ld;
+        for (std::size_t c = 0; c < cols; ++c) dst[c] += carry[c] + tp[c];
+        std::fill(carry, carry + cols, 0.0f);
+      } else {
+        for (std::size_t c = 0; c < cols; ++c) carry[c] += tp[c];
+      }
+    }
+  }
+}
+
 /// Executes the unified operation natively over `device`'s worker pool.
 /// `expr.accumulate(x, v, acc)` must add v * expr(x, c) into acc[c] for every
 /// output column c (the contiguous-tile form of the sim kernel's
@@ -123,10 +164,11 @@ inline void run_chunk(const FcooView& f, const OutView& out, const Expr& expr,
 /// sim path.
 template <class Expr>
 void execute(sim::Device& device, const FcooView& f, const OutView& out,
-             const Expr& expr) {
+             const Expr& expr, nnz_t max_chunk_nnz = 0) {
   if (f.nnz == 0) return;
   ThreadPool& pool = device.pool();
-  const std::vector<Chunk> chunks = make_chunks(f.nnz, f.threadlen, pool.size() + 1);
+  const std::vector<Chunk> chunks =
+      make_chunks(f.nnz, f.threadlen, pool.size() + 1, max_chunk_nnz);
   const std::size_t cols = out.num_cols;
   if (chunks.empty() || cols == 0) return;
   // A native run still counts as one launch in the device counters so
@@ -154,28 +196,8 @@ void execute(sim::Device& device, const FcooView& f, const OutView& out,
   // segment receives exactly one closing write (the kAdjacentSync ownership
   // rule), so no atomics are needed here either.
   std::vector<float> carry(cols, 0.0f);
-  for (std::size_t k = 0; k < chunks.size(); ++k) {
-    const ChunkState& st = states[k];
-    if (st.has_head_partial) {
-      // Segment st.first_seg opened earlier and closed inside chunk k.
-      value_t* UST_RESTRICT dst =
-          out.data + static_cast<std::size_t>(f.seg_row[st.first_seg]) * out.ld;
-      const float* UST_RESTRICT hp = &head_partials[k * cols];
-      for (std::size_t c = 0; c < cols; ++c) dst[c] += carry[c] + hp[c];
-      std::fill(carry.begin(), carry.end(), 0.0f);
-    }
-    if (st.tail_committed == 0) {
-      const float* UST_RESTRICT tp = &tails[k * cols];
-      if (st.tail_closes) {
-        value_t* UST_RESTRICT dst =
-            out.data + static_cast<std::size_t>(f.seg_row[st.tail_seg]) * out.ld;
-        for (std::size_t c = 0; c < cols; ++c) dst[c] += carry[c] + tp[c];
-        std::fill(carry.begin(), carry.end(), 0.0f);
-      } else {
-        for (std::size_t c = 0; c < cols; ++c) carry[c] += tp[c];
-      }
-    }
-  }
+  fold_boundaries(f.seg_row, states, tails.data(), head_partials.data(), cols, out,
+                  carry.data());
   // The last chunk always closes at nnz, so the carry has been flushed.
 }
 

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "core/native_exec.hpp"
+#include "pipeline/plan_cache.hpp"
+#include "pipeline/stream_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -26,7 +28,7 @@ struct MttkrpExpr2 {
   }
 
   /// Native-backend form: both factor-row base pointers are hoisted once per
-  /// non-zero, leaving a branch-free FMA over the contiguous tile.
+  /// non-zero, leaving a branch-free FMA over the contiguous accumulator tile.
   void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
     const value_t* UST_RESTRICT row0 = fac0 + static_cast<std::size_t>(idx0[x]) * r;
     const value_t* UST_RESTRICT row1 = fac1 + static_cast<std::size_t>(idx1[x]) * r;
@@ -65,18 +67,32 @@ struct MttkrpExprN {
 }  // namespace
 
 UnifiedMttkrp::UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode,
-                             Partitioning part)
-    : mode_(mode) {
+                             Partitioning part, const StreamingOptions& stream,
+                             pipeline::PlanCache* cache)
+    : device_(&device), mode_(mode), part_(part), stream_(stream) {
+  validate(part_, UnifiedOptions{}, stream_);
   const ModePlan mp = make_mode_plan_spmttkrp(tensor.order(), mode);
-  const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
-  plan_ = std::make_unique<UnifiedPlan>(device, fcoo, part);
+  if (stream_.enabled) {
+    fcoo_ = std::make_unique<FcooTensor>(
+        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
+    dims_ = fcoo_->dims();
+    product_modes_ = fcoo_->product_modes();
+    return;
+  }
+  const auto bundle =
+      pipeline::acquire_plan(device, tensor, mp, part, cache, /*want_coords=*/false);
+  // The aliasing constructor co-owns the bundle, so plan_ alone keeps the
+  // cached entry alive past eviction.
+  plan_ = std::shared_ptr<const UnifiedPlan>(bundle, &bundle->plan);
+  dims_ = plan_->dims();
+  product_modes_ = plan_->product_modes();
 }
 
 DenseMatrix UnifiedMttkrp::run(std::span<const DenseMatrix> factors,
                                const UnifiedOptions& opt) const {
-  const index_t rows = plan_->dims()[static_cast<std::size_t>(mode_)];
-  const index_t r = factors[static_cast<std::size_t>(
-                                plan_->product_modes().front())].cols();
+  const index_t rows = dims_[static_cast<std::size_t>(mode_)];
+  const index_t r =
+      factors[static_cast<std::size_t>(product_modes_.front())].cols();
   DenseMatrix out(rows, r);
   run(factors, out, opt);
   return out;
@@ -84,48 +100,53 @@ DenseMatrix UnifiedMttkrp::run(std::span<const DenseMatrix> factors,
 
 void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
                         const UnifiedOptions& opt) const {
-  const auto& prod_modes = plan_->product_modes();
-  UST_EXPECTS(factors.size() == plan_->dims().size());
-  UST_EXPECTS(prod_modes.size() <= kMaxProductModes);
-  const index_t r = factors[static_cast<std::size_t>(prod_modes.front())].cols();
-  for (int m : prod_modes) {
+  validate(part_, opt, stream_);
+  UST_EXPECTS(factors.size() == dims_.size());
+  UST_EXPECTS(product_modes_.size() <= kMaxProductModes);
+  const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
+  for (int m : product_modes_) {
     const auto& f = factors[static_cast<std::size_t>(m)];
     UST_EXPECTS(f.cols() == r);
-    UST_EXPECTS(f.rows() == plan_->dims()[static_cast<std::size_t>(m)]);
+    UST_EXPECTS(f.rows() == dims_[static_cast<std::size_t>(m)]);
   }
-  const index_t rows = plan_->dims()[static_cast<std::size_t>(mode_)];
+  const index_t rows = dims_[static_cast<std::size_t>(mode_)];
   UST_EXPECTS(out.rows() == rows && out.cols() == r);
 
-  sim::Device& dev = plan_->device();
+  sim::Device& dev = *device_;
 
   // Stage factors on the device (transfers are re-done every call because
   // CP-ALS mutates the factors between calls).
-  factor_bufs_.resize(prod_modes.size());
-  for (std::size_t p = 0; p < prod_modes.size(); ++p) {
-    const auto& f = factors[static_cast<std::size_t>(prod_modes[p])];
+  factor_bufs_.resize(product_modes_.size());
+  for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+    const auto& f = factors[static_cast<std::size_t>(product_modes_[p])];
     if (factor_bufs_[p].size() != f.size()) factor_bufs_[p] = dev.alloc<value_t>(f.size());
     factor_bufs_[p].copy_from_host(f.span());
   }
   if (out_buf_.size() != out.size()) out_buf_ = dev.alloc<value_t>(out.size());
   out_buf_.fill(value_t{0});
 
+  if (stream_.enabled) {
+    run_streaming(factors, out);
+    return;
+  }
+
   FcooView view = plan_->view();
   OutView out_view{out_buf_.data(), r, r};
 
   if (opt.backend == ExecBackend::kNative) {
-    if (prod_modes.size() == 2) {
+    if (product_modes_.size() == 2) {
       MttkrpExpr2 expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
                        factor_bufs_[0].data(), factor_bufs_[1].data(), r};
-      native::execute(dev, view, out_view, expr);
+      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
     } else {
       MttkrpExprN expr{};
-      expr.nprod = prod_modes.size();
+      expr.nprod = product_modes_.size();
       expr.r = r;
-      for (std::size_t p = 0; p < prod_modes.size(); ++p) {
+      for (std::size_t p = 0; p < product_modes_.size(); ++p) {
         expr.idx[p] = plan_->product_indices(p).data();
         expr.fac[p] = factor_bufs_[p].data();
       }
-      native::execute(dev, view, out_view, expr);
+      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
     }
     out_buf_.copy_to_host(out.span());
     return;
@@ -138,7 +159,7 @@ void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
     chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
   }
 
-  if (prod_modes.size() == 2) {
+  if (product_modes_.size() == 2) {
     MttkrpExpr2 expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
                      factor_bufs_[0].data(), factor_bufs_[1].data(), r};
     sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
@@ -146,9 +167,9 @@ void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
     });
   } else {
     MttkrpExprN expr{};
-    expr.nprod = prod_modes.size();
+    expr.nprod = product_modes_.size();
     expr.r = r;
-    for (std::size_t p = 0; p < prod_modes.size(); ++p) {
+    for (std::size_t p = 0; p < product_modes_.size(); ++p) {
       expr.idx[p] = plan_->product_indices(p).data();
       expr.fac[p] = factor_bufs_[p].data();
     }
@@ -159,10 +180,37 @@ void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
   out_buf_.copy_to_host(out.span());
 }
 
+void UnifiedMttkrp::run_streaming(std::span<const DenseMatrix> factors,
+                                  DenseMatrix& out) const {
+  const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
+  OutView out_view{out_buf_.data(), r, r};
+  if (product_modes_.size() == 2) {
+    pipeline::stream_execute(*device_, *fcoo_, part_, out_view, stream_,
+                             [&](const pipeline::ChunkPlan& c) {
+                               return MttkrpExpr2{c.product_indices(0), c.product_indices(1),
+                                                  factor_bufs_[0].data(),
+                                                  factor_bufs_[1].data(), r};
+                             });
+  } else {
+    pipeline::stream_execute(*device_, *fcoo_, part_, out_view, stream_,
+                             [&](const pipeline::ChunkPlan& c) {
+                               MttkrpExprN expr{};
+                               expr.nprod = product_modes_.size();
+                               expr.r = r;
+                               for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+                                 expr.idx[p] = c.product_indices(p);
+                                 expr.fac[p] = factor_bufs_[p].data();
+                               }
+                               return expr;
+                             });
+  }
+  out_buf_.copy_to_host(out.span());
+}
+
 DenseMatrix spmttkrp_unified(sim::Device& device, const CooTensor& tensor, int mode,
                              std::span<const DenseMatrix> factors, Partitioning part,
-                             const UnifiedOptions& opt) {
-  UnifiedMttkrp op(device, tensor, mode, part);
+                             const UnifiedOptions& opt, const StreamingOptions& stream) {
+  UnifiedMttkrp op(device, tensor, mode, part, stream);
   return op.run(factors, opt);
 }
 

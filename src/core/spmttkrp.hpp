@@ -13,16 +13,31 @@
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
 
+namespace ust::pipeline {
+class PlanCache;
+}
+
 namespace ust::core {
 
 class UnifiedMttkrp {
  public:
   /// Preprocesses `tensor` for MTTKRP on `mode` (0-based) and uploads the
-  /// F-COO arrays to `device`.
-  UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part);
+  /// F-COO arrays to `device`. With a non-null `cache` the device plan is
+  /// fetched from / inserted into the LRU plan cache (keyed on the tensor
+  /// fingerprint, op, mode and partitioning) so repeated constructions --
+  /// e.g. successive CP-ALS invocations -- skip the sort/upload entirely.
+  /// With `stream.enabled` the tensor is kept on the host instead and every
+  /// run() streams bounded-memory chunk plans through the native kernel
+  /// (src/pipeline/, DESIGN.md §9); streaming runs bypass the cache.
+  UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
+                const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
   int mode() const noexcept { return mode_; }
-  const UnifiedPlan& plan() const noexcept { return *plan_; }
+  const UnifiedPlan& plan() const {
+    UST_EXPECTS(plan_ != nullptr);
+    return *plan_;
+  }
+  bool streaming() const noexcept { return stream_.enabled; }
 
   /// Runs the kernel. `factors[m]` is the mode-m factor matrix (dims[m] x R);
   /// factors[mode()] is not read. Returns M of shape dims[mode()] x R.
@@ -33,8 +48,18 @@ class UnifiedMttkrp {
            const UnifiedOptions& opt = {}) const;
 
  private:
+  void run_streaming(std::span<const DenseMatrix> factors, DenseMatrix& out) const;
+
+  sim::Device* device_;
   int mode_;
-  std::unique_ptr<UnifiedPlan> plan_;
+  Partitioning part_;
+  StreamingOptions stream_;
+  // plan_ is null when streaming; when cached it aliases into (and co-owns)
+  // the cache bundle, so it stays valid past eviction.
+  std::shared_ptr<const UnifiedPlan> plan_;
+  std::unique_ptr<FcooTensor> fcoo_;  // host tensor, streaming only
+  std::vector<index_t> dims_;
+  std::vector<int> product_modes_;
   // Device-resident factor/output staging, grown lazily and reused across
   // iterations (CP-ALS calls run() three times per iteration).
   mutable std::vector<sim::DeviceBuffer<value_t>> factor_bufs_;
@@ -44,6 +69,7 @@ class UnifiedMttkrp {
 /// One-shot convenience wrapper (builds a plan, runs once).
 DenseMatrix spmttkrp_unified(sim::Device& device, const CooTensor& tensor, int mode,
                              std::span<const DenseMatrix> factors, Partitioning part,
-                             const UnifiedOptions& opt = {});
+                             const UnifiedOptions& opt = {},
+                             const StreamingOptions& stream = {});
 
 }  // namespace ust::core

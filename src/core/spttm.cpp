@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "core/native_exec.hpp"
+#include "pipeline/plan_cache.hpp"
+#include "pipeline/stream_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -30,54 +32,77 @@ struct SpttmExpr {
 }  // namespace
 
 UnifiedSpttm::UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode,
-                           Partitioning part)
-    : mode_(mode) {
+                           Partitioning part, const StreamingOptions& stream,
+                           pipeline::PlanCache* cache)
+    : device_(&device), mode_(mode), part_(part), stream_(stream) {
+  validate(part_, UnifiedOptions{}, stream_);
   const ModePlan mp = make_mode_plan_spttm(tensor.order(), mode);
-  const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
-  // Keep the per-fiber coordinates on the host for assembling the sCOO
-  // output (the device kernel only needs segment ordinals).
-  fiber_coords_.resize(mp.index_modes.size());
-  for (std::size_t m = 0; m < mp.index_modes.size(); ++m) {
-    const auto coords = fcoo.segment_coords(m);
-    fiber_coords_[m].assign(coords.begin(), coords.end());
+  if (stream_.enabled) {
+    fcoo_ = std::make_unique<FcooTensor>(
+        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
+    dims_ = fcoo_->dims();
+    index_modes_ = fcoo_->index_modes();
+    num_fibers_ = fcoo_->num_segments();
+    for (std::size_t m = 0; m < mp.index_modes.size(); ++m) {
+      fiber_coords_.push_back(fcoo_->segment_coords(m));
+    }
+    return;
   }
-  plan_ = std::make_unique<UnifiedPlan>(device, fcoo, part);
+  // The per-fiber coordinates live in the (possibly cached) bundle, which
+  // the aliasing plan_ co-owns -- the spans stay valid and cache hits copy
+  // nothing (the device kernel only needs segment ordinals; the coords are
+  // for assembling the sCOO output).
+  const auto bundle =
+      pipeline::acquire_plan(device, tensor, mp, part, cache, /*want_coords=*/true);
+  plan_ = std::shared_ptr<const UnifiedPlan>(bundle, &bundle->plan);
+  for (const auto& coords : bundle->segment_coords) fiber_coords_.push_back(coords);
+  dims_ = plan_->dims();
+  index_modes_ = plan_->index_modes();
+  num_fibers_ = plan_->num_segments();
 }
 
 SemiSparseTensor UnifiedSpttm::run(const DenseMatrix& u, const UnifiedOptions& opt) const {
-  UST_EXPECTS(u.rows() == plan_->dims()[static_cast<std::size_t>(mode_)]);
+  validate(part_, opt, stream_);
+  UST_EXPECTS(u.rows() == dims_[static_cast<std::size_t>(mode_)]);
   const index_t r = u.cols();
-  sim::Device& dev = plan_->device();
+  sim::Device& dev = *device_;
 
   if (factor_buf_.size() != u.size()) factor_buf_ = dev.alloc<value_t>(u.size());
   factor_buf_.copy_from_host(u.span());
 
-  const nnz_t nfibs = plan_->num_segments();
+  const nnz_t nfibs = num_fibers_;
   const std::size_t out_elems = static_cast<std::size_t>(nfibs) * r;
   if (out_buf_.size() != out_elems) out_buf_ = dev.alloc<value_t>(out_elems);
   out_buf_.fill(value_t{0});
 
-  FcooView view = plan_->view();
   OutView out_view{out_buf_.data(), r, r};
-  SpttmExpr expr{plan_->product_indices(0).data(), factor_buf_.data(), r};
-  if (opt.backend == ExecBackend::kNative) {
-    native::execute(dev, view, out_view, expr);
+  if (stream_.enabled) {
+    pipeline::stream_execute(dev, *fcoo_, part_, out_view, stream_,
+                             [&](const pipeline::ChunkPlan& c) {
+                               return SpttmExpr{c.product_indices(0), factor_buf_.data(), r};
+                             });
   } else {
-    const UnifiedOptions ropt = plan_->resolve_options(r, opt);
-    const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
-    std::unique_ptr<sim::CarryChain> chain;
-    if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-      chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+    FcooView view = plan_->view();
+    SpttmExpr expr{plan_->product_indices(0).data(), factor_buf_.data(), r};
+    if (opt.backend == ExecBackend::kNative) {
+      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
+    } else {
+      const UnifiedOptions ropt = plan_->resolve_options(r, opt);
+      const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
+      std::unique_ptr<sim::CarryChain> chain;
+      if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+        chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+      }
+      sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+        unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+      });
     }
-    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-    });
   }
 
   // Assemble the sCOO result.
   std::vector<index_t> sparse_dims;
-  for (int m : plan_->index_modes()) {
-    sparse_dims.push_back(plan_->dims()[static_cast<std::size_t>(m)]);
+  for (int m : index_modes_) {
+    sparse_dims.push_back(dims_[static_cast<std::size_t>(m)]);
   }
   SemiSparseTensor y(std::move(sparse_dims), nfibs, r, mode_);
   for (std::size_t m = 0; m < fiber_coords_.size(); ++m) {
@@ -89,8 +114,8 @@ SemiSparseTensor UnifiedSpttm::run(const DenseMatrix& u, const UnifiedOptions& o
 
 SemiSparseTensor spttm_unified(sim::Device& device, const CooTensor& tensor, int mode,
                                const DenseMatrix& u, Partitioning part,
-                               const UnifiedOptions& opt) {
-  UnifiedSpttm op(device, tensor, mode, part);
+                               const UnifiedOptions& opt, const StreamingOptions& stream) {
+  UnifiedSpttm op(device, tensor, mode, part, stream);
   return op.run(u, opt);
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/mode_plan.hpp"
 #include "core/unified_plan.hpp"
@@ -13,15 +14,28 @@
 #include "tensor/dense.hpp"
 #include "tensor/semisparse.hpp"
 
+namespace ust::pipeline {
+class PlanCache;
+}
+
 namespace ust::core {
 
 class UnifiedSpttm {
  public:
-  UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part);
+  /// See UnifiedMttkrp for the `stream` / `cache` semantics: streaming keeps
+  /// the tensor on the host and runs bounded-memory chunk plans; a cache
+  /// reuses the device plan (and the host fiber coordinates) across
+  /// constructions with the same tensor/mode/partitioning.
+  UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
+               const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
   int mode() const noexcept { return mode_; }
-  const UnifiedPlan& plan() const noexcept { return *plan_; }
-  nnz_t num_output_fibers() const noexcept { return plan_->num_segments(); }
+  const UnifiedPlan& plan() const {
+    UST_EXPECTS(plan_ != nullptr);
+    return *plan_;
+  }
+  bool streaming() const noexcept { return stream_.enabled; }
+  nnz_t num_output_fibers() const noexcept { return num_fibers_; }
 
   /// Runs Y = X x_mode U. `u` must be dims[mode] x R; the result has one
   /// dense fiber of length R per distinct index-mode coordinate pair, in
@@ -29,9 +43,22 @@ class UnifiedSpttm {
   SemiSparseTensor run(const DenseMatrix& u, const UnifiedOptions& opt = {}) const;
 
  private:
+  sim::Device* device_;
   int mode_;
-  std::unique_ptr<UnifiedPlan> plan_;
-  std::vector<std::vector<index_t>> fiber_coords_;  // host copy, per index mode
+  Partitioning part_;
+  StreamingOptions stream_;
+  // plan_ is null when streaming; when cached it aliases into (and co-owns)
+  // the cache bundle, so it -- and the fiber_coords_ spans below that point
+  // into the bundle -- stay valid past eviction.
+  std::shared_ptr<const UnifiedPlan> plan_;
+  std::unique_ptr<FcooTensor> fcoo_;  // host tensor, streaming only
+  std::vector<index_t> dims_;
+  std::vector<int> index_modes_;
+  nnz_t num_fibers_ = 0;
+  /// Per-index-mode fiber coordinates for sCOO output assembly; views into
+  /// the cache bundle (plan path) or the host FcooTensor (streaming path),
+  /// never a copy.
+  std::vector<std::span<const index_t>> fiber_coords_;
   mutable sim::DeviceBuffer<value_t> factor_buf_;
   mutable sim::DeviceBuffer<value_t> out_buf_;
 };
@@ -39,6 +66,7 @@ class UnifiedSpttm {
 /// One-shot convenience wrapper.
 SemiSparseTensor spttm_unified(sim::Device& device, const CooTensor& tensor, int mode,
                                const DenseMatrix& u, Partitioning part,
-                               const UnifiedOptions& opt = {});
+                               const UnifiedOptions& opt = {},
+                               const StreamingOptions& stream = {});
 
 }  // namespace ust::core

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "core/native_exec.hpp"
+#include "pipeline/plan_cache.hpp"
+#include "pipeline/stream_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -41,51 +43,71 @@ struct TtmcExpr {
 }  // namespace
 
 UnifiedTtmc::UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode,
-                         Partitioning part)
-    : mode_(mode) {
+                         Partitioning part, const StreamingOptions& stream,
+                         pipeline::PlanCache* cache)
+    : device_(&device), mode_(mode), part_(part), stream_(stream) {
   UST_EXPECTS(tensor.order() == 3);
+  validate(part_, UnifiedOptions{}, stream_);
   const ModePlan mp = make_mode_plan_spttmc(tensor.order(), mode);
-  const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
-  plan_ = std::make_unique<UnifiedPlan>(device, fcoo, part);
+  if (stream_.enabled) {
+    fcoo_ = std::make_unique<FcooTensor>(
+        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
+    dims_ = fcoo_->dims();
+    product_modes_ = fcoo_->product_modes();
+    return;
+  }
+  const auto bundle =
+      pipeline::acquire_plan(device, tensor, mp, part, cache, /*want_coords=*/false);
+  plan_ = std::shared_ptr<const UnifiedPlan>(bundle, &bundle->plan);
+  dims_ = plan_->dims();
+  product_modes_ = plan_->product_modes();
 }
 
 DenseMatrix UnifiedTtmc::run(const DenseMatrix& u_first, const DenseMatrix& u_second,
                              const UnifiedOptions& opt) const {
-  const auto& prod = plan_->product_modes();
-  UST_EXPECTS(u_first.rows() == plan_->dims()[static_cast<std::size_t>(prod[0])]);
-  UST_EXPECTS(u_second.rows() == plan_->dims()[static_cast<std::size_t>(prod[1])]);
+  validate(part_, opt, stream_);
+  UST_EXPECTS(u_first.rows() == dims_[static_cast<std::size_t>(product_modes_[0])]);
+  UST_EXPECTS(u_second.rows() == dims_[static_cast<std::size_t>(product_modes_[1])]);
   const index_t r0 = u_first.cols();
   const index_t r1 = u_second.cols();
   const index_t cols = r0 * r1;
-  sim::Device& dev = plan_->device();
+  sim::Device& dev = *device_;
 
   if (fac0_buf_.size() != u_first.size()) fac0_buf_ = dev.alloc<value_t>(u_first.size());
   fac0_buf_.copy_from_host(u_first.span());
   if (fac1_buf_.size() != u_second.size()) fac1_buf_ = dev.alloc<value_t>(u_second.size());
   fac1_buf_.copy_from_host(u_second.span());
 
-  const index_t rows = plan_->dims()[static_cast<std::size_t>(mode_)];
+  const index_t rows = dims_[static_cast<std::size_t>(mode_)];
   DenseMatrix out(rows, cols);
   const std::size_t out_elems = out.size();
   if (out_buf_.size() != out_elems) out_buf_ = dev.alloc<value_t>(out_elems);
   out_buf_.fill(value_t{0});
 
-  FcooView view = plan_->view();
   OutView out_view{out_buf_.data(), cols, cols};
-  TtmcExpr expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
-                fac0_buf_.data(), fac1_buf_.data(), r0, r1};
-  if (opt.backend == ExecBackend::kNative) {
-    native::execute(dev, view, out_view, expr);
+  if (stream_.enabled) {
+    pipeline::stream_execute(dev, *fcoo_, part_, out_view, stream_,
+                             [&](const pipeline::ChunkPlan& c) {
+                               return TtmcExpr{c.product_indices(0), c.product_indices(1),
+                                               fac0_buf_.data(), fac1_buf_.data(), r0, r1};
+                             });
   } else {
-    const UnifiedOptions ropt = plan_->resolve_options(cols, opt);
-    const sim::LaunchConfig cfg = plan_->launch_config(cols, ropt);
-    std::unique_ptr<sim::CarryChain> chain;
-    if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-      chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+    FcooView view = plan_->view();
+    TtmcExpr expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
+                  fac0_buf_.data(), fac1_buf_.data(), r0, r1};
+    if (opt.backend == ExecBackend::kNative) {
+      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
+    } else {
+      const UnifiedOptions ropt = plan_->resolve_options(cols, opt);
+      const sim::LaunchConfig cfg = plan_->launch_config(cols, ropt);
+      std::unique_ptr<sim::CarryChain> chain;
+      if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+        chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+      }
+      sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+        unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+      });
     }
-    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-    });
   }
   out_buf_.copy_to_host(out.span());
   return out;
@@ -93,8 +115,9 @@ DenseMatrix UnifiedTtmc::run(const DenseMatrix& u_first, const DenseMatrix& u_se
 
 DenseMatrix spttmc_unified(sim::Device& device, const CooTensor& tensor, int mode,
                            const DenseMatrix& u_first, const DenseMatrix& u_second,
-                           Partitioning part, const UnifiedOptions& opt) {
-  UnifiedTtmc op(device, tensor, mode, part);
+                           Partitioning part, const UnifiedOptions& opt,
+                           const StreamingOptions& stream) {
+  UnifiedTtmc op(device, tensor, mode, part, stream);
   return op.run(u_first, u_second, opt);
 }
 

@@ -14,16 +14,26 @@
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
 
+namespace ust::pipeline {
+class PlanCache;
+}
+
 namespace ust::core {
 
 class UnifiedTtmc {
  public:
   /// Currently implemented for 3-order tensors (the paper's evaluation
-  /// scope); `mode` selects the index mode.
-  UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part);
+  /// scope); `mode` selects the index mode. See UnifiedMttkrp for the
+  /// `stream` / `cache` semantics.
+  UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
+              const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
   int mode() const noexcept { return mode_; }
-  const UnifiedPlan& plan() const noexcept { return *plan_; }
+  const UnifiedPlan& plan() const {
+    UST_EXPECTS(plan_ != nullptr);
+    return *plan_;
+  }
+  bool streaming() const noexcept { return stream_.enabled; }
 
   /// Runs the chain product with the two product-mode factors (in ascending
   /// mode order). Result is the mode-matricised Y(mode):
@@ -32,8 +42,16 @@ class UnifiedTtmc {
                   const UnifiedOptions& opt = {}) const;
 
  private:
+  sim::Device* device_;
   int mode_;
-  std::unique_ptr<UnifiedPlan> plan_;
+  Partitioning part_;
+  StreamingOptions stream_;
+  // plan_ is null when streaming; when cached it aliases into (and co-owns)
+  // the cache bundle, so it stays valid past eviction.
+  std::shared_ptr<const UnifiedPlan> plan_;
+  std::unique_ptr<FcooTensor> fcoo_;  // host tensor, streaming only
+  std::vector<index_t> dims_;
+  std::vector<int> product_modes_;
   mutable sim::DeviceBuffer<value_t> fac0_buf_;
   mutable sim::DeviceBuffer<value_t> fac1_buf_;
   mutable sim::DeviceBuffer<value_t> out_buf_;
@@ -42,6 +60,7 @@ class UnifiedTtmc {
 /// One-shot convenience wrapper.
 DenseMatrix spttmc_unified(sim::Device& device, const CooTensor& tensor, int mode,
                            const DenseMatrix& u_first, const DenseMatrix& u_second,
-                           Partitioning part, const UnifiedOptions& opt = {});
+                           Partitioning part, const UnifiedOptions& opt = {},
+                           const StreamingOptions& stream = {});
 
 }  // namespace ust::core

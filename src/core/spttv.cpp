@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "core/native_exec.hpp"
+#include "pipeline/plan_cache.hpp"
+#include "pipeline/stream_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -35,56 +37,84 @@ struct TtvExpr {
 }  // namespace
 
 UnifiedTtv::UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode,
-                       Partitioning part)
-    : mode_(mode) {
+                       Partitioning part, const StreamingOptions& stream,
+                       pipeline::PlanCache* cache)
+    : device_(&device), mode_(mode), part_(part), stream_(stream) {
+  validate(part_, UnifiedOptions{}, stream_);
   // Same mode split as MTTKRP (all modes but `mode` are contracted), so the
   // same F-COO layout serves both operations -- the unification at work.
   const ModePlan mp = make_mode_plan_spmttkrp(tensor.order(), mode);
   UST_EXPECTS(mp.product_modes.size() <= kMaxProductModes);
-  const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
-  plan_ = std::make_unique<UnifiedPlan>(device, fcoo, part);
+  if (stream_.enabled) {
+    fcoo_ = std::make_unique<FcooTensor>(
+        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
+    dims_ = fcoo_->dims();
+    product_modes_ = fcoo_->product_modes();
+    return;
+  }
+  // acquire_plan keys on the mode plan's op (kSpMTTKRP here), so a TTV and
+  // an MTTKRP on the same tensor/mode/partitioning share one cached plan --
+  // the layouts are identical, which is the unification at work again.
+  const auto bundle =
+      pipeline::acquire_plan(device, tensor, mp, part, cache, /*want_coords=*/false);
+  plan_ = std::shared_ptr<const UnifiedPlan>(bundle, &bundle->plan);
+  dims_ = plan_->dims();
+  product_modes_ = plan_->product_modes();
 }
 
 std::vector<value_t> UnifiedTtv::run(std::span<const std::vector<value_t>> vectors,
                                      const UnifiedOptions& opt) const {
-  const auto& prod_modes = plan_->product_modes();
-  UST_EXPECTS(vectors.size() == plan_->dims().size());
-  for (int m : prod_modes) {
+  validate(part_, opt, stream_);
+  UST_EXPECTS(vectors.size() == dims_.size());
+  for (int m : product_modes_) {
     UST_EXPECTS(vectors[static_cast<std::size_t>(m)].size() ==
-                plan_->dims()[static_cast<std::size_t>(m)]);
+                dims_[static_cast<std::size_t>(m)]);
   }
-  sim::Device& dev = plan_->device();
+  sim::Device& dev = *device_;
 
-  vec_bufs_.resize(prod_modes.size());
-  for (std::size_t p = 0; p < prod_modes.size(); ++p) {
-    const auto& v = vectors[static_cast<std::size_t>(prod_modes[p])];
+  vec_bufs_.resize(product_modes_.size());
+  for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+    const auto& v = vectors[static_cast<std::size_t>(product_modes_[p])];
     if (vec_bufs_[p].size() != v.size()) vec_bufs_[p] = dev.alloc<value_t>(v.size());
     vec_bufs_[p].copy_from_host(v);
   }
-  const index_t out_rows = plan_->dims()[static_cast<std::size_t>(mode_)];
+  const index_t out_rows = dims_[static_cast<std::size_t>(mode_)];
   if (out_buf_.size() != out_rows) out_buf_ = dev.alloc<value_t>(out_rows);
   out_buf_.fill(value_t{0});
 
-  FcooView view = plan_->view();
   OutView out_view{out_buf_.data(), 1, 1};
-  TtvExpr expr{};
-  expr.nprod = prod_modes.size();
-  for (std::size_t p = 0; p < prod_modes.size(); ++p) {
-    expr.idx[p] = plan_->product_indices(p).data();
-    expr.vec[p] = vec_bufs_[p].data();
-  }
-  if (opt.backend == ExecBackend::kNative) {
-    native::execute(dev, view, out_view, expr);
+  if (stream_.enabled) {
+    pipeline::stream_execute(dev, *fcoo_, part_, out_view, stream_,
+                             [&](const pipeline::ChunkPlan& c) {
+                               TtvExpr expr{};
+                               expr.nprod = product_modes_.size();
+                               for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+                                 expr.idx[p] = c.product_indices(p);
+                                 expr.vec[p] = vec_bufs_[p].data();
+                               }
+                               return expr;
+                             });
   } else {
-    const UnifiedOptions ropt = plan_->resolve_options(1, opt);
-    const sim::LaunchConfig cfg = plan_->launch_config(1, ropt);
-    std::unique_ptr<sim::CarryChain> chain;
-    if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-      chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+    FcooView view = plan_->view();
+    TtvExpr expr{};
+    expr.nprod = product_modes_.size();
+    for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+      expr.idx[p] = plan_->product_indices(p).data();
+      expr.vec[p] = vec_bufs_[p].data();
     }
-    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-    });
+    if (opt.backend == ExecBackend::kNative) {
+      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
+    } else {
+      const UnifiedOptions ropt = plan_->resolve_options(1, opt);
+      const sim::LaunchConfig cfg = plan_->launch_config(1, ropt);
+      std::unique_ptr<sim::CarryChain> chain;
+      if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
+        chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+      }
+      sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+        unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+      });
+    }
   }
 
   std::vector<value_t> out(out_rows);
@@ -94,8 +124,9 @@ std::vector<value_t> UnifiedTtv::run(std::span<const std::vector<value_t>> vecto
 
 std::vector<value_t> spttv_unified(sim::Device& device, const CooTensor& tensor, int mode,
                                    std::span<const std::vector<value_t>> vectors,
-                                   Partitioning part, const UnifiedOptions& opt) {
-  UnifiedTtv op(device, tensor, mode, part);
+                                   Partitioning part, const UnifiedOptions& opt,
+                                   const StreamingOptions& stream) {
+  UnifiedTtv op(device, tensor, mode, part, stream);
   return op.run(vectors, opt);
 }
 

@@ -19,14 +19,24 @@
 #include "core/unified_plan.hpp"
 #include "tensor/coo.hpp"
 
+namespace ust::pipeline {
+class PlanCache;
+}
+
 namespace ust::core {
 
 class UnifiedTtv {
  public:
-  UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part);
+  /// See UnifiedMttkrp for the `stream` / `cache` semantics.
+  UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
+             const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
   int mode() const noexcept { return mode_; }
-  const UnifiedPlan& plan() const noexcept { return *plan_; }
+  const UnifiedPlan& plan() const {
+    UST_EXPECTS(plan_ != nullptr);
+    return *plan_;
+  }
+  bool streaming() const noexcept { return stream_.enabled; }
 
   /// Contracts with `vectors[m]` along every mode m != mode() (vectors[mode]
   /// is not read). Returns the dims[mode]-length result.
@@ -34,8 +44,16 @@ class UnifiedTtv {
                            const UnifiedOptions& opt = {}) const;
 
  private:
+  sim::Device* device_;
   int mode_;
-  std::unique_ptr<UnifiedPlan> plan_;
+  Partitioning part_;
+  StreamingOptions stream_;
+  // plan_ is null when streaming; when cached it aliases into (and co-owns)
+  // the cache bundle, so it stays valid past eviction.
+  std::shared_ptr<const UnifiedPlan> plan_;
+  std::unique_ptr<FcooTensor> fcoo_;  // host tensor, streaming only
+  std::vector<index_t> dims_;
+  std::vector<int> product_modes_;
   mutable std::vector<sim::DeviceBuffer<value_t>> vec_bufs_;
   mutable sim::DeviceBuffer<value_t> out_buf_;
 };
@@ -43,6 +61,7 @@ class UnifiedTtv {
 /// One-shot convenience wrapper.
 std::vector<value_t> spttv_unified(sim::Device& device, const CooTensor& tensor, int mode,
                                    std::span<const std::vector<value_t>> vectors,
-                                   Partitioning part, const UnifiedOptions& opt = {});
+                                   Partitioning part, const UnifiedOptions& opt = {},
+                                   const StreamingOptions& stream = {});
 
 }  // namespace ust::core

@@ -79,10 +79,14 @@ TuckerResult tucker_hooi_unified(sim::Device& device, const CooTensor& tensor,
     result.factors.push_back(std::move(f));
   }
 
-  // One TTMc plan per mode, built once (as with CP's per-mode F-COO plans).
+  // One TTMc plan per mode, built once (as with CP's per-mode F-COO plans);
+  // a plan cache turns repeated solver calls into per-mode cache hits.
   std::vector<UnifiedTtmc> ops;
   ops.reserve(3);
-  for (int m = 0; m < 3; ++m) ops.emplace_back(device, tensor, m, options.part);
+  for (int m = 0; m < 3; ++m) {
+    ops.emplace_back(device, tensor, m, options.part, options.streaming,
+                     options.plan_cache);
+  }
 
   const double norm_x = tensor.frobenius_norm();
   double prev_fit = 0.0;

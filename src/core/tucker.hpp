@@ -14,6 +14,10 @@
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
 
+namespace ust::pipeline {
+class PlanCache;
+}
+
 namespace ust::core {
 
 struct TuckerOptions {
@@ -22,6 +26,10 @@ struct TuckerOptions {
   double fit_tolerance = 1e-5;
   Partitioning part;
   UnifiedOptions kernel;
+  /// Per-mode TTMc plans come from this LRU cache when non-null (see
+  /// CpOptions::plan_cache); streaming chunks every TTMc when enabled.
+  pipeline::PlanCache* plan_cache = nullptr;
+  StreamingOptions streaming;
   std::uint64_t seed = 42;
 };
 

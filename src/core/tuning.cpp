@@ -1,5 +1,6 @@
 #include "core/tuning.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/logging.hpp"
@@ -13,6 +14,8 @@ std::vector<unsigned> default_block_sizes() { return {32, 64, 128, 256, 512, 768
 std::vector<ExecBackend> default_backends() {
   return {ExecBackend::kNative, ExecBackend::kSim};
 }
+
+std::vector<nnz_t> default_chunk_nnzs() { return {0, 8192, 65536}; }
 
 const char* backend_name(ExecBackend backend) {
   return backend == ExecBackend::kNative ? "native" : "sim";
@@ -29,26 +32,56 @@ TuneResult tune_backends(const std::function<double(Partitioning, ExecBackend)>&
                          std::vector<unsigned> threadlens,
                          std::vector<unsigned> block_sizes,
                          std::vector<ExecBackend> backends) {
-  UST_EXPECTS(!threadlens.empty() && !block_sizes.empty() && !backends.empty());
+  return tune_backends(
+      [&](Partitioning part, ExecBackend backend, nnz_t) { return runner(part, backend); },
+      std::move(threadlens), std::move(block_sizes), std::move(backends), {nnz_t{0}});
+}
+
+TuneResult tune_backends(
+    const std::function<double(Partitioning, ExecBackend, nnz_t)>& runner,
+    std::vector<unsigned> threadlens, std::vector<unsigned> block_sizes,
+    std::vector<ExecBackend> backends, std::vector<nnz_t> chunk_nnzs) {
+  UST_EXPECTS(!threadlens.empty() && !block_sizes.empty() && !backends.empty() &&
+              !chunk_nnzs.empty());
+  // The chunk axis is native-only; a sim-only sweep whose chunk axis lacks 0
+  // would skip every cell and die on the empty-sweep invariant below --
+  // reject it up front with a diagnosable message instead.
+  if (std::none_of(backends.begin(), backends.end(),
+                   [](ExecBackend b) { return b == ExecBackend::kNative; }) &&
+      std::find(chunk_nnzs.begin(), chunk_nnzs.end(), nnz_t{0}) == chunk_nnzs.end()) {
+    throw InvalidOptions(
+        "sim-only tuning sweep needs chunk_nnz 0 in the chunk axis "
+        "(chunk_nnz is a native-backend knob)");
+  }
   TuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
   for (unsigned bs : block_sizes) {
     for (unsigned tl : threadlens) {
       const Partitioning part{.threadlen = tl, .block_size = bs};
       for (ExecBackend backend : backends) {
-        double s = std::numeric_limits<double>::quiet_NaN();
-        try {
-          s = runner(part, backend);
-        } catch (const std::exception& e) {
-          UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << ","
-                        << backend_name(backend) << "): " << e.what();
-          continue;
-        }
-        result.samples.push_back({part, backend, s});
-        if (s < result.best_seconds) {
-          result.best_seconds = s;
-          result.best = part;
-          result.best_backend = backend;
+        for (nnz_t chunk : chunk_nnzs) {
+          // The chunk cap is a native-grid knob; the sim backend ignores it,
+          // so measuring it there would only duplicate samples.
+          if (backend == ExecBackend::kSim && chunk != 0) continue;
+          // chunk_nnz must be a threadlen multiple (core::validate); treat
+          // the axis values as approximate and align up per cell.
+          const nnz_t aligned = chunk == 0 ? 0 : round_up<nnz_t>(chunk, tl);
+          double s = std::numeric_limits<double>::quiet_NaN();
+          try {
+            s = runner(part, backend, aligned);
+          } catch (const std::exception& e) {
+            UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << ","
+                          << backend_name(backend) << "," << aligned
+                          << "): " << e.what();
+            continue;
+          }
+          result.samples.push_back({part, backend, aligned, s});
+          if (s < result.best_seconds) {
+            result.best_seconds = s;
+            result.best = part;
+            result.best_backend = backend;
+            result.best_chunk_nnz = aligned;
+          }
         }
       }
     }

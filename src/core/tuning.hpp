@@ -1,7 +1,9 @@
 // Parameter auto-tuner for the (threadlen, BLOCK_SIZE) launch configuration
-// (the paper's Section V, Figure 5 / Table V experiment). The sweep measures
-// a caller-supplied runner over the full grid and reports every sample so the
-// tuning surface can be printed.
+// (the paper's Section V, Figure 5 / Table V experiment), extended with the
+// execution backend and the native worker-chunk size
+// (UnifiedOptions::chunk_nnz) as third and fourth grid axes. The sweep
+// measures a caller-supplied runner over the full grid and reports every
+// sample so the tuning surface can be printed.
 #pragma once
 
 #include <functional>
@@ -16,12 +18,14 @@ namespace ust::core {
 struct TuneSample {
   Partitioning part;
   ExecBackend backend = ExecBackend::kNative;
+  nnz_t chunk_nnz = 0;  // native worker-chunk cap (0 = auto); aligned up to threadlen
   double seconds = 0.0;
 };
 
 struct TuneResult {
   Partitioning best;
   ExecBackend best_backend = ExecBackend::kNative;
+  nnz_t best_chunk_nnz = 0;
   double best_seconds = 0.0;
   std::vector<TuneSample> samples;  // full sweep, row-major over the grid
 };
@@ -32,6 +36,11 @@ std::vector<unsigned> default_block_sizes();
 /// Backend axis of the extended search grid: native first (the default
 /// production engine), then the simulator.
 std::vector<ExecBackend> default_backends();
+/// Chunk-size axis: auto plus two fixed caps. Values are aligned up to each
+/// threadlen before measuring (chunk_nnz must be a threadlen multiple); the
+/// chunk axis only applies to the native backend -- sim samples are taken at
+/// chunk 0 only.
+std::vector<nnz_t> default_chunk_nnzs();
 
 /// Runs `runner` (which should execute the operation once and return elapsed
 /// seconds, typically a median of repeats) for every configuration.
@@ -42,12 +51,22 @@ TuneResult tune(const std::function<double(Partitioning)>& runner,
                 std::vector<unsigned> block_sizes = default_block_sizes());
 
 /// Extended sweep with the execution backend as a third grid axis: the
-/// runner is measured for every (partitioning, backend) pair and the best
-/// sample records which backend won.
+/// runner is measured for every (partitioning, backend) pair at chunk 0 and
+/// the best sample records which backend won.
 TuneResult tune_backends(const std::function<double(Partitioning, ExecBackend)>& runner,
                          std::vector<unsigned> threadlens = default_threadlens(),
                          std::vector<unsigned> block_sizes = default_block_sizes(),
                          std::vector<ExecBackend> backends = default_backends());
+
+/// Full four-axis sweep: (partitioning, backend, chunk_nnz). The runner
+/// receives the chunk cap already aligned up to the threadlen; sim samples
+/// skip non-zero chunk values (the knob is native-only).
+TuneResult tune_backends(
+    const std::function<double(Partitioning, ExecBackend, nnz_t)>& runner,
+    std::vector<unsigned> threadlens = default_threadlens(),
+    std::vector<unsigned> block_sizes = default_block_sizes(),
+    std::vector<ExecBackend> backends = default_backends(),
+    std::vector<nnz_t> chunk_nnzs = default_chunk_nnzs());
 
 /// Short display name for a backend ("native" / "sim").
 const char* backend_name(ExecBackend backend);

@@ -1,6 +1,35 @@
 #include "core/unified_plan.hpp"
 
+#include <string>
+
 namespace ust::core {
+
+void validate(const Partitioning& part) { validate(part, UnifiedOptions{}); }
+
+void validate(const Partitioning& part, const UnifiedOptions& opt) {
+  validate(part, opt, StreamingOptions{});
+}
+
+void validate(const Partitioning& part, const UnifiedOptions& opt,
+              const StreamingOptions& stream) {
+  if (part.threadlen == 0) throw InvalidOptions("threadlen must be >= 1");
+  if (part.block_size == 0) throw InvalidOptions("block_size must be >= 1");
+  if (opt.chunk_nnz != 0 && opt.chunk_nnz % part.threadlen != 0) {
+    throw InvalidOptions("chunk_nnz (" + std::to_string(opt.chunk_nnz) +
+                         ") must be a multiple of threadlen (" +
+                         std::to_string(part.threadlen) + ")");
+  }
+  if (!stream.enabled) return;
+  if (opt.backend != ExecBackend::kNative) {
+    throw InvalidOptions("streaming execution requires ExecBackend::kNative");
+  }
+  if (stream.max_in_flight == 0) throw InvalidOptions("max_in_flight must be >= 1");
+  if (stream.chunk_nnz != 0 && stream.chunk_nnz % part.threadlen != 0) {
+    throw InvalidOptions("streaming chunk_nnz (" + std::to_string(stream.chunk_nnz) +
+                         ") must be a multiple of threadlen (" +
+                         std::to_string(part.threadlen) + ")");
+  }
+}
 
 std::size_t unified_shared_bytes(unsigned block_dim, unsigned column_tile) {
   // Mirror of the shared_array calls in unified_block_program, each rounded
@@ -27,8 +56,7 @@ UnifiedPlan::UnifiedPlan(sim::Device& device, const FcooTensor& fcoo, Partitioni
       dims_(fcoo.dims()),
       index_modes_(fcoo.index_modes()),
       product_modes_(fcoo.product_modes()) {
-  UST_EXPECTS(part_.threadlen >= 1);
-  UST_EXPECTS(part_.block_size >= 1);
+  validate(part_);
   // nnz == 0 is allowed: all device arrays are empty, both backends launch
   // zero work, and the operation's zero-filled output is already correct.
 
@@ -49,14 +77,9 @@ UnifiedPlan::UnifiedPlan(sim::Device& device, const FcooTensor& fcoo, Partitioni
 
   // Segment id of each thread partition's first non-zero: a single pass over
   // the head flags (the host-side preprocessing the paper amortises).
-  const nnz_t threads = part_.num_threads(nnz_);
-  std::vector<index_t> first_seg(threads);
-  nnz_t seg = 0;
-  for (nnz_t x = 0; x < nnz_; ++x) {
-    if (fcoo.is_head(x) && x != 0) ++seg;
-    if (x % part_.threadlen == 0) first_seg[x / part_.threadlen] = static_cast<index_t>(seg);
-  }
-  thread_first_seg_ = device.alloc<index_t>(threads);
+  const std::vector<index_t> first_seg = first_segment_per_partition(
+      nnz_, part_.threadlen, [&](nnz_t x) { return fcoo.is_head(x); });
+  thread_first_seg_ = device.alloc<index_t>(first_seg.size());
   thread_first_seg_.copy_from_host(first_seg);
 
   // Output row of each segment: the index-mode coordinate when the output is

@@ -16,14 +16,23 @@ CooTensor read_tns(std::istream& in) {
 
   while (std::getline(in, line)) {
     ++line_no;
-    // Strip comments and blank lines.
+    // Strip comments, then the CR left by CRLF files and any trailing
+    // whitespace, so Windows-written and padded FROSTT files parse cleanly.
     if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
     std::istringstream ls(line);
     std::vector<double> fields;
     double v = 0.0;
     while (ls >> v) fields.push_back(v);
     if (!ls.eof()) {
-      throw TnsParseError("line " + std::to_string(line_no) + ": non-numeric token");
+      ls.clear();
+      std::string token;
+      ls >> token;
+      throw TnsParseError("line " + std::to_string(line_no) + ": non-numeric token '" +
+                          token + "'");
     }
     if (fields.empty()) continue;
     if (order < 0) {

@@ -1,0 +1,106 @@
+#include "pipeline/chunker.hpp"
+
+#include <algorithm>
+
+namespace ust::pipeline {
+
+std::size_t plan_bytes_per_nnz(std::size_t num_product_modes) {
+  // index_t per product mode + the value; the head-flag bit is charged via
+  // the +1/8 (rounded up by the caller's per-chunk estimate).
+  return num_product_modes * sizeof(index_t) + sizeof(value_t) + 1;
+}
+
+nnz_t resolve_chunk_nnz(nnz_t nnz, std::size_t num_product_modes,
+                        const Partitioning& part, const core::StreamingOptions& opt) {
+  if (opt.chunk_nnz != 0) {
+    UST_EXPECTS(opt.chunk_nnz % part.threadlen == 0);
+    return opt.chunk_nnz;
+  }
+  if (opt.chunk_bytes == 0 || nnz == 0) return 0;
+  const nnz_t by_bytes =
+      static_cast<nnz_t>(opt.chunk_bytes / plan_bytes_per_nnz(num_product_modes));
+  // Round down to a threadlen multiple so worker chunks stay aligned to
+  // partition boundaries; never below one partition.
+  const nnz_t aligned = (by_bytes / part.threadlen) * part.threadlen;
+  return std::max<nnz_t>(part.threadlen, aligned);
+}
+
+ChunkerResult make_stream_chunks(const FcooTensor& fcoo, const Partitioning& part,
+                                 const core::StreamingOptions& opt, unsigned workers) {
+  ChunkerResult result;
+  const nnz_t nnz = fcoo.nnz();
+  result.chunk_nnz =
+      resolve_chunk_nnz(nnz, fcoo.product_modes().size(), part, opt);
+  if (nnz == 0) return result;
+
+  const std::vector<core::native::Chunk> grid =
+      core::native::make_chunks(nnz, part.threadlen, workers, result.chunk_nnz);
+  const std::size_t per_nnz = plan_bytes_per_nnz(fcoo.product_modes().size());
+
+  // Group consecutive worker chunks until the byte budget is reached. At
+  // least one worker chunk goes into every stream chunk, so chunk_bytes is a
+  // soft bound: a single worker chunk larger than the budget still streams
+  // (lower chunk_nnz / chunk_bytes to shrink the grid instead).
+  std::size_t g = 0;
+  while (g < grid.size()) {
+    StreamChunk sc;
+    sc.lo = grid[g].lo;
+    std::size_t bytes = 0;
+    while (g < grid.size()) {
+      const std::size_t wbytes = static_cast<std::size_t>(grid[g].hi - grid[g].lo) * per_nnz;
+      if (!sc.workers.empty() && opt.chunk_bytes != 0 && bytes + wbytes > opt.chunk_bytes) {
+        break;
+      }
+      sc.workers.push_back(
+          core::native::Chunk{grid[g].lo - sc.lo, grid[g].hi - sc.lo});
+      bytes += wbytes;
+      sc.hi = grid[g].hi;
+      ++g;
+      if (opt.chunk_bytes == 0) break;  // one worker chunk per stream chunk
+    }
+    sc.est_device_bytes = bytes;
+    result.chunks.push_back(std::move(sc));
+  }
+
+  // Segment metadata: one pass over the head flags annotates every chunk
+  // with the global id of the segment open at its first non-zero and the
+  // number of segments it touches (the host-side preprocessing the paper
+  // amortises, done once per streamed run).
+  const BitArray& bf = fcoo.bit_flags();
+  std::size_t c = 0;
+  nnz_t seg = 0;
+  nnz_t chunk_first_seg = 0;
+  for (nnz_t x = 0; x < nnz; ++x) {
+    if (bf.get(x) && x != 0) ++seg;
+    if (c < result.chunks.size() && x == result.chunks[c].lo) chunk_first_seg = seg;
+    if (c < result.chunks.size() && x == result.chunks[c].hi - 1) {
+      result.chunks[c].first_seg = chunk_first_seg;
+      result.chunks[c].num_segments = seg - chunk_first_seg + 1;
+      ++c;
+    }
+  }
+  UST_ENSURES(c == result.chunks.size());
+  UST_ENSURES(result.chunks.front().lo == 0 && result.chunks.back().hi == nnz);
+  return result;
+}
+
+std::vector<std::uint64_t> slice_bits(std::span<const std::uint64_t> words, nnz_t lo,
+                                      nnz_t count) {
+  std::vector<std::uint64_t> out(ceil_div<nnz_t>(count, 64), 0);
+  if (count == 0) return out;
+  const nnz_t base = lo >> 6;
+  const unsigned shift = static_cast<unsigned>(lo & 63);
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    std::uint64_t v = words[base + w] >> shift;
+    if (shift != 0 && base + w + 1 < words.size()) {
+      v |= words[base + w + 1] << (64 - shift);
+    }
+    out[w] = v;
+  }
+  // Clear bits past `count` so equality checks on the slice are exact.
+  const nnz_t rem = count & 63;
+  if (rem != 0) out.back() &= (1ull << rem) - 1;
+  return out;
+}
+
+}  // namespace ust::pipeline

@@ -1,0 +1,72 @@
+// Chunker for the streaming pipeline (DESIGN.md §9): partitions an F-COO
+// tensor's non-zeros into bounded-memory stream chunks whose boundaries lie
+// on the native backend's worker-chunk grid (which is itself aligned to
+// threadlen partition boundaries, and through nnz_per_block to block
+// boundaries). Because the worker grid is deterministic in (nnz, threadlen,
+// workers, chunk_nnz) and stream chunks are whole runs of worker chunks,
+// chunked execution accumulates every segment in exactly the same grouping
+// as a single-shot native run -- the foundation of the pipeline's
+// bitwise-identity guarantee.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/native_exec.hpp"
+#include "core/unified_kernel.hpp"
+#include "tensor/fcoo.hpp"
+
+namespace ust::pipeline {
+
+/// Device bytes a chunk plan holds per non-zero: one index_t per product
+/// mode, the value, and the head-flag bit (thread_first_seg / seg_row are
+/// charged separately as they scale with partitions / segments).
+std::size_t plan_bytes_per_nnz(std::size_t num_product_modes);
+
+/// One streamed chunk: a contiguous run of native worker chunks plus the
+/// segment metadata needed to slice a chunk-local plan out of the tensor.
+struct StreamChunk {
+  nnz_t lo = 0;         // global non-zero range [lo, hi); lo is a multiple
+  nnz_t hi = 0;         // of threadlen (a worker-chunk boundary)
+  nnz_t first_seg = 0;  // global id of the segment containing non-zero lo
+  nnz_t num_segments = 0;  // segments intersecting [lo, hi)
+  /// Worker ranges in chunk-local coordinates (lo subtracted) -- exactly the
+  /// ranges a single-shot native run would use for this span of non-zeros.
+  std::vector<core::native::Chunk> workers;
+  std::size_t est_device_bytes = 0;  // estimated resident plan size
+};
+
+struct ChunkerResult {
+  /// The worker-chunk cap the grid was built with (resolved from
+  /// StreamingOptions::chunk_nnz or chunk_bytes). Run single-shot native
+  /// with UnifiedOptions::chunk_nnz set to this value to reproduce the
+  /// streamed result bit for bit.
+  nnz_t chunk_nnz = 0;
+  std::vector<StreamChunk> chunks;  // empty for an empty tensor
+};
+
+/// Resolves the worker-chunk cap: an explicit StreamingOptions::chunk_nnz is
+/// used as-is (validated to be a multiple of threadlen); otherwise the cap
+/// is derived from chunk_bytes / plan_bytes_per_nnz, rounded down to a
+/// threadlen multiple (at least one partition). Returns 0 when neither
+/// bound is set (monolithic worker grid).
+nnz_t resolve_chunk_nnz(nnz_t nnz, std::size_t num_product_modes,
+                        const Partitioning& part, const core::StreamingOptions& opt);
+
+/// Builds the stream-chunk list for `fcoo`: computes the native worker grid
+/// for `workers` pool slots (must match the executing pool: pool.size() + 1),
+/// groups consecutive worker chunks until `opt.chunk_bytes` is reached
+/// (at least one worker chunk per stream chunk; chunk_bytes == 0 means one
+/// worker chunk per stream chunk), and annotates each chunk with its first
+/// global segment id and segment count in a single pass over the head flags.
+ChunkerResult make_stream_chunks(const FcooTensor& fcoo, const Partitioning& part,
+                                 const core::StreamingOptions& opt, unsigned workers);
+
+/// Repacks bits [lo, lo + count) of a packed little-endian word array into a
+/// fresh word vector whose bit 0 is global bit `lo`. Used to slice the
+/// chunk-local head-flag words out of the tensor's bit-flag array.
+std::vector<std::uint64_t> slice_bits(std::span<const std::uint64_t> words, nnz_t lo,
+                                      nnz_t count);
+
+}  // namespace ust::pipeline

@@ -1,0 +1,131 @@
+// LRU cache of UnifiedPlans (DESIGN.md §9). A plan's construction cost --
+// sort + coalesce into F-COO, segment table construction, device upload --
+// dominates a single kernel run for real tensors, and CP-ALS/Tucker rebuild
+// identical per-mode plans on every solver invocation. The cache keys plans
+// on (device, tensor fingerprint, operation, mode, partitioning), holds them
+// behind shared_ptr so eviction never invalidates a plan in use, and evicts
+// least-recently-used entries once a device-byte budget is exceeded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mode_plan.hpp"
+#include "core/unified_plan.hpp"
+#include "tensor/coo.hpp"
+
+namespace ust::pipeline {
+
+/// Order-independent-free content fingerprint of a COO tensor: hashes dims,
+/// nnz, every index array and the raw value bits (FNV-1a over words). Two
+/// tensors with equal fingerprints are treated as identical by the cache;
+/// the linear pass is orders of magnitude cheaper than the sort the cache
+/// avoids.
+std::uint64_t coo_fingerprint(const CooTensor& tensor);
+
+/// What the cache stores per key: the device-resident plan plus the host
+/// copies of the per-segment index-mode coordinates (SpTTM needs them to
+/// assemble its semi-sparse output; empty for the other ops).
+struct CachedPlan {
+  core::UnifiedPlan plan;
+  std::vector<std::vector<index_t>> segment_coords;
+
+  /// Bytes charged against the cache budget: device bytes + host coords.
+  std::size_t bytes() const {
+    std::size_t b = plan.device_bytes();
+    for (const auto& c : segment_coords) b += c.size() * sizeof(index_t);
+    return b;
+  }
+};
+
+struct PlanKey {
+  const void* device = nullptr;  // plans are bound to their sim::Device
+  std::uint64_t tensor_fp = 0;
+  core::TensorOp op = core::TensorOp::kSpMTTKRP;
+  int mode = 0;
+  unsigned threadlen = 0;
+  unsigned block_size = 0;
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+class PlanCache {
+ public:
+  /// `byte_budget` bounds the total bytes() of cached entries; the cache
+  /// evicts LRU entries after each insertion until it fits (a single entry
+  /// larger than the budget is kept -- shared_ptr users hold it anyway).
+  ///
+  /// Lifetime: cached plans own DeviceBuffers whose destruction touches the
+  /// sim::Device they were allocated on. A cache that outlives a Device it
+  /// has served must purge_device() (or clear()) before that Device is
+  /// destroyed, and held shared_ptrs must likewise not outlive the Device --
+  /// the same rule as for any device-resident resource.
+  explicit PlanCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  using Builder = std::function<CachedPlan()>;
+
+  /// Returns the cached plan for `key`, building (and caching) it via
+  /// `build` on a miss. The returned shared_ptr stays valid after eviction.
+  std::shared_ptr<const CachedPlan> get_or_build(const PlanKey& key, const Builder& build);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes_in_use = 0;
+    std::size_t byte_budget = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  /// Drops every entry whose key was built for `device` (no eviction count;
+  /// this is lifetime management, not pressure). Call before destroying a
+  /// Device the cache has served.
+  void purge_device(const void* device);
+
+  void clear();
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<const CachedPlan> plan;
+    std::size_t bytes = 0;
+  };
+  struct KeyHash {
+    std::size_t operator()(const PlanKey& k) const noexcept;
+  };
+
+  void evict_to_budget_locked();
+
+  const std::size_t byte_budget_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t bytes_in_use_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Single plan-acquisition path shared by all four unified ops: builds the
+/// F-COO + UnifiedPlan bundle for `mp` on `part`, going through `cache` when
+/// non-null (keyed on the *mode plan's* op, so SpTTV -- which reuses the
+/// SpMTTKRP mode split and therefore an identical plan -- shares SpMTTKRP's
+/// cache entries). `want_coords` additionally captures the host per-segment
+/// index-mode coordinates in the bundle (SpTTM's output assembly). The
+/// returned shared_ptr alone keeps the bundle alive, cached or not.
+std::shared_ptr<const CachedPlan> acquire_plan(sim::Device& device,
+                                               const CooTensor& tensor,
+                                               const core::ModePlan& mp,
+                                               const Partitioning& part, PlanCache* cache,
+                                               bool want_coords);
+
+}  // namespace ust::pipeline

@@ -1,0 +1,148 @@
+#include "pipeline/stream_executor.hpp"
+
+#include <algorithm>
+
+namespace ust::pipeline {
+
+core::FcooView ChunkPlan::view() const {
+  core::FcooView v;
+  v.bf_words = bf_words.data();
+  v.vals = vals.data();
+  v.thread_first_seg = thread_first_seg.data();
+  v.seg_row = seg_row.data();
+  v.nnz = total_nnz - spec.lo;
+  v.num_segments = spec.num_segments;
+  v.threadlen = threadlen;
+  return v;
+}
+
+std::size_t ChunkPlan::device_bytes() const {
+  std::size_t b = bf_words.byte_size() + vals.byte_size() + thread_first_seg.byte_size() +
+                  seg_row.byte_size();
+  for (const auto& p : pidx) b += p.byte_size();
+  return b;
+}
+
+ChunkPlanStream::ChunkPlanStream(sim::Device& device, const FcooTensor& fcoo,
+                                 const Partitioning& part,
+                                 const core::StreamingOptions& opt, unsigned workers)
+    : device_(device),
+      fcoo_(fcoo),
+      part_(part),
+      chunks_(make_stream_chunks(fcoo, part, opt, workers)),
+      max_in_flight_(std::max(1u, opt.max_in_flight)) {
+  // The thread starts after every member is initialised (cf. the sim::Stream
+  // init-order race fixed in PR 1): producer_loop reads chunks_ and queue_.
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+ChunkPlanStream::~ChunkPlanStream() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_space_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+void ChunkPlanStream::producer_loop() {
+  try {
+    for (const StreamChunk& spec : chunks_.chunks) {
+      // Reserve a queue slot BEFORE building, so device residency is truly
+      // bounded: after the wait the queue holds at most max_in_flight - 1
+      // plans, and the one built next brings the total ahead of the
+      // consumer to max_in_flight (only the consumer ever pops, and there
+      // is a single producer, so the slot cannot be stolen).
+      {
+        std::unique_lock lock(mutex_);
+        cv_space_.wait(lock, [&] { return queue_.size() < max_in_flight_ || stop_; });
+        if (stop_) return;
+      }
+      // Build (slice + upload) outside the lock: this is the work meant to
+      // overlap the consumer's execution of the previous chunk.
+      std::unique_ptr<ChunkPlan> plan = build_plan(spec);
+      {
+        std::lock_guard lock(mutex_);
+        if (stop_) return;
+        queue_.push_back(std::move(plan));
+      }
+      cv_ready_.notify_one();
+    }
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    error_ = std::current_exception();
+    cv_ready_.notify_one();
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  produced_all_ = true;
+  cv_ready_.notify_one();
+}
+
+std::unique_ptr<ChunkPlan> ChunkPlanStream::next() {
+  std::unique_lock lock(mutex_);
+  cv_ready_.wait(lock, [&] {
+    return !queue_.empty() || produced_all_ || error_ != nullptr;
+  });
+  if (!queue_.empty()) {
+    std::unique_ptr<ChunkPlan> plan = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return plan;
+  }
+  if (error_ != nullptr) std::rethrow_exception(error_);
+  return nullptr;  // produced_all_ and drained
+}
+
+std::unique_ptr<ChunkPlan> ChunkPlanStream::build_plan(const StreamChunk& spec) const {
+  auto plan = std::make_unique<ChunkPlan>();
+  plan->spec = spec;
+  plan->total_nnz = fcoo_.nnz();
+  plan->threadlen = part_.threadlen;
+  const nnz_t count = spec.hi - spec.lo;
+
+  // Head flags: the slice carries one bit past the chunk (when it exists) so
+  // the last worker chunk can test whether a segment closes at the boundary.
+  const nnz_t bit_count = std::min<nnz_t>(spec.hi + 1, fcoo_.nnz()) - spec.lo;
+  const std::vector<std::uint64_t> bits =
+      slice_bits(fcoo_.bit_flags().words(), spec.lo, bit_count);
+  plan->bf_words = device_.alloc<std::uint64_t>(bits.size());
+  plan->bf_words.copy_from_host(bits);
+
+  plan->vals = device_.alloc<value_t>(count);
+  plan->vals.copy_from_host(fcoo_.values().subspan(spec.lo, count));
+
+  plan->pidx.reserve(fcoo_.product_modes().size());
+  for (std::size_t p = 0; p < fcoo_.product_modes().size(); ++p) {
+    auto buf = device_.alloc<index_t>(count);
+    buf.copy_from_host(fcoo_.product_indices(p).subspan(spec.lo, count));
+    plan->pidx.push_back(std::move(buf));
+  }
+
+  // Local partition -> local segment id: the SAME scan UnifiedPlan runs,
+  // applied to the chunk-local bit slice (spec.lo is threadlen-aligned).
+  const std::vector<index_t> first_seg = first_segment_per_partition(
+      count, part_.threadlen,
+      [&](nnz_t x) { return ((bits[x >> 6] >> (x & 63)) & 1ull) != 0; });
+  plan->thread_first_seg = device_.alloc<index_t>(first_seg.size());
+  plan->thread_first_seg.copy_from_host(first_seg);
+
+  // Local segment id -> global output row: the index-mode coordinate when
+  // the output is row-indexed (SpMTTKRP/SpTTMc/SpTTV), the global segment
+  // ordinal when fibers are stored in segment order (SpTTM) -- mirroring
+  // UnifiedPlan's seg_row, restricted to this chunk's segments.
+  std::vector<index_t> rows(spec.num_segments);
+  if (fcoo_.index_modes().size() == 1) {
+    const auto coords = fcoo_.segment_coords(0).subspan(spec.first_seg, spec.num_segments);
+    std::copy(coords.begin(), coords.end(), rows.begin());
+  } else {
+    for (nnz_t s = 0; s < spec.num_segments; ++s) {
+      rows[s] = static_cast<index_t>(spec.first_seg + s);
+    }
+  }
+  plan->seg_row = device_.alloc<index_t>(spec.num_segments);
+  plan->seg_row.copy_from_host(rows);
+  return plan;
+}
+
+}  // namespace ust::pipeline

@@ -1,0 +1,164 @@
+// Streaming executor (DESIGN.md §9): drives an F-COO tensor through the
+// native unified kernel in bounded-memory chunks instead of one monolithic
+// UnifiedPlan -- the paper's "tensors larger than GPU memory" partitioning
+// (Section IV-D) realised as a producer/consumer pipeline:
+//
+//   producer thread:  slices chunk k+1's F-COO arrays out of the host tensor
+//                     and uploads them into fresh device buffers (the plan
+//                     build), publishing finished ChunkPlans into a bounded
+//                     queue of max_in_flight entries;
+//   consumer (caller): pops plans in order, runs the native phase-1 worker
+//                     loops over the chunk, then folds the chunk's boundary
+//                     partials into the global carry (the same serial
+//                     left-to-right handoff single-shot native uses) and
+//                     releases the chunk's device memory.
+//
+// Because stream chunks are whole runs of the native worker grid (see
+// chunker.hpp) and the carry handoff is the identical left-to-right fold,
+// the streamed result is bitwise identical to a single-shot native run with
+// the same UnifiedOptions::chunk_nnz -- enforced by
+// tests/streaming_equivalence_test.cpp across all four operations.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/native_exec.hpp"
+#include "core/unified_kernel.hpp"
+#include "pipeline/chunker.hpp"
+#include "sim/device.hpp"
+#include "tensor/fcoo.hpp"
+
+namespace ust::pipeline {
+
+/// Device-resident plan for one stream chunk. All arrays are chunk-local:
+/// non-zero x of the chunk is global non-zero spec.lo + x, segment s is
+/// global segment spec.first_seg + s. seg_row keeps *global* output rows, so
+/// kernels write the shared output buffer directly.
+struct ChunkPlan {
+  StreamChunk spec;
+  nnz_t total_nnz = 0;      // global non-zero count (for tail detection)
+  unsigned threadlen = 8;
+  sim::DeviceBuffer<std::uint64_t> bf_words;  // head flags [lo, min(hi+1, nnz))
+  sim::DeviceBuffer<value_t> vals;            // [lo, hi)
+  std::vector<sim::DeviceBuffer<index_t>> pidx;  // per product mode, [lo, hi)
+  sim::DeviceBuffer<index_t> thread_first_seg;   // local partition -> local seg
+  sim::DeviceBuffer<index_t> seg_row;            // local seg -> global output row
+
+  /// Chunk-local kernel view. `nnz` is rebased to (total_nnz - lo) so the
+  /// worker loop's "does the tensor end here" test keeps working with local
+  /// coordinates; only positions in [0, hi - lo] are ever dereferenced.
+  core::FcooView view() const;
+
+  const index_t* product_indices(std::size_t p) const { return pidx[p].data(); }
+
+  std::size_t device_bytes() const;
+};
+
+/// Bounded producer/consumer stream of ChunkPlans for one tensor. The
+/// producer thread builds plans in chunk order, reserving a queue slot
+/// before each build, so at most max_in_flight plans exist ahead of the
+/// consumer (queued plus the one being built) -- device residency is
+/// bounded by (max_in_flight + 1) chunk plans including the one being
+/// consumed. next() pops them in order.
+class ChunkPlanStream {
+ public:
+  /// `workers` must equal the executing pool's slot count (pool.size() + 1)
+  /// so the worker grid matches single-shot native execution.
+  ChunkPlanStream(sim::Device& device, const FcooTensor& fcoo, const Partitioning& part,
+                  const core::StreamingOptions& opt, unsigned workers);
+  ~ChunkPlanStream();
+
+  ChunkPlanStream(const ChunkPlanStream&) = delete;
+  ChunkPlanStream& operator=(const ChunkPlanStream&) = delete;
+
+  const ChunkerResult& chunks() const noexcept { return chunks_; }
+
+  /// Blocking pop of the next chunk plan, in order; nullptr when the stream
+  /// is exhausted. Rethrows any exception raised on the producer thread
+  /// (e.g. sim::DeviceOutOfMemory from a chunk upload).
+  std::unique_ptr<ChunkPlan> next();
+
+ private:
+  void producer_loop();
+  std::unique_ptr<ChunkPlan> build_plan(const StreamChunk& spec) const;
+
+  sim::Device& device_;
+  const FcooTensor& fcoo_;
+  Partitioning part_;
+  ChunkerResult chunks_;
+  unsigned max_in_flight_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_space_;  // producer waits for queue space
+  std::condition_variable cv_ready_;  // consumer waits for a plan
+  std::deque<std::unique_ptr<ChunkPlan>> queue_;
+  std::exception_ptr error_;
+  bool produced_all_ = false;
+  bool stop_ = false;
+  std::thread producer_;  // started last, joined in the destructor
+};
+
+/// Executes one unified operation over `fcoo` by streaming chunk plans.
+/// `make_expr(plan)` must return the op's kernel expression built from the
+/// chunk's device arrays (product_indices) plus whatever device-resident
+/// factor data the caller staged; the output must be zero-initialised, as
+/// for the other backends. Bitwise identical to
+/// native::execute(..., chunker-resolved chunk_nnz) on the same pool.
+template <class ExprFactory>
+void stream_execute(sim::Device& device, const FcooTensor& fcoo, const Partitioning& part,
+                    const core::OutView& out, const core::StreamingOptions& opt,
+                    const ExprFactory& make_expr) {
+  if (fcoo.nnz() == 0 || out.num_cols == 0) return;
+  ThreadPool& pool = device.pool();
+  ChunkPlanStream stream(device, fcoo, part, opt, pool.size() + 1);
+
+  const std::size_t cols = out.num_cols;
+  std::vector<float> carry(cols, 0.0f);
+  std::vector<float> tails;
+  std::vector<float> head_partials;
+  std::vector<core::native::ChunkState> states;
+
+  while (std::unique_ptr<ChunkPlan> plan = stream.next()) {
+    const std::vector<core::native::Chunk>& workers = plan->spec.workers;
+    // One launch per streamed chunk keeps the device counters comparable
+    // with single-shot accounting (blocks_executed still counts worker
+    // chunks, so totals match across execution styles).
+    device.note_kernel_launch(workers.size());
+    tails.assign(workers.size() * cols, 0.0f);
+    head_partials.assign(workers.size() * cols, 0.0f);
+    states.assign(workers.size(), core::native::ChunkState{});
+
+    const core::FcooView f = plan->view();
+    const auto expr = make_expr(*plan);
+
+    // Phase 1 (parallel): identical worker loops over identical non-zero
+    // ranges as a single-shot run -- only the backing buffers differ.
+    pool.parallel_ranges(workers.size(), /*grain=*/1,
+                         [&](unsigned /*worker*/, std::size_t begin, std::size_t end) {
+                           for (std::size_t k = begin; k < end; ++k) {
+                             core::native::run_chunk(f, out, expr, workers[k],
+                                                     &tails[k * cols],
+                                                     &head_partials[k * cols], states[k]);
+                           }
+                         });
+
+    // Phase 2 (serial): fold this chunk's boundary partials into the global
+    // carry, left to right -- the single-shot handoff (the SAME
+    // fold_boundaries native::execute runs), resumed across streamed chunks.
+    // Rows come from the chunk's seg_row slice, which holds global output
+    // rows for local segment ids.
+    core::native::fold_boundaries(plan->seg_row.data(), states, tails.data(),
+                                  head_partials.data(), cols, out, carry.data());
+    // plan goes out of scope here: the chunk's device memory is released
+    // before the next chunk is consumed (bounded residency).
+  }
+  // The final worker chunk always closes at nnz, so the carry has flushed.
+}
+
+}  // namespace ust::pipeline

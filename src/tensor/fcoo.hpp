@@ -35,6 +35,23 @@ struct Partitioning {
   nnz_t num_blocks(nnz_t nnz) const noexcept { return ceil_div<nnz_t>(nnz, nnz_per_block()); }
 };
 
+/// Segment id of each threadlen-partition's first element over [0, nnz),
+/// where `head(x)` reads the head flag at position x: the id starts at 0 and
+/// increments at every head strictly after position 0. Shared by UnifiedPlan
+/// (global bf) and the streaming executor's chunk-local plans (bf slice) so
+/// the partition-to-segment convention can never diverge between them.
+template <class HeadFn>
+std::vector<index_t> first_segment_per_partition(nnz_t nnz, unsigned threadlen,
+                                                 const HeadFn& head) {
+  std::vector<index_t> first_seg(ceil_div<nnz_t>(nnz, threadlen));
+  nnz_t seg = 0;
+  for (nnz_t x = 0; x < nnz; ++x) {
+    if (x != 0 && head(x)) ++seg;
+    if (x % threadlen == 0) first_seg[x / threadlen] = static_cast<index_t>(seg);
+  }
+  return first_seg;
+}
+
 class FcooTensor {
  public:
   FcooTensor() = default;

@@ -41,6 +41,39 @@ TEST(Tns, RoundTripPreservesContent) {
   }
 }
 
+TEST(Tns, AcceptsCrlfCommentsAndTrailingWhitespace) {
+  // A Windows-written FROSTT file: CRLF line endings, comment-only lines,
+  // and trailing spaces/tabs after the value.
+  std::istringstream in(
+      "# header comment\r\n"
+      "1 1 1 1.5 \r\n"
+      "   \r\n"
+      "2 2 2 -2.0\t\t\r\n"
+      "# trailing comment line\r\n"
+      "2 1 2 0.25\r\n");
+  const CooTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 3u);
+  EXPECT_FLOAT_EQ(t.value(0), 1.5f);
+  EXPECT_FLOAT_EQ(t.value(1), -2.0f);
+  EXPECT_FLOAT_EQ(t.value(2), 0.25f);
+}
+
+TEST(Tns, ErrorsCarryLineNumberAndToken) {
+  std::istringstream in(
+      "1 1 1 1.0\n"
+      "2 2 2 2.0\n"
+      "3 3 oops 3.0\n");
+  try {
+    read_tns(in);
+    FAIL() << "expected TnsParseError";
+  } catch (const TnsParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+  }
+}
+
 TEST(Tns, RejectsMalformedInput) {
   {
     std::istringstream in("1 2 not_a_number\n");

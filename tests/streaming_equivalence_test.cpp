@@ -1,0 +1,213 @@
+// Streaming-vs-monolithic equivalence fuzz (DESIGN.md §9): for all four
+// unified operations, executing through the streaming pipeline (chunked
+// plans, double-buffered build/execute, carry merge across chunks) must be
+// BITWISE identical to a single-shot native run over the same worker grid
+// (UnifiedOptions::chunk_nnz == the chunker's resolved cap). Equality is
+// exact float comparison, not tolerance: the pipeline reorders nothing.
+#include <gtest/gtest.h>
+
+#include "core/spmttkrp.hpp"
+#include "core/spttm.hpp"
+#include "core/spttmc.hpp"
+#include "core/spttv.hpp"
+#include "pipeline/chunker.hpp"
+#include "sim/device.hpp"
+#include "test_support.hpp"
+
+namespace ust::core {
+namespace {
+
+/// Random streaming configuration whose resolved worker-chunk cap is
+/// returned so the single-shot run can mirror it. Alternates between an
+/// explicit chunk_nnz and a byte-budget-derived cap, and between grouped
+/// (chunk_bytes) and one-worker-chunk streams.
+StreamingOptions random_stream(Prng& rng, unsigned threadlen, nnz_t nnz,
+                               std::size_t num_product_modes) {
+  StreamingOptions s;
+  s.enabled = true;
+  s.max_in_flight = 1 + static_cast<unsigned>(rng.next_below(3));
+  switch (rng.next_below(3)) {
+    case 0:  // explicit cap, no grouping: one worker chunk per stream chunk
+      s.chunk_nnz = threadlen * (1 + rng.next_below(6));
+      s.chunk_bytes = 0;
+      break;
+    case 1:  // explicit cap with byte grouping
+      s.chunk_nnz = threadlen * (1 + rng.next_below(6));
+      s.chunk_bytes = (1 + rng.next_below(4)) *
+                      s.chunk_nnz * pipeline::plan_bytes_per_nnz(num_product_modes);
+      break;
+    default:  // cap derived from the byte budget
+      s.chunk_nnz = 0;
+      s.chunk_bytes = std::max<std::size_t>(
+          1, (nnz / (1 + rng.next_below(6)) + 1) *
+                 pipeline::plan_bytes_per_nnz(num_product_modes));
+      break;
+  }
+  return s;
+}
+
+UnifiedOptions mirror_options(const StreamingOptions& s, unsigned threadlen, nnz_t nnz,
+                              std::size_t num_product_modes) {
+  UnifiedOptions opt;
+  opt.backend = ExecBackend::kNative;
+  opt.chunk_nnz = pipeline::resolve_chunk_nnz(
+      nnz, num_product_modes, Partitioning{.threadlen = threadlen}, s);
+  return opt;
+}
+
+Partitioning random_part(Prng& rng) {
+  return Partitioning{.threadlen = 2u + static_cast<unsigned>(rng.next_below(15)),
+                      .block_size = 16u << rng.next_below(3)};
+}
+
+TEST(StreamingEquivalence, SpMttkrpBitwiseMatchesSingleShot) {
+  sim::Device dev;
+  Prng rng(1001);
+  for (int trial = 0; trial < 25; ++trial) {
+    const CooTensor t = test::random_coo3(rng, 30, 2000);
+    const Partitioning part = random_part(rng);
+    const int mode = static_cast<int>(rng.next_below(3));
+    const index_t rank = 1 + static_cast<index_t>(rng.next_below(9));
+    const auto factors = test::random_factors(t, rank, rng);
+    // chunk_nnz must be a threadlen multiple: random_stream guarantees it.
+    const StreamingOptions s = random_stream(rng, part.threadlen, t.nnz(), 2);
+    const UnifiedOptions mono = mirror_options(s, part.threadlen, t.nnz(), 2);
+
+    UnifiedMttkrp streaming_op(dev, t, mode, part, s);
+    UnifiedMttkrp single_shot(dev, t, mode, part);
+    const DenseMatrix got = streaming_op.run(factors);
+    const DenseMatrix want = single_shot.run(factors, mono);
+    ASSERT_EQ(DenseMatrix::max_abs_diff(got, want), 0.0)
+        << "trial " << trial << " mode " << mode << " threadlen " << part.threadlen
+        << " chunk " << mono.chunk_nnz;
+  }
+}
+
+TEST(StreamingEquivalence, SpttmBitwiseMatchesSingleShot) {
+  sim::Device dev;
+  Prng rng(2002);
+  for (int trial = 0; trial < 25; ++trial) {
+    const CooTensor t = test::random_coo3(rng, 30, 2000);
+    const Partitioning part = random_part(rng);
+    const int mode = static_cast<int>(rng.next_below(3));
+    const index_t rank = 1 + static_cast<index_t>(rng.next_below(9));
+    const DenseMatrix u = test::random_matrix(t.dim(mode), rank, rng.next_u64());
+    const StreamingOptions s = random_stream(rng, part.threadlen, t.nnz(), 1);
+    const UnifiedOptions mono = mirror_options(s, part.threadlen, t.nnz(), 1);
+
+    UnifiedSpttm streaming_op(dev, t, mode, part, s);
+    UnifiedSpttm single_shot(dev, t, mode, part);
+    const SemiSparseTensor got = streaming_op.run(u);
+    const SemiSparseTensor want = single_shot.run(u, mono);
+    ASSERT_EQ(SemiSparseTensor::max_abs_diff(got, want), 0.0)
+        << "trial " << trial << " mode " << mode << " chunk " << mono.chunk_nnz;
+  }
+}
+
+TEST(StreamingEquivalence, SpttmcBitwiseMatchesSingleShot) {
+  sim::Device dev;
+  Prng rng(3003);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CooTensor t = test::random_coo3(rng, 24, 1500);
+    const Partitioning part = random_part(rng);
+    const int mode = static_cast<int>(rng.next_below(3));
+    const int a = mode == 0 ? 1 : 0;
+    const int b = mode == 2 ? 1 : 2;
+    const index_t r0 = 1 + static_cast<index_t>(rng.next_below(5));
+    const index_t r1 = 1 + static_cast<index_t>(rng.next_below(5));
+    const DenseMatrix u0 = test::random_matrix(t.dim(a), r0, rng.next_u64());
+    const DenseMatrix u1 = test::random_matrix(t.dim(b), r1, rng.next_u64());
+    const StreamingOptions s = random_stream(rng, part.threadlen, t.nnz(), 2);
+    const UnifiedOptions mono = mirror_options(s, part.threadlen, t.nnz(), 2);
+
+    UnifiedTtmc streaming_op(dev, t, mode, part, s);
+    UnifiedTtmc single_shot(dev, t, mode, part);
+    const DenseMatrix got = streaming_op.run(u0, u1);
+    const DenseMatrix want = single_shot.run(u0, u1, mono);
+    ASSERT_EQ(DenseMatrix::max_abs_diff(got, want), 0.0)
+        << "trial " << trial << " mode " << mode << " chunk " << mono.chunk_nnz;
+  }
+}
+
+TEST(StreamingEquivalence, SpttvBitwiseMatchesSingleShot) {
+  sim::Device dev;
+  Prng rng(4004);
+  for (int trial = 0; trial < 25; ++trial) {
+    const CooTensor t = test::random_coo3(rng, 30, 2000);
+    const Partitioning part = random_part(rng);
+    const int mode = static_cast<int>(rng.next_below(3));
+    std::vector<std::vector<value_t>> vectors;
+    for (int m = 0; m < 3; ++m) {
+      std::vector<value_t> v(t.dim(m));
+      for (auto& e : v) e = rng.next_float(-1.0f, 1.0f);
+      vectors.push_back(std::move(v));
+    }
+    const StreamingOptions s = random_stream(rng, part.threadlen, t.nnz(), 2);
+    const UnifiedOptions mono = mirror_options(s, part.threadlen, t.nnz(), 2);
+
+    UnifiedTtv streaming_op(dev, t, mode, part, s);
+    UnifiedTtv single_shot(dev, t, mode, part);
+    const std::vector<value_t> got = streaming_op.run(vectors);
+    const std::vector<value_t> want = single_shot.run(vectors, mono);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "trial " << trial << " row " << i;
+    }
+  }
+}
+
+TEST(StreamingEquivalence, EmptyAndTinyTensors) {
+  sim::Device dev;
+  const Partitioning part{.threadlen = 8, .block_size = 32};
+  const StreamingOptions s{.enabled = true, .chunk_bytes = 0, .chunk_nnz = 8};
+
+  CooTensor empty({4, 5, 6});
+  const auto factors = test::random_factors(empty, 3, 7);
+  UnifiedMttkrp op_empty(dev, empty, 0, part, s);
+  const DenseMatrix m = op_empty.run(factors);
+  EXPECT_EQ(m.rows(), 4u);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t c = 0; c < m.cols(); ++c) EXPECT_EQ(m(i, c), 0.0f);
+  }
+
+  CooTensor one({4, 5, 6});
+  const index_t idx[3] = {1, 2, 3};
+  one.push_back(idx, 2.5f);
+  UnifiedMttkrp op_one(dev, one, 0, part, s);
+  UnifiedMttkrp mono(dev, one, 0, part);
+  const auto f1 = test::random_factors(one, 4, 11);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(op_one.run(f1),
+                                      mono.run(f1, UnifiedOptions{.chunk_nnz = 8})),
+            0.0);
+}
+
+TEST(StreamingEquivalence, RejectsInvalidOptions) {
+  sim::Device dev;
+  Prng rng(5005);
+  const CooTensor t = test::random_coo3(rng, 10, 200);
+  const Partitioning part{.threadlen = 8, .block_size = 32};
+
+  // Central validation: zero threadlen / block_size, misaligned chunk_nnz,
+  // streaming on the sim backend, zero in-flight depth.
+  EXPECT_THROW(UnifiedMttkrp(dev, t, 0, Partitioning{.threadlen = 0}), InvalidOptions);
+  EXPECT_THROW(UnifiedSpttm(dev, t, 0, Partitioning{.block_size = 0}), InvalidOptions);
+  EXPECT_THROW(UnifiedTtv(dev, t, 0, Partitioning{.threadlen = 0}), InvalidOptions);
+  EXPECT_THROW(UnifiedTtmc(dev, t, 0, Partitioning{.block_size = 0}), InvalidOptions);
+
+  UnifiedMttkrp op(dev, t, 0, part);
+  const auto factors = test::random_factors(t, 3, 9);
+  EXPECT_THROW(op.run(factors, UnifiedOptions{.chunk_nnz = 12}), InvalidOptions);
+
+  EXPECT_THROW(
+      UnifiedMttkrp(dev, t, 0, part, StreamingOptions{.enabled = true, .chunk_nnz = 12}),
+      InvalidOptions);
+  EXPECT_THROW(UnifiedMttkrp(dev, t, 0, part,
+                             StreamingOptions{.enabled = true, .max_in_flight = 0}),
+               InvalidOptions);
+  UnifiedMttkrp streaming_op(dev, t, 0, part, StreamingOptions{.enabled = true});
+  EXPECT_THROW(streaming_op.run(factors, UnifiedOptions{.backend = ExecBackend::kSim}),
+               InvalidOptions);
+}
+
+}  // namespace
+}  // namespace ust::core
