@@ -22,16 +22,20 @@ core::TuneResult tune_mttkrp(sim::Device& dev, const CooTensor& t,
                              const std::vector<DenseMatrix>& factors,
                              const std::vector<unsigned>& threadlens,
                              const std::vector<unsigned>& blocks, int reps) {
-  // The backend and the native worker-chunk cap join the search grid: every
-  // (threadlen, BLOCK_SIZE) cell is measured on both engines (and per chunk
-  // cap on native) and the best sample records the winners.
+  // The backend, the native worker-chunk cap and the shard device count join
+  // the search grid: every (threadlen, BLOCK_SIZE) cell is measured on both
+  // engines (and per chunk cap / device count on native) and the best sample
+  // records the winners.
   return core::tune_backends(
-      [&](Partitioning part, core::ExecBackend backend, nnz_t chunk) {
+      [&](Partitioning part, core::ExecBackend backend, nnz_t chunk, unsigned devices) {
         core::UnifiedMttkrp op(dev, t, 0, part);
-        const core::UnifiedOptions opt{.backend = backend, .chunk_nnz = chunk};
+        const core::UnifiedOptions opt{.backend = backend,
+                                       .chunk_nnz = chunk,
+                                       .shard = {.num_devices = devices}};
         return bench::time_median([&] { op.run(factors, opt); }, reps);
       },
-      threadlens, blocks, core::default_backends(), kChunkAxis);
+      threadlens, blocks, core::default_backends(), kChunkAxis,
+      core::default_num_devices());
 }
 
 core::TuneResult tune_spttm(sim::Device& dev, const CooTensor& t, const DenseMatrix& u,
@@ -139,6 +143,7 @@ int main(int argc, char** argv) {
       json.add(d.name + ".spmttkrp.best_s", r.best_seconds);
       json.add(d.name + ".spmttkrp.best_backend", core::backend_name(r.best_backend));
       json.add(d.name + ".spmttkrp.best_chunk_nnz", static_cast<double>(r.best_chunk_nnz));
+      json.add(d.name + ".spmttkrp.best_num_devices", static_cast<double>(r.best_num_devices));
     }
   }
   t.print();

@@ -27,6 +27,10 @@ struct CpOptions {
   int max_iterations = 50;
   double fit_tolerance = 1e-5;  // stop when |fit - previous fit| < tol
   Partitioning part;
+  /// Kernel options for every MTTKRP, including kernel.shard: setting
+  /// kernel.shard.num_devices > 1 runs every mode update sharded across a
+  /// per-op simulated device group (src/shard/), bitwise identical to the
+  /// single-device solve.
   UnifiedOptions kernel;
   /// Per-mode MTTKRP plans are fetched from / inserted into this LRU cache
   /// when non-null, so repeated solver invocations on the same tensor skip

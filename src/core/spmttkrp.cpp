@@ -5,6 +5,7 @@
 #include "core/native_exec.hpp"
 #include "pipeline/plan_cache.hpp"
 #include "pipeline/stream_executor.hpp"
+#include "shard/shard_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -88,6 +89,16 @@ UnifiedMttkrp::UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int m
   product_modes_ = plan_->product_modes();
 }
 
+UnifiedMttkrp::~UnifiedMttkrp() = default;
+UnifiedMttkrp::UnifiedMttkrp(UnifiedMttkrp&&) noexcept = default;
+UnifiedMttkrp& UnifiedMttkrp::operator=(UnifiedMttkrp&&) noexcept = default;
+
+shard::OpShardState& UnifiedMttkrp::shard_state(unsigned num_devices) const {
+  if (shard_ == nullptr) shard_ = std::make_unique<shard::OpShardState>();
+  shard_->ensure_group(*device_, num_devices);
+  return *shard_;
+}
+
 DenseMatrix UnifiedMttkrp::run(std::span<const DenseMatrix> factors,
                                const UnifiedOptions& opt) const {
   const index_t rows = dims_[static_cast<std::size_t>(mode_)];
@@ -111,6 +122,13 @@ void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
   }
   const index_t rows = dims_[static_cast<std::size_t>(mode_)];
   UST_EXPECTS(out.rows() == rows && out.cols() == r);
+
+  if (opt.shard.num_devices > 1) {
+    // validate() already guaranteed the native backend; factors are staged
+    // per shard device inside run_sharded, so skip the primary staging.
+    run_sharded(factors, out, opt);
+    return;
+  }
 
   sim::Device& dev = *device_;
 
@@ -184,15 +202,16 @@ void UnifiedMttkrp::run_streaming(std::span<const DenseMatrix> factors,
                                   DenseMatrix& out) const {
   const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
   OutView out_view{out_buf_.data(), r, r};
+  const pipeline::HostFcoo host = pipeline::host_view(*fcoo_, fcoo_->segment_coords(0));
   if (product_modes_.size() == 2) {
-    pipeline::stream_execute(*device_, *fcoo_, part_, out_view, stream_,
+    pipeline::stream_execute(*device_, host, part_, out_view, stream_,
                              [&](const pipeline::ChunkPlan& c) {
                                return MttkrpExpr2{c.product_indices(0), c.product_indices(1),
                                                   factor_bufs_[0].data(),
                                                   factor_bufs_[1].data(), r};
                              });
   } else {
-    pipeline::stream_execute(*device_, *fcoo_, part_, out_view, stream_,
+    pipeline::stream_execute(*device_, host, part_, out_view, stream_,
                              [&](const pipeline::ChunkPlan& c) {
                                MttkrpExprN expr{};
                                expr.nprod = product_modes_.size();
@@ -203,6 +222,64 @@ void UnifiedMttkrp::run_streaming(std::span<const DenseMatrix> factors,
                                }
                                return expr;
                              });
+  }
+  out_buf_.copy_to_host(out.span());
+}
+
+void UnifiedMttkrp::run_sharded(std::span<const DenseMatrix> factors, DenseMatrix& out,
+                                const UnifiedOptions& opt, shard::Report* report) const {
+  validate(part_, opt, stream_);
+  UST_EXPECTS(opt.backend == ExecBackend::kNative);
+  const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
+  UST_EXPECTS(out.rows() == dims_[static_cast<std::size_t>(mode_)] && out.cols() == r);
+  shard::OpShardState& st = shard_state(opt.shard.num_devices);
+  const pipeline::HostFcoo host = stream_.enabled
+                                      ? pipeline::host_view(*fcoo_, fcoo_->segment_coords(0))
+                                      : pipeline::host_view(*plan_);
+
+  sim::Device& dev = *device_;
+  if (out_buf_.size() != out.size()) out_buf_ = dev.alloc<value_t>(out.size());
+  out_buf_.fill(value_t{0});
+  OutView out_view{out_buf_.data(), r, r};
+
+  // Factors are staged once per shard device, lazily, inside the expression
+  // factory (shards run in device order, so one buffer set suffices).
+  std::vector<sim::DeviceBuffer<value_t>> sfac(product_modes_.size());
+  unsigned staged_for = ~0u;
+  const auto stage = [&](sim::Device& sdev, unsigned d) {
+    if (staged_for == d) return;
+    for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+      const auto& f = factors[static_cast<std::size_t>(product_modes_[p])];
+      sfac[p] = sdev.alloc<value_t>(f.size());
+      sfac[p].copy_from_host(f.span());
+    }
+    staged_for = d;
+  };
+
+  if (product_modes_.size() == 2) {
+    shard::execute(*st.group, host, part_, out_view, opt, stream_,
+                   TensorOp::kSpMTTKRP, mode_,
+                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
+                     stage(sdev, d);
+                     return MttkrpExpr2{c.product_indices(0), c.product_indices(1),
+                                        sfac[0].data(), sfac[1].data(), r};
+                   },
+                   report);
+  } else {
+    shard::execute(*st.group, host, part_, out_view, opt, stream_,
+                   TensorOp::kSpMTTKRP, mode_,
+                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
+                     stage(sdev, d);
+                     MttkrpExprN expr{};
+                     expr.nprod = product_modes_.size();
+                     expr.r = r;
+                     for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+                       expr.idx[p] = c.product_indices(p);
+                       expr.fac[p] = sfac[p].data();
+                     }
+                     return expr;
+                   },
+                   report);
   }
   out_buf_.copy_to_host(out.span());
 }

@@ -17,6 +17,11 @@ namespace ust::pipeline {
 class PlanCache;
 }
 
+namespace ust::shard {
+struct OpShardState;
+struct Report;
+}
+
 namespace ust::core {
 
 class UnifiedMttkrp {
@@ -31,6 +36,11 @@ class UnifiedMttkrp {
   /// (src/pipeline/, DESIGN.md §9); streaming runs bypass the cache.
   UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
                 const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
+
+  // Out-of-line because shard::OpShardState is only forward-declared here.
+  ~UnifiedMttkrp();
+  UnifiedMttkrp(UnifiedMttkrp&&) noexcept;
+  UnifiedMttkrp& operator=(UnifiedMttkrp&&) noexcept;
 
   int mode() const noexcept { return mode_; }
   const UnifiedPlan& plan() const {
@@ -47,8 +57,17 @@ class UnifiedMttkrp {
   void run(std::span<const DenseMatrix> factors, DenseMatrix& out,
            const UnifiedOptions& opt = {}) const;
 
+  /// Runs through the multi-device sharded executor (src/shard/) regardless
+  /// of opt.shard.num_devices (>= 1 allowed, so a one-device baseline can be
+  /// measured on the same code path), filling `report` with per-device
+  /// timings when non-null. run() routes here automatically when
+  /// num_devices > 1; bench_shard calls it directly.
+  void run_sharded(std::span<const DenseMatrix> factors, DenseMatrix& out,
+                   const UnifiedOptions& opt, shard::Report* report = nullptr) const;
+
  private:
   void run_streaming(std::span<const DenseMatrix> factors, DenseMatrix& out) const;
+  shard::OpShardState& shard_state(unsigned num_devices) const;
 
   sim::Device* device_;
   int mode_;
@@ -64,6 +83,10 @@ class UnifiedMttkrp {
   // iterations (CP-ALS calls run() three times per iteration).
   mutable std::vector<sim::DeviceBuffer<value_t>> factor_bufs_;
   mutable sim::DeviceBuffer<value_t> out_buf_;
+  // Sharding state (device group + per-device plan caches), created on the
+  // first sharded run and kept across runs so CP-ALS iterations hit the
+  // shard-plan caches.
+  mutable std::unique_ptr<shard::OpShardState> shard_;
 };
 
 /// One-shot convenience wrapper (builds a plan, runs once).

@@ -1,10 +1,12 @@
 #include "core/spttm.hpp"
 
 #include <memory>
+#include <numeric>
 
 #include "core/native_exec.hpp"
 #include "pipeline/plan_cache.hpp"
 #include "pipeline/stream_executor.hpp"
+#include "shard/shard_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -46,6 +48,8 @@ UnifiedSpttm::UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mod
     for (std::size_t m = 0; m < mp.index_modes.size(); ++m) {
       fiber_coords_.push_back(fcoo_->segment_coords(m));
     }
+    seg_ordinals_.resize(num_fibers_);
+    std::iota(seg_ordinals_.begin(), seg_ordinals_.end(), index_t{0});
     return;
   }
   // The per-fiber coordinates live in the (possibly cached) bundle, which
@@ -61,27 +65,56 @@ UnifiedSpttm::UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mod
   num_fibers_ = plan_->num_segments();
 }
 
+UnifiedSpttm::~UnifiedSpttm() = default;
+UnifiedSpttm::UnifiedSpttm(UnifiedSpttm&&) noexcept = default;
+UnifiedSpttm& UnifiedSpttm::operator=(UnifiedSpttm&&) noexcept = default;
+
+shard::OpShardState& UnifiedSpttm::shard_state(unsigned num_devices) const {
+  if (shard_ == nullptr) shard_ = std::make_unique<shard::OpShardState>();
+  shard_->ensure_group(*device_, num_devices);
+  return *shard_;
+}
+
 SemiSparseTensor UnifiedSpttm::run(const DenseMatrix& u, const UnifiedOptions& opt) const {
   validate(part_, opt, stream_);
   UST_EXPECTS(u.rows() == dims_[static_cast<std::size_t>(mode_)]);
   const index_t r = u.cols();
   sim::Device& dev = *device_;
 
-  if (factor_buf_.size() != u.size()) factor_buf_ = dev.alloc<value_t>(u.size());
-  factor_buf_.copy_from_host(u.span());
-
   const nnz_t nfibs = num_fibers_;
   const std::size_t out_elems = static_cast<std::size_t>(nfibs) * r;
   if (out_buf_.size() != out_elems) out_buf_ = dev.alloc<value_t>(out_elems);
   out_buf_.fill(value_t{0});
-
   OutView out_view{out_buf_.data(), r, r};
-  if (stream_.enabled) {
-    pipeline::stream_execute(dev, *fcoo_, part_, out_view, stream_,
+
+  if (opt.shard.num_devices > 1) {
+    shard::OpShardState& st = shard_state(opt.shard.num_devices);
+    const pipeline::HostFcoo host = stream_.enabled
+                                        ? pipeline::host_view(*fcoo_, seg_ordinals_)
+                                        : pipeline::host_view(*plan_);
+    sim::DeviceBuffer<value_t> sfac;
+    unsigned staged_for = ~0u;
+    shard::execute(*st.group, host, part_, out_view, opt, stream_,
+                   TensorOp::kSpTTM, mode_,
+                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
+                     if (staged_for != d) {
+                       sfac = sdev.alloc<value_t>(u.size());
+                       sfac.copy_from_host(u.span());
+                       staged_for = d;
+                     }
+                     return SpttmExpr{c.product_indices(0), sfac.data(), r};
+                   });
+  } else if (stream_.enabled) {
+    if (factor_buf_.size() != u.size()) factor_buf_ = dev.alloc<value_t>(u.size());
+    factor_buf_.copy_from_host(u.span());
+    const pipeline::HostFcoo host = pipeline::host_view(*fcoo_, seg_ordinals_);
+    pipeline::stream_execute(dev, host, part_, out_view, stream_,
                              [&](const pipeline::ChunkPlan& c) {
                                return SpttmExpr{c.product_indices(0), factor_buf_.data(), r};
                              });
   } else {
+    if (factor_buf_.size() != u.size()) factor_buf_ = dev.alloc<value_t>(u.size());
+    factor_buf_.copy_from_host(u.span());
     FcooView view = plan_->view();
     SpttmExpr expr{plan_->product_indices(0).data(), factor_buf_.data(), r};
     if (opt.backend == ExecBackend::kNative) {

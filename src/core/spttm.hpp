@@ -18,6 +18,10 @@ namespace ust::pipeline {
 class PlanCache;
 }
 
+namespace ust::shard {
+struct OpShardState;
+}
+
 namespace ust::core {
 
 class UnifiedSpttm {
@@ -28,6 +32,11 @@ class UnifiedSpttm {
   /// constructions with the same tensor/mode/partitioning.
   UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
                const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
+
+  // Out-of-line because shard::OpShardState is only forward-declared here.
+  ~UnifiedSpttm();
+  UnifiedSpttm(UnifiedSpttm&&) noexcept;
+  UnifiedSpttm& operator=(UnifiedSpttm&&) noexcept;
 
   int mode() const noexcept { return mode_; }
   const UnifiedPlan& plan() const {
@@ -43,6 +52,8 @@ class UnifiedSpttm {
   SemiSparseTensor run(const DenseMatrix& u, const UnifiedOptions& opt = {}) const;
 
  private:
+  shard::OpShardState& shard_state(unsigned num_devices) const;
+
   sim::Device* device_;
   int mode_;
   Partitioning part_;
@@ -59,8 +70,13 @@ class UnifiedSpttm {
   /// the cache bundle (plan path) or the host FcooTensor (streaming path),
   /// never a copy.
   std::vector<std::span<const index_t>> fiber_coords_;
+  /// Ordinal seg_row (0, 1, 2, ...) backing the host view on the streaming
+  /// path, where no UnifiedPlan exists to provide it (SpTTM's output rows
+  /// are fiber ordinals, not index coordinates).
+  std::vector<index_t> seg_ordinals_;
   mutable sim::DeviceBuffer<value_t> factor_buf_;
   mutable sim::DeviceBuffer<value_t> out_buf_;
+  mutable std::unique_ptr<shard::OpShardState> shard_;
 };
 
 /// One-shot convenience wrapper.

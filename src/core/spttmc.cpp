@@ -5,6 +5,7 @@
 #include "core/native_exec.hpp"
 #include "pipeline/plan_cache.hpp"
 #include "pipeline/stream_executor.hpp"
+#include "shard/shard_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -63,6 +64,16 @@ UnifiedTtmc::UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode,
   product_modes_ = plan_->product_modes();
 }
 
+UnifiedTtmc::~UnifiedTtmc() = default;
+UnifiedTtmc::UnifiedTtmc(UnifiedTtmc&&) noexcept = default;
+UnifiedTtmc& UnifiedTtmc::operator=(UnifiedTtmc&&) noexcept = default;
+
+shard::OpShardState& UnifiedTtmc::shard_state(unsigned num_devices) const {
+  if (shard_ == nullptr) shard_ = std::make_unique<shard::OpShardState>();
+  shard_->ensure_group(*device_, num_devices);
+  return *shard_;
+}
+
 DenseMatrix UnifiedTtmc::run(const DenseMatrix& u_first, const DenseMatrix& u_second,
                              const UnifiedOptions& opt) const {
   validate(part_, opt, stream_);
@@ -73,20 +84,46 @@ DenseMatrix UnifiedTtmc::run(const DenseMatrix& u_first, const DenseMatrix& u_se
   const index_t cols = r0 * r1;
   sim::Device& dev = *device_;
 
-  if (fac0_buf_.size() != u_first.size()) fac0_buf_ = dev.alloc<value_t>(u_first.size());
-  fac0_buf_.copy_from_host(u_first.span());
-  if (fac1_buf_.size() != u_second.size()) fac1_buf_ = dev.alloc<value_t>(u_second.size());
-  fac1_buf_.copy_from_host(u_second.span());
-
   const index_t rows = dims_[static_cast<std::size_t>(mode_)];
   DenseMatrix out(rows, cols);
   const std::size_t out_elems = out.size();
   if (out_buf_.size() != out_elems) out_buf_ = dev.alloc<value_t>(out_elems);
   out_buf_.fill(value_t{0});
-
   OutView out_view{out_buf_.data(), cols, cols};
+
+  if (opt.shard.num_devices > 1) {
+    shard::OpShardState& st = shard_state(opt.shard.num_devices);
+    const pipeline::HostFcoo host =
+        stream_.enabled ? pipeline::host_view(*fcoo_, fcoo_->segment_coords(0))
+                        : pipeline::host_view(*plan_);
+    sim::DeviceBuffer<value_t> sfac0;
+    sim::DeviceBuffer<value_t> sfac1;
+    unsigned staged_for = ~0u;
+    shard::execute(*st.group, host, part_, out_view, opt, stream_,
+                   TensorOp::kSpTTMc, mode_,
+                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
+                     if (staged_for != d) {
+                       sfac0 = sdev.alloc<value_t>(u_first.size());
+                       sfac0.copy_from_host(u_first.span());
+                       sfac1 = sdev.alloc<value_t>(u_second.size());
+                       sfac1.copy_from_host(u_second.span());
+                       staged_for = d;
+                     }
+                     return TtmcExpr{c.product_indices(0), c.product_indices(1),
+                                     sfac0.data(), sfac1.data(), r0, r1};
+                   });
+    out_buf_.copy_to_host(out.span());
+    return out;
+  }
+
+  if (fac0_buf_.size() != u_first.size()) fac0_buf_ = dev.alloc<value_t>(u_first.size());
+  fac0_buf_.copy_from_host(u_first.span());
+  if (fac1_buf_.size() != u_second.size()) fac1_buf_ = dev.alloc<value_t>(u_second.size());
+  fac1_buf_.copy_from_host(u_second.span());
+
   if (stream_.enabled) {
-    pipeline::stream_execute(dev, *fcoo_, part_, out_view, stream_,
+    const pipeline::HostFcoo host = pipeline::host_view(*fcoo_, fcoo_->segment_coords(0));
+    pipeline::stream_execute(dev, host, part_, out_view, stream_,
                              [&](const pipeline::ChunkPlan& c) {
                                return TtmcExpr{c.product_indices(0), c.product_indices(1),
                                                fac0_buf_.data(), fac1_buf_.data(), r0, r1};

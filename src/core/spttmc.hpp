@@ -18,6 +18,10 @@ namespace ust::pipeline {
 class PlanCache;
 }
 
+namespace ust::shard {
+struct OpShardState;
+}
+
 namespace ust::core {
 
 class UnifiedTtmc {
@@ -27,6 +31,11 @@ class UnifiedTtmc {
   /// `stream` / `cache` semantics.
   UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
               const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
+
+  // Out-of-line because shard::OpShardState is only forward-declared here.
+  ~UnifiedTtmc();
+  UnifiedTtmc(UnifiedTtmc&&) noexcept;
+  UnifiedTtmc& operator=(UnifiedTtmc&&) noexcept;
 
   int mode() const noexcept { return mode_; }
   const UnifiedPlan& plan() const {
@@ -42,6 +51,8 @@ class UnifiedTtmc {
                   const UnifiedOptions& opt = {}) const;
 
  private:
+  shard::OpShardState& shard_state(unsigned num_devices) const;
+
   sim::Device* device_;
   int mode_;
   Partitioning part_;
@@ -55,6 +66,7 @@ class UnifiedTtmc {
   mutable sim::DeviceBuffer<value_t> fac0_buf_;
   mutable sim::DeviceBuffer<value_t> fac1_buf_;
   mutable sim::DeviceBuffer<value_t> out_buf_;
+  mutable std::unique_ptr<shard::OpShardState> shard_;
 };
 
 /// One-shot convenience wrapper.

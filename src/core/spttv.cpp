@@ -5,6 +5,7 @@
 #include "core/native_exec.hpp"
 #include "pipeline/plan_cache.hpp"
 #include "pipeline/stream_executor.hpp"
+#include "shard/shard_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::core {
@@ -62,6 +63,16 @@ UnifiedTtv::UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode,
   product_modes_ = plan_->product_modes();
 }
 
+UnifiedTtv::~UnifiedTtv() = default;
+UnifiedTtv::UnifiedTtv(UnifiedTtv&&) noexcept = default;
+UnifiedTtv& UnifiedTtv::operator=(UnifiedTtv&&) noexcept = default;
+
+shard::OpShardState& UnifiedTtv::shard_state(unsigned num_devices) const {
+  if (shard_ == nullptr) shard_ = std::make_unique<shard::OpShardState>();
+  shard_->ensure_group(*device_, num_devices);
+  return *shard_;
+}
+
 std::vector<value_t> UnifiedTtv::run(std::span<const std::vector<value_t>> vectors,
                                      const UnifiedOptions& opt) const {
   validate(part_, opt, stream_);
@@ -72,19 +83,56 @@ std::vector<value_t> UnifiedTtv::run(std::span<const std::vector<value_t>> vecto
   }
   sim::Device& dev = *device_;
 
+  const index_t out_rows = dims_[static_cast<std::size_t>(mode_)];
+  if (out_buf_.size() != out_rows) out_buf_ = dev.alloc<value_t>(out_rows);
+  out_buf_.fill(value_t{0});
+  OutView out_view{out_buf_.data(), 1, 1};
+
+  if (opt.shard.num_devices > 1) {
+    // Sharded path: contraction vectors are staged per shard device inside
+    // the expression factory (the plan cache key reuses the MTTKRP op id --
+    // the layouts are identical, as for the whole-tensor cache).
+    shard::OpShardState& st = shard_state(opt.shard.num_devices);
+    const pipeline::HostFcoo host =
+        stream_.enabled ? pipeline::host_view(*fcoo_, fcoo_->segment_coords(0))
+                        : pipeline::host_view(*plan_);
+    std::vector<sim::DeviceBuffer<value_t>> svec(product_modes_.size());
+    unsigned staged_for = ~0u;
+    shard::execute(*st.group, host, part_, out_view, opt, stream_,
+                   TensorOp::kSpMTTKRP, mode_,
+                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
+                     if (staged_for != d) {
+                       for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+                         const auto& v =
+                             vectors[static_cast<std::size_t>(product_modes_[p])];
+                         svec[p] = sdev.alloc<value_t>(v.size());
+                         svec[p].copy_from_host(v);
+                       }
+                       staged_for = d;
+                     }
+                     TtvExpr expr{};
+                     expr.nprod = product_modes_.size();
+                     for (std::size_t p = 0; p < product_modes_.size(); ++p) {
+                       expr.idx[p] = c.product_indices(p);
+                       expr.vec[p] = svec[p].data();
+                     }
+                     return expr;
+                   });
+    std::vector<value_t> out(out_rows);
+    out_buf_.copy_to_host(out);
+    return out;
+  }
+
   vec_bufs_.resize(product_modes_.size());
   for (std::size_t p = 0; p < product_modes_.size(); ++p) {
     const auto& v = vectors[static_cast<std::size_t>(product_modes_[p])];
     if (vec_bufs_[p].size() != v.size()) vec_bufs_[p] = dev.alloc<value_t>(v.size());
     vec_bufs_[p].copy_from_host(v);
   }
-  const index_t out_rows = dims_[static_cast<std::size_t>(mode_)];
-  if (out_buf_.size() != out_rows) out_buf_ = dev.alloc<value_t>(out_rows);
-  out_buf_.fill(value_t{0});
 
-  OutView out_view{out_buf_.data(), 1, 1};
   if (stream_.enabled) {
-    pipeline::stream_execute(dev, *fcoo_, part_, out_view, stream_,
+    const pipeline::HostFcoo host = pipeline::host_view(*fcoo_, fcoo_->segment_coords(0));
+    pipeline::stream_execute(dev, host, part_, out_view, stream_,
                              [&](const pipeline::ChunkPlan& c) {
                                TtvExpr expr{};
                                expr.nprod = product_modes_.size();

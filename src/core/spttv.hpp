@@ -23,6 +23,10 @@ namespace ust::pipeline {
 class PlanCache;
 }
 
+namespace ust::shard {
+struct OpShardState;
+}
+
 namespace ust::core {
 
 class UnifiedTtv {
@@ -30,6 +34,11 @@ class UnifiedTtv {
   /// See UnifiedMttkrp for the `stream` / `cache` semantics.
   UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
              const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
+
+  // Out-of-line because shard::OpShardState is only forward-declared here.
+  ~UnifiedTtv();
+  UnifiedTtv(UnifiedTtv&&) noexcept;
+  UnifiedTtv& operator=(UnifiedTtv&&) noexcept;
 
   int mode() const noexcept { return mode_; }
   const UnifiedPlan& plan() const {
@@ -44,6 +53,8 @@ class UnifiedTtv {
                            const UnifiedOptions& opt = {}) const;
 
  private:
+  shard::OpShardState& shard_state(unsigned num_devices) const;
+
   sim::Device* device_;
   int mode_;
   Partitioning part_;
@@ -56,6 +67,7 @@ class UnifiedTtv {
   std::vector<int> product_modes_;
   mutable std::vector<sim::DeviceBuffer<value_t>> vec_bufs_;
   mutable sim::DeviceBuffer<value_t> out_buf_;
+  mutable std::unique_ptr<shard::OpShardState> shard_;
 };
 
 /// One-shot convenience wrapper.

@@ -25,6 +25,8 @@ struct TuckerOptions {
   int max_iterations = 20;
   double fit_tolerance = 1e-5;
   Partitioning part;
+  /// Kernel options for every TTMc; kernel.shard.num_devices > 1 shards each
+  /// mode update across a simulated device group (see CpOptions::kernel).
   UnifiedOptions kernel;
   /// Per-mode TTMc plans come from this LRU cache when non-null (see
   /// CpOptions::plan_cache); streaming chunks every TTMc when enabled.

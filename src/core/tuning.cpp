@@ -17,6 +17,8 @@ std::vector<ExecBackend> default_backends() {
 
 std::vector<nnz_t> default_chunk_nnzs() { return {0, 8192, 65536}; }
 
+std::vector<unsigned> default_num_devices() { return {1, 2}; }
+
 const char* backend_name(ExecBackend backend) {
   return backend == ExecBackend::kNative ? "native" : "sim";
 }
@@ -41,46 +43,84 @@ TuneResult tune_backends(
     const std::function<double(Partitioning, ExecBackend, nnz_t)>& runner,
     std::vector<unsigned> threadlens, std::vector<unsigned> block_sizes,
     std::vector<ExecBackend> backends, std::vector<nnz_t> chunk_nnzs) {
+  return tune_backends(
+      [&](Partitioning part, ExecBackend backend, nnz_t chunk, unsigned) {
+        return runner(part, backend, chunk);
+      },
+      std::move(threadlens), std::move(block_sizes), std::move(backends),
+      std::move(chunk_nnzs), {1u});
+}
+
+TuneResult tune_backends(
+    const std::function<double(Partitioning, ExecBackend, nnz_t, unsigned)>& runner,
+    std::vector<unsigned> threadlens, std::vector<unsigned> block_sizes,
+    std::vector<ExecBackend> backends, std::vector<nnz_t> chunk_nnzs,
+    std::vector<unsigned> num_devices) {
   UST_EXPECTS(!threadlens.empty() && !block_sizes.empty() && !backends.empty() &&
-              !chunk_nnzs.empty());
-  // The chunk axis is native-only; a sim-only sweep whose chunk axis lacks 0
-  // would skip every cell and die on the empty-sweep invariant below --
-  // reject it up front with a diagnosable message instead.
-  if (std::none_of(backends.begin(), backends.end(),
-                   [](ExecBackend b) { return b == ExecBackend::kNative; }) &&
+              !chunk_nnzs.empty() && !num_devices.empty());
+  // The chunk and device axes are native-only; a sim-only sweep lacking
+  // their neutral values (chunk 0, one device) would skip every cell and die
+  // on the empty-sweep invariant below -- reject it up front with a
+  // diagnosable message instead.
+  const bool has_native = std::any_of(backends.begin(), backends.end(),
+                                      [](ExecBackend b) { return b == ExecBackend::kNative; });
+  if (!has_native &&
       std::find(chunk_nnzs.begin(), chunk_nnzs.end(), nnz_t{0}) == chunk_nnzs.end()) {
     throw InvalidOptions(
         "sim-only tuning sweep needs chunk_nnz 0 in the chunk axis "
         "(chunk_nnz is a native-backend knob)");
   }
+  if (!has_native &&
+      std::find(num_devices.begin(), num_devices.end(), 1u) == num_devices.end()) {
+    throw InvalidOptions(
+        "sim-only tuning sweep needs num_devices 1 in the device axis "
+        "(sharding is a native-backend knob)");
+  }
   TuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
+  std::vector<nnz_t> aligned_chunks;
   for (unsigned bs : block_sizes) {
     for (unsigned tl : threadlens) {
       const Partitioning part{.threadlen = tl, .block_size = bs};
       for (ExecBackend backend : backends) {
+        // chunk_nnz must be a threadlen multiple (core::validate); treat the
+        // axis values as approximate and align up per cell. Aligning can
+        // alias two axis values (e.g. 8192 and 8200 both round to 8208 for
+        // threadlen 48); dedupe so no aligned cell is timed twice -- a
+        // duplicate sample would give the aliased configuration two draws
+        // from the timing noise and skew "best" selection toward it.
+        aligned_chunks.clear();
         for (nnz_t chunk : chunk_nnzs) {
           // The chunk cap is a native-grid knob; the sim backend ignores it,
           // so measuring it there would only duplicate samples.
           if (backend == ExecBackend::kSim && chunk != 0) continue;
-          // chunk_nnz must be a threadlen multiple (core::validate); treat
-          // the axis values as approximate and align up per cell.
           const nnz_t aligned = chunk == 0 ? 0 : round_up<nnz_t>(chunk, tl);
-          double s = std::numeric_limits<double>::quiet_NaN();
-          try {
-            s = runner(part, backend, aligned);
-          } catch (const std::exception& e) {
-            UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << ","
-                          << backend_name(backend) << "," << aligned
-                          << "): " << e.what();
-            continue;
+          if (std::find(aligned_chunks.begin(), aligned_chunks.end(), aligned) ==
+              aligned_chunks.end()) {
+            aligned_chunks.push_back(aligned);
           }
-          result.samples.push_back({part, backend, aligned, s});
-          if (s < result.best_seconds) {
-            result.best_seconds = s;
-            result.best = part;
-            result.best_backend = backend;
-            result.best_chunk_nnz = aligned;
+        }
+        for (nnz_t aligned : aligned_chunks) {
+          for (unsigned devices : num_devices) {
+            // Sharding is native-only (validate rejects it on sim).
+            if (backend == ExecBackend::kSim && devices != 1) continue;
+            double s = std::numeric_limits<double>::quiet_NaN();
+            try {
+              s = runner(part, backend, aligned, devices);
+            } catch (const std::exception& e) {
+              UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << ","
+                            << backend_name(backend) << "," << aligned << ","
+                            << devices << "): " << e.what();
+              continue;
+            }
+            result.samples.push_back({part, backend, aligned, devices, s});
+            if (s < result.best_seconds) {
+              result.best_seconds = s;
+              result.best = part;
+              result.best_backend = backend;
+              result.best_chunk_nnz = aligned;
+              result.best_num_devices = devices;
+            }
           }
         }
       }

@@ -1,9 +1,12 @@
 // Parameter auto-tuner for the (threadlen, BLOCK_SIZE) launch configuration
 // (the paper's Section V, Figure 5 / Table V experiment), extended with the
-// execution backend and the native worker-chunk size
-// (UnifiedOptions::chunk_nnz) as third and fourth grid axes. The sweep
-// measures a caller-supplied runner over the full grid and reports every
-// sample so the tuning surface can be printed.
+// execution backend, the native worker-chunk size
+// (UnifiedOptions::chunk_nnz) and the shard device count
+// (ShardOptions::num_devices) as third, fourth and fifth grid axes. The
+// sweep measures a caller-supplied runner over the full grid and reports
+// every sample so the tuning surface can be printed. Chunk-axis values are
+// aligned up to each threadlen and deduplicated per (threadlen, block,
+// backend) cell, so aliasing caps are never timed twice.
 #pragma once
 
 #include <functional>
@@ -19,6 +22,7 @@ struct TuneSample {
   Partitioning part;
   ExecBackend backend = ExecBackend::kNative;
   nnz_t chunk_nnz = 0;  // native worker-chunk cap (0 = auto); aligned up to threadlen
+  unsigned num_devices = 1;  // shard device count (native only)
   double seconds = 0.0;
 };
 
@@ -26,6 +30,7 @@ struct TuneResult {
   Partitioning best;
   ExecBackend best_backend = ExecBackend::kNative;
   nnz_t best_chunk_nnz = 0;
+  unsigned best_num_devices = 1;
   double best_seconds = 0.0;
   std::vector<TuneSample> samples;  // full sweep, row-major over the grid
 };
@@ -39,8 +44,13 @@ std::vector<ExecBackend> default_backends();
 /// Chunk-size axis: auto plus two fixed caps. Values are aligned up to each
 /// threadlen before measuring (chunk_nnz must be a threadlen multiple); the
 /// chunk axis only applies to the native backend -- sim samples are taken at
-/// chunk 0 only.
+/// chunk 0 only. Two axis values that alias to the same aligned cap under a
+/// given threadlen are measured once.
 std::vector<nnz_t> default_chunk_nnzs();
+/// Shard-device axis of the extended grid: single-device plus one sharded
+/// configuration. Applies to the native backend only (sharding is rejected
+/// on the sim backend); sim samples are taken at num_devices == 1 only.
+std::vector<unsigned> default_num_devices();
 
 /// Runs `runner` (which should execute the operation once and return elapsed
 /// seconds, typically a median of repeats) for every configuration.
@@ -58,15 +68,26 @@ TuneResult tune_backends(const std::function<double(Partitioning, ExecBackend)>&
                          std::vector<unsigned> block_sizes = default_block_sizes(),
                          std::vector<ExecBackend> backends = default_backends());
 
-/// Full four-axis sweep: (partitioning, backend, chunk_nnz). The runner
-/// receives the chunk cap already aligned up to the threadlen; sim samples
-/// skip non-zero chunk values (the knob is native-only).
+/// Four-axis sweep: (partitioning, backend, chunk_nnz). The runner receives
+/// the chunk cap already aligned up to the threadlen; sim samples skip
+/// non-zero chunk values (the knob is native-only).
 TuneResult tune_backends(
     const std::function<double(Partitioning, ExecBackend, nnz_t)>& runner,
     std::vector<unsigned> threadlens = default_threadlens(),
     std::vector<unsigned> block_sizes = default_block_sizes(),
     std::vector<ExecBackend> backends = default_backends(),
     std::vector<nnz_t> chunk_nnzs = default_chunk_nnzs());
+
+/// Full five-axis sweep: (partitioning, backend, chunk_nnz, num_devices).
+/// Sim samples are taken only at chunk 0 and one device; aligned chunk caps
+/// that alias within a (threadlen, block, backend) cell are measured once.
+TuneResult tune_backends(
+    const std::function<double(Partitioning, ExecBackend, nnz_t, unsigned)>& runner,
+    std::vector<unsigned> threadlens = default_threadlens(),
+    std::vector<unsigned> block_sizes = default_block_sizes(),
+    std::vector<ExecBackend> backends = default_backends(),
+    std::vector<nnz_t> chunk_nnzs = default_chunk_nnzs(),
+    std::vector<unsigned> num_devices = default_num_devices());
 
 /// Short display name for a backend ("native" / "sim").
 const char* backend_name(ExecBackend backend);

@@ -61,6 +61,26 @@ enum class ExecBackend {
   kNative   // direct thread-pool execution (src/core/native_exec.hpp)
 };
 
+/// How the sharder balances work across devices (DESIGN.md §10). Raw
+/// nnz-splitting is the obvious policy but mis-sizes shards when segment
+/// lengths are skewed (the per-segment commit cost is invisible to it);
+/// balancing by segment count recovers the imbalance for commit-heavy
+/// tensors, per Nisa et al. (load-balanced MTTKRP) and Wijeratne et al.
+/// (mode-aware remapping).
+enum class ShardBalance {
+  kNnz,       // equalise non-zeros per shard
+  kSegments   // equalise segment count per shard
+};
+
+/// Multi-device sharding of one unified operation (src/shard/). num_devices
+/// == 1 means single-device execution (the default); > 1 splits the native
+/// worker grid into per-device shards whose results are merged bitwise
+/// identically to a single-device run (native backend only).
+struct ShardOptions {
+  unsigned num_devices = 1;
+  ShardBalance balance = ShardBalance::kSegments;
+};
+
 /// Execution options for a unified kernel run. The partitioning itself
 /// (threadlen, block size) is a property of the UnifiedPlan, because the
 /// per-partition metadata is precomputed for it.
@@ -84,6 +104,9 @@ struct UnifiedOptions {
   /// makes chunked execution bitwise identical to single-shot native; the
   /// auto-tuner sweeps it as a fourth grid axis (core::tune_backends).
   nnz_t chunk_nnz = 0;
+  /// Multi-device sharding (native backend only; see src/shard/ and
+  /// DESIGN.md §10). The tuner sweeps num_devices as a fifth grid axis.
+  ShardOptions shard = {};
 };
 
 /// Options for the streaming pipeline (src/pipeline/): partitions the F-COO
@@ -115,8 +138,9 @@ class InvalidOptions : public std::invalid_argument {
 
 /// Central option validation used by all four unified ops (and UnifiedPlan):
 /// rejects threadlen == 0, block_size == 0, a chunk_nnz that is not a
-/// multiple of threadlen, streaming on the sim backend, and
-/// max_in_flight == 0. Throws InvalidOptions.
+/// multiple of threadlen, streaming on the sim backend, max_in_flight == 0,
+/// shard.num_devices == 0, and sharding on the sim backend. Throws
+/// InvalidOptions.
 void validate(const Partitioning& part);
 void validate(const Partitioning& part, const UnifiedOptions& opt);
 void validate(const Partitioning& part, const UnifiedOptions& opt,

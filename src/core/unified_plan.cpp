@@ -19,6 +19,12 @@ void validate(const Partitioning& part, const UnifiedOptions& opt,
                          ") must be a multiple of threadlen (" +
                          std::to_string(part.threadlen) + ")");
   }
+  if (opt.shard.num_devices == 0) {
+    throw InvalidOptions("shard.num_devices must be >= 1");
+  }
+  if (opt.shard.num_devices > 1 && opt.backend != ExecBackend::kNative) {
+    throw InvalidOptions("sharded execution requires ExecBackend::kNative");
+  }
   if (!stream.enabled) return;
   if (opt.backend != ExecBackend::kNative) {
     throw InvalidOptions("streaming execution requires ExecBackend::kNative");

@@ -15,6 +15,11 @@ namespace ust::core {
 
 class UnifiedPlan {
  public:
+  /// Empty plan (no device, nnz 0). Exists so cache entries that carry a
+  /// different payload (pipeline::CachedPlan's shard-sliced chunk plans) can
+  /// hold the UnifiedPlan slot without allocating device memory.
+  UnifiedPlan() = default;
+
   /// Uploads `fcoo` to `device` with partitioning `part`. The FcooTensor may
   /// be discarded afterwards; the plan owns the device copies.
   UnifiedPlan(sim::Device& device, const FcooTensor& fcoo, Partitioning part);
@@ -48,7 +53,7 @@ class UnifiedPlan {
   std::size_t device_bytes() const;
 
  private:
-  sim::Device* device_;
+  sim::Device* device_ = nullptr;
   Partitioning part_;
   nnz_t nnz_ = 0;
   nnz_t num_segments_ = 0;

@@ -4,6 +4,35 @@
 
 namespace ust::pipeline {
 
+HostFcoo host_view(const FcooTensor& fcoo, std::span<const index_t> seg_row) {
+  HostFcoo h;
+  h.bf_words = fcoo.bit_flags().words();
+  h.vals = fcoo.values();
+  h.pidx.reserve(fcoo.product_modes().size());
+  for (std::size_t p = 0; p < fcoo.product_modes().size(); ++p) {
+    h.pidx.push_back(fcoo.product_indices(p));
+  }
+  h.seg_row = seg_row;
+  h.nnz = fcoo.nnz();
+  h.num_segments = fcoo.num_segments();
+  return h;
+}
+
+HostFcoo host_view(const core::UnifiedPlan& plan) {
+  HostFcoo h;
+  const core::FcooView v = plan.view();
+  h.bf_words = {v.bf_words, ceil_div<nnz_t>(plan.nnz(), 64)};
+  h.vals = {v.vals, plan.nnz()};
+  h.pidx.reserve(plan.product_modes().size());
+  for (std::size_t p = 0; p < plan.product_modes().size(); ++p) {
+    h.pidx.push_back(plan.product_indices(p).span());
+  }
+  h.seg_row = {v.seg_row, plan.num_segments()};
+  h.nnz = plan.nnz();
+  h.num_segments = plan.num_segments();
+  return h;
+}
+
 std::size_t plan_bytes_per_nnz(std::size_t num_product_modes) {
   // index_t per product mode + the value; the head-flag bit is charged via
   // the +1/8 (rounded up by the caller's per-chunk estimate).
@@ -25,22 +54,13 @@ nnz_t resolve_chunk_nnz(nnz_t nnz, std::size_t num_product_modes,
   return std::max<nnz_t>(part.threadlen, aligned);
 }
 
-ChunkerResult make_stream_chunks(const FcooTensor& fcoo, const Partitioning& part,
-                                 const core::StreamingOptions& opt, unsigned workers) {
-  ChunkerResult result;
-  const nnz_t nnz = fcoo.nnz();
-  result.chunk_nnz =
-      resolve_chunk_nnz(nnz, fcoo.product_modes().size(), part, opt);
-  if (nnz == 0) return result;
-
-  const std::vector<core::native::Chunk> grid =
-      core::native::make_chunks(nnz, part.threadlen, workers, result.chunk_nnz);
-  const std::size_t per_nnz = plan_bytes_per_nnz(fcoo.product_modes().size());
-
+std::vector<StreamChunk> group_worker_chunks(std::span<const core::native::Chunk> grid,
+                                             std::size_t chunk_bytes, std::size_t per_nnz) {
   // Group consecutive worker chunks until the byte budget is reached. At
   // least one worker chunk goes into every stream chunk, so chunk_bytes is a
   // soft bound: a single worker chunk larger than the budget still streams
   // (lower chunk_nnz / chunk_bytes to shrink the grid instead).
+  std::vector<StreamChunk> chunks;
   std::size_t g = 0;
   while (g < grid.size()) {
     StreamChunk sc;
@@ -48,7 +68,7 @@ ChunkerResult make_stream_chunks(const FcooTensor& fcoo, const Partitioning& par
     std::size_t bytes = 0;
     while (g < grid.size()) {
       const std::size_t wbytes = static_cast<std::size_t>(grid[g].hi - grid[g].lo) * per_nnz;
-      if (!sc.workers.empty() && opt.chunk_bytes != 0 && bytes + wbytes > opt.chunk_bytes) {
+      if (!sc.workers.empty() && chunk_bytes != 0 && bytes + wbytes > chunk_bytes) {
         break;
       }
       sc.workers.push_back(
@@ -56,32 +76,62 @@ ChunkerResult make_stream_chunks(const FcooTensor& fcoo, const Partitioning& par
       bytes += wbytes;
       sc.hi = grid[g].hi;
       ++g;
-      if (opt.chunk_bytes == 0) break;  // one worker chunk per stream chunk
+      if (chunk_bytes == 0) break;  // one worker chunk per stream chunk
     }
     sc.est_device_bytes = bytes;
-    result.chunks.push_back(std::move(sc));
+    chunks.push_back(std::move(sc));
   }
+  return chunks;
+}
 
-  // Segment metadata: one pass over the head flags annotates every chunk
-  // with the global id of the segment open at its first non-zero and the
-  // number of segments it touches (the host-side preprocessing the paper
-  // amortises, done once per streamed run).
-  const BitArray& bf = fcoo.bit_flags();
+void annotate_segments(std::span<const std::uint64_t> bf_words, nnz_t nnz,
+                       std::span<StreamChunk> chunks, nnz_t first_seg_at_lo) {
+  if (chunks.empty()) return;
+  // One pass over the head flags annotates every chunk with the global id of
+  // the segment open at its first non-zero and the number of segments it
+  // touches (the host-side preprocessing the paper amortises, done once per
+  // streamed/sharded run). The scan starts at the span's first non-zero with
+  // the caller-supplied segment id, so shard-local passes stay O(shard).
+  const nnz_t lo = chunks.front().lo;
+  const nnz_t end = chunks.back().hi;
+  UST_EXPECTS(end <= nnz);
+  const auto head = [&](nnz_t x) {
+    return ((bf_words[x >> 6] >> (x & 63)) & 1ull) != 0;
+  };
   std::size_t c = 0;
-  nnz_t seg = 0;
-  nnz_t chunk_first_seg = 0;
-  for (nnz_t x = 0; x < nnz; ++x) {
-    if (bf.get(x) && x != 0) ++seg;
-    if (c < result.chunks.size() && x == result.chunks[c].lo) chunk_first_seg = seg;
-    if (c < result.chunks.size() && x == result.chunks[c].hi - 1) {
-      result.chunks[c].first_seg = chunk_first_seg;
-      result.chunks[c].num_segments = seg - chunk_first_seg + 1;
+  nnz_t seg = first_seg_at_lo;
+  nnz_t chunk_first_seg = first_seg_at_lo;
+  for (nnz_t x = lo; x < end; ++x) {
+    if (x != lo && head(x)) ++seg;
+    if (c < chunks.size() && x == chunks[c].lo) chunk_first_seg = seg;
+    if (c < chunks.size() && x == chunks[c].hi - 1) {
+      chunks[c].first_seg = chunk_first_seg;
+      chunks[c].num_segments = seg - chunk_first_seg + 1;
       ++c;
     }
   }
-  UST_ENSURES(c == result.chunks.size());
+  UST_ENSURES(c == chunks.size());
+}
+
+ChunkerResult make_stream_chunks(const HostFcoo& host, const Partitioning& part,
+                                 const core::StreamingOptions& opt, unsigned workers) {
+  ChunkerResult result;
+  const nnz_t nnz = host.nnz;
+  result.chunk_nnz = resolve_chunk_nnz(nnz, host.pidx.size(), part, opt);
+  if (nnz == 0) return result;
+
+  const std::vector<core::native::Chunk> grid =
+      core::native::make_chunks(nnz, part.threadlen, workers, result.chunk_nnz);
+  result.chunks =
+      group_worker_chunks(grid, opt.chunk_bytes, plan_bytes_per_nnz(host.pidx.size()));
+  annotate_segments(host.bf_words, nnz, result.chunks);
   UST_ENSURES(result.chunks.front().lo == 0 && result.chunks.back().hi == nnz);
   return result;
+}
+
+ChunkerResult make_stream_chunks(const FcooTensor& fcoo, const Partitioning& part,
+                                 const core::StreamingOptions& opt, unsigned workers) {
+  return make_stream_chunks(host_view(fcoo, {}), part, opt, workers);
 }
 
 std::vector<std::uint64_t> slice_bits(std::span<const std::uint64_t> words, nnz_t lo,

@@ -6,7 +6,9 @@
 // workers, chunk_nnz) and stream chunks are whole runs of worker chunks,
 // chunked execution accumulates every segment in exactly the same grouping
 // as a single-shot native run -- the foundation of the pipeline's
-// bitwise-identity guarantee.
+// bitwise-identity guarantee. The sharded executor (src/shard/) slices the
+// same grid along a second axis (devices instead of time) and reuses the
+// grouping/annotation helpers below.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +17,34 @@
 
 #include "core/native_exec.hpp"
 #include "core/unified_kernel.hpp"
+#include "core/unified_plan.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::pipeline {
+
+/// Host-side view of one operation's F-COO arrays: what the chunk/shard plan
+/// builders slice device-resident plans out of. Two producers: an op that
+/// kept the host FcooTensor (streaming/sharding path) and a UnifiedPlan
+/// whose buffers are host-accessible on the simulator. `seg_row` carries the
+/// global output row of every segment (the index-mode coordinate for
+/// row-indexed outputs, the segment ordinal for SpTTM's fiber-ordered
+/// output); it may be empty when only chunk geometry is needed.
+struct HostFcoo {
+  std::span<const std::uint64_t> bf_words;       // packed head flags
+  std::span<const value_t> vals;                 // [0, nnz)
+  std::vector<std::span<const index_t>> pidx;    // per product mode, [0, nnz)
+  std::span<const index_t> seg_row;              // [0, num_segments)
+  nnz_t nnz = 0;
+  nnz_t num_segments = 0;
+};
+
+/// View of a host FcooTensor. `seg_row` follows the operation's output
+/// convention: pass fcoo.segment_coords(0) for single-index-mode ops, or an
+/// ordinal iota (caller-owned storage) for SpTTM.
+HostFcoo host_view(const FcooTensor& fcoo, std::span<const index_t> seg_row);
+
+/// View of a UnifiedPlan's device buffers (host-accessible on the sim).
+HostFcoo host_view(const core::UnifiedPlan& plan);
 
 /// Device bytes a chunk plan holds per non-zero: one index_t per product
 /// mode, the value, and the head-flag bit (thread_first_seg / seg_row are
@@ -26,6 +53,8 @@ std::size_t plan_bytes_per_nnz(std::size_t num_product_modes);
 
 /// One streamed chunk: a contiguous run of native worker chunks plus the
 /// segment metadata needed to slice a chunk-local plan out of the tensor.
+/// The sharded executor reuses this shape for whole shards (a shard is a
+/// stream chunk assigned to a device instead of a point in time).
 struct StreamChunk {
   nnz_t lo = 0;         // global non-zero range [lo, hi); lo is a multiple
   nnz_t hi = 0;         // of threadlen (a worker-chunk boundary)
@@ -54,12 +83,29 @@ struct ChunkerResult {
 nnz_t resolve_chunk_nnz(nnz_t nnz, std::size_t num_product_modes,
                         const Partitioning& part, const core::StreamingOptions& opt);
 
-/// Builds the stream-chunk list for `fcoo`: computes the native worker grid
+/// Groups consecutive worker chunks of `grid` (global coordinates) until
+/// `chunk_bytes` is reached (at least one worker chunk per stream chunk, so
+/// the budget is soft; chunk_bytes == 0 means one worker chunk per stream
+/// chunk). Segment metadata is NOT filled; call annotate_segments.
+std::vector<StreamChunk> group_worker_chunks(std::span<const core::native::Chunk> grid,
+                                             std::size_t chunk_bytes, std::size_t per_nnz);
+
+/// Fills first_seg / num_segments on `chunks` (contiguous, sorted) by one
+/// pass over the head flags from chunks.front().lo. `first_seg_at_lo` is the
+/// global id of the segment open at that first non-zero (0 for a pass over
+/// the whole tensor; the shard's first segment for a shard-local pass).
+void annotate_segments(std::span<const std::uint64_t> bf_words, nnz_t nnz,
+                       std::span<StreamChunk> chunks, nnz_t first_seg_at_lo = 0);
+
+/// Builds the stream-chunk list for `host`: computes the native worker grid
 /// for `workers` pool slots (must match the executing pool: pool.size() + 1),
-/// groups consecutive worker chunks until `opt.chunk_bytes` is reached
-/// (at least one worker chunk per stream chunk; chunk_bytes == 0 means one
-/// worker chunk per stream chunk), and annotates each chunk with its first
-/// global segment id and segment count in a single pass over the head flags.
+/// groups consecutive worker chunks until `opt.chunk_bytes` is reached, and
+/// annotates each chunk with its first global segment id and segment count.
+ChunkerResult make_stream_chunks(const HostFcoo& host, const Partitioning& part,
+                                 const core::StreamingOptions& opt, unsigned workers);
+
+/// Convenience overload over a host FcooTensor (seg_row not needed for
+/// chunk geometry).
 ChunkerResult make_stream_chunks(const FcooTensor& fcoo, const Partitioning& part,
                                  const core::StreamingOptions& opt, unsigned workers);
 

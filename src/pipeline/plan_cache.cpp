@@ -1,5 +1,6 @@
 #include "pipeline/plan_cache.hpp"
 
+#include "pipeline/stream_executor.hpp"
 #include "tensor/fcoo.hpp"
 
 namespace ust::pipeline {
@@ -15,6 +16,13 @@ inline void mix(std::uint64_t& h, std::uint64_t v) {
 }
 
 }  // namespace
+
+std::size_t CachedPlan::bytes() const {
+  std::size_t b = plan.device_bytes();
+  for (const auto& c : segment_coords) b += c.size() * sizeof(index_t);
+  if (chunk != nullptr) b += chunk->device_bytes();
+  return b;
+}
 
 std::uint64_t coo_fingerprint(const CooTensor& tensor) {
   std::uint64_t h = kFnvOffset;
@@ -40,6 +48,9 @@ std::size_t PlanCache::KeyHash::operator()(const PlanKey& k) const noexcept {
   mix(h, static_cast<std::uint64_t>(k.op));
   mix(h, static_cast<std::uint64_t>(k.mode));
   mix(h, (static_cast<std::uint64_t>(k.threadlen) << 32) | k.block_size);
+  mix(h, k.shard_lo);
+  mix(h, k.shard_hi);
+  mix(h, k.chunk_nnz);
   return static_cast<std::size_t>(h);
 }
 
@@ -75,9 +86,38 @@ std::shared_ptr<const CachedPlan> PlanCache::get_or_build(const PlanKey& key,
   return plan;
 }
 
+std::shared_ptr<const CachedPlan> PlanCache::put(const PlanKey& key, CachedPlan plan) {
+  auto shared = std::make_shared<const CachedPlan>(std::move(plan));
+  const std::size_t bytes = shared->bytes();
+
+  std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Update in place, exactly once: release the old entry's bytes, swap the
+    // payload, refresh recency. No duplicate Entry and no double charge of
+    // bytes_in_use_ (holders of the replaced shared_ptr keep a valid plan).
+    bytes_in_use_ -= it->second->bytes;
+    it->second->plan = shared;
+    it->second->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, shared, bytes});
+    index_.emplace(key, lru_.begin());
+  }
+  bytes_in_use_ += bytes;
+  evict_to_budget_locked();
+  return shared;
+}
+
 void PlanCache::evict_to_budget_locked() {
+  // The `size() > 1` guard is the always-keep-one invariant (see the
+  // constructor comment): an entry larger than the whole budget -- including
+  // one just inserted -- stays resident rather than being evicted on the
+  // spot, and bytes_in_use_ may then exceed byte_budget_ without ever
+  // underflowing (every eviction subtracts exactly the victim's recorded
+  // bytes).
   while (bytes_in_use_ > byte_budget_ && lru_.size() > 1) {
     const Entry& victim = lru_.back();
+    UST_ENSURES(bytes_in_use_ >= victim.bytes);
     bytes_in_use_ -= victim.bytes;
     index_.erase(victim.key);
     lru_.pop_back();
@@ -124,7 +164,7 @@ std::shared_ptr<const CachedPlan> acquire_plan(sim::Device& device,
                                                bool want_coords) {
   const auto build = [&] {
     const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
-    CachedPlan cached{core::UnifiedPlan(device, fcoo, part), {}};
+    CachedPlan cached{core::UnifiedPlan(device, fcoo, part), {}, nullptr};
     if (want_coords) {
       cached.segment_coords.resize(mp.index_modes.size());
       for (std::size_t m = 0; m < mp.index_modes.size(); ++m) {

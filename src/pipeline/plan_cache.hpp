@@ -2,9 +2,12 @@
 // sort + coalesce into F-COO, segment table construction, device upload --
 // dominates a single kernel run for real tensors, and CP-ALS/Tucker rebuild
 // identical per-mode plans on every solver invocation. The cache keys plans
-// on (device, tensor fingerprint, operation, mode, partitioning), holds them
-// behind shared_ptr so eviction never invalidates a plan in use, and evicts
-// least-recently-used entries once a device-byte budget is exceeded.
+// on (device, tensor fingerprint, operation, mode, partitioning, shard
+// slice), holds them behind shared_ptr so eviction never invalidates a plan
+// in use, and evicts least-recently-used entries once a device-byte budget
+// is exceeded. The sharded executor (src/shard/) keeps one PlanCache per
+// device, whose entries carry shard-sliced chunk plans instead of
+// whole-tensor UnifiedPlans.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +24,8 @@
 
 namespace ust::pipeline {
 
+struct ChunkPlan;
+
 /// Order-independent-free content fingerprint of a COO tensor: hashes dims,
 /// nnz, every index array and the raw value bits (FNV-1a over words). Two
 /// tensors with equal fingerprints are treated as identical by the cache;
@@ -28,19 +33,19 @@ namespace ust::pipeline {
 /// avoids.
 std::uint64_t coo_fingerprint(const CooTensor& tensor);
 
-/// What the cache stores per key: the device-resident plan plus the host
-/// copies of the per-segment index-mode coordinates (SpTTM needs them to
-/// assemble its semi-sparse output; empty for the other ops).
+/// What the cache stores per key. Whole-tensor entries (acquire_plan) carry
+/// the device-resident UnifiedPlan plus the host copies of the per-segment
+/// index-mode coordinates (SpTTM needs them to assemble its semi-sparse
+/// output; empty for the other ops). Shard entries (the sharded executor's
+/// per-device caches) carry a shard-sliced ChunkPlan instead, with the
+/// UnifiedPlan slot left empty.
 struct CachedPlan {
   core::UnifiedPlan plan;
   std::vector<std::vector<index_t>> segment_coords;
+  std::shared_ptr<const ChunkPlan> chunk = nullptr;
 
   /// Bytes charged against the cache budget: device bytes + host coords.
-  std::size_t bytes() const {
-    std::size_t b = plan.device_bytes();
-    for (const auto& c : segment_coords) b += c.size() * sizeof(index_t);
-    return b;
-  }
+  std::size_t bytes() const;
 };
 
 struct PlanKey {
@@ -50,6 +55,12 @@ struct PlanKey {
   int mode = 0;
   unsigned threadlen = 0;
   unsigned block_size = 0;
+  // Shard-slice identity (whole-tensor entries leave these at 0). chunk_nnz
+  // is part of the key because a cached shard plan embeds its worker-chunk
+  // list, which depends on the grid cap.
+  nnz_t shard_lo = 0;
+  nnz_t shard_hi = 0;
+  nnz_t chunk_nnz = 0;
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -57,8 +68,13 @@ struct PlanKey {
 class PlanCache {
  public:
   /// `byte_budget` bounds the total bytes() of cached entries; the cache
-  /// evicts LRU entries after each insertion until it fits (a single entry
-  /// larger than the budget is kept -- shared_ptr users hold it anyway).
+  /// evicts LRU entries after each insertion until it fits.
+  ///
+  /// Always-keep-one invariant: a single entry larger than the whole budget
+  /// is kept resident (shared_ptr users hold it anyway, so evicting it would
+  /// free nothing while guaranteeing a rebuild on the next lookup). In that
+  /// state Stats::bytes_in_use legitimately exceeds Stats::byte_budget with
+  /// Stats::entries == 1; bytes_in_use never underflows.
   ///
   /// Lifetime: cached plans own DeviceBuffers whose destruction touches the
   /// sim::Device they were allocated on. A cache that outlives a Device it
@@ -76,10 +92,19 @@ class PlanCache {
   /// `build` on a miss. The returned shared_ptr stays valid after eviction.
   std::shared_ptr<const CachedPlan> get_or_build(const PlanKey& key, const Builder& build);
 
+  /// Explicit insertion. When `key` is already present the existing entry is
+  /// REPLACED and refreshed in place: its old bytes are released from the
+  /// accounting exactly once and no duplicate LRU entry is created (callers
+  /// holding the old shared_ptr keep a valid plan). Returns the now-resident
+  /// plan.
+  std::shared_ptr<const CachedPlan> put(const PlanKey& key, CachedPlan plan);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// May exceed byte_budget only in the single-over-budget-entry state
+    /// described on the constructor (entries == 1).
     std::size_t bytes_in_use = 0;
     std::size_t byte_budget = 0;
     std::size_t entries = 0;

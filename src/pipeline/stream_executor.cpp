@@ -23,16 +23,85 @@ std::size_t ChunkPlan::device_bytes() const {
   return b;
 }
 
-ChunkPlanStream::ChunkPlanStream(sim::Device& device, const FcooTensor& fcoo,
+std::unique_ptr<ChunkPlan> build_chunk_plan(sim::Device& device, const HostFcoo& host,
+                                            const Partitioning& part,
+                                            const StreamChunk& spec, index_t row_base) {
+  UST_EXPECTS(host.seg_row.size() == host.num_segments);
+  auto plan = std::make_unique<ChunkPlan>();
+  plan->spec = spec;
+  plan->total_nnz = host.nnz;
+  plan->row_base = row_base;
+  plan->threadlen = part.threadlen;
+  const nnz_t count = spec.hi - spec.lo;
+
+  // Head flags: the slice carries one bit past the chunk (when it exists) so
+  // the last worker chunk can test whether a segment closes at the boundary.
+  const nnz_t bit_count = std::min<nnz_t>(spec.hi + 1, host.nnz) - spec.lo;
+  const std::vector<std::uint64_t> bits = slice_bits(host.bf_words, spec.lo, bit_count);
+  plan->bf_words = device.alloc<std::uint64_t>(bits.size());
+  plan->bf_words.copy_from_host(bits);
+
+  plan->vals = device.alloc<value_t>(count);
+  plan->vals.copy_from_host(host.vals.subspan(spec.lo, count));
+
+  plan->pidx.reserve(host.pidx.size());
+  for (std::size_t p = 0; p < host.pidx.size(); ++p) {
+    auto buf = device.alloc<index_t>(count);
+    buf.copy_from_host(host.pidx[p].subspan(spec.lo, count));
+    plan->pidx.push_back(std::move(buf));
+  }
+
+  // Local partition -> local segment id: the SAME scan UnifiedPlan runs,
+  // applied to the chunk-local bit slice (spec.lo is threadlen-aligned).
+  const std::vector<index_t> first_seg = first_segment_per_partition(
+      count, part.threadlen,
+      [&](nnz_t x) { return ((bits[x >> 6] >> (x & 63)) & 1ull) != 0; });
+  plan->thread_first_seg = device.alloc<index_t>(first_seg.size());
+  plan->thread_first_seg.copy_from_host(first_seg);
+
+  // Local segment id -> output row: the host view's seg_row already encodes
+  // the operation's output convention (index-mode coordinate for row-indexed
+  // outputs, global segment ordinal for SpTTM's fiber order) -- mirroring
+  // UnifiedPlan's seg_row, restricted to this chunk's segments and rebased
+  // to row_base (0 for the streaming path: global rows).
+  const auto rows_slice = host.seg_row.subspan(spec.first_seg, spec.num_segments);
+  if (row_base == 0) {
+    plan->seg_row = device.alloc<index_t>(spec.num_segments);
+    plan->seg_row.copy_from_host(rows_slice);
+  } else {
+    std::vector<index_t> rows(rows_slice.begin(), rows_slice.end());
+    for (index_t& r : rows) {
+      UST_EXPECTS(r >= row_base);
+      r -= row_base;
+    }
+    plan->seg_row = device.alloc<index_t>(spec.num_segments);
+    plan->seg_row.copy_from_host(rows);
+  }
+  return plan;
+}
+
+ChunkPlanStream::ChunkPlanStream(sim::Device& device, const HostFcoo& host,
                                  const Partitioning& part,
                                  const core::StreamingOptions& opt, unsigned workers)
     : device_(device),
-      fcoo_(fcoo),
+      host_(host),
       part_(part),
-      chunks_(make_stream_chunks(fcoo, part, opt, workers)),
+      chunks_(make_stream_chunks(host, part, opt, workers)),
       max_in_flight_(std::max(1u, opt.max_in_flight)) {
   // The thread starts after every member is initialised (cf. the sim::Stream
   // init-order race fixed in PR 1): producer_loop reads chunks_ and queue_.
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+ChunkPlanStream::ChunkPlanStream(sim::Device& device, const HostFcoo& host,
+                                 const Partitioning& part, ChunkerResult chunks,
+                                 unsigned max_in_flight, index_t row_base)
+    : device_(device),
+      host_(host),
+      part_(part),
+      chunks_(std::move(chunks)),
+      max_in_flight_(std::max(1u, max_in_flight)),
+      row_base_(row_base) {
   producer_ = std::thread([this] { producer_loop(); });
 }
 
@@ -60,7 +129,8 @@ void ChunkPlanStream::producer_loop() {
       }
       // Build (slice + upload) outside the lock: this is the work meant to
       // overlap the consumer's execution of the previous chunk.
-      std::unique_ptr<ChunkPlan> plan = build_plan(spec);
+      std::unique_ptr<ChunkPlan> plan =
+          build_chunk_plan(device_, host_, part_, spec, row_base_);
       {
         std::lock_guard lock(mutex_);
         if (stop_) return;
@@ -92,57 +162,6 @@ std::unique_ptr<ChunkPlan> ChunkPlanStream::next() {
   }
   if (error_ != nullptr) std::rethrow_exception(error_);
   return nullptr;  // produced_all_ and drained
-}
-
-std::unique_ptr<ChunkPlan> ChunkPlanStream::build_plan(const StreamChunk& spec) const {
-  auto plan = std::make_unique<ChunkPlan>();
-  plan->spec = spec;
-  plan->total_nnz = fcoo_.nnz();
-  plan->threadlen = part_.threadlen;
-  const nnz_t count = spec.hi - spec.lo;
-
-  // Head flags: the slice carries one bit past the chunk (when it exists) so
-  // the last worker chunk can test whether a segment closes at the boundary.
-  const nnz_t bit_count = std::min<nnz_t>(spec.hi + 1, fcoo_.nnz()) - spec.lo;
-  const std::vector<std::uint64_t> bits =
-      slice_bits(fcoo_.bit_flags().words(), spec.lo, bit_count);
-  plan->bf_words = device_.alloc<std::uint64_t>(bits.size());
-  plan->bf_words.copy_from_host(bits);
-
-  plan->vals = device_.alloc<value_t>(count);
-  plan->vals.copy_from_host(fcoo_.values().subspan(spec.lo, count));
-
-  plan->pidx.reserve(fcoo_.product_modes().size());
-  for (std::size_t p = 0; p < fcoo_.product_modes().size(); ++p) {
-    auto buf = device_.alloc<index_t>(count);
-    buf.copy_from_host(fcoo_.product_indices(p).subspan(spec.lo, count));
-    plan->pidx.push_back(std::move(buf));
-  }
-
-  // Local partition -> local segment id: the SAME scan UnifiedPlan runs,
-  // applied to the chunk-local bit slice (spec.lo is threadlen-aligned).
-  const std::vector<index_t> first_seg = first_segment_per_partition(
-      count, part_.threadlen,
-      [&](nnz_t x) { return ((bits[x >> 6] >> (x & 63)) & 1ull) != 0; });
-  plan->thread_first_seg = device_.alloc<index_t>(first_seg.size());
-  plan->thread_first_seg.copy_from_host(first_seg);
-
-  // Local segment id -> global output row: the index-mode coordinate when
-  // the output is row-indexed (SpMTTKRP/SpTTMc/SpTTV), the global segment
-  // ordinal when fibers are stored in segment order (SpTTM) -- mirroring
-  // UnifiedPlan's seg_row, restricted to this chunk's segments.
-  std::vector<index_t> rows(spec.num_segments);
-  if (fcoo_.index_modes().size() == 1) {
-    const auto coords = fcoo_.segment_coords(0).subspan(spec.first_seg, spec.num_segments);
-    std::copy(coords.begin(), coords.end(), rows.begin());
-  } else {
-    for (nnz_t s = 0; s < spec.num_segments; ++s) {
-      rows[s] = static_cast<index_t>(spec.first_seg + s);
-    }
-  }
-  plan->seg_row = device_.alloc<index_t>(spec.num_segments);
-  plan->seg_row.copy_from_host(rows);
-  return plan;
 }
 
 }  // namespace ust::pipeline

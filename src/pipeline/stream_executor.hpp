@@ -3,7 +3,7 @@
 // UnifiedPlan -- the paper's "tensors larger than GPU memory" partitioning
 // (Section IV-D) realised as a producer/consumer pipeline:
 //
-//   producer thread:  slices chunk k+1's F-COO arrays out of the host tensor
+//   producer thread:  slices chunk k+1's F-COO arrays out of the host view
 //                     and uploads them into fresh device buffers (the plan
 //                     build), publishing finished ChunkPlans into a bounded
 //                     queue of max_in_flight entries;
@@ -18,6 +18,10 @@
 // the streamed result is bitwise identical to a single-shot native run with
 // the same UnifiedOptions::chunk_nnz -- enforced by
 // tests/streaming_equivalence_test.cpp across all four operations.
+//
+// The sharded executor (src/shard/) reuses ChunkPlan / build_chunk_plan for
+// whole-shard plans and ChunkPlanStream (explicit-chunk constructor) for
+// shards that themselves stream.
 #pragma once
 
 #include <condition_variable>
@@ -36,13 +40,17 @@
 
 namespace ust::pipeline {
 
-/// Device-resident plan for one stream chunk. All arrays are chunk-local:
-/// non-zero x of the chunk is global non-zero spec.lo + x, segment s is
-/// global segment spec.first_seg + s. seg_row keeps *global* output rows, so
-/// kernels write the shared output buffer directly.
+/// Device-resident plan for one stream chunk (or one whole shard). All
+/// arrays are chunk-local: non-zero x of the chunk is global non-zero
+/// spec.lo + x, segment s is global segment spec.first_seg + s. seg_row
+/// holds output rows relative to `row_base`: 0 for the streaming executor
+/// (global rows; kernels write the shared output buffer directly), the
+/// shard's first output row for the sharded executor (kernels write a
+/// range-sized device-local buffer).
 struct ChunkPlan {
   StreamChunk spec;
   nnz_t total_nnz = 0;      // global non-zero count (for tail detection)
+  index_t row_base = 0;     // subtracted from every seg_row entry
   unsigned threadlen = 8;
   sim::DeviceBuffer<std::uint64_t> bf_words;  // head flags [lo, min(hi+1, nnz))
   sim::DeviceBuffer<value_t> vals;            // [lo, hi)
@@ -60,6 +68,17 @@ struct ChunkPlan {
   std::size_t device_bytes() const;
 };
 
+/// Slices + uploads the device-resident plan for `spec` out of `host` (whose
+/// seg_row must be populated). Shared by the streaming producer and the
+/// sharded executor so the slice convention can never diverge. A non-zero
+/// `row_base` is subtracted from every seg_row entry (the sharded executor's
+/// range-local output buffers); host.seg_row must be ascending over the
+/// spec's segments for that to be valid, which every op's output convention
+/// guarantees (sorted index-mode coordinates, or fiber ordinals).
+std::unique_ptr<ChunkPlan> build_chunk_plan(sim::Device& device, const HostFcoo& host,
+                                            const Partitioning& part,
+                                            const StreamChunk& spec, index_t row_base = 0);
+
 /// Bounded producer/consumer stream of ChunkPlans for one tensor. The
 /// producer thread builds plans in chunk order, reserving a queue slot
 /// before each build, so at most max_in_flight plans exist ahead of the
@@ -70,8 +89,16 @@ class ChunkPlanStream {
  public:
   /// `workers` must equal the executing pool's slot count (pool.size() + 1)
   /// so the worker grid matches single-shot native execution.
-  ChunkPlanStream(sim::Device& device, const FcooTensor& fcoo, const Partitioning& part,
+  ChunkPlanStream(sim::Device& device, const HostFcoo& host, const Partitioning& part,
                   const core::StreamingOptions& opt, unsigned workers);
+
+  /// Streams a caller-supplied chunk list (the sharded executor's shard
+  /// slices). Chunks must be contiguous, sorted, and annotated. `row_base`
+  /// is forwarded to every build_chunk_plan call (the shard's first output
+  /// row, so plans target the shard's range-local buffer).
+  ChunkPlanStream(sim::Device& device, const HostFcoo& host, const Partitioning& part,
+                  ChunkerResult chunks, unsigned max_in_flight, index_t row_base = 0);
+
   ~ChunkPlanStream();
 
   ChunkPlanStream(const ChunkPlanStream&) = delete;
@@ -86,13 +113,13 @@ class ChunkPlanStream {
 
  private:
   void producer_loop();
-  std::unique_ptr<ChunkPlan> build_plan(const StreamChunk& spec) const;
 
   sim::Device& device_;
-  const FcooTensor& fcoo_;
+  HostFcoo host_;
   Partitioning part_;
   ChunkerResult chunks_;
   unsigned max_in_flight_;
+  index_t row_base_ = 0;
 
   std::mutex mutex_;
   std::condition_variable cv_space_;  // producer waits for queue space
@@ -104,19 +131,19 @@ class ChunkPlanStream {
   std::thread producer_;  // started last, joined in the destructor
 };
 
-/// Executes one unified operation over `fcoo` by streaming chunk plans.
+/// Executes one unified operation over `host` by streaming chunk plans.
 /// `make_expr(plan)` must return the op's kernel expression built from the
 /// chunk's device arrays (product_indices) plus whatever device-resident
 /// factor data the caller staged; the output must be zero-initialised, as
 /// for the other backends. Bitwise identical to
 /// native::execute(..., chunker-resolved chunk_nnz) on the same pool.
 template <class ExprFactory>
-void stream_execute(sim::Device& device, const FcooTensor& fcoo, const Partitioning& part,
+void stream_execute(sim::Device& device, const HostFcoo& host, const Partitioning& part,
                     const core::OutView& out, const core::StreamingOptions& opt,
                     const ExprFactory& make_expr) {
-  if (fcoo.nnz() == 0 || out.num_cols == 0) return;
+  if (host.nnz == 0 || out.num_cols == 0) return;
   ThreadPool& pool = device.pool();
-  ChunkPlanStream stream(device, fcoo, part, opt, pool.size() + 1);
+  ChunkPlanStream stream(device, host, part, opt, pool.size() + 1);
 
   const std::size_t cols = out.num_cols;
   std::vector<float> carry(cols, 0.0f);

@@ -72,14 +72,21 @@ class DeviceBuffer;
 
 class Device {
  public:
-  explicit Device(DeviceProps props = DeviceProps::titan_x(), ThreadPool* pool = nullptr)
-      : props_(std::move(props)), pool_(pool != nullptr ? pool : &ThreadPool::global()) {}
+  /// `ordinal` is the device id within a multi-device group (cudaSetDevice's
+  /// argument, conceptually); single-device code leaves it at 0. The sharded
+  /// executor (src/shard/) creates one Device per shard with ordinals 0..N-1.
+  explicit Device(DeviceProps props = DeviceProps::titan_x(), ThreadPool* pool = nullptr,
+                  int ordinal = 0)
+      : props_(std::move(props)),
+        pool_(pool != nullptr ? pool : &ThreadPool::global()),
+        ordinal_(ordinal) {}
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
   const DeviceProps& props() const noexcept { return props_; }
   ThreadPool& pool() noexcept { return *pool_; }
+  int ordinal() const noexcept { return ordinal_; }
 
   /// Allocates an uninitialised device array of `n` elements.
   /// Throws DeviceOutOfMemory when capacity would be exceeded.
@@ -121,6 +128,7 @@ class Device {
  private:
   DeviceProps props_;
   ThreadPool* pool_;
+  int ordinal_ = 0;
   std::atomic<std::size_t> bytes_in_use_{0};
   std::atomic<std::size_t> peak_bytes_{0};
   std::atomic<std::uint64_t> kernel_launches_{0};

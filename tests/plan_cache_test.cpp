@@ -110,6 +110,111 @@ TEST(PlanCache, EvictsLeastRecentlyUsedOnByteBudget) {
   EXPECT_EQ(rebuilt, 1);
 }
 
+TEST(PlanCache, PutOnPresentKeyUpdatesInPlaceWithoutDuplicates) {
+  // Regression: put() with an already-present key must REPLACE the entry --
+  // one LRU node, bytes accounted exactly once -- instead of pushing a
+  // duplicate Entry and re-adding its bytes to bytes_in_use_.
+  sim::Device dev;
+  const CooTensor small = io::generate_uniform({10, 12, 14}, 200, 5);
+  const CooTensor big = io::generate_uniform({10, 12, 14}, 600, 5);
+  PlanCache cache(1u << 30);
+  const PlanKey key = key_for(dev, 42, 0);
+
+  const auto first = cache.put(key, build_plan(dev, small, 0, {}));
+  const std::size_t first_bytes = first->bytes();
+  ASSERT_EQ(cache.stats().entries, 1u);
+  ASSERT_EQ(cache.stats().bytes_in_use, first_bytes);
+
+  const auto second = cache.put(key, build_plan(dev, big, 0, {}));
+  const std::size_t second_bytes = second->bytes();
+  ASSERT_NE(first_bytes, second_bytes);
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u) << "duplicate LRU entry for one key";
+  EXPECT_EQ(s.bytes_in_use, second_bytes) << "old entry's bytes not released";
+  EXPECT_EQ(s.evictions, 0u);
+  // The replaced plan stays valid for holders; lookups see the new one.
+  EXPECT_EQ(first->plan.nnz(), small.nnz());
+  int rebuilt = 0;
+  const auto got = cache.get_or_build(key, [&] {
+    ++rebuilt;
+    return build_plan(dev, big, 0, {});
+  });
+  EXPECT_EQ(rebuilt, 0);
+  EXPECT_EQ(got.get(), second.get());
+
+  // put() also refreshes recency: with a budget for two entries, the
+  // re-put key must survive while the intermediate key is evicted.
+  PlanCache lru(2 * second_bytes);
+  const PlanKey a = key_for(dev, 1, 0);
+  const PlanKey b = key_for(dev, 2, 0);
+  const PlanKey c = key_for(dev, 3, 0);
+  (void)lru.put(a, build_plan(dev, big, 0, {}));
+  (void)lru.put(b, build_plan(dev, big, 0, {}));
+  (void)lru.put(a, build_plan(dev, big, 0, {}));  // refresh a; b becomes LRU
+  (void)lru.put(c, build_plan(dev, big, 0, {}));
+  int rebuilds = 0;
+  (void)lru.get_or_build(a, [&] {
+    ++rebuilds;
+    return build_plan(dev, big, 0, {});
+  });
+  EXPECT_EQ(rebuilds, 0) << "refreshed key was evicted";
+}
+
+TEST(PlanCache, OverBudgetSingleEntryStaysResidentWithoutUnderflow) {
+  // The always-keep-one invariant: an entry larger than the whole budget is
+  // neither evicted on insert nor allowed to underflow bytes_in_use_.
+  sim::Device dev;
+  const CooTensor t = io::generate_uniform({10, 12, 14}, 400, 9);
+  PlanCache cache(1);  // every plan exceeds this budget
+
+  const auto a = cache.put(key_for(dev, 1, 0), build_plan(dev, t, 0, {}));
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u) << "the just-inserted entry was evicted";
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.bytes_in_use, a->bytes()) << "accounting drifted (underflow?)";
+  EXPECT_GT(s.bytes_in_use, s.byte_budget);
+
+  // A second over-budget entry evicts exactly the old one; accounting lands
+  // exactly on the new entry's bytes (a size_t underflow would explode it).
+  const auto b = cache.put(key_for(dev, 2, 0), build_plan(dev, t, 1, {}));
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.bytes_in_use, b->bytes());
+
+  // Same invariant through get_or_build.
+  const auto c = cache.get_or_build(key_for(dev, 3, 0),
+                                    [&] { return build_plan(dev, t, 2, {}); });
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.bytes_in_use, c->bytes());
+}
+
+TEST(PlanCache, ShardSliceKeysAreDistinctFromWholeTensorKeys) {
+  // The shard executor keys slices by (shard_lo, shard_hi, chunk_nnz);
+  // a whole-tensor key (0, 0, 0) must not collide with them.
+  sim::Device dev;
+  const CooTensor t = io::generate_uniform({10, 12, 14}, 300, 5);
+  PlanCache cache(1u << 30);
+  PlanKey whole = key_for(dev, 7, 0);
+  PlanKey slice = whole;
+  slice.shard_lo = 0;
+  slice.shard_hi = 128;
+  slice.chunk_nnz = 32;
+  int builds = 0;
+  (void)cache.get_or_build(whole, [&] {
+    ++builds;
+    return build_plan(dev, t, 0, {});
+  });
+  (void)cache.get_or_build(slice, [&] {
+    ++builds;
+    return build_plan(dev, t, 0, {});
+  });
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
 TEST(PlanCache, EvictedPlansStayValidWhileHeld) {
   sim::Device dev;
   const CooTensor t = io::generate_uniform({8, 9, 10}, 200, 3);
