@@ -1,15 +1,16 @@
 // Streaming pipeline benchmark (DESIGN.md §9): (a) chunked F-COO execution
 // vs the monolithic single-shot plan -- the cost of bounded device memory --
-// and (b) plan-cached vs cold CP-ALS invocations -- what the LRU PlanCache
-// buys when solvers re-run on the same tensor (per-mode plans become cache
-// hits and iterations skip F-COO construction/upload entirely).
+// and (b) plan-cached vs cold CP-ALS invocations -- what the engine's LRU
+// PlanCache buys when solvers re-run on the same tensor (per-mode plans
+// become cache hits and iterations skip F-COO construction/upload entirely).
+// Cache accounting comes from the aggregated Engine::stats() report.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/cp_als.hpp"
 #include "core/spmttkrp.hpp"
+#include "engine/engine.hpp"
 #include "pipeline/chunker.hpp"
-#include "pipeline/plan_cache.hpp"
 
 using namespace ust;
 
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   for (const auto& d : datasets) {
     const Partitioning part = d.spec.best_spmttkrp;
     const auto factors = bench::make_factors(d.tensor, rank);
+    engine::Engine eng(dev);
 
     // Pick a chunk cap that yields roughly --chunks stream chunks, aligned
     // to the partitioning (the chunker aligns the grid to threadlen).
@@ -41,8 +43,8 @@ int main(int argc, char** argv) {
     core::StreamingOptions stream{.enabled = true, .chunk_nnz = cap};
     stream.chunk_bytes = cap * pipeline::plan_bytes_per_nnz(2);
 
-    core::UnifiedMttkrp mono_op(dev, d.tensor, 0, part);
-    core::UnifiedMttkrp stream_op(dev, d.tensor, 0, part, stream);
+    core::UnifiedMttkrp mono_op(eng, d.tensor, 0, part);
+    core::UnifiedMttkrp stream_op(eng, d.tensor, 0, part, stream);
     // Mirror the streamed worker grid in the monolithic run so the two
     // differ only in plan residency / pipelining, not accumulation shape.
     const core::UnifiedOptions mono_opt{.chunk_nnz = cap};
@@ -76,36 +78,39 @@ int main(int argc, char** argv) {
     opt.kernel = bench::kernel_options(cli);
     opt.seed = 77;
 
-    pipeline::PlanCache cache(512u << 20);
-    opt.plan_cache = &cache;
+    // One engine per dataset: its primary plan cache is what the repeated
+    // solve hits (no external cache to wire through any more).
+    engine::Engine eng(dev, engine::EngineOptions{.cache_bytes_per_device = 512u << 20});
 
     // Cold: every per-mode plan is a miss (fingerprint + sort + upload).
     Timer cold_timer;
-    const auto cold = core::cp_als_unified(dev, d.tensor, opt);
+    const auto cold = core::cp_als_unified(eng, d.tensor, opt);
     const double cold_s = cold_timer.seconds();
     // Cached: same tensor, same partitioning -- all modes hit the cache.
     Timer warm_timer;
-    const auto warm = core::cp_als_unified(dev, d.tensor, opt);
+    const auto warm = core::cp_als_unified(eng, d.tensor, opt);
     const double warm_s = warm_timer.seconds();
 
     const double cold_iter = cold_s / std::max(1, cold.iterations);
     const double warm_iter = warm_s / std::max(1, warm.iterations);
     const double speedup = warm_iter > 0.0 ? cold_iter / warm_iter : 0.0;
-    const auto stats = cache.stats();
+    const engine::EngineStats stats = eng.stats();
     t2.add_row({d.name, Table::num(cold_iter * 1e3, 3), Table::num(warm_iter * 1e3, 3),
                 Table::num(speedup, 2) + "x",
-                std::to_string(stats.hits) + "/" + std::to_string(stats.misses)});
+                std::to_string(stats.cache_total.hits) + "/" +
+                    std::to_string(stats.cache_total.misses)});
     json.add(d.name + ".cp_cold_iter_s", cold_iter);
     json.add(d.name + ".cp_cached_iter_s", warm_iter);
     json.add(d.name + ".cp_cached_speedup", speedup);
-    json.add(d.name + ".plan_cache_hits", static_cast<double>(stats.hits));
-    json.add(d.name + ".plan_cache_misses", static_cast<double>(stats.misses));
+    json.add(d.name + ".plan_cache_hits", static_cast<double>(stats.cache_total.hits));
+    json.add(d.name + ".plan_cache_misses", static_cast<double>(stats.cache_total.misses));
   }
   t2.print();
   std::printf(
       "cold invocations pay per-mode F-COO construction (sort + coalesce + upload)\n"
-      "before iterating; cached invocations fetch all per-mode plans from the LRU\n"
-      "cache, so iterations >= 2 of a repeated solve skip plan construction entirely.\n");
+      "before iterating; cached invocations fetch all per-mode plans from the\n"
+      "engine's LRU cache, so iterations >= 2 of a repeated solve skip plan\n"
+      "construction entirely (counters from Engine::stats).\n");
   if (!json.write(cli.get("json"))) return 1;
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "bench_common.hpp"
 #include "core/spmttkrp.hpp"
+#include "engine/engine.hpp"
 #include "shard/shard_executor.hpp"
 
 using namespace ust;
@@ -85,7 +86,10 @@ int main(int argc, char** argv) {
   std::vector<unsigned> device_counts;
   for (unsigned d = 1; d <= max_devices; d *= 2) device_counts.push_back(d);
 
-  core::UnifiedMttkrp op(dev, t, 0, part);
+  // One engine owns the device group + per-device shard-plan caches across
+  // the whole sweep (they used to be per-op state, rebuilt per device count).
+  engine::Engine eng(dev);
+  core::UnifiedMttkrp op(eng, t, 0, part);
   DenseMatrix out(t.dim(0), rank);
   bench::JsonResults json("bench_shard");
 
@@ -133,6 +137,23 @@ int main(int argc, char** argv) {
       "sequentially on this host; the model charges the critical path). Segment\n"
       "balancing splits the one-nnz-segment region across devices, which raw nnz\n"
       "splitting underweights (Nisa et al.; Wijeratne et al.).\n");
+
+  // Shard-plan cache accounting, aggregated by the engine (warmup runs miss,
+  // every timed repetition hits the per-device caches).
+  const engine::EngineStats stats = eng.stats();
+  print_banner("Per-device shard-plan caches (Engine::stats)");
+  Table cache_table({"device", "hits", "misses", "evictions", "entries", "MB in use"});
+  for (const auto& ds : stats.devices) {
+    cache_table.add_row({std::to_string(ds.ordinal), std::to_string(ds.cache.hits),
+                         std::to_string(ds.cache.misses),
+                         std::to_string(ds.cache.evictions),
+                         std::to_string(ds.cache.entries),
+                         Table::num(static_cast<double>(ds.cache.bytes_in_use) / (1 << 20), 2)});
+  }
+  cache_table.print();
+  json.add("shard.plan_cache_hits", static_cast<double>(stats.cache_total.hits));
+  json.add("shard.plan_cache_misses", static_cast<double>(stats.cache_total.misses));
+  json.add("shard.plan_cache_entries", static_cast<double>(stats.cache_total.entries));
   if (!json.write(cli.get("json"))) return 1;
   return 0;
 }

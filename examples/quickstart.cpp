@@ -2,17 +2,21 @@
 //
 //   1. build (or load) a sparse tensor in COO form,
 //   2. inspect its F-COO encoding for an operation,
-//   3. run unified SpTTM and SpMTTKRP (native backend by default;
+//   3. create an Engine (the execution context every op runs through) and
+//      run unified SpTTM and SpMTTKRP (native backend by default;
 //      --backend sim runs the GPU execution-model simulator),
-//   4. factorise it with CP-ALS.
+//   4. submit a concurrent mixed-op burst to the engine,
+//   5. factorise the tensor with CP-ALS.
 //
 // Run:  ./examples/quickstart [--tns file.tns] [--backend native|sim]
 #include <cstdio>
+#include <future>
 
 #include "core/cp_als.hpp"
 #include "core/mode_plan.hpp"
 #include "core/spmttkrp.hpp"
 #include "core/spttm.hpp"
+#include "engine/engine.hpp"
 #include "io/generate.hpp"
 #include "io/tns.hpp"
 #include "util/cli.hpp"
@@ -55,15 +59,19 @@ int main(int argc, char** argv) {
               static_cast<double>(fcoo.paper_storage_bytes(8)) / static_cast<double>(fcoo.nnz()),
               static_cast<double>(x.storage_bytes()) / static_cast<double>(x.nnz()));
 
-  // --- 3. Unified kernels on the simulated GPU ------------------------------
-  sim::Device device;  // a 12 GB Titan-X-like device simulated on the CPU
+  // --- 3. An engine and the unified kernels ---------------------------------
+  // The Engine owns the execution resources: the simulated device group (here
+  // 2 devices, each a 12 GB Titan-X-like simulator on the CPU), one plan
+  // cache per device, and the job-submission machinery. Every op front-end
+  // built on it shares those resources.
+  engine::Engine eng(engine::EngineOptions{.num_devices = 2});
   const index_t rank = 16;
   Prng rng(7);
   DenseMatrix u(x.dim(2), rank);
   u.fill_random(rng);
 
-  const SemiSparseTensor y =
-      core::spttm_unified(device, x, /*mode=*/2, u, Partitioning{}, kernel_opt);
+  core::UnifiedSpttm spttm(eng, x, /*mode=*/2, Partitioning{});
+  const SemiSparseTensor y = spttm.run(u, kernel_opt);
   std::printf("SpTTM mode-3: %llu dense fibers of length %u\n",
               static_cast<unsigned long long>(y.num_fibers()), y.dense_length());
 
@@ -73,19 +81,36 @@ int main(int argc, char** argv) {
     f.fill_random(rng);
     factors.push_back(std::move(f));
   }
-  const DenseMatrix m1 =
-      core::spmttkrp_unified(device, x, /*mode=*/0, factors, Partitioning{}, kernel_opt);
+  core::UnifiedMttkrp mttkrp(eng, x, /*mode=*/0, Partitioning{});
+  const DenseMatrix m1 = mttkrp.run(factors, kernel_opt);
   std::printf("SpMTTKRP mode-1: %u x %u output, device peak %.1f MB, %llu atomic ops\n",
               m1.rows(), m1.cols(),
-              static_cast<double>(device.peak_bytes()) / (1024.0 * 1024.0),
-              static_cast<unsigned long long>(device.counters().atomic_ops));
+              static_cast<double>(eng.device(0).peak_bytes()) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(eng.device(0).counters().atomic_ops));
 
-  // --- 4. CP decomposition --------------------------------------------------
+  // --- 4. Concurrent submission ---------------------------------------------
+  // submit() admits jobs round-robin to the device group and returns futures;
+  // results are bitwise identical to the sequential runs above (native
+  // backend). This is the serving path: N clients, one engine.
+  if (kernel_opt.backend == core::ExecBackend::kNative) {
+    eng.prewarm(*mttkrp.op_plan());
+    std::vector<DenseMatrix> outs(4, DenseMatrix(x.dim(0), rank));
+    std::vector<std::future<void>> futures;
+    for (auto& out : outs) futures.push_back(eng.submit(mttkrp.request(factors, out)));
+    for (auto& f : futures) f.get();
+    const engine::EngineStats stats = eng.stats();
+    std::printf("submitted %llu jobs across %zu devices (%llu plan-cache hits)\n",
+                static_cast<unsigned long long>(stats.jobs_completed),
+                stats.devices.size(),
+                static_cast<unsigned long long>(stats.cache_total.hits));
+  }
+
+  // --- 5. CP decomposition --------------------------------------------------
   core::CpOptions opt;
   opt.rank = 8;
   opt.max_iterations = 10;
   opt.kernel = kernel_opt;
-  const core::CpResult cp = core::cp_als_unified(device, x, opt);
+  const core::CpResult cp = core::cp_als_unified(eng, x, opt);
   std::printf("CP-ALS: fit %.4f after %d iterations (%s); lambda[0] = %.3f\n", cp.fit,
               cp.iterations, cp.converged ? "converged" : "iteration cap", cp.lambda[0]);
   std::printf("per-mode MTTKRP seconds:");

@@ -16,10 +16,6 @@
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
 
-namespace ust::pipeline {
-class PlanCache;
-}
-
 namespace ust::core {
 
 struct CpOptions {
@@ -60,7 +56,16 @@ struct CpResult {
   CpTimings timings;
 };
 
-/// Runs CP-ALS with unified SpMTTKRP kernels on `device`.
+/// Runs CP-ALS with unified SpMTTKRP kernels through `engine`: the per-mode
+/// plans live in the engine's primary plan cache (unless options.plan_cache
+/// overrides it), so repeat solves -- and any other traffic on the same
+/// engine -- share one set of caches and one device group.
+CpResult cp_als_unified(engine::Engine& engine, const CooTensor& tensor,
+                        const CpOptions& options);
+
+/// Deprecated device entry point: runs on the process-default engine for
+/// `device` with the pre-engine caching behaviour (per-mode plans cached only
+/// through options.plan_cache).
 CpResult cp_als_unified(sim::Device& device, const CooTensor& tensor,
                         const CpOptions& options);
 

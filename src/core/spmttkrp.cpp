@@ -1,109 +1,57 @@
 #include "core/spmttkrp.hpp"
 
-#include <memory>
-
-#include "core/native_exec.hpp"
-#include "pipeline/plan_cache.hpp"
-#include "pipeline/stream_executor.hpp"
-#include "shard/shard_executor.hpp"
-#include "tensor/fcoo.hpp"
-
 namespace ust::core {
 
 namespace {
 
-constexpr std::size_t kMaxProductModes = 7;  // supports tensors up to order 8
-
-/// Hadamard product expression over two product modes (the 3-order fast
-/// path: the overwhelmingly common case in the paper's evaluation).
-struct MttkrpExpr2 {
-  const index_t* idx0;
-  const index_t* idx1;
-  const value_t* fac0;
-  const value_t* fac1;
-  index_t r;
-
-  float operator()(nnz_t x, index_t col) const {
-    return fac0[static_cast<std::size_t>(idx0[x]) * r + col] *
-           fac1[static_cast<std::size_t>(idx1[x]) * r + col];
+/// Product-mode factor views for an engine request: factors[product_modes[p]]
+/// in ascending mode order (factors[mode] is not read).
+std::vector<engine::HostMatrixView> factor_views(const engine::OpPlan& plan,
+                                                 std::span<const DenseMatrix> factors) {
+  UST_EXPECTS(factors.size() == plan.dims.size());
+  std::vector<engine::HostMatrixView> views;
+  views.reserve(plan.product_modes.size());
+  for (int m : plan.product_modes) {
+    const DenseMatrix& f = factors[static_cast<std::size_t>(m)];
+    views.push_back({f.data(), f.rows(), f.cols()});
   }
-
-  /// Native-backend form: both factor-row base pointers are hoisted once per
-  /// non-zero, leaving a branch-free FMA over the contiguous accumulator tile.
-  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
-    const value_t* UST_RESTRICT row0 = fac0 + static_cast<std::size_t>(idx0[x]) * r;
-    const value_t* UST_RESTRICT row1 = fac1 + static_cast<std::size_t>(idx1[x]) * r;
-    for (index_t c = 0; c < r; ++c) acc[c] += v * row0[c] * row1[c];
-  }
-};
-
-/// General N-order Hadamard expression.
-struct MttkrpExprN {
-  const index_t* idx[kMaxProductModes];
-  const value_t* fac[kMaxProductModes];
-  std::size_t nprod;
-  index_t r;
-
-  float operator()(nnz_t x, index_t col) const {
-    float v = 1.0f;
-    for (std::size_t p = 0; p < nprod; ++p) {
-      v *= fac[p][static_cast<std::size_t>(idx[p][x]) * r + col];
-    }
-    return v;
-  }
-
-  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
-    const value_t* rows[kMaxProductModes];
-    for (std::size_t p = 0; p < nprod; ++p) {
-      rows[p] = fac[p] + static_cast<std::size_t>(idx[p][x]) * r;
-    }
-    for (index_t c = 0; c < r; ++c) {
-      float h = v;
-      for (std::size_t p = 0; p < nprod; ++p) h *= rows[p][c];
-      acc[c] += h;
-    }
-  }
-};
+  return views;
+}
 
 }  // namespace
+
+UnifiedMttkrp::UnifiedMttkrp(engine::Engine& engine, const CooTensor& tensor, int mode,
+                             Partitioning part, const StreamingOptions& stream,
+                             pipeline::PlanCache* cache)
+    : engine_(&engine),
+      plan_(engine.plan(tensor, engine::OpKind::kSpMTTKRP, mode, part, stream, cache)) {}
 
 UnifiedMttkrp::UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode,
                              Partitioning part, const StreamingOptions& stream,
                              pipeline::PlanCache* cache)
-    : device_(&device), mode_(mode), part_(part), stream_(stream) {
-  validate(part_, UnifiedOptions{}, stream_);
-  const ModePlan mp = make_mode_plan_spmttkrp(tensor.order(), mode);
-  if (stream_.enabled) {
-    fcoo_ = std::make_unique<FcooTensor>(
-        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
-    dims_ = fcoo_->dims();
-    product_modes_ = fcoo_->product_modes();
-    return;
-  }
-  const auto bundle =
-      pipeline::acquire_plan(device, tensor, mp, part, cache, /*want_coords=*/false);
-  // The aliasing constructor co-owns the bundle, so plan_ alone keeps the
-  // cached entry alive past eviction.
-  plan_ = std::shared_ptr<const UnifiedPlan>(bundle, &bundle->plan);
-  dims_ = plan_->dims();
-  product_modes_ = plan_->product_modes();
+    : owned_engine_(engine::Engine::shared_for(device)), engine_(owned_engine_.get()) {
+  // Pre-engine semantics: plans are cached only through an explicit cache.
+  plan_ = engine_->plan(tensor, engine::OpKind::kSpMTTKRP, mode, part, stream, cache,
+                        /*use_engine_cache=*/false);
 }
 
-UnifiedMttkrp::~UnifiedMttkrp() = default;
-UnifiedMttkrp::UnifiedMttkrp(UnifiedMttkrp&&) noexcept = default;
-UnifiedMttkrp& UnifiedMttkrp::operator=(UnifiedMttkrp&&) noexcept = default;
-
-shard::OpShardState& UnifiedMttkrp::shard_state(unsigned num_devices) const {
-  if (shard_ == nullptr) shard_ = std::make_unique<shard::OpShardState>();
-  shard_->ensure_group(*device_, num_devices);
-  return *shard_;
+engine::OpRequest UnifiedMttkrp::request(std::span<const DenseMatrix> factors,
+                                         DenseMatrix& out, const UnifiedOptions& opt) const {
+  engine::OpRequest req;
+  req.plan = plan_;
+  req.inputs = factor_views(*plan_, factors);
+  req.out = out.data();
+  req.out_rows = out.rows();
+  req.out_cols = out.cols();
+  req.options = opt;
+  return req;
 }
 
 DenseMatrix UnifiedMttkrp::run(std::span<const DenseMatrix> factors,
                                const UnifiedOptions& opt) const {
-  const index_t rows = dims_[static_cast<std::size_t>(mode_)];
+  const index_t rows = plan_->out_rows();
   const index_t r =
-      factors[static_cast<std::size_t>(product_modes_.front())].cols();
+      factors[static_cast<std::size_t>(plan_->product_modes.front())].cols();
   DenseMatrix out(rows, r);
   run(factors, out, opt);
   return out;
@@ -111,177 +59,12 @@ DenseMatrix UnifiedMttkrp::run(std::span<const DenseMatrix> factors,
 
 void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
                         const UnifiedOptions& opt) const {
-  validate(part_, opt, stream_);
-  UST_EXPECTS(factors.size() == dims_.size());
-  UST_EXPECTS(product_modes_.size() <= kMaxProductModes);
-  const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
-  for (int m : product_modes_) {
-    const auto& f = factors[static_cast<std::size_t>(m)];
-    UST_EXPECTS(f.cols() == r);
-    UST_EXPECTS(f.rows() == dims_[static_cast<std::size_t>(m)]);
-  }
-  const index_t rows = dims_[static_cast<std::size_t>(mode_)];
-  UST_EXPECTS(out.rows() == rows && out.cols() == r);
-
-  if (opt.shard.num_devices > 1) {
-    // validate() already guaranteed the native backend; factors are staged
-    // per shard device inside run_sharded, so skip the primary staging.
-    run_sharded(factors, out, opt);
-    return;
-  }
-
-  sim::Device& dev = *device_;
-
-  // Stage factors on the device (transfers are re-done every call because
-  // CP-ALS mutates the factors between calls).
-  factor_bufs_.resize(product_modes_.size());
-  for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-    const auto& f = factors[static_cast<std::size_t>(product_modes_[p])];
-    if (factor_bufs_[p].size() != f.size()) factor_bufs_[p] = dev.alloc<value_t>(f.size());
-    factor_bufs_[p].copy_from_host(f.span());
-  }
-  if (out_buf_.size() != out.size()) out_buf_ = dev.alloc<value_t>(out.size());
-  out_buf_.fill(value_t{0});
-
-  if (stream_.enabled) {
-    run_streaming(factors, out);
-    return;
-  }
-
-  FcooView view = plan_->view();
-  OutView out_view{out_buf_.data(), r, r};
-
-  if (opt.backend == ExecBackend::kNative) {
-    if (product_modes_.size() == 2) {
-      MttkrpExpr2 expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
-                       factor_bufs_[0].data(), factor_bufs_[1].data(), r};
-      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
-    } else {
-      MttkrpExprN expr{};
-      expr.nprod = product_modes_.size();
-      expr.r = r;
-      for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-        expr.idx[p] = plan_->product_indices(p).data();
-        expr.fac[p] = factor_bufs_[p].data();
-      }
-      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
-    }
-    out_buf_.copy_to_host(out.span());
-    return;
-  }
-
-  const UnifiedOptions ropt = plan_->resolve_options(r, opt);
-  const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
-  std::unique_ptr<sim::CarryChain> chain;
-  if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-    chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
-  }
-
-  if (product_modes_.size() == 2) {
-    MttkrpExpr2 expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
-                     factor_bufs_[0].data(), factor_bufs_[1].data(), r};
-    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-    });
-  } else {
-    MttkrpExprN expr{};
-    expr.nprod = product_modes_.size();
-    expr.r = r;
-    for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-      expr.idx[p] = plan_->product_indices(p).data();
-      expr.fac[p] = factor_bufs_[p].data();
-    }
-    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-      unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-    });
-  }
-  out_buf_.copy_to_host(out.span());
-}
-
-void UnifiedMttkrp::run_streaming(std::span<const DenseMatrix> factors,
-                                  DenseMatrix& out) const {
-  const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
-  OutView out_view{out_buf_.data(), r, r};
-  const pipeline::HostFcoo host = pipeline::host_view(*fcoo_, fcoo_->segment_coords(0));
-  if (product_modes_.size() == 2) {
-    pipeline::stream_execute(*device_, host, part_, out_view, stream_,
-                             [&](const pipeline::ChunkPlan& c) {
-                               return MttkrpExpr2{c.product_indices(0), c.product_indices(1),
-                                                  factor_bufs_[0].data(),
-                                                  factor_bufs_[1].data(), r};
-                             });
-  } else {
-    pipeline::stream_execute(*device_, host, part_, out_view, stream_,
-                             [&](const pipeline::ChunkPlan& c) {
-                               MttkrpExprN expr{};
-                               expr.nprod = product_modes_.size();
-                               expr.r = r;
-                               for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-                                 expr.idx[p] = c.product_indices(p);
-                                 expr.fac[p] = factor_bufs_[p].data();
-                               }
-                               return expr;
-                             });
-  }
-  out_buf_.copy_to_host(out.span());
+  engine_->run(request(factors, out, opt));
 }
 
 void UnifiedMttkrp::run_sharded(std::span<const DenseMatrix> factors, DenseMatrix& out,
                                 const UnifiedOptions& opt, shard::Report* report) const {
-  validate(part_, opt, stream_);
-  UST_EXPECTS(opt.backend == ExecBackend::kNative);
-  const index_t r = factors[static_cast<std::size_t>(product_modes_.front())].cols();
-  UST_EXPECTS(out.rows() == dims_[static_cast<std::size_t>(mode_)] && out.cols() == r);
-  shard::OpShardState& st = shard_state(opt.shard.num_devices);
-  const pipeline::HostFcoo host = stream_.enabled
-                                      ? pipeline::host_view(*fcoo_, fcoo_->segment_coords(0))
-                                      : pipeline::host_view(*plan_);
-
-  sim::Device& dev = *device_;
-  if (out_buf_.size() != out.size()) out_buf_ = dev.alloc<value_t>(out.size());
-  out_buf_.fill(value_t{0});
-  OutView out_view{out_buf_.data(), r, r};
-
-  // Factors are staged once per shard device, lazily, inside the expression
-  // factory (shards run in device order, so one buffer set suffices).
-  std::vector<sim::DeviceBuffer<value_t>> sfac(product_modes_.size());
-  unsigned staged_for = ~0u;
-  const auto stage = [&](sim::Device& sdev, unsigned d) {
-    if (staged_for == d) return;
-    for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-      const auto& f = factors[static_cast<std::size_t>(product_modes_[p])];
-      sfac[p] = sdev.alloc<value_t>(f.size());
-      sfac[p].copy_from_host(f.span());
-    }
-    staged_for = d;
-  };
-
-  if (product_modes_.size() == 2) {
-    shard::execute(*st.group, host, part_, out_view, opt, stream_,
-                   TensorOp::kSpMTTKRP, mode_,
-                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
-                     stage(sdev, d);
-                     return MttkrpExpr2{c.product_indices(0), c.product_indices(1),
-                                        sfac[0].data(), sfac[1].data(), r};
-                   },
-                   report);
-  } else {
-    shard::execute(*st.group, host, part_, out_view, opt, stream_,
-                   TensorOp::kSpMTTKRP, mode_,
-                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
-                     stage(sdev, d);
-                     MttkrpExprN expr{};
-                     expr.nprod = product_modes_.size();
-                     expr.r = r;
-                     for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-                       expr.idx[p] = c.product_indices(p);
-                       expr.fac[p] = sfac[p].data();
-                     }
-                     return expr;
-                   },
-                   report);
-  }
-  out_buf_.copy_to_host(out.span());
+  engine_->run_sharded(request(factors, out, opt), report);
 }
 
 DenseMatrix spmttkrp_unified(sim::Device& device, const CooTensor& tensor, int mode,

@@ -3,51 +3,48 @@
 // tensor, no explicit Khatri-Rao product, no mode conversion. Generalises to
 // any order (the Hadamard product runs over all N-1 product-mode factor
 // rows).
+//
+// Since the engine-layer refactor (DESIGN.md §11) this class is a thin
+// front-end: it holds an engine::OpPlan (the F-COO handle) and builds an
+// OpRequest per run; all backend / streaming / sharding routing lives in
+// ust::engine::Engine.
 #pragma once
 
 #include <memory>
 #include <span>
 
-#include "core/mode_plan.hpp"
-#include "core/unified_plan.hpp"
+#include "core/unified_kernel.hpp"
+#include "engine/engine.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
-
-namespace ust::pipeline {
-class PlanCache;
-}
-
-namespace ust::shard {
-struct OpShardState;
-struct Report;
-}
 
 namespace ust::core {
 
 class UnifiedMttkrp {
  public:
-  /// Preprocesses `tensor` for MTTKRP on `mode` (0-based) and uploads the
-  /// F-COO arrays to `device`. With a non-null `cache` the device plan is
-  /// fetched from / inserted into the LRU plan cache (keyed on the tensor
-  /// fingerprint, op, mode and partitioning) so repeated constructions --
-  /// e.g. successive CP-ALS invocations -- skip the sort/upload entirely.
-  /// With `stream.enabled` the tensor is kept on the host instead and every
-  /// run() streams bounded-memory chunk plans through the native kernel
-  /// (src/pipeline/, DESIGN.md §9); streaming runs bypass the cache.
+  /// Preprocesses `tensor` for MTTKRP on `mode` (0-based) through `engine`,
+  /// whose primary-device plan cache serves repeated constructions (e.g.
+  /// successive CP-ALS invocations) unless `cache` overrides it. With
+  /// `stream.enabled` the tensor is kept on the host and every run() streams
+  /// bounded-memory chunk plans through the native kernel (src/pipeline/,
+  /// DESIGN.md §9); streaming runs bypass the caches. The engine must
+  /// outlive this object.
+  UnifiedMttkrp(engine::Engine& engine, const CooTensor& tensor, int mode,
+                Partitioning part, const StreamingOptions& stream = {},
+                pipeline::PlanCache* cache = nullptr);
+
+  /// Deprecated compatibility constructor (pre-engine API, kept so existing
+  /// callers compile; slated for removal -- see ROADMAP.md): routes through
+  /// the process-default engine for `device`. Plans are cached only when
+  /// `cache` is non-null, exactly as before the engine existed.
   UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
                 const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
-  // Out-of-line because shard::OpShardState is only forward-declared here.
-  ~UnifiedMttkrp();
-  UnifiedMttkrp(UnifiedMttkrp&&) noexcept;
-  UnifiedMttkrp& operator=(UnifiedMttkrp&&) noexcept;
-
-  int mode() const noexcept { return mode_; }
-  const UnifiedPlan& plan() const {
-    UST_EXPECTS(plan_ != nullptr);
-    return *plan_;
-  }
-  bool streaming() const noexcept { return stream_.enabled; }
+  int mode() const noexcept { return plan_->mode; }
+  const UnifiedPlan& plan() const { return plan_->unified_plan(); }
+  bool streaming() const noexcept { return plan_->streaming(); }
+  const std::shared_ptr<const engine::OpPlan>& op_plan() const noexcept { return plan_; }
+  engine::Engine& engine() const noexcept { return *engine_; }
 
   /// Runs the kernel. `factors[m]` is the mode-m factor matrix (dims[m] x R);
   /// factors[mode()] is not read. Returns M of shape dims[mode()] x R.
@@ -56,6 +53,12 @@ class UnifiedMttkrp {
   /// As above but writes into a preallocated output (must be dims[mode] x R).
   void run(std::span<const DenseMatrix> factors, DenseMatrix& out,
            const UnifiedOptions& opt = {}) const;
+
+  /// Builds the engine request without running it (the submit() path:
+  /// `engine().submit(op.request(factors, out, opt))`). `factors` and `out`
+  /// must outlive the job.
+  engine::OpRequest request(std::span<const DenseMatrix> factors, DenseMatrix& out,
+                            const UnifiedOptions& opt = {}) const;
 
   /// Runs through the multi-device sharded executor (src/shard/) regardless
   /// of opt.shard.num_devices (>= 1 allowed, so a one-device baseline can be
@@ -66,30 +69,13 @@ class UnifiedMttkrp {
                    const UnifiedOptions& opt, shard::Report* report = nullptr) const;
 
  private:
-  void run_streaming(std::span<const DenseMatrix> factors, DenseMatrix& out) const;
-  shard::OpShardState& shard_state(unsigned num_devices) const;
-
-  sim::Device* device_;
-  int mode_;
-  Partitioning part_;
-  StreamingOptions stream_;
-  // plan_ is null when streaming; when cached it aliases into (and co-owns)
-  // the cache bundle, so it stays valid past eviction.
-  std::shared_ptr<const UnifiedPlan> plan_;
-  std::unique_ptr<FcooTensor> fcoo_;  // host tensor, streaming only
-  std::vector<index_t> dims_;
-  std::vector<int> product_modes_;
-  // Device-resident factor/output staging, grown lazily and reused across
-  // iterations (CP-ALS calls run() three times per iteration).
-  mutable std::vector<sim::DeviceBuffer<value_t>> factor_bufs_;
-  mutable sim::DeviceBuffer<value_t> out_buf_;
-  // Sharding state (device group + per-device plan caches), created on the
-  // first sharded run and kept across runs so CP-ALS iterations hit the
-  // shard-plan caches.
-  mutable std::unique_ptr<shard::OpShardState> shard_;
+  std::shared_ptr<engine::Engine> owned_engine_;  // deprecated-ctor path only
+  engine::Engine* engine_;
+  std::shared_ptr<const engine::OpPlan> plan_;
 };
 
-/// One-shot convenience wrapper (builds a plan, runs once).
+/// One-shot convenience wrapper over the process-default engine for `device`
+/// (builds a plan, runs once). Deprecated with the per-device constructors.
 DenseMatrix spmttkrp_unified(sim::Device& device, const CooTensor& tensor, int mode,
                              std::span<const DenseMatrix> factors, Partitioning part,
                              const UnifiedOptions& opt = {},

@@ -1,147 +1,51 @@
 #include "core/spttm.hpp"
 
-#include <memory>
-#include <numeric>
-
-#include "core/native_exec.hpp"
-#include "pipeline/plan_cache.hpp"
-#include "pipeline/stream_executor.hpp"
-#include "shard/shard_executor.hpp"
-#include "tensor/fcoo.hpp"
+#include <algorithm>
 
 namespace ust::core {
 
-namespace {
-
-/// SpTTM product expression: gather one row of the dense factor.
-struct SpttmExpr {
-  const index_t* idx;
-  const value_t* fac;
-  index_t r;
-
-  float operator()(nnz_t x, index_t col) const {
-    return fac[static_cast<std::size_t>(idx[x]) * r + col];
-  }
-
-  /// Native-backend form: the factor-row base pointer is hoisted once per
-  /// non-zero; the column loop is a pure axpy into the contiguous tile.
-  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
-    const value_t* UST_RESTRICT row = fac + static_cast<std::size_t>(idx[x]) * r;
-    for (index_t c = 0; c < r; ++c) acc[c] += v * row[c];
-  }
-};
-
-}  // namespace
+UnifiedSpttm::UnifiedSpttm(engine::Engine& engine, const CooTensor& tensor, int mode,
+                           Partitioning part, const StreamingOptions& stream,
+                           pipeline::PlanCache* cache)
+    : engine_(&engine),
+      plan_(engine.plan(tensor, engine::OpKind::kSpTTM, mode, part, stream, cache)) {}
 
 UnifiedSpttm::UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode,
                            Partitioning part, const StreamingOptions& stream,
                            pipeline::PlanCache* cache)
-    : device_(&device), mode_(mode), part_(part), stream_(stream) {
-  validate(part_, UnifiedOptions{}, stream_);
-  const ModePlan mp = make_mode_plan_spttm(tensor.order(), mode);
-  if (stream_.enabled) {
-    fcoo_ = std::make_unique<FcooTensor>(
-        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
-    dims_ = fcoo_->dims();
-    index_modes_ = fcoo_->index_modes();
-    num_fibers_ = fcoo_->num_segments();
-    for (std::size_t m = 0; m < mp.index_modes.size(); ++m) {
-      fiber_coords_.push_back(fcoo_->segment_coords(m));
-    }
-    seg_ordinals_.resize(num_fibers_);
-    std::iota(seg_ordinals_.begin(), seg_ordinals_.end(), index_t{0});
-    return;
-  }
-  // The per-fiber coordinates live in the (possibly cached) bundle, which
-  // the aliasing plan_ co-owns -- the spans stay valid and cache hits copy
-  // nothing (the device kernel only needs segment ordinals; the coords are
-  // for assembling the sCOO output).
-  const auto bundle =
-      pipeline::acquire_plan(device, tensor, mp, part, cache, /*want_coords=*/true);
-  plan_ = std::shared_ptr<const UnifiedPlan>(bundle, &bundle->plan);
-  for (const auto& coords : bundle->segment_coords) fiber_coords_.push_back(coords);
-  dims_ = plan_->dims();
-  index_modes_ = plan_->index_modes();
-  num_fibers_ = plan_->num_segments();
+    : owned_engine_(engine::Engine::shared_for(device)), engine_(owned_engine_.get()) {
+  plan_ = engine_->plan(tensor, engine::OpKind::kSpTTM, mode, part, stream, cache,
+                        /*use_engine_cache=*/false);
 }
 
-UnifiedSpttm::~UnifiedSpttm() = default;
-UnifiedSpttm::UnifiedSpttm(UnifiedSpttm&&) noexcept = default;
-UnifiedSpttm& UnifiedSpttm::operator=(UnifiedSpttm&&) noexcept = default;
+SemiSparseTensor UnifiedSpttm::make_output(index_t r) const {
+  std::vector<index_t> sparse_dims;
+  for (int m : plan_->index_modes) {
+    sparse_dims.push_back(plan_->dims[static_cast<std::size_t>(m)]);
+  }
+  SemiSparseTensor y(std::move(sparse_dims), plan_->num_segments, r, plan_->mode);
+  for (std::size_t m = 0; m < plan_->fiber_coords.size(); ++m) {
+    std::copy(plan_->fiber_coords[m].begin(), plan_->fiber_coords[m].end(),
+              y.coords(static_cast<int>(m)).begin());
+  }
+  return y;
+}
 
-shard::OpShardState& UnifiedSpttm::shard_state(unsigned num_devices) const {
-  if (shard_ == nullptr) shard_ = std::make_unique<shard::OpShardState>();
-  shard_->ensure_group(*device_, num_devices);
-  return *shard_;
+engine::OpRequest UnifiedSpttm::request(const DenseMatrix& u, SemiSparseTensor& out,
+                                        const UnifiedOptions& opt) const {
+  engine::OpRequest req;
+  req.plan = plan_;
+  req.inputs = {{u.data(), u.rows(), u.cols()}};
+  req.out = out.values().data();
+  req.out_rows = out.values().rows();
+  req.out_cols = out.values().cols();
+  req.options = opt;
+  return req;
 }
 
 SemiSparseTensor UnifiedSpttm::run(const DenseMatrix& u, const UnifiedOptions& opt) const {
-  validate(part_, opt, stream_);
-  UST_EXPECTS(u.rows() == dims_[static_cast<std::size_t>(mode_)]);
-  const index_t r = u.cols();
-  sim::Device& dev = *device_;
-
-  const nnz_t nfibs = num_fibers_;
-  const std::size_t out_elems = static_cast<std::size_t>(nfibs) * r;
-  if (out_buf_.size() != out_elems) out_buf_ = dev.alloc<value_t>(out_elems);
-  out_buf_.fill(value_t{0});
-  OutView out_view{out_buf_.data(), r, r};
-
-  if (opt.shard.num_devices > 1) {
-    shard::OpShardState& st = shard_state(opt.shard.num_devices);
-    const pipeline::HostFcoo host = stream_.enabled
-                                        ? pipeline::host_view(*fcoo_, seg_ordinals_)
-                                        : pipeline::host_view(*plan_);
-    sim::DeviceBuffer<value_t> sfac;
-    unsigned staged_for = ~0u;
-    shard::execute(*st.group, host, part_, out_view, opt, stream_,
-                   TensorOp::kSpTTM, mode_,
-                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
-                     if (staged_for != d) {
-                       sfac = sdev.alloc<value_t>(u.size());
-                       sfac.copy_from_host(u.span());
-                       staged_for = d;
-                     }
-                     return SpttmExpr{c.product_indices(0), sfac.data(), r};
-                   });
-  } else if (stream_.enabled) {
-    if (factor_buf_.size() != u.size()) factor_buf_ = dev.alloc<value_t>(u.size());
-    factor_buf_.copy_from_host(u.span());
-    const pipeline::HostFcoo host = pipeline::host_view(*fcoo_, seg_ordinals_);
-    pipeline::stream_execute(dev, host, part_, out_view, stream_,
-                             [&](const pipeline::ChunkPlan& c) {
-                               return SpttmExpr{c.product_indices(0), factor_buf_.data(), r};
-                             });
-  } else {
-    if (factor_buf_.size() != u.size()) factor_buf_ = dev.alloc<value_t>(u.size());
-    factor_buf_.copy_from_host(u.span());
-    FcooView view = plan_->view();
-    SpttmExpr expr{plan_->product_indices(0).data(), factor_buf_.data(), r};
-    if (opt.backend == ExecBackend::kNative) {
-      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
-    } else {
-      const UnifiedOptions ropt = plan_->resolve_options(r, opt);
-      const sim::LaunchConfig cfg = plan_->launch_config(r, ropt);
-      std::unique_ptr<sim::CarryChain> chain;
-      if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-        chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
-      }
-      sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-        unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-      });
-    }
-  }
-
-  // Assemble the sCOO result.
-  std::vector<index_t> sparse_dims;
-  for (int m : index_modes_) {
-    sparse_dims.push_back(dims_[static_cast<std::size_t>(m)]);
-  }
-  SemiSparseTensor y(std::move(sparse_dims), nfibs, r, mode_);
-  for (std::size_t m = 0; m < fiber_coords_.size(); ++m) {
-    std::copy(fiber_coords_[m].begin(), fiber_coords_[m].end(), y.coords(static_cast<int>(m)).begin());
-  }
-  out_buf_.copy_to_host(y.values().span());
+  SemiSparseTensor y = make_output(u.cols());
+  engine_->run(request(u, y, opt));
   return y;
 }
 

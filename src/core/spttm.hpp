@@ -3,83 +3,67 @@
 // fiber along mode n is dense with length R -- and is returned in sCOO form.
 // Runs the same unified block program as SpMTTKRP; only the product
 // expression (a single factor-row gather) differs.
+//
+// Thin front-end over ust::engine::Engine (DESIGN.md §11): the engine fills
+// the fiber-value matrix; this class assembles the sCOO output from the
+// plan's host fiber coordinates.
 #pragma once
 
 #include <memory>
 #include <span>
 
-#include "core/mode_plan.hpp"
-#include "core/unified_plan.hpp"
+#include "core/unified_kernel.hpp"
+#include "engine/engine.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
 #include "tensor/semisparse.hpp"
-
-namespace ust::pipeline {
-class PlanCache;
-}
-
-namespace ust::shard {
-struct OpShardState;
-}
 
 namespace ust::core {
 
 class UnifiedSpttm {
  public:
   /// See UnifiedMttkrp for the `stream` / `cache` semantics: streaming keeps
-  /// the tensor on the host and runs bounded-memory chunk plans; a cache
-  /// reuses the device plan (and the host fiber coordinates) across
-  /// constructions with the same tensor/mode/partitioning.
+  /// the tensor on the host and runs bounded-memory chunk plans; the engine's
+  /// primary plan cache (or an explicit `cache`) reuses the device plan and
+  /// the host fiber coordinates across constructions.
+  UnifiedSpttm(engine::Engine& engine, const CooTensor& tensor, int mode,
+               Partitioning part, const StreamingOptions& stream = {},
+               pipeline::PlanCache* cache = nullptr);
+
+  /// Deprecated compatibility constructor (process-default engine for
+  /// `device`; plans cached only via `cache`). See UnifiedMttkrp.
   UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
                const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
-  // Out-of-line because shard::OpShardState is only forward-declared here.
-  ~UnifiedSpttm();
-  UnifiedSpttm(UnifiedSpttm&&) noexcept;
-  UnifiedSpttm& operator=(UnifiedSpttm&&) noexcept;
-
-  int mode() const noexcept { return mode_; }
-  const UnifiedPlan& plan() const {
-    UST_EXPECTS(plan_ != nullptr);
-    return *plan_;
-  }
-  bool streaming() const noexcept { return stream_.enabled; }
-  nnz_t num_output_fibers() const noexcept { return num_fibers_; }
+  int mode() const noexcept { return plan_->mode; }
+  const UnifiedPlan& plan() const { return plan_->unified_plan(); }
+  bool streaming() const noexcept { return plan_->streaming(); }
+  nnz_t num_output_fibers() const noexcept { return plan_->num_segments; }
+  const std::shared_ptr<const engine::OpPlan>& op_plan() const noexcept { return plan_; }
+  engine::Engine& engine() const noexcept { return *engine_; }
 
   /// Runs Y = X x_mode U. `u` must be dims[mode] x R; the result has one
   /// dense fiber of length R per distinct index-mode coordinate pair, in
   /// lexicographic order.
   SemiSparseTensor run(const DenseMatrix& u, const UnifiedOptions& opt = {}) const;
 
- private:
-  shard::OpShardState& shard_state(unsigned num_devices) const;
+  /// Allocates the sCOO output (fiber coordinates filled, values zeroed) that
+  /// a request() for this op writes into.
+  SemiSparseTensor make_output(index_t r) const;
 
-  sim::Device* device_;
-  int mode_;
-  Partitioning part_;
-  StreamingOptions stream_;
-  // plan_ is null when streaming; when cached it aliases into (and co-owns)
-  // the cache bundle, so it -- and the fiber_coords_ spans below that point
-  // into the bundle -- stay valid past eviction.
-  std::shared_ptr<const UnifiedPlan> plan_;
-  std::unique_ptr<FcooTensor> fcoo_;  // host tensor, streaming only
-  std::vector<index_t> dims_;
-  std::vector<int> index_modes_;
-  nnz_t num_fibers_ = 0;
-  /// Per-index-mode fiber coordinates for sCOO output assembly; views into
-  /// the cache bundle (plan path) or the host FcooTensor (streaming path),
-  /// never a copy.
-  std::vector<std::span<const index_t>> fiber_coords_;
-  /// Ordinal seg_row (0, 1, 2, ...) backing the host view on the streaming
-  /// path, where no UnifiedPlan exists to provide it (SpTTM's output rows
-  /// are fiber ordinals, not index coordinates).
-  std::vector<index_t> seg_ordinals_;
-  mutable sim::DeviceBuffer<value_t> factor_buf_;
-  mutable sim::DeviceBuffer<value_t> out_buf_;
-  mutable std::unique_ptr<shard::OpShardState> shard_;
+  /// Builds the engine request writing the fiber values of `out` (a
+  /// make_output(u.cols()) result). `u` and `out` must outlive the job.
+  engine::OpRequest request(const DenseMatrix& u, SemiSparseTensor& out,
+                            const UnifiedOptions& opt = {}) const;
+
+ private:
+  std::shared_ptr<engine::Engine> owned_engine_;  // deprecated-ctor path only
+  engine::Engine* engine_;
+  std::shared_ptr<const engine::OpPlan> plan_;
 };
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper over the process-default engine (deprecated
+/// with the per-device constructors).
 SemiSparseTensor spttm_unified(sim::Device& device, const CooTensor& tensor, int mode,
                                const DenseMatrix& u, Partitioning part,
                                const UnifiedOptions& opt = {},

@@ -1,152 +1,39 @@
 #include "core/spttmc.hpp"
 
-#include <memory>
-
-#include "core/native_exec.hpp"
-#include "pipeline/plan_cache.hpp"
-#include "pipeline/stream_executor.hpp"
-#include "shard/shard_executor.hpp"
-#include "tensor/fcoo.hpp"
-
 namespace ust::core {
 
-namespace {
-
-/// Kronecker product expression: column c of the R2*R3-wide output row is
-/// U2(j, c / R3) * U3(k, c % R3).
-struct TtmcExpr {
-  const index_t* idx0;
-  const index_t* idx1;
-  const value_t* fac0;
-  const value_t* fac1;
-  index_t r0;
-  index_t r1;
-
-  float operator()(nnz_t x, index_t col) const {
-    return fac0[static_cast<std::size_t>(idx0[x]) * r0 + col / r1] *
-           fac1[static_cast<std::size_t>(idx1[x]) * r1 + col % r1];
-  }
-
-  /// Native-backend form: the per-column div/mod disappears -- the Kronecker
-  /// structure becomes two nested loops over the hoisted factor rows.
-  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
-    const value_t* UST_RESTRICT row0 = fac0 + static_cast<std::size_t>(idx0[x]) * r0;
-    const value_t* UST_RESTRICT row1 = fac1 + static_cast<std::size_t>(idx1[x]) * r1;
-    float* UST_RESTRICT dst = acc;
-    for (index_t a = 0; a < r0; ++a) {
-      const float va = v * row0[a];
-      for (index_t b = 0; b < r1; ++b) dst[b] += va * row1[b];
-      dst += r1;
-    }
-  }
-};
-
-}  // namespace
+UnifiedTtmc::UnifiedTtmc(engine::Engine& engine, const CooTensor& tensor, int mode,
+                         Partitioning part, const StreamingOptions& stream,
+                         pipeline::PlanCache* cache)
+    : engine_(&engine),
+      plan_(engine.plan(tensor, engine::OpKind::kSpTTMc, mode, part, stream, cache)) {}
 
 UnifiedTtmc::UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode,
                          Partitioning part, const StreamingOptions& stream,
                          pipeline::PlanCache* cache)
-    : device_(&device), mode_(mode), part_(part), stream_(stream) {
-  UST_EXPECTS(tensor.order() == 3);
-  validate(part_, UnifiedOptions{}, stream_);
-  const ModePlan mp = make_mode_plan_spttmc(tensor.order(), mode);
-  if (stream_.enabled) {
-    fcoo_ = std::make_unique<FcooTensor>(
-        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
-    dims_ = fcoo_->dims();
-    product_modes_ = fcoo_->product_modes();
-    return;
-  }
-  const auto bundle =
-      pipeline::acquire_plan(device, tensor, mp, part, cache, /*want_coords=*/false);
-  plan_ = std::shared_ptr<const UnifiedPlan>(bundle, &bundle->plan);
-  dims_ = plan_->dims();
-  product_modes_ = plan_->product_modes();
+    : owned_engine_(engine::Engine::shared_for(device)), engine_(owned_engine_.get()) {
+  plan_ = engine_->plan(tensor, engine::OpKind::kSpTTMc, mode, part, stream, cache,
+                        /*use_engine_cache=*/false);
 }
 
-UnifiedTtmc::~UnifiedTtmc() = default;
-UnifiedTtmc::UnifiedTtmc(UnifiedTtmc&&) noexcept = default;
-UnifiedTtmc& UnifiedTtmc::operator=(UnifiedTtmc&&) noexcept = default;
-
-shard::OpShardState& UnifiedTtmc::shard_state(unsigned num_devices) const {
-  if (shard_ == nullptr) shard_ = std::make_unique<shard::OpShardState>();
-  shard_->ensure_group(*device_, num_devices);
-  return *shard_;
+engine::OpRequest UnifiedTtmc::request(const DenseMatrix& u_first,
+                                       const DenseMatrix& u_second, DenseMatrix& out,
+                                       const UnifiedOptions& opt) const {
+  engine::OpRequest req;
+  req.plan = plan_;
+  req.inputs = {{u_first.data(), u_first.rows(), u_first.cols()},
+                {u_second.data(), u_second.rows(), u_second.cols()}};
+  req.out = out.data();
+  req.out_rows = out.rows();
+  req.out_cols = out.cols();
+  req.options = opt;
+  return req;
 }
 
 DenseMatrix UnifiedTtmc::run(const DenseMatrix& u_first, const DenseMatrix& u_second,
                              const UnifiedOptions& opt) const {
-  validate(part_, opt, stream_);
-  UST_EXPECTS(u_first.rows() == dims_[static_cast<std::size_t>(product_modes_[0])]);
-  UST_EXPECTS(u_second.rows() == dims_[static_cast<std::size_t>(product_modes_[1])]);
-  const index_t r0 = u_first.cols();
-  const index_t r1 = u_second.cols();
-  const index_t cols = r0 * r1;
-  sim::Device& dev = *device_;
-
-  const index_t rows = dims_[static_cast<std::size_t>(mode_)];
-  DenseMatrix out(rows, cols);
-  const std::size_t out_elems = out.size();
-  if (out_buf_.size() != out_elems) out_buf_ = dev.alloc<value_t>(out_elems);
-  out_buf_.fill(value_t{0});
-  OutView out_view{out_buf_.data(), cols, cols};
-
-  if (opt.shard.num_devices > 1) {
-    shard::OpShardState& st = shard_state(opt.shard.num_devices);
-    const pipeline::HostFcoo host =
-        stream_.enabled ? pipeline::host_view(*fcoo_, fcoo_->segment_coords(0))
-                        : pipeline::host_view(*plan_);
-    sim::DeviceBuffer<value_t> sfac0;
-    sim::DeviceBuffer<value_t> sfac1;
-    unsigned staged_for = ~0u;
-    shard::execute(*st.group, host, part_, out_view, opt, stream_,
-                   TensorOp::kSpTTMc, mode_,
-                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
-                     if (staged_for != d) {
-                       sfac0 = sdev.alloc<value_t>(u_first.size());
-                       sfac0.copy_from_host(u_first.span());
-                       sfac1 = sdev.alloc<value_t>(u_second.size());
-                       sfac1.copy_from_host(u_second.span());
-                       staged_for = d;
-                     }
-                     return TtmcExpr{c.product_indices(0), c.product_indices(1),
-                                     sfac0.data(), sfac1.data(), r0, r1};
-                   });
-    out_buf_.copy_to_host(out.span());
-    return out;
-  }
-
-  if (fac0_buf_.size() != u_first.size()) fac0_buf_ = dev.alloc<value_t>(u_first.size());
-  fac0_buf_.copy_from_host(u_first.span());
-  if (fac1_buf_.size() != u_second.size()) fac1_buf_ = dev.alloc<value_t>(u_second.size());
-  fac1_buf_.copy_from_host(u_second.span());
-
-  if (stream_.enabled) {
-    const pipeline::HostFcoo host = pipeline::host_view(*fcoo_, fcoo_->segment_coords(0));
-    pipeline::stream_execute(dev, host, part_, out_view, stream_,
-                             [&](const pipeline::ChunkPlan& c) {
-                               return TtmcExpr{c.product_indices(0), c.product_indices(1),
-                                               fac0_buf_.data(), fac1_buf_.data(), r0, r1};
-                             });
-  } else {
-    FcooView view = plan_->view();
-    TtmcExpr expr{plan_->product_indices(0).data(), plan_->product_indices(1).data(),
-                  fac0_buf_.data(), fac1_buf_.data(), r0, r1};
-    if (opt.backend == ExecBackend::kNative) {
-      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
-    } else {
-      const UnifiedOptions ropt = plan_->resolve_options(cols, opt);
-      const sim::LaunchConfig cfg = plan_->launch_config(cols, ropt);
-      std::unique_ptr<sim::CarryChain> chain;
-      if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-        chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
-      }
-      sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-        unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-      });
-    }
-  }
-  out_buf_.copy_to_host(out.span());
+  DenseMatrix out(plan_->out_rows(), u_first.cols() * u_second.cols());
+  engine_->run(request(u_first, u_second, out, opt));
   return out;
 }
 

@@ -3,24 +3,17 @@
 //   Y(1)(i,:) += X(i,j,k) * (U2(j,:) (x) U3(k,:))
 // i.e. the same one-shot skeleton as SpMTTKRP with the Hadamard product
 // replaced by a Kronecker product of the factor rows, producing R2*R3 output
-// columns (Table I row 3).
+// columns (Table I row 3). Thin front-end over ust::engine::Engine
+// (DESIGN.md §11).
 #pragma once
 
 #include <memory>
 #include <span>
 
-#include "core/mode_plan.hpp"
-#include "core/unified_plan.hpp"
+#include "core/unified_kernel.hpp"
+#include "engine/engine.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
-
-namespace ust::pipeline {
-class PlanCache;
-}
-
-namespace ust::shard {
-struct OpShardState;
-}
 
 namespace ust::core {
 
@@ -29,20 +22,20 @@ class UnifiedTtmc {
   /// Currently implemented for 3-order tensors (the paper's evaluation
   /// scope); `mode` selects the index mode. See UnifiedMttkrp for the
   /// `stream` / `cache` semantics.
+  UnifiedTtmc(engine::Engine& engine, const CooTensor& tensor, int mode,
+              Partitioning part, const StreamingOptions& stream = {},
+              pipeline::PlanCache* cache = nullptr);
+
+  /// Deprecated compatibility constructor (process-default engine for
+  /// `device`; plans cached only via `cache`). See UnifiedMttkrp.
   UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
               const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
-  // Out-of-line because shard::OpShardState is only forward-declared here.
-  ~UnifiedTtmc();
-  UnifiedTtmc(UnifiedTtmc&&) noexcept;
-  UnifiedTtmc& operator=(UnifiedTtmc&&) noexcept;
-
-  int mode() const noexcept { return mode_; }
-  const UnifiedPlan& plan() const {
-    UST_EXPECTS(plan_ != nullptr);
-    return *plan_;
-  }
-  bool streaming() const noexcept { return stream_.enabled; }
+  int mode() const noexcept { return plan_->mode; }
+  const UnifiedPlan& plan() const { return plan_->unified_plan(); }
+  bool streaming() const noexcept { return plan_->streaming(); }
+  const std::shared_ptr<const engine::OpPlan>& op_plan() const noexcept { return plan_; }
+  engine::Engine& engine() const noexcept { return *engine_; }
 
   /// Runs the chain product with the two product-mode factors (in ascending
   /// mode order). Result is the mode-matricised Y(mode):
@@ -50,26 +43,19 @@ class UnifiedTtmc {
   DenseMatrix run(const DenseMatrix& u_first, const DenseMatrix& u_second,
                   const UnifiedOptions& opt = {}) const;
 
- private:
-  shard::OpShardState& shard_state(unsigned num_devices) const;
+  /// Builds the engine request writing into `out` (dims[mode] x r0*r1). The
+  /// factors and `out` must outlive the job.
+  engine::OpRequest request(const DenseMatrix& u_first, const DenseMatrix& u_second,
+                            DenseMatrix& out, const UnifiedOptions& opt = {}) const;
 
-  sim::Device* device_;
-  int mode_;
-  Partitioning part_;
-  StreamingOptions stream_;
-  // plan_ is null when streaming; when cached it aliases into (and co-owns)
-  // the cache bundle, so it stays valid past eviction.
-  std::shared_ptr<const UnifiedPlan> plan_;
-  std::unique_ptr<FcooTensor> fcoo_;  // host tensor, streaming only
-  std::vector<index_t> dims_;
-  std::vector<int> product_modes_;
-  mutable sim::DeviceBuffer<value_t> fac0_buf_;
-  mutable sim::DeviceBuffer<value_t> fac1_buf_;
-  mutable sim::DeviceBuffer<value_t> out_buf_;
-  mutable std::unique_ptr<shard::OpShardState> shard_;
+ private:
+  std::shared_ptr<engine::Engine> owned_engine_;  // deprecated-ctor path only
+  engine::Engine* engine_;
+  std::shared_ptr<const engine::OpPlan> plan_;
 };
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper over the process-default engine (deprecated
+/// with the per-device constructors).
 DenseMatrix spttmc_unified(sim::Device& device, const CooTensor& tensor, int mode,
                            const DenseMatrix& u_first, const DenseMatrix& u_second,
                            Partitioning part, const UnifiedOptions& opt = {},

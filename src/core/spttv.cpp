@@ -1,172 +1,43 @@
 #include "core/spttv.hpp"
 
-#include <memory>
-
-#include "core/native_exec.hpp"
-#include "pipeline/plan_cache.hpp"
-#include "pipeline/stream_executor.hpp"
-#include "shard/shard_executor.hpp"
-#include "tensor/fcoo.hpp"
-
 namespace ust::core {
 
-namespace {
-
-constexpr std::size_t kMaxProductModes = 7;
-
-/// TTV product expression: the scalar product of the contraction vectors'
-/// entries at the non-zero's product-mode indices. Output has one column.
-struct TtvExpr {
-  const index_t* idx[kMaxProductModes];
-  const value_t* vec[kMaxProductModes];
-  std::size_t nprod;
-
-  float operator()(nnz_t x, index_t /*col*/) const {
-    float v = 1.0f;
-    for (std::size_t p = 0; p < nprod; ++p) {
-      v *= vec[p][idx[p][x]];
-    }
-    return v;
-  }
-
-  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
-    for (std::size_t p = 0; p < nprod; ++p) v *= vec[p][idx[p][x]];
-    acc[0] += v;
-  }
-};
-
-}  // namespace
+UnifiedTtv::UnifiedTtv(engine::Engine& engine, const CooTensor& tensor, int mode,
+                       Partitioning part, const StreamingOptions& stream,
+                       pipeline::PlanCache* cache)
+    : engine_(&engine),
+      plan_(engine.plan(tensor, engine::OpKind::kSpTTV, mode, part, stream, cache)) {}
 
 UnifiedTtv::UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode,
                        Partitioning part, const StreamingOptions& stream,
                        pipeline::PlanCache* cache)
-    : device_(&device), mode_(mode), part_(part), stream_(stream) {
-  validate(part_, UnifiedOptions{}, stream_);
-  // Same mode split as MTTKRP (all modes but `mode` are contracted), so the
-  // same F-COO layout serves both operations -- the unification at work.
-  const ModePlan mp = make_mode_plan_spmttkrp(tensor.order(), mode);
-  UST_EXPECTS(mp.product_modes.size() <= kMaxProductModes);
-  if (stream_.enabled) {
-    fcoo_ = std::make_unique<FcooTensor>(
-        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
-    dims_ = fcoo_->dims();
-    product_modes_ = fcoo_->product_modes();
-    return;
-  }
-  // acquire_plan keys on the mode plan's op (kSpMTTKRP here), so a TTV and
-  // an MTTKRP on the same tensor/mode/partitioning share one cached plan --
-  // the layouts are identical, which is the unification at work again.
-  const auto bundle =
-      pipeline::acquire_plan(device, tensor, mp, part, cache, /*want_coords=*/false);
-  plan_ = std::shared_ptr<const UnifiedPlan>(bundle, &bundle->plan);
-  dims_ = plan_->dims();
-  product_modes_ = plan_->product_modes();
+    : owned_engine_(engine::Engine::shared_for(device)), engine_(owned_engine_.get()) {
+  plan_ = engine_->plan(tensor, engine::OpKind::kSpTTV, mode, part, stream, cache,
+                        /*use_engine_cache=*/false);
 }
 
-UnifiedTtv::~UnifiedTtv() = default;
-UnifiedTtv::UnifiedTtv(UnifiedTtv&&) noexcept = default;
-UnifiedTtv& UnifiedTtv::operator=(UnifiedTtv&&) noexcept = default;
-
-shard::OpShardState& UnifiedTtv::shard_state(unsigned num_devices) const {
-  if (shard_ == nullptr) shard_ = std::make_unique<shard::OpShardState>();
-  shard_->ensure_group(*device_, num_devices);
-  return *shard_;
+engine::OpRequest UnifiedTtv::request(std::span<const std::vector<value_t>> vectors,
+                                      std::vector<value_t>& out,
+                                      const UnifiedOptions& opt) const {
+  UST_EXPECTS(vectors.size() == plan_->dims.size());
+  engine::OpRequest req;
+  req.plan = plan_;
+  req.inputs.reserve(plan_->product_modes.size());
+  for (int m : plan_->product_modes) {
+    const auto& v = vectors[static_cast<std::size_t>(m)];
+    req.inputs.push_back({v.data(), static_cast<index_t>(v.size()), 1});
+  }
+  req.out = out.data();
+  req.out_rows = static_cast<index_t>(out.size());
+  req.out_cols = 1;
+  req.options = opt;
+  return req;
 }
 
 std::vector<value_t> UnifiedTtv::run(std::span<const std::vector<value_t>> vectors,
                                      const UnifiedOptions& opt) const {
-  validate(part_, opt, stream_);
-  UST_EXPECTS(vectors.size() == dims_.size());
-  for (int m : product_modes_) {
-    UST_EXPECTS(vectors[static_cast<std::size_t>(m)].size() ==
-                dims_[static_cast<std::size_t>(m)]);
-  }
-  sim::Device& dev = *device_;
-
-  const index_t out_rows = dims_[static_cast<std::size_t>(mode_)];
-  if (out_buf_.size() != out_rows) out_buf_ = dev.alloc<value_t>(out_rows);
-  out_buf_.fill(value_t{0});
-  OutView out_view{out_buf_.data(), 1, 1};
-
-  if (opt.shard.num_devices > 1) {
-    // Sharded path: contraction vectors are staged per shard device inside
-    // the expression factory (the plan cache key reuses the MTTKRP op id --
-    // the layouts are identical, as for the whole-tensor cache).
-    shard::OpShardState& st = shard_state(opt.shard.num_devices);
-    const pipeline::HostFcoo host =
-        stream_.enabled ? pipeline::host_view(*fcoo_, fcoo_->segment_coords(0))
-                        : pipeline::host_view(*plan_);
-    std::vector<sim::DeviceBuffer<value_t>> svec(product_modes_.size());
-    unsigned staged_for = ~0u;
-    shard::execute(*st.group, host, part_, out_view, opt, stream_,
-                   TensorOp::kSpMTTKRP, mode_,
-                   [&](sim::Device& sdev, unsigned d, const pipeline::ChunkPlan& c) {
-                     if (staged_for != d) {
-                       for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-                         const auto& v =
-                             vectors[static_cast<std::size_t>(product_modes_[p])];
-                         svec[p] = sdev.alloc<value_t>(v.size());
-                         svec[p].copy_from_host(v);
-                       }
-                       staged_for = d;
-                     }
-                     TtvExpr expr{};
-                     expr.nprod = product_modes_.size();
-                     for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-                       expr.idx[p] = c.product_indices(p);
-                       expr.vec[p] = svec[p].data();
-                     }
-                     return expr;
-                   });
-    std::vector<value_t> out(out_rows);
-    out_buf_.copy_to_host(out);
-    return out;
-  }
-
-  vec_bufs_.resize(product_modes_.size());
-  for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-    const auto& v = vectors[static_cast<std::size_t>(product_modes_[p])];
-    if (vec_bufs_[p].size() != v.size()) vec_bufs_[p] = dev.alloc<value_t>(v.size());
-    vec_bufs_[p].copy_from_host(v);
-  }
-
-  if (stream_.enabled) {
-    const pipeline::HostFcoo host = pipeline::host_view(*fcoo_, fcoo_->segment_coords(0));
-    pipeline::stream_execute(dev, host, part_, out_view, stream_,
-                             [&](const pipeline::ChunkPlan& c) {
-                               TtvExpr expr{};
-                               expr.nprod = product_modes_.size();
-                               for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-                                 expr.idx[p] = c.product_indices(p);
-                                 expr.vec[p] = vec_bufs_[p].data();
-                               }
-                               return expr;
-                             });
-  } else {
-    FcooView view = plan_->view();
-    TtvExpr expr{};
-    expr.nprod = product_modes_.size();
-    for (std::size_t p = 0; p < product_modes_.size(); ++p) {
-      expr.idx[p] = plan_->product_indices(p).data();
-      expr.vec[p] = vec_bufs_[p].data();
-    }
-    if (opt.backend == ExecBackend::kNative) {
-      native::execute(dev, view, out_view, expr, opt.chunk_nnz);
-    } else {
-      const UnifiedOptions ropt = plan_->resolve_options(1, opt);
-      const sim::LaunchConfig cfg = plan_->launch_config(1, ropt);
-      std::unique_ptr<sim::CarryChain> chain;
-      if (ropt.strategy == ReduceStrategy::kAdjacentSync) {
-        chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
-      }
-      sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-        unified_block_program(blk, view, out_view, ropt, expr, chain.get());
-      });
-    }
-  }
-
-  std::vector<value_t> out(out_rows);
-  out_buf_.copy_to_host(out);
+  std::vector<value_t> out(plan_->out_rows());
+  engine_->run(request(vectors, out, opt));
   return out;
 }
 

@@ -8,69 +8,57 @@
 // computation). It is not evaluated in the paper; it is included here as a
 // demonstration of the conclusion's claim that the unified method "can be
 // extended to support other sparse tensor operations" -- the kernel is the
-// same block program with a scalar product expression.
+// same block program with a scalar product expression. Thin front-end over
+// ust::engine::Engine (DESIGN.md §11); it shares SpMTTKRP's cached plans
+// (identical F-COO layout).
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
-#include "core/mode_plan.hpp"
-#include "core/unified_plan.hpp"
+#include "core/unified_kernel.hpp"
+#include "engine/engine.hpp"
 #include "tensor/coo.hpp"
-
-namespace ust::pipeline {
-class PlanCache;
-}
-
-namespace ust::shard {
-struct OpShardState;
-}
 
 namespace ust::core {
 
 class UnifiedTtv {
  public:
   /// See UnifiedMttkrp for the `stream` / `cache` semantics.
+  UnifiedTtv(engine::Engine& engine, const CooTensor& tensor, int mode, Partitioning part,
+             const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
+
+  /// Deprecated compatibility constructor (process-default engine for
+  /// `device`; plans cached only via `cache`). See UnifiedMttkrp.
   UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
              const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
-  // Out-of-line because shard::OpShardState is only forward-declared here.
-  ~UnifiedTtv();
-  UnifiedTtv(UnifiedTtv&&) noexcept;
-  UnifiedTtv& operator=(UnifiedTtv&&) noexcept;
-
-  int mode() const noexcept { return mode_; }
-  const UnifiedPlan& plan() const {
-    UST_EXPECTS(plan_ != nullptr);
-    return *plan_;
-  }
-  bool streaming() const noexcept { return stream_.enabled; }
+  int mode() const noexcept { return plan_->mode; }
+  const UnifiedPlan& plan() const { return plan_->unified_plan(); }
+  bool streaming() const noexcept { return plan_->streaming(); }
+  const std::shared_ptr<const engine::OpPlan>& op_plan() const noexcept { return plan_; }
+  engine::Engine& engine() const noexcept { return *engine_; }
 
   /// Contracts with `vectors[m]` along every mode m != mode() (vectors[mode]
   /// is not read). Returns the dims[mode]-length result.
   std::vector<value_t> run(std::span<const std::vector<value_t>> vectors,
                            const UnifiedOptions& opt = {}) const;
 
- private:
-  shard::OpShardState& shard_state(unsigned num_devices) const;
+  /// Builds the engine request writing into `out` (dims[mode] entries). The
+  /// vectors and `out` must outlive the job.
+  engine::OpRequest request(std::span<const std::vector<value_t>> vectors,
+                            std::vector<value_t>& out,
+                            const UnifiedOptions& opt = {}) const;
 
-  sim::Device* device_;
-  int mode_;
-  Partitioning part_;
-  StreamingOptions stream_;
-  // plan_ is null when streaming; when cached it aliases into (and co-owns)
-  // the cache bundle, so it stays valid past eviction.
-  std::shared_ptr<const UnifiedPlan> plan_;
-  std::unique_ptr<FcooTensor> fcoo_;  // host tensor, streaming only
-  std::vector<index_t> dims_;
-  std::vector<int> product_modes_;
-  mutable std::vector<sim::DeviceBuffer<value_t>> vec_bufs_;
-  mutable sim::DeviceBuffer<value_t> out_buf_;
-  mutable std::unique_ptr<shard::OpShardState> shard_;
+ private:
+  std::shared_ptr<engine::Engine> owned_engine_;  // deprecated-ctor path only
+  engine::Engine* engine_;
+  std::shared_ptr<const engine::OpPlan> plan_;
 };
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper over the process-default engine (deprecated
+/// with the per-device constructors).
 std::vector<value_t> spttv_unified(sim::Device& device, const CooTensor& tensor, int mode,
                                    std::span<const std::vector<value_t>> vectors,
                                    Partitioning part, const UnifiedOptions& opt = {},

@@ -59,16 +59,9 @@ DenseMatrix leading_left_singular(const DenseMatrix& y, index_t r, Prng& rng) {
   return u;
 }
 
-}  // namespace
-
-TuckerResult tucker_hooi_unified(sim::Device& device, const CooTensor& tensor,
-                                 const TuckerOptions& options) {
-  UST_EXPECTS(tensor.order() == 3);
-  for (int m = 0; m < 3; ++m) {
-    UST_EXPECTS(options.core_dims[static_cast<std::size_t>(m)] >= 1);
-    UST_EXPECTS(options.core_dims[static_cast<std::size_t>(m)] <= tensor.dim(m));
-  }
-
+/// Shared HOOI driver over prebuilt per-mode TTMc front-ends.
+TuckerResult tucker_hooi_impl(std::vector<UnifiedTtmc>& ops, const CooTensor& tensor,
+                              const TuckerOptions& options) {
   Prng rng(options.seed);
   TuckerResult result;
   result.factors.reserve(3);
@@ -77,15 +70,6 @@ TuckerResult tucker_hooi_unified(sim::Device& device, const CooTensor& tensor,
     f.fill_random(rng, -1.0f, 1.0f);
     orthonormalize_columns(f, rng);
     result.factors.push_back(std::move(f));
-  }
-
-  // One TTMc plan per mode, built once (as with CP's per-mode F-COO plans);
-  // a plan cache turns repeated solver calls into per-mode cache hits.
-  std::vector<UnifiedTtmc> ops;
-  ops.reserve(3);
-  for (int m = 0; m < 3; ++m) {
-    ops.emplace_back(device, tensor, m, options.part, options.streaming,
-                     options.plan_cache);
   }
 
   const double norm_x = tensor.frobenius_norm();
@@ -139,6 +123,44 @@ TuckerResult tucker_hooi_unified(sim::Device& device, const CooTensor& tensor,
   }
   result.core = std::move(core);
   return result;
+}
+
+void validate_tucker_options(const CooTensor& tensor, const TuckerOptions& options) {
+  UST_EXPECTS(tensor.order() == 3);
+  for (int m = 0; m < 3; ++m) {
+    UST_EXPECTS(options.core_dims[static_cast<std::size_t>(m)] >= 1);
+    UST_EXPECTS(options.core_dims[static_cast<std::size_t>(m)] <= tensor.dim(m));
+  }
+}
+
+}  // namespace
+
+TuckerResult tucker_hooi_unified(engine::Engine& engine, const CooTensor& tensor,
+                                 const TuckerOptions& options) {
+  validate_tucker_options(tensor, options);
+  // One TTMc plan per mode, built once (as with CP's per-mode F-COO plans);
+  // the engine's primary cache (or options.plan_cache) turns repeated solver
+  // calls into per-mode cache hits.
+  std::vector<UnifiedTtmc> ops;
+  ops.reserve(3);
+  for (int m = 0; m < 3; ++m) {
+    ops.emplace_back(engine, tensor, m, options.part, options.streaming,
+                     options.plan_cache);
+  }
+  return tucker_hooi_impl(ops, tensor, options);
+}
+
+TuckerResult tucker_hooi_unified(sim::Device& device, const CooTensor& tensor,
+                                 const TuckerOptions& options) {
+  validate_tucker_options(tensor, options);
+  const std::shared_ptr<engine::Engine> eng = engine::Engine::shared_for(device);
+  std::vector<UnifiedTtmc> ops;
+  ops.reserve(3);
+  for (int m = 0; m < 3; ++m) {
+    ops.emplace_back(device, tensor, m, options.part, options.streaming,
+                     options.plan_cache);
+  }
+  return tucker_hooi_impl(ops, tensor, options);
 }
 
 }  // namespace ust::core

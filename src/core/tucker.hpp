@@ -14,10 +14,6 @@
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
 
-namespace ust::pipeline {
-class PlanCache;
-}
-
 namespace ust::core {
 
 struct TuckerOptions {
@@ -44,7 +40,13 @@ struct TuckerResult {
   std::vector<double> fit_history;
 };
 
-/// Runs HOOI on a 3-order sparse tensor.
+/// Runs HOOI on a 3-order sparse tensor through `engine` (per-mode TTMc
+/// plans in the engine's primary cache unless options.plan_cache overrides).
+TuckerResult tucker_hooi_unified(engine::Engine& engine, const CooTensor& tensor,
+                                 const TuckerOptions& options);
+
+/// Deprecated device entry point (process-default engine; pre-engine caching
+/// behaviour).
 TuckerResult tucker_hooi_unified(sim::Device& device, const CooTensor& tensor,
                                  const TuckerOptions& options);
 

@@ -7,6 +7,12 @@
 // every sample so the tuning surface can be printed. Chunk-axis values are
 // aligned up to each threadlen and deduplicated per (threadlen, block,
 // backend) cell, so aliasing caps are never timed twice.
+//
+// Runners should build their ops against ONE engine::Engine (see
+// bench_tuning): the engine owns the device group and per-device plan
+// caches, so sharded cells reuse replica devices instead of re-creating a
+// group per cell, and revisits of a partitioning fetch the cached plan
+// instead of re-sorting the tensor.
 #pragma once
 
 #include <functional>

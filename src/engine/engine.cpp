@@ -1,0 +1,654 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/native_exec.hpp"
+#include "pipeline/stream_executor.hpp"
+#include "sim/executor.hpp"
+#include "util/timer.hpp"
+
+namespace ust::engine {
+
+namespace {
+
+/// Registers a synchronous job: waits out any pending group growth (so
+/// sustained run() traffic cannot starve a grower, mirroring submit()'s
+/// admission gate), then holds the active-job count for the scope, waking
+/// idle waiters on exit.
+class ActiveJobGuard {
+ public:
+  ActiveJobGuard(std::mutex& m, std::size_t& active, std::size_t& queued,
+                 std::size_t& grow_waiters, std::condition_variable& idle,
+                 std::condition_variable& space)
+      : m_(m), active_(active), queued_(queued), idle_(idle) {
+    std::unique_lock lock(m_);
+    space.wait(lock, [&] { return grow_waiters == 0; });
+    ++active_;
+  }
+  ~ActiveJobGuard() {
+    std::lock_guard lock(m_);
+    --active_;
+    if (active_ == 0 && queued_ == 0) idle_.notify_all();
+  }
+
+ private:
+  std::mutex& m_;
+  std::size_t& active_;
+  std::size_t& queued_;
+  std::condition_variable& idle_;
+};
+
+core::ModePlan mode_plan_for(OpKind kind, int order, int mode) {
+  switch (kind) {
+    case OpKind::kSpTTM:
+      return core::make_mode_plan_spttm(order, mode);
+    case OpKind::kSpTTMc:
+      return core::make_mode_plan_spttmc(order, mode);
+    case OpKind::kSpMTTKRP:
+    case OpKind::kSpTTV:
+      // SpTTV contracts every mode but `mode`, exactly SpMTTKRP's split: the
+      // two ops share one F-COO layout (and therefore cached plans).
+      return core::make_mode_plan_spmttkrp(order, mode);
+  }
+  UST_ENSURES(false);
+}
+
+index_t expected_out_cols(OpKind kind, std::span<const HostMatrixView> inputs) {
+  switch (kind) {
+    case OpKind::kSpTTM:
+    case OpKind::kSpMTTKRP:
+      return inputs[0].cols;
+    case OpKind::kSpTTMc:
+      return inputs[0].cols * inputs[1].cols;
+    case OpKind::kSpTTV:
+      return 1;
+  }
+  UST_ENSURES(false);
+}
+
+void accumulate_cache_stats(pipeline::PlanCache::Stats& total,
+                            const pipeline::PlanCache::Stats& s) {
+  total.hits += s.hits;
+  total.misses += s.misses;
+  total.evictions += s.evictions;
+  total.bytes_in_use += s.bytes_in_use;
+  total.byte_budget += s.byte_budget;
+  total.entries += s.entries;
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSpTTM: return "SpTTM";
+    case OpKind::kSpMTTKRP: return "SpMTTKRP";
+    case OpKind::kSpTTMc: return "SpTTMc";
+    case OpKind::kSpTTV: return "SpTTV";
+  }
+  return "?";
+}
+
+pipeline::HostFcoo OpPlan::host() const {
+  if (fcoo != nullptr) {
+    // Streaming: the retained host tensor. seg_row follows the op's output
+    // convention -- fiber ordinals for SpTTM, the index-mode coordinate else.
+    if (kind == OpKind::kSpTTM) return pipeline::host_view(*fcoo, seg_ordinals);
+    return pipeline::host_view(*fcoo, fcoo->segment_coords(0));
+  }
+  return pipeline::host_view(unified_plan());
+}
+
+index_t OpPlan::out_rows() const {
+  if (kind == OpKind::kSpTTM) return static_cast<index_t>(num_segments);
+  return dims[static_cast<std::size_t>(mode)];
+}
+
+Engine::Engine(const EngineOptions& opt)
+    : owned_primary_(std::make_unique<sim::Device>(opt.props)),
+      max_queued_(std::max<std::size_t>(1, opt.max_queued_jobs)) {
+  init_group(*owned_primary_, opt);
+}
+
+Engine::Engine(sim::Device& primary, const EngineOptions& opt)
+    : max_queued_(std::max<std::size_t>(1, opt.max_queued_jobs)) {
+  init_group(primary, opt);
+}
+
+void Engine::init_group(sim::Device& primary, const EngineOptions& opt) {
+  group_ = std::make_unique<shard::DeviceGroup>(primary, std::max(1u, opt.num_devices),
+                                                opt.cache_bytes_per_device);
+  for (unsigned d = 0; d < group_->size(); ++d) rt_.emplace_back();
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard lock(state_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  // Workers drain their queues (resolving every outstanding future) before
+  // exiting; the group -- and with it every per-device cache entry -- is
+  // destroyed afterwards, while all devices are still alive.
+  for (auto& rt : rt_) {
+    if (rt.worker.joinable()) rt.worker.join();
+  }
+}
+
+std::shared_ptr<Engine> Engine::shared_for(sim::Device& device) {
+  static std::mutex registry_mutex;
+  static std::unordered_map<const sim::Device*, std::weak_ptr<Engine>> registry;
+  std::lock_guard lock(registry_mutex);
+  // Opportunistic sweep so dead devices (stack-scoped in tests) do not
+  // accumulate stale slots.
+  if (registry.size() > 32) {
+    for (auto it = registry.begin(); it != registry.end();) {
+      it = it->second.expired() ? registry.erase(it) : std::next(it);
+    }
+  }
+  auto& slot = registry[&device];
+  if (auto existing = slot.lock()) return existing;
+  auto fresh = std::make_shared<Engine>(device);
+  slot = fresh;
+  return fresh;
+}
+
+sim::Device& Engine::device(unsigned d) {
+  std::lock_guard lock(state_mutex_);
+  return group_->device(d);
+}
+
+unsigned Engine::num_devices() const {
+  std::lock_guard lock(state_mutex_);
+  return group_->size();
+}
+
+void Engine::ensure_devices(unsigned n) {
+  std::unique_lock lock(state_mutex_);
+  if (group_->size() >= n) return;
+  // Growth appends devices (existing ones and their cached plans survive) but
+  // must not race structure readers: wait until nothing is queued or running.
+  // grow_waiters_ gates submit() while we wait, so sustained traffic cannot
+  // starve the grower.
+  ++grow_waiters_;
+  idle_cv_.wait(lock, [&] { return active_jobs_ == 0 && queued_total_ == 0; });
+  if (group_->size() < n) grow_locked(n);
+  --grow_waiters_;
+  if (grow_waiters_ == 0) space_cv_.notify_all();
+}
+
+void Engine::grow_locked(unsigned n) {
+  group_->grow(n);
+  while (rt_.size() < group_->size()) rt_.emplace_back();
+  if (workers_started_) start_workers_locked();
+}
+
+void Engine::start_workers_locked() {
+  workers_started_ = true;
+  for (unsigned d = 0; d < rt_.size(); ++d) {
+    DeviceRt& rt = rt_[d];
+    if (!rt.worker_started) {
+      rt.worker_started = true;
+      rt.worker = std::thread([this, d, &rt] { worker_loop(d, &rt); });
+    }
+  }
+}
+
+std::shared_ptr<const OpPlan> Engine::plan(const CooTensor& tensor, OpKind kind, int mode,
+                                           const Partitioning& part,
+                                           const core::StreamingOptions& stream,
+                                           pipeline::PlanCache* external_cache,
+                                           bool use_engine_cache) {
+  core::validate(part, core::UnifiedOptions{}, stream);
+  if (kind == OpKind::kSpTTMc) UST_EXPECTS(tensor.order() == 3);
+  const core::ModePlan mp = mode_plan_for(kind, tensor.order(), mode);
+  UST_EXPECTS(mp.product_modes.size() <= kMaxProductModes);
+
+  auto p = std::make_shared<OpPlan>();
+  p->kind = kind;
+  p->cache_op = mp.op;
+  p->mode = mode;
+  p->part = part;
+  p->stream = stream;
+  // Fingerprinted because the per-device (replica + shard) caches are shared
+  // across ops and tensors, so keys must carry the tensor identity. Streaming
+  // plans never touch those caches (chunk plans are transient, and sharded
+  // streaming bypasses acquire_shard_plan), so they skip the O(nnz) pass.
+  if (!stream.enabled) p->tensor_fp = pipeline::coo_fingerprint(tensor);
+
+  if (stream.enabled) {
+    auto f = std::make_shared<FcooTensor>(
+        FcooTensor::build(tensor, mp.index_modes, mp.product_modes));
+    p->dims = f->dims();
+    p->index_modes = f->index_modes();
+    p->product_modes = f->product_modes();
+    p->nnz = f->nnz();
+    p->num_segments = f->num_segments();
+    if (kind == OpKind::kSpTTM) {
+      p->seg_ordinals.resize(p->num_segments);
+      std::iota(p->seg_ordinals.begin(), p->seg_ordinals.end(), index_t{0});
+      for (std::size_t m = 0; m < mp.index_modes.size(); ++m) {
+        p->fiber_coords.push_back(f->segment_coords(m));
+      }
+    }
+    p->fcoo = std::move(f);
+    return p;
+  }
+
+  sim::Device* dev0 = nullptr;
+  pipeline::PlanCache* engine_cache = nullptr;
+  {
+    std::lock_guard lock(state_mutex_);
+    dev0 = &group_->device(0);
+    engine_cache = &group_->cache(0);
+  }
+  pipeline::PlanCache* cache =
+      external_cache != nullptr ? external_cache : (use_engine_cache ? engine_cache : nullptr);
+  // acquire_plan builds outside the cache lock and keys on the *mode plan's*
+  // op, so SpTTV shares SpMTTKRP's entries -- identical layout. The
+  // fingerprint computed above is reused for the key (one O(nnz) pass, not
+  // two).
+  p->bundle = pipeline::acquire_plan(*dev0, tensor, mp, part, cache,
+                                     /*want_coords=*/kind == OpKind::kSpTTM,
+                                     p->tensor_fp);
+  p->dims = p->bundle->plan.dims();
+  p->index_modes = p->bundle->plan.index_modes();
+  p->product_modes = p->bundle->plan.product_modes();
+  p->nnz = p->bundle->plan.nnz();
+  p->num_segments = p->bundle->plan.num_segments();
+  if (kind == OpKind::kSpTTM) {
+    for (const auto& coords : p->bundle->segment_coords) p->fiber_coords.push_back(coords);
+  }
+  return p;
+}
+
+void Engine::validate_request(const OpRequest& req) const {
+  UST_EXPECTS(req.plan != nullptr);
+  const OpPlan& p = *req.plan;
+  const std::size_t nprod = p.product_modes.size();
+  UST_EXPECTS(req.inputs.size() == nprod);
+  for (std::size_t i = 0; i < nprod; ++i) {
+    const HostMatrixView& in = req.inputs[i];
+    UST_EXPECTS(in.rows == p.dims[static_cast<std::size_t>(p.product_modes[i])]);
+    UST_EXPECTS(in.data != nullptr ||
+                static_cast<std::size_t>(in.rows) * in.cols == 0);
+    if (p.kind == OpKind::kSpMTTKRP) UST_EXPECTS(in.cols == req.inputs[0].cols);
+    if (p.kind == OpKind::kSpTTV) UST_EXPECTS(in.cols == 1);
+  }
+  UST_EXPECTS(req.out_cols == expected_out_cols(p.kind, req.inputs));
+  UST_EXPECTS(req.out_rows == p.out_rows());
+  UST_EXPECTS(req.out != nullptr ||
+              static_cast<std::size_t>(req.out_rows) * req.out_cols == 0);
+}
+
+std::shared_ptr<const pipeline::CachedPlan> Engine::replica_plan(unsigned d,
+                                                                 const OpPlan& p) {
+  sim::Device* dev = nullptr;
+  pipeline::PlanCache* cache = nullptr;
+  {
+    std::lock_guard lock(state_mutex_);
+    dev = &group_->device(d);
+    cache = &group_->cache(d);
+  }
+  pipeline::PlanKey key;
+  key.device = dev;
+  key.tensor_fp = p.tensor_fp;
+  key.op = p.cache_op;
+  key.mode = p.mode;
+  key.threadlen = p.part.threadlen;
+  key.block_size = p.part.block_size;
+  key.shard_lo = 0;
+  key.shard_hi = p.nnz;
+  key.chunk_nnz = 0;
+  key.flavor = pipeline::PlanKey::kWholeReplica;
+  return cache->get_or_build(key, [&] {
+    // A whole-range "shard": the replica carries the identical arrays the
+    // primary UnifiedPlan holds (lo 0, row_base 0), so native execution over
+    // it -- with the grid computed per run from the device's equally-sized
+    // pool -- is bitwise identical to device-0 execution.
+    pipeline::StreamChunk spec;
+    spec.lo = 0;
+    spec.hi = p.nnz;
+    spec.first_seg = 0;
+    spec.num_segments = p.num_segments;
+    pipeline::CachedPlan cached;
+    cached.chunk = pipeline::build_chunk_plan(*dev, p.host(), p.part, spec, /*row_base=*/0);
+    return cached;
+  });
+}
+
+void Engine::prewarm(const OpPlan& plan) {
+  if (plan.streaming() || plan.nnz == 0) return;
+  unsigned n = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    n = group_->size();
+  }
+  for (unsigned d = 1; d < n; ++d) (void)replica_plan(d, plan);
+}
+
+void Engine::exec_single(unsigned d, DeviceRt& rt, const OpRequest& req) {
+  const OpPlan& p = *req.plan;
+  const core::UnifiedOptions& opt = req.options;
+  sim::Device* devp = nullptr;
+  {
+    std::lock_guard lock(state_mutex_);
+    devp = &group_->device(d);
+  }
+  sim::Device& dev = *devp;
+
+  const std::size_t nprod = p.product_modes.size();
+  const index_t r0 = req.inputs[0].cols;
+  const index_t r1 = req.inputs.size() > 1 ? req.inputs[1].cols : 1;
+  const index_t cols = req.out_cols;
+  const std::size_t out_elems = static_cast<std::size_t>(req.out_rows) * cols;
+  const std::span<value_t> host_out{req.out, out_elems};
+
+  // Takes a staging buffer of exactly `elems` floats from the device's
+  // scratch pool (jobs on this device are serialised by exec_mutex, which we
+  // hold), or allocates one. Steady traffic -- CP-ALS iterations cycling the
+  // same few sizes -- reuses instead of re-allocating, as the per-op staging
+  // members did before the engine refactor.
+  const auto take = [&](std::size_t elems) {
+    for (auto it = rt.scratch.begin(); it != rt.scratch.end(); ++it) {
+      if (it->size() == elems) {
+        sim::DeviceBuffer<value_t> b = std::move(*it);
+        rt.scratch.erase(it);
+        return b;
+      }
+    }
+    return dev.alloc<value_t>(elems);
+  };
+
+  // Stage the product-mode inputs on the target device (transfers are
+  // re-done every run: CP-ALS mutates the factors between calls).
+  std::vector<sim::DeviceBuffer<value_t>> fac(nprod);
+  std::array<const value_t*, kMaxProductModes> fc{};
+  for (std::size_t i = 0; i < nprod; ++i) {
+    const HostMatrixView& in = req.inputs[i];
+    const std::size_t elems = static_cast<std::size_t>(in.rows) * in.cols;
+    fac[i] = take(elems);
+    fac[i].copy_from_host({in.data, elems});
+    fc[i] = fac[i].data();
+  }
+  sim::DeviceBuffer<value_t> out_buf = take(out_elems);
+  out_buf.fill(value_t{0});
+  const core::OutView out_view{out_buf.data(), cols, cols};
+
+  // Returns the staging buffers to the pool (bounded; oldest evicted) once
+  // the run has copied its result out.
+  const auto retire = [&] {
+    constexpr std::size_t kMaxPooled = 16;
+    for (auto& b : fac) {
+      if (!b.empty()) rt.scratch.push_back(std::move(b));
+    }
+    if (!out_buf.empty()) rt.scratch.push_back(std::move(out_buf));
+    while (rt.scratch.size() > kMaxPooled) rt.scratch.erase(rt.scratch.begin());
+  };
+
+  if (p.nnz == 0 || cols == 0) {
+    out_buf.copy_to_host(host_out);
+    retire();
+    return;
+  }
+
+  if (p.stream.enabled) {
+    // Bounded-memory chunk plans built on (and released from) this device.
+    with_expr_maker(p.kind, nprod, r0, r1, [&](auto maker) {
+      pipeline::stream_execute(dev, p.host(), p.part, out_view, p.stream,
+                               [&](const pipeline::ChunkPlan& c) {
+                                 std::array<const index_t*, kMaxProductModes> px{};
+                                 for (std::size_t i = 0; i < nprod; ++i) {
+                                   px[i] = c.product_indices(i);
+                                 }
+                                 return maker(px.data(), fc.data());
+                               });
+    });
+    out_buf.copy_to_host(host_out);
+    retire();
+    return;
+  }
+
+  // Device-resident plan: the primary bundle on device 0, a cached
+  // whole-range replica elsewhere (native only -- the simulator is pinned to
+  // the primary, where the UnifiedPlan lives).
+  std::shared_ptr<const pipeline::CachedPlan> replica;
+  core::FcooView view;
+  std::array<const index_t*, kMaxProductModes> px{};
+  if (d == 0) {
+    const core::UnifiedPlan& up = p.unified_plan();
+    view = up.view();
+    for (std::size_t i = 0; i < nprod; ++i) px[i] = up.product_indices(i).data();
+  } else {
+    UST_EXPECTS(opt.backend == core::ExecBackend::kNative);
+    replica = replica_plan(d, p);
+    view = replica->chunk->view();
+    for (std::size_t i = 0; i < nprod; ++i) px[i] = replica->chunk->product_indices(i);
+  }
+
+  with_expr_maker(p.kind, nprod, r0, r1, [&](auto maker) {
+    const auto expr = maker(px.data(), fc.data());
+    if (opt.backend == core::ExecBackend::kNative) {
+      core::native::execute(dev, view, out_view, expr, opt.chunk_nnz);
+      return;
+    }
+    const core::UnifiedPlan& up = p.unified_plan();
+    const core::UnifiedOptions ropt = up.resolve_options(cols, opt);
+    const sim::LaunchConfig cfg = up.launch_config(cols, ropt);
+    std::unique_ptr<sim::CarryChain> chain;
+    if (ropt.strategy == core::ReduceStrategy::kAdjacentSync) {
+      chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
+    }
+    sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
+      core::unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+    });
+  });
+  out_buf.copy_to_host(host_out);
+  retire();
+}
+
+void Engine::run(const OpRequest& req) {
+  validate_request(req);
+  const OpPlan& p = *req.plan;
+  core::validate(p.part, req.options, p.stream);
+  if (req.options.shard.num_devices > 1) {
+    run_sharded_impl(req, nullptr);
+    return;
+  }
+  DeviceRt* rt = nullptr;
+  {
+    std::lock_guard lock(state_mutex_);
+    rt = &rt_[0];
+  }
+  ActiveJobGuard guard(state_mutex_, active_jobs_, queued_total_, grow_waiters_,
+                       idle_cv_, space_cv_);
+  std::lock_guard exec(rt->exec_mutex);
+  exec_single(0, *rt, req);
+}
+
+void Engine::run_sharded(const OpRequest& req, shard::Report* report) {
+  validate_request(req);
+  core::validate(req.plan->part, req.options, req.plan->stream);
+  run_sharded_impl(req, report);
+}
+
+void Engine::run_sharded_impl(const OpRequest& req, shard::Report* report) {
+  const OpPlan& p = *req.plan;
+  UST_EXPECTS(req.options.backend == core::ExecBackend::kNative);
+  const unsigned n = std::max(1u, req.options.shard.num_devices);
+  ensure_devices(n);
+
+  std::vector<DeviceRt*> rts;
+  sim::Device* dev0 = nullptr;
+  {
+    std::lock_guard lock(state_mutex_);
+    rts.reserve(n);
+    for (unsigned d = 0; d < n; ++d) rts.push_back(&rt_[d]);
+    dev0 = &group_->device(0);
+  }
+  ActiveJobGuard guard(state_mutex_, active_jobs_, queued_total_, grow_waiters_,
+                       idle_cv_, space_cv_);
+  // One in-flight job per device: a sharded run owns devices 0..n-1 (locked
+  // in ascending order; workers only ever hold their own, so no deadlock).
+  std::vector<std::unique_lock<std::mutex>> exec_locks;
+  exec_locks.reserve(n);
+  for (DeviceRt* rt : rts) exec_locks.emplace_back(rt->exec_mutex);
+
+  const std::size_t nprod = p.product_modes.size();
+  const index_t r0 = req.inputs[0].cols;
+  const index_t r1 = req.inputs.size() > 1 ? req.inputs[1].cols : 1;
+  const index_t cols = req.out_cols;
+  const std::size_t out_elems = static_cast<std::size_t>(req.out_rows) * cols;
+  const std::span<value_t> host_out{req.out, out_elems};
+
+  // The final output buffer comes from device 0's scratch pool (we hold its
+  // exec_mutex), so repeat sharded runs -- CP-ALS iterations -- reuse it.
+  sim::DeviceBuffer<value_t> out_buf;
+  for (auto it = rts[0]->scratch.begin(); it != rts[0]->scratch.end(); ++it) {
+    if (it->size() == out_elems) {
+      out_buf = std::move(*it);
+      rts[0]->scratch.erase(it);
+      break;
+    }
+  }
+  if (out_buf.size() != out_elems) out_buf = dev0->alloc<value_t>(out_elems);
+  out_buf.fill(value_t{0});
+  const core::OutView out_view{out_buf.data(), cols, cols};
+
+  with_expr_maker(p.kind, nprod, r0, r1, [&](auto maker) {
+    // Inputs are staged per shard device, lazily, inside the expression
+    // factory (shards run in device order, so one buffer set suffices).
+    std::vector<sim::DeviceBuffer<value_t>> sfac(nprod);
+    unsigned staged_for = ~0u;
+    shard::execute(*group_, p.host(), p.part, out_view, req.options, p.stream,
+                   p.cache_op, p.mode, p.tensor_fp,
+                   [&](sim::Device& sdev, unsigned dd, const pipeline::ChunkPlan& c) {
+                     if (staged_for != dd) {
+                       for (std::size_t i = 0; i < nprod; ++i) {
+                         const HostMatrixView& in = req.inputs[i];
+                         const std::size_t elems =
+                             static_cast<std::size_t>(in.rows) * in.cols;
+                         sfac[i] = sdev.alloc<value_t>(elems);
+                         sfac[i].copy_from_host({in.data, elems});
+                       }
+                       staged_for = dd;
+                     }
+                     std::array<const index_t*, kMaxProductModes> px{};
+                     std::array<const value_t*, kMaxProductModes> fc{};
+                     for (std::size_t i = 0; i < nprod; ++i) {
+                       px[i] = c.product_indices(i);
+                       fc[i] = sfac[i].data();
+                     }
+                     return maker(px.data(), fc.data());
+                   },
+                   report);
+  });
+  out_buf.copy_to_host(host_out);
+  if (!out_buf.empty()) rts[0]->scratch.push_back(std::move(out_buf));
+}
+
+std::future<void> Engine::submit(OpRequest req, JobRecord* record) {
+  validate_request(req);
+  const OpPlan& p = *req.plan;
+  core::validate(p.part, req.options, p.stream);
+  if (req.options.shard.num_devices > 1) {
+    throw core::InvalidOptions(
+        "Engine::submit: sharded jobs own the whole device group; use run()");
+  }
+  // The simulator needs the primary's UnifiedPlan (and is the fidelity
+  // oracle, not the serving path): pin to device 0.
+  const bool pinned = req.options.backend == core::ExecBackend::kSim;
+  std::future<void> fut;
+  {
+    std::unique_lock lock(state_mutex_);
+    start_workers_locked();
+    space_cv_.wait(lock, [&] {
+      return (queued_total_ < max_queued_ && grow_waiters_ == 0) || stop_;
+    });
+    if (stop_) {
+      // The destructor raced this submit; fail it cleanly instead of
+      // tripping a precondition (the engine is already tearing down).
+      throw std::runtime_error("Engine::submit: engine is shutting down");
+    }
+    unsigned d = 0;
+    if (!pinned && rt_.size() > 1) {
+      d = next_device_;
+      next_device_ = (next_device_ + 1) % static_cast<unsigned>(rt_.size());
+    }
+    Job job;
+    job.req = std::move(req);
+    job.record = record;
+    fut = job.done.get_future();
+    rt_[d].queue.push_back(std::move(job));
+    ++queued_total_;
+    ++jobs_submitted_;
+  }
+  queue_cv_.notify_all();
+  return fut;
+}
+
+void Engine::worker_loop(unsigned d, DeviceRt* rt) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(state_mutex_);
+      queue_cv_.wait(lock, [&] { return stop_ || !rt->queue.empty(); });
+      if (rt->queue.empty()) return;  // stop requested and queue drained
+      job = std::move(rt->queue.front());
+      rt->queue.pop_front();
+      --queued_total_;
+      ++active_jobs_;
+    }
+    space_cv_.notify_one();
+    Timer timer;
+    std::exception_ptr err;
+    try {
+      std::lock_guard exec(rt->exec_mutex);
+      exec_single(d, *rt, job.req);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    const double seconds = timer.seconds();
+    {
+      std::lock_guard lock(state_mutex_);
+      --active_jobs_;
+      ++rt->jobs;
+      rt->busy_s += seconds;
+      ++jobs_completed_;
+      if (active_jobs_ == 0 && queued_total_ == 0) idle_cv_.notify_all();
+    }
+    if (job.record != nullptr) {
+      // Written before the promise resolves: future.get() orders the read.
+      job.record->device = static_cast<int>(d);
+      job.record->exec_s = seconds;
+    }
+    if (err) {
+      job.done.set_exception(err);
+    } else {
+      job.done.set_value();
+    }
+  }
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard lock(state_mutex_);
+  EngineStats s;
+  for (unsigned d = 0; d < group_->size(); ++d) {
+    EngineStats::DeviceStats ds;
+    ds.ordinal = group_->device(d).ordinal();
+    ds.cache = group_->cache(d).stats();
+    if (d < rt_.size()) {
+      ds.jobs = rt_[d].jobs;
+      ds.busy_s = rt_[d].busy_s;
+    }
+    accumulate_cache_stats(s.cache_total, ds.cache);
+    s.devices.push_back(ds);
+  }
+  s.jobs_submitted = jobs_submitted_;
+  s.jobs_completed = jobs_completed_;
+  return s;
+}
+
+}  // namespace ust::engine

@@ -1,0 +1,282 @@
+// The execution engine (DESIGN.md §11): ONE owner for the long-lived
+// execution resources that used to be scattered per op front-end -- the
+// simulated device group (primary + replicas, each with its own worker pool),
+// one byte-budgeted PlanCache per device, and the submission machinery for
+// concurrent jobs -- and ONE dispatch path that routes every unified
+// operation (SpTTM, SpMTTKRP, SpTTMc, SpTTV) through the sim, native,
+// streaming, or sharded execution style. The paper's thesis is that these
+// operations are a single parallel program; this layer is where the codebase
+// says it architecturally: the four ops in src/core/ are thin front-ends that
+// build an OpRequest and hand it here.
+//
+// Concurrency model (`submit`): jobs enter a bounded queue and are admitted
+// round-robin to per-device sub-queues, one in-flight job per device (the
+// per-device admission lock). A job executes the SAME single-device path
+// run() uses -- and because every device's worker pool has the primary's slot
+// count, the native worker grid (deterministic in nnz / threadlen / workers /
+// chunk_nnz) is identical on every device, so a job's result is bitwise
+// identical no matter which device it lands on and therefore bitwise
+// identical to sequential execution (tests/engine_concurrency_test.cpp).
+// Sim-backend jobs are pinned to device 0 (the simulator is the fidelity
+// oracle, not the serving path); sharded jobs are not admissible through
+// submit() -- they own the whole group and go through run().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/mode_plan.hpp"
+#include "core/unified_kernel.hpp"
+#include "engine/op_exprs.hpp"
+#include "pipeline/chunker.hpp"
+#include "pipeline/plan_cache.hpp"
+#include "shard/shard_executor.hpp"
+#include "sim/device.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/fcoo.hpp"
+
+namespace ust::engine {
+
+/// Host row-major matrix view: how factor matrices (and contraction vectors,
+/// as single-column matrices) enter a type-erased OpRequest.
+struct HostMatrixView {
+  const value_t* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+};
+
+/// The engine's F-COO handle for one (tensor, operation, mode, partitioning,
+/// streaming) tuple: everything needed to execute the op on any device of the
+/// group. Immutable after creation, so concurrent jobs share it freely.
+/// Non-streaming plans carry the primary-device bundle (UnifiedPlan + SpTTM
+/// fiber coordinates); replica devices get whole-range chunk plans built on
+/// demand from the bundle's host-visible arrays and cached per device.
+/// Streaming plans retain the host FcooTensor instead and build bounded
+/// chunk plans on whatever device runs them.
+struct OpPlan {
+  OpKind kind = OpKind::kSpMTTKRP;
+  core::TensorOp cache_op = core::TensorOp::kSpMTTKRP;  // plan-cache identity
+  int mode = 0;
+  Partitioning part;
+  core::StreamingOptions stream;
+  std::uint64_t tensor_fp = 0;
+  std::vector<index_t> dims;
+  std::vector<int> index_modes;
+  std::vector<int> product_modes;
+  nnz_t nnz = 0;
+  nnz_t num_segments = 0;
+  /// Primary-device plan bundle (null when streaming). May alias a PlanCache
+  /// entry; the shared_ptr alone keeps it alive past eviction.
+  std::shared_ptr<const pipeline::CachedPlan> bundle;
+  /// Retained host tensor (streaming only).
+  std::shared_ptr<const FcooTensor> fcoo;
+  /// SpTTM streaming: ordinal seg_row backing the host view (output rows are
+  /// fiber ordinals; no UnifiedPlan exists to provide them).
+  std::vector<index_t> seg_ordinals;
+  /// SpTTM: per-index-mode fiber coordinates for sCOO output assembly; views
+  /// into the bundle or the host tensor, never a copy.
+  std::vector<std::span<const index_t>> fiber_coords;
+
+  bool streaming() const noexcept { return stream.enabled; }
+  const core::UnifiedPlan& unified_plan() const {
+    UST_EXPECTS(bundle != nullptr);
+    return bundle->plan;
+  }
+  /// Host-side view for the chunk/shard plan builders.
+  pipeline::HostFcoo host() const;
+  /// Output rows of this operation (fiber count for SpTTM, dims[mode] else).
+  index_t out_rows() const;
+};
+
+/// Type-erased execution request: op kind + mode live in the plan; inputs are
+/// the product-mode factors in ascending mode order (vectors as single-column
+/// matrices); `out` is a caller-owned out_rows x out_cols row-major buffer,
+/// overwritten by the run (no pre-zeroing needed). The buffer and the inputs
+/// must stay alive until the run returns (or the submit future resolves).
+struct OpRequest {
+  std::shared_ptr<const OpPlan> plan;
+  std::vector<HostMatrixView> inputs;
+  value_t* out = nullptr;
+  index_t out_rows = 0;
+  index_t out_cols = 0;
+  core::UnifiedOptions options;
+};
+
+struct EngineOptions {
+  /// Properties of an engine-owned primary device (ignored when the engine is
+  /// constructed around an existing device).
+  sim::DeviceProps props = sim::DeviceProps::titan_x();
+  /// Initial device-group size; grows on demand (sharded runs requesting more
+  /// devices) and never shrinks, so per-device caches survive.
+  unsigned num_devices = 1;
+  /// Byte budget of each device's PlanCache (whole-tensor plans on the
+  /// primary, whole-range replica plans and shard slices elsewhere).
+  std::size_t cache_bytes_per_device = 256u << 20;
+  /// Bounded job queue: submit() blocks once this many jobs are queued
+  /// (admission back-pressure, counted across all per-device sub-queues).
+  std::size_t max_queued_jobs = 64;
+};
+
+/// Aggregated engine-wide report: the per-device PlanCache counters that
+/// benches used to hand-roll, plus submission statistics.
+struct EngineStats {
+  struct DeviceStats {
+    int ordinal = 0;
+    pipeline::PlanCache::Stats cache;
+    std::uint64_t jobs = 0;  // submitted jobs executed on this device
+    double busy_s = 0.0;     // wall-clock this device spent on submitted jobs
+  };
+  std::vector<DeviceStats> devices;
+  /// Sum of the per-device cache counters (hits/misses/evictions/bytes).
+  pipeline::PlanCache::Stats cache_total;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+};
+
+/// Optional per-job record for submit(): filled (device ordinal + execution
+/// seconds) before the job's future resolves, so reading it after
+/// future.get() is race-free. bench_engine uses it for the critical-path
+/// throughput model.
+struct JobRecord {
+  int device = -1;
+  double exec_s = 0.0;
+};
+
+class Engine {
+ public:
+  /// Engine with an owned primary device (opt.props), running on the global
+  /// worker pool.
+  explicit Engine(const EngineOptions& opt = {});
+  /// Engine around an existing device (non-owning; `primary` must outlive the
+  /// engine). This is what the deprecated per-op device constructors use via
+  /// shared_for().
+  explicit Engine(sim::Device& primary, const EngineOptions& opt = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Process-default engine for `device`: one engine per device, shared by
+  /// every deprecated per-op front-end constructed on it (so mixed-op traffic
+  /// on one device shares the device group and the shard-plan caches, as a
+  /// single explicit Engine would). Held weakly: the engine lives exactly as
+  /// long as some op (or caller) holds the returned shared_ptr, and is torn
+  /// down -- releasing every device-resident cache entry -- before the Device
+  /// itself dies with normal scoping.
+  static std::shared_ptr<Engine> shared_for(sim::Device& device);
+
+  sim::Device& device(unsigned d = 0);
+  unsigned num_devices() const;
+  /// Grows the device group to at least `n` devices (never shrinks). Waits
+  /// until no jobs are queued or running; replica devices, their pools and
+  /// caches are appended, existing ones (and their cached plans) survive.
+  void ensure_devices(unsigned n);
+
+  /// Builds (or fetches) the F-COO handle for one operation. Plans go through
+  /// the engine's primary-device cache by default; `external_cache` overrides
+  /// it (the CpOptions::plan_cache compatibility path), and
+  /// `use_engine_cache = false` with no external cache builds an uncached
+  /// plan (the deprecated per-op constructors' historical behaviour, which
+  /// releases all device memory when the last holder drops the plan).
+  std::shared_ptr<const OpPlan> plan(const CooTensor& tensor, OpKind kind, int mode,
+                                     const Partitioning& part,
+                                     const core::StreamingOptions& stream = {},
+                                     pipeline::PlanCache* external_cache = nullptr,
+                                     bool use_engine_cache = true);
+
+  /// Synchronous execution on the primary device (or the sharded path when
+  /// req.options.shard.num_devices > 1). Serialises against submitted jobs on
+  /// the devices it uses.
+  void run(const OpRequest& req);
+
+  /// Executes through the multi-device sharded executor regardless of the
+  /// requested device count (>= 1, so a one-device baseline runs the same
+  /// code path), filling `report` when non-null. run() routes here for
+  /// num_devices > 1.
+  void run_sharded(const OpRequest& req, shard::Report* report = nullptr);
+
+  /// Concurrent submission: enqueues the job (blocking while the bounded
+  /// queue is full), admits it round-robin to a device, and returns a future
+  /// that resolves when it completes (or carries the job's exception).
+  /// Results are bitwise identical to run(). Sim-backend jobs are pinned to
+  /// device 0; sharded jobs throw InvalidOptions (they need the whole group).
+  std::future<void> submit(OpRequest req, JobRecord* record = nullptr);
+
+  /// Builds (and caches) the whole-range replica plan for `plan` on every
+  /// device of the group, so a following submit() burst measures execution,
+  /// not first-touch plan uploads. No-op for streaming plans.
+  void prewarm(const OpPlan& plan);
+
+  EngineStats stats() const;
+
+ private:
+  struct Job {
+    OpRequest req;
+    std::promise<void> done;
+    JobRecord* record = nullptr;
+  };
+  struct DeviceRt {
+    std::deque<Job> queue;
+    std::thread worker;
+    bool worker_started = false;
+    std::uint64_t jobs = 0;
+    double busy_s = 0.0;
+    // One in-flight job per device: the per-device admission lock, shared
+    // with synchronous run()/run_sharded().
+    std::mutex exec_mutex;
+    // Staging-buffer pool (guarded by exec_mutex: only the device's one
+    // in-flight job touches it). Jobs return their factor/output buffers
+    // here and later runs with matching sizes reuse them -- the
+    // cross-iteration reuse the per-op front-ends used to hold as members
+    // (CP-ALS runs three ops per iteration on one device).
+    std::vector<sim::DeviceBuffer<value_t>> scratch;
+  };
+
+  void init_group(sim::Device& primary, const EngineOptions& opt);
+  void validate_request(const OpRequest& req) const;
+  /// Sharded execution after validation (run() and run_sharded() both land
+  /// here, validating exactly once).
+  void run_sharded_impl(const OpRequest& req, shard::Report* report);
+  /// Grows group + runtime slots to `n` under state_mutex_; caller must have
+  /// established idleness (no queued or active jobs).
+  void grow_locked(unsigned n);
+  void start_workers_locked();
+  void worker_loop(unsigned d, DeviceRt* rt);
+  /// Single-device execution of `req` on device d (native / sim / streaming).
+  /// Caller holds rt.exec_mutex (rt is device d's runtime slot).
+  void exec_single(unsigned d, DeviceRt& rt, const OpRequest& req);
+  /// Cache-or-build the whole-range plan for `plan` on replica device d.
+  std::shared_ptr<const pipeline::CachedPlan> replica_plan(unsigned d, const OpPlan& plan);
+
+  std::unique_ptr<sim::Device> owned_primary_;
+  std::unique_ptr<shard::DeviceGroup> group_;
+  std::size_t max_queued_;
+
+  // state_mutex_ guards the group/runtime structure (growth, worker spawn),
+  // the queues and every counter below. Execution itself runs outside it,
+  // holding only the target device's exec_mutex.
+  mutable std::mutex state_mutex_;
+  std::condition_variable queue_cv_;  // wakes workers when a job is queued
+  std::condition_variable space_cv_;  // wakes submitters when space frees
+  std::condition_variable idle_cv_;   // wakes growers when fully idle
+  std::deque<DeviceRt> rt_;           // deque: stable references across growth
+  std::size_t queued_total_ = 0;
+  std::size_t active_jobs_ = 0;
+  /// Threads waiting in ensure_devices for idleness. While non-zero,
+  /// submit() stops admitting new jobs so the grower cannot be starved by
+  /// sustained traffic (growth needs active == queued == 0).
+  std::size_t grow_waiters_ = 0;
+  unsigned next_device_ = 0;  // round-robin admission cursor
+  bool workers_started_ = false;
+  bool stop_ = false;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace ust::engine

@@ -1,0 +1,225 @@
+// Per-non-zero product expressions for the four unified operations, hoisted
+// out of the op front-ends into the engine layer (DESIGN.md §11). The paper's
+// central claim is that SpTTM / SpMTTKRP / SpTTMc (and the SpTTV extension)
+// are ONE parallel program differing only in this expression; keeping all
+// four expressions next to the single dispatch path makes that claim visible
+// in the code instead of being re-stated per op file.
+//
+// Each expression provides both forms the two execution backends need:
+//   * operator()(x, col) -> float      (sim backend: per-column evaluation)
+//   * accumulate(x, v, acc)            (native backend: branch-free FMA over
+//                                       the contiguous accumulator tile, with
+//                                       factor-row base pointers hoisted once
+//                                       per non-zero)
+//
+// An ExprMaker binds the operation's rank parameters and produces the
+// expression from (product-index pointers, factor-data pointers); the engine
+// resolves those pointers per execution target (whole-tensor plan, stream
+// chunk, or shard slice), so one maker serves every dispatch path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace ust::engine {
+
+/// Which unified operation a request runs. kSpTTV reuses the SpMTTKRP mode
+/// split (and therefore shares its cached plans); it is a distinct kind here
+/// because its expression and output width differ.
+enum class OpKind { kSpTTM, kSpMTTKRP, kSpTTMc, kSpTTV };
+
+/// Supports tensors up to order 8 (one index mode + up to 7 product modes).
+constexpr std::size_t kMaxProductModes = 7;
+
+const char* op_kind_name(OpKind kind);
+
+namespace expr {
+
+/// SpTTM: gather one row of the dense factor.
+struct Spttm {
+  const index_t* idx;
+  const value_t* fac;
+  index_t r;
+
+  float operator()(nnz_t x, index_t col) const {
+    return fac[static_cast<std::size_t>(idx[x]) * r + col];
+  }
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    const value_t* UST_RESTRICT row = fac + static_cast<std::size_t>(idx[x]) * r;
+    for (index_t c = 0; c < r; ++c) acc[c] += v * row[c];
+  }
+};
+
+/// SpMTTKRP, 3-order fast path: Hadamard product of two factor rows.
+struct Mttkrp2 {
+  const index_t* idx0;
+  const index_t* idx1;
+  const value_t* fac0;
+  const value_t* fac1;
+  index_t r;
+
+  float operator()(nnz_t x, index_t col) const {
+    return fac0[static_cast<std::size_t>(idx0[x]) * r + col] *
+           fac1[static_cast<std::size_t>(idx1[x]) * r + col];
+  }
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    const value_t* UST_RESTRICT row0 = fac0 + static_cast<std::size_t>(idx0[x]) * r;
+    const value_t* UST_RESTRICT row1 = fac1 + static_cast<std::size_t>(idx1[x]) * r;
+    for (index_t c = 0; c < r; ++c) acc[c] += v * row0[c] * row1[c];
+  }
+};
+
+/// SpMTTKRP, general N-order Hadamard product.
+struct MttkrpN {
+  std::array<const index_t*, kMaxProductModes> idx;
+  std::array<const value_t*, kMaxProductModes> fac;
+  std::size_t nprod;
+  index_t r;
+
+  float operator()(nnz_t x, index_t col) const {
+    float v = 1.0f;
+    for (std::size_t p = 0; p < nprod; ++p) {
+      v *= fac[p][static_cast<std::size_t>(idx[p][x]) * r + col];
+    }
+    return v;
+  }
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    const value_t* rows[kMaxProductModes];
+    for (std::size_t p = 0; p < nprod; ++p) {
+      rows[p] = fac[p] + static_cast<std::size_t>(idx[p][x]) * r;
+    }
+    for (index_t c = 0; c < r; ++c) {
+      float h = v;
+      for (std::size_t p = 0; p < nprod; ++p) h *= rows[p][c];
+      acc[c] += h;
+    }
+  }
+};
+
+/// SpTTMc: Kronecker product of two factor rows; column c of the r0*r1-wide
+/// output row is U0(j, c / r1) * U1(k, c % r1).
+struct Ttmc {
+  const index_t* idx0;
+  const index_t* idx1;
+  const value_t* fac0;
+  const value_t* fac1;
+  index_t r0;
+  index_t r1;
+
+  float operator()(nnz_t x, index_t col) const {
+    return fac0[static_cast<std::size_t>(idx0[x]) * r0 + col / r1] *
+           fac1[static_cast<std::size_t>(idx1[x]) * r1 + col % r1];
+  }
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    const value_t* UST_RESTRICT row0 = fac0 + static_cast<std::size_t>(idx0[x]) * r0;
+    const value_t* UST_RESTRICT row1 = fac1 + static_cast<std::size_t>(idx1[x]) * r1;
+    float* UST_RESTRICT dst = acc;
+    for (index_t a = 0; a < r0; ++a) {
+      const float va = v * row0[a];
+      for (index_t b = 0; b < r1; ++b) dst[b] += va * row1[b];
+      dst += r1;
+    }
+  }
+};
+
+/// SpTTV: scalar product of the contraction vectors' entries (single output
+/// column). Vectors are staged as single-column matrices, so fac[p][i] is the
+/// p-th vector's i-th entry.
+struct Ttv {
+  std::array<const index_t*, kMaxProductModes> idx;
+  std::array<const value_t*, kMaxProductModes> vec;
+  std::size_t nprod;
+
+  float operator()(nnz_t x, index_t /*col*/) const {
+    float v = 1.0f;
+    for (std::size_t p = 0; p < nprod; ++p) v *= vec[p][idx[p][x]];
+    return v;
+  }
+  void accumulate(nnz_t x, float v, float* UST_RESTRICT acc) const {
+    for (std::size_t p = 0; p < nprod; ++p) v *= vec[p][idx[p][x]];
+    acc[0] += v;
+  }
+};
+
+// --- Makers ----------------------------------------------------------------
+// A maker carries the rank parameters and builds the expression from pointer
+// arrays resolved per execution target. `pidx[p]` / `fac[p]` index the p-th
+// product mode (ascending mode order).
+
+struct SpttmMaker {
+  index_t r;
+  Spttm operator()(const index_t* const* pidx, const value_t* const* fac) const {
+    return Spttm{pidx[0], fac[0], r};
+  }
+};
+
+struct Mttkrp2Maker {
+  index_t r;
+  Mttkrp2 operator()(const index_t* const* pidx, const value_t* const* fac) const {
+    return Mttkrp2{pidx[0], pidx[1], fac[0], fac[1], r};
+  }
+};
+
+struct MttkrpNMaker {
+  std::size_t nprod;
+  index_t r;
+  MttkrpN operator()(const index_t* const* pidx, const value_t* const* fac) const {
+    MttkrpN e{};
+    e.nprod = nprod;
+    e.r = r;
+    for (std::size_t p = 0; p < nprod; ++p) {
+      e.idx[p] = pidx[p];
+      e.fac[p] = fac[p];
+    }
+    return e;
+  }
+};
+
+struct TtmcMaker {
+  index_t r0;
+  index_t r1;
+  Ttmc operator()(const index_t* const* pidx, const value_t* const* fac) const {
+    return Ttmc{pidx[0], pidx[1], fac[0], fac[1], r0, r1};
+  }
+};
+
+struct TtvMaker {
+  std::size_t nprod;
+  Ttv operator()(const index_t* const* pidx, const value_t* const* fac) const {
+    Ttv e{};
+    e.nprod = nprod;
+    for (std::size_t p = 0; p < nprod; ++p) {
+      e.idx[p] = pidx[p];
+      e.vec[p] = fac[p];
+    }
+    return e;
+  }
+};
+
+}  // namespace expr
+
+/// Invokes `f` with the maker for `kind`; the single point where the op kind
+/// selects its expression (the engine's one dispatch path is a generic lambda
+/// over the maker, instantiated once per expression type). `r0`/`r1` are the
+/// operation's rank parameters: the factor column count (r0) and, for SpTTMc,
+/// the second factor's column count (r1).
+template <class F>
+decltype(auto) with_expr_maker(OpKind kind, std::size_t nprod, index_t r0, index_t r1,
+                               F&& f) {
+  switch (kind) {
+    case OpKind::kSpTTM:
+      return f(expr::SpttmMaker{r0});
+    case OpKind::kSpMTTKRP:
+      if (nprod == 2) return f(expr::Mttkrp2Maker{r0});
+      return f(expr::MttkrpNMaker{nprod, r0});
+    case OpKind::kSpTTMc:
+      return f(expr::TtmcMaker{r0, r1});
+    case OpKind::kSpTTV:
+      return f(expr::TtvMaker{nprod});
+  }
+  UST_ENSURES(false);
+}
+
+}  // namespace ust::engine

@@ -51,6 +51,7 @@ std::size_t PlanCache::KeyHash::operator()(const PlanKey& k) const noexcept {
   mix(h, k.shard_lo);
   mix(h, k.shard_hi);
   mix(h, k.chunk_nnz);
+  mix(h, k.flavor);
   return static_cast<std::size_t>(h);
 }
 
@@ -162,6 +163,16 @@ std::shared_ptr<const CachedPlan> acquire_plan(sim::Device& device,
                                                const core::ModePlan& mp,
                                                const Partitioning& part, PlanCache* cache,
                                                bool want_coords) {
+  // The fingerprint only keys the cache; skip the O(nnz) pass when uncached.
+  return acquire_plan(device, tensor, mp, part, cache, want_coords,
+                      cache != nullptr ? coo_fingerprint(tensor) : 0);
+}
+
+std::shared_ptr<const CachedPlan> acquire_plan(sim::Device& device,
+                                               const CooTensor& tensor,
+                                               const core::ModePlan& mp,
+                                               const Partitioning& part, PlanCache* cache,
+                                               bool want_coords, std::uint64_t tensor_fp) {
   const auto build = [&] {
     const FcooTensor fcoo = FcooTensor::build(tensor, mp.index_modes, mp.product_modes);
     CachedPlan cached{core::UnifiedPlan(device, fcoo, part), {}, nullptr};
@@ -175,7 +186,7 @@ std::shared_ptr<const CachedPlan> acquire_plan(sim::Device& device,
     return cached;
   };
   if (cache == nullptr) return std::make_shared<const CachedPlan>(build());
-  const PlanKey key{&device, coo_fingerprint(tensor), mp.op, mp.target_mode,
+  const PlanKey key{&device, tensor_fp, mp.op, mp.target_mode,
                     part.threadlen, part.block_size};
   return cache->get_or_build(key, build);
 }

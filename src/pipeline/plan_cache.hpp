@@ -49,6 +49,15 @@ struct CachedPlan {
 };
 
 struct PlanKey {
+  /// What the entry's payload is; keyed so the three plan shapes stored in
+  /// one cache can never collide (a whole-range shard slice and a whole-range
+  /// replica plan cover the same nnz span but differ in row_base).
+  enum Flavor : std::uint8_t {
+    kWholePlan = 0,     // UnifiedPlan bundle (pipeline::acquire_plan)
+    kShardSlice = 1,    // shard-sliced ChunkPlan (shard::acquire_shard_plan)
+    kWholeReplica = 2,  // whole-range ChunkPlan on a replica device (engine)
+  };
+
   const void* device = nullptr;  // plans are bound to their sim::Device
   std::uint64_t tensor_fp = 0;
   core::TensorOp op = core::TensorOp::kSpMTTKRP;
@@ -61,6 +70,7 @@ struct PlanKey {
   nnz_t shard_lo = 0;
   nnz_t shard_hi = 0;
   nnz_t chunk_nnz = 0;
+  std::uint8_t flavor = kWholePlan;
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -140,17 +150,26 @@ class PlanCache {
   std::uint64_t evictions_ = 0;
 };
 
-/// Single plan-acquisition path shared by all four unified ops: builds the
-/// F-COO + UnifiedPlan bundle for `mp` on `part`, going through `cache` when
-/// non-null (keyed on the *mode plan's* op, so SpTTV -- which reuses the
-/// SpMTTKRP mode split and therefore an identical plan -- shares SpMTTKRP's
-/// cache entries). `want_coords` additionally captures the host per-segment
-/// index-mode coordinates in the bundle (SpTTM's output assembly). The
-/// returned shared_ptr alone keeps the bundle alive, cached or not.
+/// Single plan-acquisition path (now called by engine::Engine::plan on
+/// behalf of all four unified ops): builds the F-COO + UnifiedPlan bundle
+/// for `mp` on `part`, going through `cache` when non-null (keyed on the
+/// *mode plan's* op, so SpTTV -- which reuses the SpMTTKRP mode split and
+/// therefore an identical plan -- shares SpMTTKRP's cache entries).
+/// `want_coords` additionally captures the host per-segment index-mode
+/// coordinates in the bundle (SpTTM's output assembly). The returned
+/// shared_ptr alone keeps the bundle alive, cached or not. The second
+/// overload takes a precomputed coo_fingerprint(tensor) so callers that
+/// already fingerprinted (the engine keys its per-device caches on it) do
+/// not pay the O(nnz) pass twice.
 std::shared_ptr<const CachedPlan> acquire_plan(sim::Device& device,
                                                const CooTensor& tensor,
                                                const core::ModePlan& mp,
                                                const Partitioning& part, PlanCache* cache,
                                                bool want_coords);
+std::shared_ptr<const CachedPlan> acquire_plan(sim::Device& device,
+                                               const CooTensor& tensor,
+                                               const core::ModePlan& mp,
+                                               const Partitioning& part, PlanCache* cache,
+                                               bool want_coords, std::uint64_t tensor_fp);
 
 }  // namespace ust::pipeline

@@ -37,11 +37,15 @@
 
 namespace ust::shard {
 
-/// The simulated device group an op shards over. Device 0 is the caller's
-/// primary device; devices 1..N-1 are owned replicas of its properties, each
-/// with its own worker pool (same slot count as the primary's, so shard
-/// scheduling matches) and its own byte-budgeted PlanCache of shard-sliced
-/// plans (repeat runs -- CP-ALS iterations -- skip the slice + upload).
+/// The simulated device group the engine shards (and distributes jobs) over.
+/// Device 0 is the caller's primary device; devices 1..N-1 are owned replicas
+/// of its properties, each with its own worker pool (same slot count as the
+/// primary's, so worker grids -- and therefore results -- are identical on
+/// every device) and its own byte-budgeted PlanCache of shard-sliced and
+/// whole-range replica plans (repeat runs -- CP-ALS iterations -- skip the
+/// slice + upload). Owned by ust::engine::Engine since the engine-layer
+/// refactor; the group can grow() but never shrinks, so cached plans and
+/// outstanding device references survive growth.
 class DeviceGroup {
  public:
   explicit DeviceGroup(sim::Device& primary, unsigned num_devices,
@@ -55,8 +59,14 @@ class DeviceGroup {
   sim::Device& device(unsigned d);
   pipeline::PlanCache& cache(unsigned d);
 
+  /// Appends replica devices (with pools and caches) until size() >= n.
+  /// Existing devices, caches and references into them are untouched. The
+  /// caller (the engine) must exclude concurrent readers during growth.
+  void grow(unsigned n);
+
  private:
   sim::Device* primary_;
+  std::size_t cache_bytes_per_device_;
   std::vector<std::unique_ptr<ThreadPool>> pools_;      // one per extra device
   std::vector<std::unique_ptr<sim::Device>> extras_;    // ordinals 1..N-1
   // Declared last: caches hold DeviceBuffers on the devices above, so they
@@ -97,49 +107,32 @@ struct Report {
   }
 };
 
-/// Lazily-created per-op sharding state held behind a pointer by the four
-/// unified ops (their headers only forward-declare it): the device group,
-/// sized to the last-requested num_devices, plus the last run's report.
-/// Each op owns its group (and thus its shard-plan caches); a sharded
-/// CP-ALS/Tucker solve therefore holds one group per mode -- groups are
-/// created only on the first sharded run, and replica pools idle between
-/// shards, so the cost is memory, not threads contending.
-struct OpShardState {
-  std::unique_ptr<DeviceGroup> group;
-  Report last_report;
-
-  /// The single place the group-recreation policy lives: rebuild (dropping
-  /// the per-device shard-plan caches) only when the device count changes.
-  DeviceGroup& ensure_group(sim::Device& primary, unsigned num_devices) {
-    if (group == nullptr || group->size() != num_devices) {
-      group = std::make_unique<DeviceGroup>(primary, num_devices);
-    }
-    return *group;
-  }
-};
-
 /// Cache-or-build acquisition of one shard's sliced plan on `dev` (keyed on
-/// the shard range, partitioning, op/mode and grid cap).
+/// the tensor fingerprint, shard range, partitioning, op/mode and grid cap --
+/// the group's caches are shared across ops and tensors since the engine
+/// owns them, so the fingerprint is mandatory).
 std::shared_ptr<const pipeline::ChunkPlan> acquire_shard_plan(
     pipeline::PlanCache& cache, sim::Device& dev, const pipeline::HostFcoo& host,
-    const Partitioning& part, core::TensorOp op, int mode,
+    const Partitioning& part, core::TensorOp op, int mode, std::uint64_t tensor_fp,
     const pipeline::StreamChunk& shard, nnz_t chunk_nnz, index_t row_base);
 
-/// Executes one unified operation over `host` sharded across `group`.
-/// `make_expr(device, device_index, plan)` must return the op's kernel
-/// expression bound to the plan's product-index arrays and factor data the
-/// caller staged on `device` (it is called once per shard plan, in device
-/// order, so per-device staging can be done lazily inside it). `out` is the
-/// final output view on the PRIMARY device, zero-initialised by the caller.
-/// When `stream.enabled`, shards run through the streaming pipeline in
-/// bounded-memory chunks instead of one resident shard plan (and bypass the
-/// shard-plan caches, as streaming always does). `op`/`mode` key the
-/// per-device plan caches.
+/// Executes one unified operation over `host` sharded across the first
+/// opt.shard.num_devices devices of `group` (which may be larger -- the
+/// engine's group only grows). `make_expr(device, device_index, plan)` must
+/// return the op's kernel expression bound to the plan's product-index arrays
+/// and factor data the caller staged on `device` (it is called once per shard
+/// plan, in device order, so per-device staging can be done lazily inside
+/// it). `out` is the final output view on the PRIMARY device,
+/// zero-initialised by the caller. When `stream.enabled`, shards run through
+/// the streaming pipeline in bounded-memory chunks instead of one resident
+/// shard plan (and bypass the shard-plan caches, as streaming always does).
+/// `op`/`mode`/`tensor_fp` key the per-device plan caches.
 template <class ExprFactory>
 void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partitioning& part,
              const core::OutView& out, const core::UnifiedOptions& opt,
              const core::StreamingOptions& stream, core::TensorOp op, int mode,
-             const ExprFactory& make_expr, Report* report = nullptr) {
+             std::uint64_t tensor_fp, const ExprFactory& make_expr,
+             Report* report = nullptr) {
   if (report != nullptr) *report = Report{};
   if (host.nnz == 0 || out.num_cols == 0) {
     if (report != nullptr) report->finish();
@@ -154,6 +147,7 @@ void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partition
                         : opt.chunk_nnz;
   const ShardingResult sharding =
       make_shards(host.nnz, host.bf_words, part.threadlen, workers_ref, cap, opt.shard);
+  UST_EXPECTS(group.size() >= sharding.shards.size());
 
   // Global boundary tiles, one slot per worker chunk of the global grid, in
   // grid order regardless of which device ran the chunk.
@@ -162,7 +156,7 @@ void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partition
   std::vector<float> heads(sharding.grid_chunks * cols, 0.0f);
 
   std::size_t grid_offset = 0;  // global worker-chunk index of the next shard
-  for (unsigned d = 0; d < group.size(); ++d) {
+  for (unsigned d = 0; d < sharding.shards.size(); ++d) {
     const pipeline::StreamChunk& shard = sharding.shards[d];
     sim::Device& sdev = group.device(d);
     DeviceReport dr;
@@ -243,7 +237,7 @@ void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partition
     } else {
       Timer plan_timer;
       const std::shared_ptr<const pipeline::ChunkPlan> plan = acquire_shard_plan(
-          group.cache(d), sdev, host, part, op, mode, shard, cap, row_lo);
+          group.cache(d), sdev, host, part, op, mode, tensor_fp, shard, cap, row_lo);
       dr.plan_s = plan_timer.seconds();
       Timer exec_timer;
       run_plan(*plan);

@@ -1,0 +1,269 @@
+// Engine-layer tests (DESIGN.md §11): plan acquisition and sharing through
+// the engine's per-device caches (SpTTV reusing SpMTTKRP entries), the
+// deprecated per-op compatibility constructors (process-default engine,
+// pre-engine caching semantics, device memory released with the last
+// holder), submit() job admission (round-robin placement, sim pinning,
+// bounded queue, exception propagation, sharded-job rejection), prewarm, and
+// the aggregated Engine::stats() report.
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "baselines/reference.hpp"
+#include "core/cp_als.hpp"
+#include "core/spmttkrp.hpp"
+#include "core/spttm.hpp"
+#include "core/spttmc.hpp"
+#include "core/spttv.hpp"
+#include "engine/engine.hpp"
+#include "io/generate.hpp"
+#include "test_support.hpp"
+
+namespace ust::engine {
+namespace {
+
+TEST(Engine, OwnsDeviceGroupAndGrows) {
+  Engine eng(EngineOptions{.num_devices = 2});
+  EXPECT_EQ(eng.num_devices(), 2u);
+  EXPECT_EQ(eng.device(0).ordinal(), 0);
+  EXPECT_EQ(eng.device(1).ordinal(), 1);
+  eng.ensure_devices(3);
+  EXPECT_EQ(eng.num_devices(), 3u);
+  EXPECT_EQ(eng.device(2).ordinal(), 2);
+  eng.ensure_devices(2);  // never shrinks
+  EXPECT_EQ(eng.num_devices(), 3u);
+}
+
+TEST(Engine, PlanCacheSharedAcrossOpsIncludingTtv) {
+  sim::Device dev;
+  Engine eng(dev);
+  Prng rng(101);
+  const CooTensor t = test::random_coo3(rng, 20, 800);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+
+  // MTTKRP and TTV on the same tensor/mode share one F-COO layout and
+  // therefore one cached plan: first construction misses, the rest hit.
+  core::UnifiedMttkrp mttkrp(eng, t, 0, part);
+  core::UnifiedTtv ttv(eng, t, 0, part);
+  core::UnifiedMttkrp again(eng, t, 0, part);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.cache_total.misses, 1u);
+  EXPECT_EQ(s.cache_total.hits, 2u);
+  EXPECT_EQ(s.cache_total.entries, 1u);
+
+  const auto factors = test::random_factors(t, 5, 7);
+  const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
+  EXPECT_LT(test::relative_error(mttkrp.run(factors), want), test::kUnifiedTol);
+}
+
+TEST(Engine, DeprecatedConstructorsKeepUncachedSemantics) {
+  sim::Device dev;
+  Prng rng(102);
+  const CooTensor t = test::random_coo3(rng, 16, 500);
+  const auto factors = test::random_factors(t, 4, 9);
+  {
+    core::UnifiedMttkrp a(dev, t, 0, Partitioning{});
+    core::UnifiedMttkrp b(dev, t, 0, Partitioning{});
+    // The process-default engine is shared, but plans stay uncached (the
+    // pre-engine behaviour): no cache entries, bitwise-equal results.
+    EXPECT_EQ(&a.engine(), &b.engine());
+    EXPECT_EQ(a.engine().stats().cache_total.entries, 0u);
+    EXPECT_EQ(DenseMatrix::max_abs_diff(a.run(factors), b.run(factors)), 0.0);
+    EXPECT_GT(dev.bytes_in_use(), 0u);
+  }
+  // Ops gone -> default engine gone -> every device byte released.
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+}
+
+TEST(Engine, EngineCtorOpsMatchDeviceCtorOpsBitwise) {
+  sim::Device dev;
+  Engine eng(dev);
+  Prng rng(103);
+  const CooTensor t = test::random_coo3(rng, 24, 1200);
+  const Partitioning part{.threadlen = 4, .block_size = 32};
+  const auto factors = test::random_factors(t, 6, 11);
+
+  core::UnifiedMttkrp cached(eng, t, 1, part);
+  core::UnifiedMttkrp uncached(dev, t, 1, part);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(cached.run(factors), uncached.run(factors)), 0.0);
+
+  core::UnifiedTtmc tc(eng, t, 0, part);
+  core::UnifiedTtmc tu(dev, t, 0, part);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(tc.run(factors[1], factors[2]),
+                                      tu.run(factors[1], factors[2])),
+            0.0);
+}
+
+TEST(Engine, SubmitMatchesRunBitwiseAndRoundRobins) {
+  Engine eng(EngineOptions{.num_devices = 2});
+  Prng rng(104);
+  const CooTensor t = test::random_coo3(rng, 24, 1500);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+  const auto factors = test::random_factors(t, 6, 13);
+  core::UnifiedMttkrp op(eng, t, 0, part);
+  eng.prewarm(*op.op_plan());
+
+  DenseMatrix want(t.dim(0), 6);
+  op.run(factors, want);
+
+  constexpr int kJobs = 6;
+  std::vector<DenseMatrix> outs(kJobs, DenseMatrix(t.dim(0), 6));
+  std::vector<JobRecord> records(kJobs);
+  std::vector<std::future<void>> futures;
+  for (int j = 0; j < kJobs; ++j) {
+    futures.push_back(eng.submit(op.request(factors, outs[static_cast<std::size_t>(j)]),
+                                 &records[static_cast<std::size_t>(j)]));
+  }
+  for (auto& f : futures) f.get();
+
+  bool used[2] = {false, false};
+  for (int j = 0; j < kJobs; ++j) {
+    EXPECT_EQ(DenseMatrix::max_abs_diff(outs[static_cast<std::size_t>(j)], want), 0.0)
+        << "job " << j;
+    const int d = records[static_cast<std::size_t>(j)].device;
+    ASSERT_TRUE(d == 0 || d == 1);
+    used[d] = true;
+    EXPECT_GE(records[static_cast<std::size_t>(j)].exec_s, 0.0);
+  }
+  // Round-robin admission: both devices executed jobs.
+  EXPECT_TRUE(used[0] && used[1]);
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_submitted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(s.jobs_completed, static_cast<std::uint64_t>(kJobs));
+  // The prewarmed replica plan was a hit for every device-1 job.
+  EXPECT_GE(s.devices[1].cache.hits, 1u);
+}
+
+TEST(Engine, SimJobsPinToPrimary) {
+  Engine eng(EngineOptions{.num_devices = 2});
+  Prng rng(105);
+  const CooTensor t = test::random_coo3(rng, 16, 600);
+  const auto factors = test::random_factors(t, 4, 15);
+  core::UnifiedMttkrp op(eng, t, 0, Partitioning{.threadlen = 8, .block_size = 64});
+
+  std::vector<DenseMatrix> outs(4, DenseMatrix(t.dim(0), 4));
+  std::vector<JobRecord> records(4);
+  std::vector<std::future<void>> futures;
+  for (int j = 0; j < 4; ++j) {
+    core::UnifiedOptions opt;
+    opt.backend = core::ExecBackend::kSim;
+    futures.push_back(eng.submit(op.request(factors, outs[static_cast<std::size_t>(j)], opt),
+                                 &records[static_cast<std::size_t>(j)]));
+  }
+  for (auto& f : futures) f.get();
+  for (const JobRecord& r : records) EXPECT_EQ(r.device, 0);
+}
+
+TEST(Engine, SubmitRejectsShardedJobsAndBadShapes) {
+  Engine eng(EngineOptions{.num_devices = 2});
+  Prng rng(106);
+  const CooTensor t = test::random_coo3(rng, 12, 300);
+  const auto factors = test::random_factors(t, 3, 17);
+  core::UnifiedMttkrp op(eng, t, 0, Partitioning{});
+  DenseMatrix out(t.dim(0), 3);
+
+  core::UnifiedOptions sharded;
+  sharded.shard.num_devices = 2;
+  EXPECT_THROW((void)eng.submit(op.request(factors, out, sharded)), core::InvalidOptions);
+
+  DenseMatrix wrong(t.dim(0), 5);  // out width != rank
+  EXPECT_THROW((void)eng.submit(op.request(factors, wrong)), ContractViolation);
+}
+
+TEST(Engine, SubmitPropagatesExecutionExceptions) {
+  // A capacity-limited device: the plan fits, the per-job factor staging
+  // does not. The failure must surface on the job's future, not crash a
+  // worker.
+  Prng rng(107);
+  const CooTensor t = io::generate_uniform({40, 40, 40}, 4000, 1070);
+  EngineOptions opt;
+  opt.props.global_mem_bytes = 1;  // nothing fits
+  Engine eng(opt);
+  EXPECT_THROW(
+      (void)eng.plan(t, OpKind::kSpMTTKRP, 0, Partitioning{}),
+      sim::DeviceOutOfMemory);
+
+  // Streaming plans allocate no device memory at build time, so the plan
+  // succeeds and the failure happens inside the submitted job.
+  core::StreamingOptions stream;
+  stream.enabled = true;
+  const auto plan = eng.plan(t, OpKind::kSpMTTKRP, 0, Partitioning{}, stream);
+  const auto factors = test::random_factors(t, 4, 19);
+  DenseMatrix out(t.dim(0), 4);
+  OpRequest req;
+  req.plan = plan;
+  for (int m = 1; m < 3; ++m) {
+    const DenseMatrix& f = factors[static_cast<std::size_t>(m)];
+    req.inputs.push_back({f.data(), f.rows(), f.cols()});
+  }
+  req.out = out.data();
+  req.out_rows = out.rows();
+  req.out_cols = out.cols();
+  std::future<void> fut = eng.submit(std::move(req));
+  EXPECT_THROW(fut.get(), sim::DeviceOutOfMemory);
+}
+
+TEST(Engine, BoundedQueueStillCompletesEveryJob) {
+  EngineOptions opt;
+  opt.num_devices = 2;
+  opt.max_queued_jobs = 1;  // maximal back-pressure
+  Engine eng(opt);
+  Prng rng(108);
+  const CooTensor t = test::random_coo3(rng, 16, 800);
+  const auto factors = test::random_factors(t, 4, 21);
+  core::UnifiedMttkrp op(eng, t, 0, Partitioning{});
+  DenseMatrix want(t.dim(0), 4);
+  op.run(factors, want);
+
+  std::vector<DenseMatrix> outs(8, DenseMatrix(t.dim(0), 4));
+  std::vector<std::future<void>> futures;
+  for (auto& o : outs) futures.push_back(eng.submit(op.request(factors, o)));
+  for (auto& f : futures) f.get();
+  for (const auto& o : outs) EXPECT_EQ(DenseMatrix::max_abs_diff(o, want), 0.0);
+}
+
+TEST(Engine, CpAlsOnEngineHitsCachesAcrossSolves) {
+  Engine eng(EngineOptions{});
+  Prng rng(109);
+  const CooTensor t = test::random_coo3(rng, 18, 900);
+  core::CpOptions opt;
+  opt.rank = 4;
+  opt.max_iterations = 2;
+  opt.fit_tolerance = 0.0;
+  opt.part = Partitioning{.threadlen = 8, .block_size = 64};
+  opt.seed = 5;
+  const core::CpResult cold = core::cp_als_unified(eng, t, opt);
+  const std::uint64_t misses_after_cold = eng.stats().cache_total.misses;
+  const core::CpResult warm = core::cp_als_unified(eng, t, opt);
+  // Second solve: every per-mode plan is a hit, results bitwise identical.
+  EXPECT_EQ(eng.stats().cache_total.misses, misses_after_cold);
+  EXPECT_GE(eng.stats().cache_total.hits, 3u);
+  ASSERT_EQ(warm.factors.size(), cold.factors.size());
+  for (std::size_t m = 0; m < warm.factors.size(); ++m) {
+    EXPECT_EQ(DenseMatrix::max_abs_diff(warm.factors[m], cold.factors[m]), 0.0);
+  }
+  EXPECT_EQ(warm.fit, cold.fit);
+}
+
+TEST(Engine, ShardedRunThroughEngineCtorMatchesSingleDevice) {
+  Engine eng(EngineOptions{});
+  Prng rng(110);
+  const CooTensor t = test::random_coo3(rng, 24, 1500);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+  const auto factors = test::random_factors(t, 5, 23);
+  core::UnifiedMttkrp op(eng, t, 0, part);
+  const DenseMatrix want = op.run(factors, core::UnifiedOptions{.chunk_nnz = 16});
+  core::UnifiedOptions sharded;
+  sharded.chunk_nnz = 16;
+  sharded.shard.num_devices = 3;
+  shard::Report report;
+  DenseMatrix got(want.rows(), want.cols());
+  op.run_sharded(factors, got, sharded, &report);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(got, want), 0.0);
+  ASSERT_EQ(report.devices.size(), 3u);
+  EXPECT_EQ(eng.num_devices(), 3u);  // grew on demand
+}
+
+}  // namespace
+}  // namespace ust::engine
