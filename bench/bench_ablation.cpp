@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
                                   "ablations: reduction strategy and column tiling");
   if (!cli.parse(argc, argv)) return 1;
   sim::Device dev;
+  engine::Engine eng(dev);
   bench::print_platform(dev.props());
 
   const auto rank = static_cast<index_t>(cli.get_int("rank"));
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     Table t({"dataset", "native (s)", "sim (s)", "native speedup"});
     for (const auto& d : datasets) {
       const auto factors = bench::make_factors(d.tensor, rank);
-      core::UnifiedMttkrp op(dev, d.tensor, mode, d.spec.best_spmttkrp);
+      core::UnifiedMttkrp op(eng, d.tensor, mode, d.spec.best_spmttkrp);
       const core::UnifiedOptions native_opt{.backend = core::ExecBackend::kNative};
       const core::UnifiedOptions sim_opt{.backend = core::ExecBackend::kSim};
       const double native_s =
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
     Table t({"dataset", "strategy", "time (s)", "atomic ops", "atomics/nnz"});
     for (const auto& d : datasets) {
       const auto factors = bench::make_factors(d.tensor, rank);
-      core::UnifiedMttkrp op(dev, d.tensor, mode, d.spec.best_spmttkrp);
+      core::UnifiedMttkrp op(eng, d.tensor, mode, d.spec.best_spmttkrp);
       struct Row {
         const char* name;
         core::ReduceStrategy strategy;
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
     Table t({"dataset", "method", "time (s)", "intermediate bytes", "input bytes"});
     for (const auto& d : datasets) {
       const auto factors = bench::make_factors(d.tensor, rank);
-      core::UnifiedMttkrp one_shot(dev, d.tensor, mode, d.spec.best_spmttkrp);
+      core::UnifiedMttkrp one_shot(eng, d.tensor, mode, d.spec.best_spmttkrp);
       const double one_s =
           bench::time_median([&] { one_shot.run(factors, sim_opt); }, reps);
       t.add_row({d.name, "one-shot (unified)", Table::num(one_s, 4), "0",
@@ -120,7 +121,7 @@ int main(int argc, char** argv) {
     Table t({"dataset", "columns per block (tile)", "time (s)", "speedup vs tile=1"});
     for (const auto& d : datasets) {
       const auto factors = bench::make_factors(d.tensor, rank);
-      core::UnifiedMttkrp op(dev, d.tensor, mode, d.spec.best_spmttkrp);
+      core::UnifiedMttkrp op(eng, d.tensor, mode, d.spec.best_spmttkrp);
       double base = 0.0;
       for (unsigned tile : {1u, 2u, 4u, 8u}) {
         if (tile > rank) break;

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   cli.option("iters", "3", "ALS iterations to time");
   if (!cli.parse(argc, argv)) return 1;
   sim::Device dev;
+  engine::Engine eng(dev);
   bench::print_platform(dev.props());
 
   core::CpOptions opt;
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
                Table::num(st.dense_seconds, 3), Table::num(st.total_seconds, 3),
                Table::num(splatt.fit, 4)});
 
-    const auto unified = core::cp_als_unified(dev, d.tensor, opt);
+    const auto unified = core::cp_als_unified(eng, d.tensor, opt);
     const auto& ut = unified.timings;
     t.add_row({d.name + "-Unified", Table::num(ut.mttkrp_seconds[0], 3),
                Table::num(ut.mttkrp_seconds[1], 3), Table::num(ut.mttkrp_seconds[2], 3),

@@ -90,7 +90,8 @@ int main(int argc, char** argv) {
       double uni_mb = 0.0;
       {
         sim::Device dev;
-        core::UnifiedMttkrp op(dev, d.tensor, mode, d.spec.best_spmttkrp);
+        engine::Engine eng(dev);
+        core::UnifiedMttkrp op(eng, d.tensor, mode, d.spec.best_spmttkrp);
         op.run(factors, bench::kernel_options(cli));
         uni_mb = static_cast<double>(dev.peak_bytes()) / (1024.0 * 1024.0);
       }

@@ -7,6 +7,7 @@
 #include "core/unified_kernel.hpp"
 #include "io/generate.hpp"
 #include "sim/collectives.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "tensor/fcoo.hpp"
 #include "util/prng.hpp"
@@ -121,7 +122,8 @@ void BM_UnifiedMttkrp(benchmark::State& state) {
     factors.push_back(std::move(f));
   }
   sim::Device dev;
-  core::UnifiedMttkrp op(dev, t, 0, Partitioning{.threadlen = threadlen, .block_size = block});
+  engine::Engine eng(dev);
+  core::UnifiedMttkrp op(eng, t, 0, Partitioning{.threadlen = threadlen, .block_size = block});
   DenseMatrix out(t.dim(0), 16);
   for (auto _ : state) {
     op.run(factors, out);

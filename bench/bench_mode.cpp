@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.flag("paper-config", "use the paper's Table V launch parameters instead of tuning");
   if (!cli.parse(argc, argv)) return 1;
   sim::Device dev;
+  engine::Engine eng(dev);
   bench::print_platform(dev.props());
 
   const auto rank = static_cast<index_t>(cli.get_int("rank"));
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
       if (!cli.get_flag("paper-config")) {
         part = bench::quick_tune(
             [&](Partitioning p) {
-              core::UnifiedSpttm op(dev, d.tensor, mode, p);
+              core::UnifiedSpttm op(eng, d.tensor, mode, p);
               op.run(u, kopt);  // warm
               Timer timer;
               op.run(u, kopt);
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
             },
             part);
       }
-      core::UnifiedSpttm uni_op(dev, d.tensor, mode, part);
+      core::UnifiedSpttm uni_op(eng, d.tensor, mode, part);
       const double uni_s = bench::time_median([&] { uni_op.run(u, kopt); }, reps);
       json.add("spttm.mode" + std::to_string(mode + 1) + ".unified_s", uni_s);
       json.add("spttm.mode" + std::to_string(mode + 1) + ".parti_gpu_s", gpu_s);
@@ -88,7 +89,7 @@ int main(int argc, char** argv) {
       if (!cli.get_flag("paper-config")) {
         part = bench::quick_tune(
             [&](Partitioning p) {
-              core::UnifiedMttkrp op(dev, d.tensor, mode, p);
+              core::UnifiedMttkrp op(eng, d.tensor, mode, p);
               op.run(factors, kopt);  // warm
               Timer timer;
               op.run(factors, kopt);
@@ -96,7 +97,7 @@ int main(int argc, char** argv) {
             },
             part);
       }
-      core::UnifiedMttkrp uni_op(dev, d.tensor, mode, part);
+      core::UnifiedMttkrp uni_op(eng, d.tensor, mode, part);
       const double uni_s = bench::time_median([&] { uni_op.run(factors, kopt); }, reps);
       json.add("spmttkrp.mode" + std::to_string(mode + 1) + ".unified_s", uni_s);
       parti_times.push_back(gpu_s);

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   cli.flag("paper-config", "use the paper's Table V launch parameters instead of tuning");
   if (!cli.parse(argc, argv)) return 1;
   sim::Device dev;
+  engine::Engine eng(dev);
   bench::print_platform(dev.props());
 
   const int reps = static_cast<int>(cli.get_int("reps"));
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
       u16.fill_random(tune_rng, 0.0f, 1.0f);
       part = bench::quick_tune(
           [&](Partitioning p) {
-            core::UnifiedSpttm op(dev, d.tensor, mode, p);
+            core::UnifiedSpttm op(eng, d.tensor, mode, p);
             op.run(u16, kopt);  // warm
             Timer timer;
             op.run(u16, kopt);
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
           },
           part);
     }
-    core::UnifiedSpttm uni_op(dev, d.tensor, mode, part);
+    core::UnifiedSpttm uni_op(eng, d.tensor, mode, part);
     double first_gpu = 0.0, first_uni = 0.0, last_gpu = 0.0, last_uni = 0.0;
     for (index_t r : ranks) {
       Prng rng(20 + r);

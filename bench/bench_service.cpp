@@ -1,0 +1,91 @@
+// Service-layer benchmark (DESIGN.md §12): end-to-end latency and throughput
+// of the TCP front-end under concurrent mixed-op load, on the loopback
+// interface against an in-process server. The loadgen verifies every
+// response byte-for-byte against a local engine, so the headline guarantees
+// tracked by CI (BENCH_service.json) are:
+//   * zero lost and zero corrupt responses under >= 32 concurrent
+//     connections of mixed SpTTM/SpMTTKRP/SpTTMc/SpTTV traffic, and
+//   * the queue-full retry path closes: every admission rejection surfaced
+//     as a retryable response is eventually served (ok == requests).
+// Latency percentiles (p50/p99) and request throughput are recorded for
+// trend diffing; absolute values are loopback-machine-dependent.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "service/loadgen.hpp"
+#include "service/server.hpp"
+
+using namespace ust;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_service", "TCP service latency/throughput on loopback");
+  cli.option("connections", "32", "concurrent client connections (one tenant each)");
+  cli.option("requests", "24", "run-op requests per connection");
+  cli.option("rank", "8", "factor rank of the generated traffic");
+  cli.option("nnz", "20000", "non-zeros of the synthetic tensor");
+  cli.option("devices", "2", "engine device-group size behind the server");
+  cli.option("queue", "8",
+             "bounded engine queue depth -- small enough that the burst phase "
+             "exercises kQueueFull rejections and the retry path");
+  cli.option("json", "", "also write results to this path as a BENCH_*.json file");
+  if (!cli.parse(argc, argv)) return 1;
+
+  engine::EngineOptions eopt;
+  eopt.num_devices = static_cast<unsigned>(std::max(1l, cli.get_int("devices")));
+  eopt.max_queued_jobs = static_cast<std::size_t>(std::max(1l, cli.get_int("queue")));
+  engine::Engine engine(eopt);
+  bench::print_platform(engine.device(0).props());
+
+  service::TensorOpServer server(engine);
+  server.start();
+
+  service::LoadgenOptions lopt;
+  lopt.port = server.port();
+  lopt.connections = static_cast<int>(std::max(1l, cli.get_int("connections")));
+  lopt.requests_per_connection = static_cast<int>(std::max(1l, cli.get_int("requests")));
+  lopt.rank = static_cast<index_t>(std::max(1l, cli.get_int("rank")));
+  lopt.nnz = static_cast<nnz_t>(std::max(1l, cli.get_int("nnz")));
+
+  std::printf("bench_service: %d connections x %d requests, queue depth %zu\n",
+              lopt.connections, lopt.requests_per_connection, eopt.max_queued_jobs);
+  const service::LoadgenReport r = service::run_loadgen(lopt);
+  server.stop();
+
+  const service::ServerStats ss = server.stats();
+  print_banner("Service results");
+  Table t({"metric", "value"});
+  t.add_row({"requests", std::to_string(r.requests)});
+  t.add_row({"verified ok", std::to_string(r.ok)});
+  t.add_row({"corrupt", std::to_string(r.corrupt)});
+  t.add_row({"lost", std::to_string(r.lost)});
+  t.add_row({"queue-full responses (pre-retry)", std::to_string(r.queue_full)});
+  t.add_row({"throughput (req/s)", Table::num(r.throughput_rps, 1)});
+  t.add_row({"p50 latency (us)", Table::num(r.percentile_us(50), 0)});
+  t.add_row({"p99 latency (us)", Table::num(r.percentile_us(99), 0)});
+  t.add_row({"server bytes rx", std::to_string(ss.bytes_rx)});
+  t.add_row({"server bytes tx", std::to_string(ss.bytes_tx)});
+  t.print();
+
+  const bool clean = r.corrupt == 0 && r.lost == 0 && r.ok == r.requests;
+  std::printf("zero-loss check: %s (ok=%llu of %llu, %llu queue-full retried)\n",
+              clean ? "PASS" : "FAIL", static_cast<unsigned long long>(r.ok),
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.queue_full));
+
+  bench::JsonResults json("service");
+  json.add("connections", static_cast<double>(lopt.connections));
+  json.add("requests", static_cast<double>(r.requests));
+  json.add("ok", static_cast<double>(r.ok));
+  json.add("corrupt", static_cast<double>(r.corrupt));
+  json.add("lost", static_cast<double>(r.lost));
+  json.add("queue_full_responses", static_cast<double>(r.queue_full));
+  json.add("throughput_rps", r.throughput_rps);
+  json.add("p50_us", r.percentile_us(50));
+  json.add("p90_us", r.percentile_us(90));
+  json.add("p99_us", r.percentile_us(99));
+  json.add("wall_s", r.wall_s);
+  json.add("zero_loss", clean ? "true" : "false");
+  if (!json.write(cli.get("json"))) return 1;
+  return clean ? 0 : 1;
+}

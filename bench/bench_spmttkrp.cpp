@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
       static_cast<double>(1ull << 30));
   props.name = "SimTitanX(scaled)";
   sim::Device dev(props);
+  engine::Engine eng(dev);
   bench::print_platform(dev.props());
 
   print_banner("Figure 6b: SpMTTKRP on mode-1, speedup over ParTI-OMP (higher is better)");
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
       // (and the native backend is near-insensitive to the choice anyway).
       part = bench::quick_tune(
           [&](Partitioning p) {
-            core::UnifiedMttkrp op(dev, d.tensor, mode, p);
+            core::UnifiedMttkrp op(eng, d.tensor, mode, p);
             op.run(factors, sim_opt);  // warm
             Timer timer;
             op.run(factors, sim_opt);
@@ -87,7 +88,7 @@ int main(int argc, char** argv) {
           },
           part);
     }
-    core::UnifiedMttkrp unified_op(dev, d.tensor, mode, part);
+    core::UnifiedMttkrp unified_op(eng, d.tensor, mode, part);
     const double uni_s =
         bench::time_median([&] { unified_op.run(factors, main_opt); }, reps);
     const double uni_sim_s =

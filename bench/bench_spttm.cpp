@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   cli.flag("paper-config", "use the paper's Table V launch parameters instead of tuning");
   if (!cli.parse(argc, argv)) return 1;
   sim::Device dev;
+  engine::Engine eng(dev);
   bench::print_platform(dev.props());
 
   const auto rank = static_cast<index_t>(cli.get_int("rank"));
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
     if (!cli.get_flag("paper-config")) {
       part = bench::quick_tune(
           [&](Partitioning p) {
-            core::UnifiedSpttm op(dev, d.tensor, mode, p);
+            core::UnifiedSpttm op(eng, d.tensor, mode, p);
             op.run(u, kopt);  // warm
             Timer timer;
             op.run(u, kopt);
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
           },
           part);
     }
-    core::UnifiedSpttm unified_op(dev, d.tensor, mode, part);
+    core::UnifiedSpttm unified_op(eng, d.tensor, mode, part);
     const double uni_s = bench::time_median([&] { unified_op.run(u, kopt); }, reps);
 
     t.add_row({d.name, Table::num(omp_s, 4), Table::num(gpu_s, 4), Table::num(uni_s, 4),

@@ -92,12 +92,13 @@ int main(int argc, char** argv) {
   // Rank = number of planted clusters; like the paper, keep rank below the
   // smallest mode size (subjects = 9) to avoid a deficient system.
   sim::Device device;
+  engine::Engine engine(device);
   core::CpOptions opt;
   opt.rank = static_cast<index_t>(k);
   opt.max_iterations = 30;
   opt.fit_tolerance = 1e-5;
   opt.part = Partitioning{.threadlen = 64, .block_size = 128};  // brainq's Table V config
-  const core::CpResult cp = core::cp_als_unified(device, data.tensor, opt);
+  const core::CpResult cp = core::cp_als_unified(engine, data.tensor, opt);
   std::printf("CP-ALS: fit %.4f in %d iterations; per-mode MTTKRP s:", cp.fit, cp.iterations);
   for (double s : cp.timings.mttkrp_seconds) std::printf(" %.3f", s);
   std::printf("\n");

@@ -113,11 +113,12 @@ int main(int argc, char** argv) {
               split.test.size());
 
   sim::Device device;
+  engine::Engine engine(device);
   core::CpOptions opt;
   opt.rank = static_cast<index_t>(cli.get_int("rank"));
   opt.max_iterations = 25;
   opt.part = Partitioning{.threadlen = 8, .block_size = 32};  // delicious's Table V config
-  const core::CpResult cp = core::cp_als_unified(device, split.train, opt);
+  const core::CpResult cp = core::cp_als_unified(engine, split.train, opt);
   std::printf("CP-ALS: fit %.4f in %d iterations\n", cp.fit, cp.iterations);
 
   // Popularity baseline: global tag counts.

@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   const double raw_bytes = static_cast<double>(field.storage_bytes());
 
   sim::Device device;
+  engine::Engine engine(device);
   print_banner("Tucker compression sweep (HOOI on unified SpTTMc)");
   Table t({"core", "fit", "iters", "compressed KB", "raw KB", "ratio"});
   for (index_t r : {2u, 4u, 6u, 8u}) {
@@ -72,7 +73,7 @@ int main(int argc, char** argv) {
     opt.core_dims = {r, r, r};
     opt.max_iterations = 12;
     opt.part = Partitioning{.threadlen = 8, .block_size = 128};
-    const core::TuckerResult res = core::tucker_hooi_unified(device, field, opt);
+    const core::TuckerResult res = core::tucker_hooi_unified(engine, field, opt);
     const double compressed_bytes =
         static_cast<double>(r) * r * r * sizeof(value_t) +
         3.0 * static_cast<double>(dim) * r * sizeof(value_t);

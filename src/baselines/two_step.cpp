@@ -25,7 +25,8 @@ TwoStepResult mttkrp_two_step(sim::Device& device, const CooTensor& tensor, int 
   // Step 1: Y = X x_{k_mode} C, a semi-sparse tensor with one dense fiber
   // per distinct (index-mode, j) pair. This is the intermediate whose
   // storage the one-shot method avoids.
-  core::UnifiedSpttm spttm(device, tensor, k_mode, part);
+  engine::Engine eng(device);
+  core::UnifiedSpttm spttm(eng, tensor, k_mode, part);
   const SemiSparseTensor y = spttm.run(c_fac, opt);
 
   TwoStepResult result;

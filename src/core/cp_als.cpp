@@ -189,23 +189,4 @@ CpResult cp_als_unified(engine::Engine& engine, const CooTensor& tensor,
                        });
 }
 
-CpResult cp_als_unified(sim::Device& device, const CooTensor& tensor,
-                        const CpOptions& options) {
-  // Pre-engine behaviour: per-mode plans are cached only when
-  // options.plan_cache is set. The device ops share the process-default
-  // engine for `device`, held alive for the duration of the solve.
-  const std::shared_ptr<engine::Engine> eng = engine::Engine::shared_for(device);
-  std::vector<UnifiedMttkrp> ops;
-  ops.reserve(static_cast<std::size_t>(tensor.order()));
-  for (int m = 0; m < tensor.order(); ++m) {
-    ops.emplace_back(device, tensor, m, options.part, options.streaming,
-                     options.plan_cache);
-  }
-  return cp_als_driver(tensor, options,
-                       [&](int mode, const std::vector<DenseMatrix>& factors) {
-                         return ops[static_cast<std::size_t>(mode)].run(
-                             factors, options.kernel);
-                       });
-}
-
 }  // namespace ust::core

@@ -63,12 +63,6 @@ struct CpResult {
 CpResult cp_als_unified(engine::Engine& engine, const CooTensor& tensor,
                         const CpOptions& options);
 
-/// Deprecated device entry point: runs on the process-default engine for
-/// `device` with the pre-engine caching behaviour (per-mode plans cached only
-/// through options.plan_cache).
-CpResult cp_als_unified(sim::Device& device, const CooTensor& tensor,
-                        const CpOptions& options);
-
 /// Shared ALS driver: both the unified and the SPLATT-style CP
 /// implementations delegate to this with their own MTTKRP callback
 /// (mttkrp(mode, factors) -> M). Exposed for baseline reuse and testing.

@@ -26,15 +26,6 @@ UnifiedMttkrp::UnifiedMttkrp(engine::Engine& engine, const CooTensor& tensor, in
     : engine_(&engine),
       plan_(engine.plan(tensor, engine::OpKind::kSpMTTKRP, mode, part, stream, cache)) {}
 
-UnifiedMttkrp::UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode,
-                             Partitioning part, const StreamingOptions& stream,
-                             pipeline::PlanCache* cache)
-    : owned_engine_(engine::Engine::shared_for(device)), engine_(owned_engine_.get()) {
-  // Pre-engine semantics: plans are cached only through an explicit cache.
-  plan_ = engine_->plan(tensor, engine::OpKind::kSpMTTKRP, mode, part, stream, cache,
-                        /*use_engine_cache=*/false);
-}
-
 engine::OpRequest UnifiedMttkrp::request(std::span<const DenseMatrix> factors,
                                          DenseMatrix& out, const UnifiedOptions& opt) const {
   engine::OpRequest req;
@@ -65,13 +56,6 @@ void UnifiedMttkrp::run(std::span<const DenseMatrix> factors, DenseMatrix& out,
 void UnifiedMttkrp::run_sharded(std::span<const DenseMatrix> factors, DenseMatrix& out,
                                 const UnifiedOptions& opt, shard::Report* report) const {
   engine_->run_sharded(request(factors, out, opt), report);
-}
-
-DenseMatrix spmttkrp_unified(sim::Device& device, const CooTensor& tensor, int mode,
-                             std::span<const DenseMatrix> factors, Partitioning part,
-                             const UnifiedOptions& opt, const StreamingOptions& stream) {
-  UnifiedMttkrp op(device, tensor, mode, part, stream);
-  return op.run(factors, opt);
 }
 
 }  // namespace ust::core

@@ -33,13 +33,6 @@ class UnifiedMttkrp {
                 Partitioning part, const StreamingOptions& stream = {},
                 pipeline::PlanCache* cache = nullptr);
 
-  /// Deprecated compatibility constructor (pre-engine API, kept so existing
-  /// callers compile; slated for removal -- see ROADMAP.md): routes through
-  /// the process-default engine for `device`. Plans are cached only when
-  /// `cache` is non-null, exactly as before the engine existed.
-  UnifiedMttkrp(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
-                const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
-
   int mode() const noexcept { return plan_->mode; }
   const UnifiedPlan& plan() const { return plan_->unified_plan(); }
   bool streaming() const noexcept { return plan_->streaming(); }
@@ -69,16 +62,8 @@ class UnifiedMttkrp {
                    const UnifiedOptions& opt, shard::Report* report = nullptr) const;
 
  private:
-  std::shared_ptr<engine::Engine> owned_engine_;  // deprecated-ctor path only
   engine::Engine* engine_;
   std::shared_ptr<const engine::OpPlan> plan_;
 };
-
-/// One-shot convenience wrapper over the process-default engine for `device`
-/// (builds a plan, runs once). Deprecated with the per-device constructors.
-DenseMatrix spmttkrp_unified(sim::Device& device, const CooTensor& tensor, int mode,
-                             std::span<const DenseMatrix> factors, Partitioning part,
-                             const UnifiedOptions& opt = {},
-                             const StreamingOptions& stream = {});
 
 }  // namespace ust::core

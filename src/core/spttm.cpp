@@ -10,14 +10,6 @@ UnifiedSpttm::UnifiedSpttm(engine::Engine& engine, const CooTensor& tensor, int 
     : engine_(&engine),
       plan_(engine.plan(tensor, engine::OpKind::kSpTTM, mode, part, stream, cache)) {}
 
-UnifiedSpttm::UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode,
-                           Partitioning part, const StreamingOptions& stream,
-                           pipeline::PlanCache* cache)
-    : owned_engine_(engine::Engine::shared_for(device)), engine_(owned_engine_.get()) {
-  plan_ = engine_->plan(tensor, engine::OpKind::kSpTTM, mode, part, stream, cache,
-                        /*use_engine_cache=*/false);
-}
-
 SemiSparseTensor UnifiedSpttm::make_output(index_t r) const {
   std::vector<index_t> sparse_dims;
   for (int m : plan_->index_modes) {
@@ -47,13 +39,6 @@ SemiSparseTensor UnifiedSpttm::run(const DenseMatrix& u, const UnifiedOptions& o
   SemiSparseTensor y = make_output(u.cols());
   engine_->run(request(u, y, opt));
   return y;
-}
-
-SemiSparseTensor spttm_unified(sim::Device& device, const CooTensor& tensor, int mode,
-                               const DenseMatrix& u, Partitioning part,
-                               const UnifiedOptions& opt, const StreamingOptions& stream) {
-  UnifiedSpttm op(device, tensor, mode, part, stream);
-  return op.run(u, opt);
 }
 
 }  // namespace ust::core

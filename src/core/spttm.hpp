@@ -30,11 +30,6 @@ class UnifiedSpttm {
                Partitioning part, const StreamingOptions& stream = {},
                pipeline::PlanCache* cache = nullptr);
 
-  /// Deprecated compatibility constructor (process-default engine for
-  /// `device`; plans cached only via `cache`). See UnifiedMttkrp.
-  UnifiedSpttm(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
-               const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
-
   int mode() const noexcept { return plan_->mode; }
   const UnifiedPlan& plan() const { return plan_->unified_plan(); }
   bool streaming() const noexcept { return plan_->streaming(); }
@@ -57,16 +52,8 @@ class UnifiedSpttm {
                             const UnifiedOptions& opt = {}) const;
 
  private:
-  std::shared_ptr<engine::Engine> owned_engine_;  // deprecated-ctor path only
   engine::Engine* engine_;
   std::shared_ptr<const engine::OpPlan> plan_;
 };
-
-/// One-shot convenience wrapper over the process-default engine (deprecated
-/// with the per-device constructors).
-SemiSparseTensor spttm_unified(sim::Device& device, const CooTensor& tensor, int mode,
-                               const DenseMatrix& u, Partitioning part,
-                               const UnifiedOptions& opt = {},
-                               const StreamingOptions& stream = {});
 
 }  // namespace ust::core

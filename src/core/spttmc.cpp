@@ -8,14 +8,6 @@ UnifiedTtmc::UnifiedTtmc(engine::Engine& engine, const CooTensor& tensor, int mo
     : engine_(&engine),
       plan_(engine.plan(tensor, engine::OpKind::kSpTTMc, mode, part, stream, cache)) {}
 
-UnifiedTtmc::UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode,
-                         Partitioning part, const StreamingOptions& stream,
-                         pipeline::PlanCache* cache)
-    : owned_engine_(engine::Engine::shared_for(device)), engine_(owned_engine_.get()) {
-  plan_ = engine_->plan(tensor, engine::OpKind::kSpTTMc, mode, part, stream, cache,
-                        /*use_engine_cache=*/false);
-}
-
 engine::OpRequest UnifiedTtmc::request(const DenseMatrix& u_first,
                                        const DenseMatrix& u_second, DenseMatrix& out,
                                        const UnifiedOptions& opt) const {
@@ -35,14 +27,6 @@ DenseMatrix UnifiedTtmc::run(const DenseMatrix& u_first, const DenseMatrix& u_se
   DenseMatrix out(plan_->out_rows(), u_first.cols() * u_second.cols());
   engine_->run(request(u_first, u_second, out, opt));
   return out;
-}
-
-DenseMatrix spttmc_unified(sim::Device& device, const CooTensor& tensor, int mode,
-                           const DenseMatrix& u_first, const DenseMatrix& u_second,
-                           Partitioning part, const UnifiedOptions& opt,
-                           const StreamingOptions& stream) {
-  UnifiedTtmc op(device, tensor, mode, part, stream);
-  return op.run(u_first, u_second, opt);
 }
 
 }  // namespace ust::core

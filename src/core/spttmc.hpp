@@ -26,11 +26,6 @@ class UnifiedTtmc {
               Partitioning part, const StreamingOptions& stream = {},
               pipeline::PlanCache* cache = nullptr);
 
-  /// Deprecated compatibility constructor (process-default engine for
-  /// `device`; plans cached only via `cache`). See UnifiedMttkrp.
-  UnifiedTtmc(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
-              const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
-
   int mode() const noexcept { return plan_->mode; }
   const UnifiedPlan& plan() const { return plan_->unified_plan(); }
   bool streaming() const noexcept { return plan_->streaming(); }
@@ -49,16 +44,8 @@ class UnifiedTtmc {
                             DenseMatrix& out, const UnifiedOptions& opt = {}) const;
 
  private:
-  std::shared_ptr<engine::Engine> owned_engine_;  // deprecated-ctor path only
   engine::Engine* engine_;
   std::shared_ptr<const engine::OpPlan> plan_;
 };
-
-/// One-shot convenience wrapper over the process-default engine (deprecated
-/// with the per-device constructors).
-DenseMatrix spttmc_unified(sim::Device& device, const CooTensor& tensor, int mode,
-                           const DenseMatrix& u_first, const DenseMatrix& u_second,
-                           Partitioning part, const UnifiedOptions& opt = {},
-                           const StreamingOptions& stream = {});
 
 }  // namespace ust::core

@@ -8,14 +8,6 @@ UnifiedTtv::UnifiedTtv(engine::Engine& engine, const CooTensor& tensor, int mode
     : engine_(&engine),
       plan_(engine.plan(tensor, engine::OpKind::kSpTTV, mode, part, stream, cache)) {}
 
-UnifiedTtv::UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode,
-                       Partitioning part, const StreamingOptions& stream,
-                       pipeline::PlanCache* cache)
-    : owned_engine_(engine::Engine::shared_for(device)), engine_(owned_engine_.get()) {
-  plan_ = engine_->plan(tensor, engine::OpKind::kSpTTV, mode, part, stream, cache,
-                        /*use_engine_cache=*/false);
-}
-
 engine::OpRequest UnifiedTtv::request(std::span<const std::vector<value_t>> vectors,
                                       std::vector<value_t>& out,
                                       const UnifiedOptions& opt) const {
@@ -39,14 +31,6 @@ std::vector<value_t> UnifiedTtv::run(std::span<const std::vector<value_t>> vecto
   std::vector<value_t> out(plan_->out_rows());
   engine_->run(request(vectors, out, opt));
   return out;
-}
-
-std::vector<value_t> spttv_unified(sim::Device& device, const CooTensor& tensor, int mode,
-                                   std::span<const std::vector<value_t>> vectors,
-                                   Partitioning part, const UnifiedOptions& opt,
-                                   const StreamingOptions& stream) {
-  UnifiedTtv op(device, tensor, mode, part, stream);
-  return op.run(vectors, opt);
 }
 
 }  // namespace ust::core

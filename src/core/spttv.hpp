@@ -29,11 +29,6 @@ class UnifiedTtv {
   UnifiedTtv(engine::Engine& engine, const CooTensor& tensor, int mode, Partitioning part,
              const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
 
-  /// Deprecated compatibility constructor (process-default engine for
-  /// `device`; plans cached only via `cache`). See UnifiedMttkrp.
-  UnifiedTtv(sim::Device& device, const CooTensor& tensor, int mode, Partitioning part,
-             const StreamingOptions& stream = {}, pipeline::PlanCache* cache = nullptr);
-
   int mode() const noexcept { return plan_->mode; }
   const UnifiedPlan& plan() const { return plan_->unified_plan(); }
   bool streaming() const noexcept { return plan_->streaming(); }
@@ -52,16 +47,8 @@ class UnifiedTtv {
                             const UnifiedOptions& opt = {}) const;
 
  private:
-  std::shared_ptr<engine::Engine> owned_engine_;  // deprecated-ctor path only
   engine::Engine* engine_;
   std::shared_ptr<const engine::OpPlan> plan_;
 };
-
-/// One-shot convenience wrapper over the process-default engine (deprecated
-/// with the per-device constructors).
-std::vector<value_t> spttv_unified(sim::Device& device, const CooTensor& tensor, int mode,
-                                   std::span<const std::vector<value_t>> vectors,
-                                   Partitioning part, const UnifiedOptions& opt = {},
-                                   const StreamingOptions& stream = {});
 
 }  // namespace ust::core

@@ -150,17 +150,4 @@ TuckerResult tucker_hooi_unified(engine::Engine& engine, const CooTensor& tensor
   return tucker_hooi_impl(ops, tensor, options);
 }
 
-TuckerResult tucker_hooi_unified(sim::Device& device, const CooTensor& tensor,
-                                 const TuckerOptions& options) {
-  validate_tucker_options(tensor, options);
-  const std::shared_ptr<engine::Engine> eng = engine::Engine::shared_for(device);
-  std::vector<UnifiedTtmc> ops;
-  ops.reserve(3);
-  for (int m = 0; m < 3; ++m) {
-    ops.emplace_back(device, tensor, m, options.part, options.streaming,
-                     options.plan_cache);
-  }
-  return tucker_hooi_impl(ops, tensor, options);
-}
-
 }  // namespace ust::core

@@ -45,9 +45,4 @@ struct TuckerResult {
 TuckerResult tucker_hooi_unified(engine::Engine& engine, const CooTensor& tensor,
                                  const TuckerOptions& options);
 
-/// Deprecated device entry point (process-default engine; pre-engine caching
-/// behaviour).
-TuckerResult tucker_hooi_unified(sim::Device& device, const CooTensor& tensor,
-                                 const TuckerOptions& options);
-
 }  // namespace ust::core

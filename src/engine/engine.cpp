@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "core/native_exec.hpp"
 #include "pipeline/stream_executor.hpp"
@@ -135,24 +134,6 @@ Engine::~Engine() {
   for (auto& rt : rt_) {
     if (rt.worker.joinable()) rt.worker.join();
   }
-}
-
-std::shared_ptr<Engine> Engine::shared_for(sim::Device& device) {
-  static std::mutex registry_mutex;
-  static std::unordered_map<const sim::Device*, std::weak_ptr<Engine>> registry;
-  std::lock_guard lock(registry_mutex);
-  // Opportunistic sweep so dead devices (stack-scoped in tests) do not
-  // accumulate stale slots.
-  if (registry.size() > 32) {
-    for (auto it = registry.begin(); it != registry.end();) {
-      it = it->second.expired() ? registry.erase(it) : std::next(it);
-    }
-  }
-  auto& slot = registry[&device];
-  if (auto existing = slot.lock()) return existing;
-  auto fresh = std::make_shared<Engine>(device);
-  slot = fresh;
-  return fresh;
 }
 
 sim::Device& Engine::device(unsigned d) {
@@ -317,6 +298,38 @@ std::shared_ptr<const pipeline::CachedPlan> Engine::replica_plan(unsigned d,
     cached.chunk = pipeline::build_chunk_plan(*dev, p.host(), p.part, spec, /*row_base=*/0);
     return cached;
   });
+}
+
+void Engine::forget(const OpPlan& plan) {
+  if (plan.streaming()) return;
+  // Reconstruct the keys the plan's entries were cached under: the primary
+  // whole-tensor bundle (pipeline::acquire_plan's key shape) plus one
+  // whole-range replica plan per additional device (replica_plan's shape).
+  std::vector<std::pair<sim::Device*, pipeline::PlanCache*>> slots;
+  {
+    std::lock_guard lock(state_mutex_);
+    for (unsigned d = 0; d < group_->size(); ++d) {
+      slots.emplace_back(&group_->device(d), &group_->cache(d));
+    }
+  }
+  for (unsigned d = 0; d < slots.size(); ++d) {
+    pipeline::PlanKey key;
+    key.device = slots[d].first;
+    key.tensor_fp = plan.tensor_fp;
+    key.op = plan.cache_op;
+    key.mode = plan.mode;
+    key.threadlen = plan.part.threadlen;
+    key.block_size = plan.part.block_size;
+    if (d == 0) {
+      key.flavor = pipeline::PlanKey::kWholePlan;
+    } else {
+      key.shard_lo = 0;
+      key.shard_hi = plan.nnz;
+      key.chunk_nnz = 0;
+      key.flavor = pipeline::PlanKey::kWholeReplica;
+    }
+    slots[d].second->erase(key);
+  }
 }
 
 void Engine::prewarm(const OpPlan& plan) {
@@ -549,11 +562,13 @@ void Engine::run_sharded_impl(const OpRequest& req, shard::Report* report) {
   if (!out_buf.empty()) rts[0]->scratch.push_back(std::move(out_buf));
 }
 
-std::future<void> Engine::submit(OpRequest req, JobRecord* record) {
+std::future<void> Engine::submit(OpRequest req, JobRecord* record, Admission admission) {
   validate_request(req);
   const OpPlan& p = *req.plan;
   core::validate(p.part, req.options, p.stream);
   if (req.options.shard.num_devices > 1) {
+    // A malformed request for this path, not back-pressure: retrying the
+    // identical submit can never succeed.
     throw core::InvalidOptions(
         "Engine::submit: sharded jobs own the whole device group; use run()");
   }
@@ -564,13 +579,22 @@ std::future<void> Engine::submit(OpRequest req, JobRecord* record) {
   {
     std::unique_lock lock(state_mutex_);
     start_workers_locked();
-    space_cv_.wait(lock, [&] {
-      return (queued_total_ < max_queued_ && grow_waiters_ == 0) || stop_;
-    });
+    if (admission == Admission::kReject) {
+      if (stop_) throw ShuttingDown();
+      // A pending group growth also refuses admission; it clears as soon as
+      // the grower runs, so it maps to the same retryable error.
+      if (queued_total_ >= max_queued_ || grow_waiters_ != 0) {
+        throw QueueFull(max_queued_);
+      }
+    } else {
+      space_cv_.wait(lock, [&] {
+        return (queued_total_ < max_queued_ && grow_waiters_ == 0) || stop_;
+      });
+    }
     if (stop_) {
-      // The destructor raced this submit; fail it cleanly instead of
-      // tripping a precondition (the engine is already tearing down).
-      throw std::runtime_error("Engine::submit: engine is shutting down");
+      // The destructor raced this submit; fail it cleanly (and typed) instead
+      // of tripping a precondition -- the engine is already tearing down.
+      throw ShuttingDown();
     }
     unsigned d = 0;
     if (!pinned && rt_.size() > 1) {
@@ -648,6 +672,8 @@ EngineStats Engine::stats() const {
   }
   s.jobs_submitted = jobs_submitted_;
   s.jobs_completed = jobs_completed_;
+  s.jobs_queued = queued_total_;
+  s.jobs_active = active_jobs_;
   return s;
 }
 

@@ -33,6 +33,7 @@
 
 #include "core/mode_plan.hpp"
 #include "core/unified_kernel.hpp"
+#include "engine/errors.hpp"
 #include "engine/op_exprs.hpp"
 #include "pipeline/chunker.hpp"
 #include "pipeline/plan_cache.hpp"
@@ -88,6 +89,10 @@ struct OpPlan {
     UST_EXPECTS(bundle != nullptr);
     return bundle->plan;
   }
+  /// Bytes this plan keeps resident on the primary device (0 for streaming
+  /// plans, whose chunk plans are transient). The unit the service's
+  /// per-tenant plan quotas are accounted in (DESIGN.md §12).
+  std::size_t resident_bytes() const { return bundle != nullptr ? bundle->bytes() : 0; }
   /// Host-side view for the chunk/shard plan builders.
   pipeline::HostFcoo host() const;
   /// Output rows of this operation (fiber count for SpTTM, dims[mode] else).
@@ -125,6 +130,24 @@ struct EngineOptions {
 
 /// Aggregated engine-wide report: the per-device PlanCache counters that
 /// benches used to hand-roll, plus submission statistics.
+///
+/// Snapshot consistency (the service polls this per `stats` request under
+/// live traffic): every job counter and gauge below is captured in ONE
+/// critical section of the engine's state mutex -- the same lock every
+/// transition (submit, dequeue, completion) mutates them under -- so within
+/// one EngineStats the invariants
+///     jobs_submitted <= jobs_queued + jobs_active + jobs_completed
+///     jobs_completed == sum over devices of DeviceStats::jobs
+/// hold exactly (the first with equality when no synchronous run() /
+/// run_sharded() is in flight -- those contribute to jobs_active only);
+/// no torn or half-applied transition is observable
+/// (EngineConcurrency.StatsSnapshotConsistentUnderLiveTraffic proves both
+/// under TSan). Cache counters are read per device under each cache's own
+/// mutex: each DeviceStats::cache is internally consistent and cache_total
+/// is the exact sum of the captured per-device values, but a concurrently
+/// executing job may land a hit between two devices' reads -- cache
+/// counters are monotone, so the snapshot is a valid recent past, never an
+/// impossible state.
 struct EngineStats {
   struct DeviceStats {
     int ordinal = 0;
@@ -137,6 +160,10 @@ struct EngineStats {
   pipeline::PlanCache::Stats cache_total;
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
+  /// Gauges (not monotone): jobs admitted but not yet dequeued by a device
+  /// worker, and jobs currently executing (submitted or synchronous run()).
+  std::uint64_t jobs_queued = 0;
+  std::uint64_t jobs_active = 0;
 };
 
 /// Optional per-job record for submit(): filled (device ordinal + execution
@@ -148,28 +175,26 @@ struct JobRecord {
   double exec_s = 0.0;
 };
 
+/// How submit() behaves when the bounded job queue is at capacity.
+enum class Admission {
+  kBlock,   // wait for a slot (in-process callers: benches, solvers)
+  kReject   // throw engine::QueueFull immediately (the service's admission
+            // control: surface back-pressure to the client as a retryable
+            // protocol error instead of stalling the I/O loop)
+};
+
 class Engine {
  public:
   /// Engine with an owned primary device (opt.props), running on the global
   /// worker pool.
   explicit Engine(const EngineOptions& opt = {});
   /// Engine around an existing device (non-owning; `primary` must outlive the
-  /// engine). This is what the deprecated per-op device constructors use via
-  /// shared_for().
+  /// engine).
   explicit Engine(sim::Device& primary, const EngineOptions& opt = {});
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
-
-  /// Process-default engine for `device`: one engine per device, shared by
-  /// every deprecated per-op front-end constructed on it (so mixed-op traffic
-  /// on one device shares the device group and the shard-plan caches, as a
-  /// single explicit Engine would). Held weakly: the engine lives exactly as
-  /// long as some op (or caller) holds the returned shared_ptr, and is torn
-  /// down -- releasing every device-resident cache entry -- before the Device
-  /// itself dies with normal scoping.
-  static std::shared_ptr<Engine> shared_for(sim::Device& device);
 
   sim::Device& device(unsigned d = 0);
   unsigned num_devices() const;
@@ -201,12 +226,25 @@ class Engine {
   /// num_devices > 1.
   void run_sharded(const OpRequest& req, shard::Report* report = nullptr);
 
-  /// Concurrent submission: enqueues the job (blocking while the bounded
-  /// queue is full), admits it round-robin to a device, and returns a future
-  /// that resolves when it completes (or carries the job's exception).
-  /// Results are bitwise identical to run(). Sim-backend jobs are pinned to
-  /// device 0; sharded jobs throw InvalidOptions (they need the whole group).
-  std::future<void> submit(OpRequest req, JobRecord* record = nullptr);
+  /// Concurrent submission: enqueues the job, admits it round-robin to a
+  /// device, and returns a future that resolves when it completes (or
+  /// carries the job's exception). Results are bitwise identical to run().
+  /// While the bounded queue is full, Admission::kBlock waits for a slot and
+  /// Admission::kReject throws engine::QueueFull (retryable). A submission
+  /// racing the destructor throws engine::ShuttingDown (terminal). Sim-
+  /// backend jobs are pinned to device 0; sharded jobs throw InvalidOptions
+  /// (a malformed request for this path -- they need the whole group, use
+  /// run()).
+  std::future<void> submit(OpRequest req, JobRecord* record = nullptr,
+                           Admission admission = Admission::kBlock);
+
+  /// Quota hook (the service's per-tenant plan budgets, DESIGN.md §12):
+  /// drops every cache entry the engine holds for `plan` -- the primary
+  /// whole-tensor bundle and any whole-range replica plans -- releasing
+  /// their bytes from the per-device budgets. Holders of the OpPlan keep a
+  /// valid (now uncached) plan; a later plan() for the same tuple rebuilds.
+  /// No-op for streaming plans, which never touch the caches.
+  void forget(const OpPlan& plan);
 
   /// Builds (and caches) the whole-range replica plan for `plan` on every
   /// device of the group, so a following submit() burst measures execution,

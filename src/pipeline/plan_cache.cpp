@@ -138,6 +138,17 @@ PlanCache::Stats PlanCache::stats() const {
   return s;
 }
 
+bool PlanCache::erase(const PlanKey& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  UST_ENSURES(bytes_in_use_ >= it->second->bytes);
+  bytes_in_use_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
 void PlanCache::purge_device(const void* device) {
   std::lock_guard lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {

@@ -121,6 +121,13 @@ class PlanCache {
   };
   Stats stats() const;
 
+  /// Drops the entry for `key` if present, releasing its bytes from the
+  /// accounting (holders of the shared_ptr keep a valid plan). Returns true
+  /// when an entry was removed. This is the quota hook the engine layers
+  /// per-tenant byte budgets on (Engine::forget): unlike LRU pressure it
+  /// targets one identified plan, and it does not count as an eviction.
+  bool erase(const PlanKey& key);
+
   /// Drops every entry whose key was built for `device` (no eviction count;
   /// this is lifetime management, not pressure). Call before destroying a
   /// Device the cache has served.

@@ -1,0 +1,213 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <system_error>
+#include <thread>
+
+namespace ust::service {
+
+std::string Response::message() const {
+  Reader r(body);
+  return r.str();
+}
+
+DenseMatrix Response::matrix() const {
+  Reader r(body);
+  const index_t rows = r.u32();
+  const index_t cols = r.u32();
+  const std::size_t n = static_cast<std::size_t>(rows) * cols;
+  DenseMatrix m(rows, cols);
+  std::memcpy(m.data(), r.bytes(n * sizeof(value_t)), n * sizeof(value_t));
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Response::stats() const {
+  Reader r(body);
+  const std::uint32_t count = r.u32();
+  std::vector<std::pair<std::string, std::uint64_t>> kv;
+  kv.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string key = r.str();
+    const std::uint64_t value = r.u64();
+    kv.emplace_back(std::move(key), value);
+  }
+  r.expect_done();
+  return kv;
+}
+
+void encode_run_body(Writer& w, std::uint64_t tensor_id, WireOp op, int mode,
+                     const Partitioning& part, std::span<const DenseMatrix> inputs,
+                     std::uint32_t timeout_ms) {
+  w.u64(tensor_id);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u32(part.threadlen);
+  w.u32(part.block_size);
+  w.u32(timeout_ms);
+  w.u8(static_cast<std::uint8_t>(inputs.size()));
+  for (const DenseMatrix& m : inputs) {
+    w.u32(m.rows());
+    w.u32(m.cols());
+    w.bytes(m.data(), m.byte_size());
+  }
+}
+
+void encode_upload_body(Writer& w, std::uint64_t tensor_id, const CooTensor& tensor) {
+  w.u64(tensor_id);
+  w.u8(static_cast<std::uint8_t>(tensor.order()));
+  for (int m = 0; m < tensor.order(); ++m) w.u32(tensor.dim(m));
+  w.u64(tensor.nnz());
+  for (int m = 0; m < tensor.order(); ++m) {
+    const auto idx = tensor.mode_indices(m);
+    w.bytes(idx.data(), idx.size_bytes());
+  }
+  const auto vals = tensor.values();
+  w.bytes(vals.data(), vals.size_bytes());
+}
+
+Client::Client(const std::string& host, std::uint16_t port, std::uint64_t tenant)
+    : tenant_(tenant) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::system_error(errno, std::generic_category(), "socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::system_error(EINVAL, std::generic_category(), "address");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw std::system_error(err, std::generic_category(), "connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), tenant_(other.tenant_), next_id_(other.next_id_) {
+  other.fd_ = -1;
+}
+
+void Client::send_raw(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+void Client::send_frame(std::span<const std::uint8_t> payload) {
+  send_raw(encode_frame(payload));
+}
+
+std::uint64_t Client::send_request(MsgType type, const Writer& body) {
+  const std::uint64_t rid = next_id_++;
+  Writer w;
+  write_request_header(w, RequestHeader{type, tenant_, rid});
+  w.bytes(body.data().data(), body.data().size());
+  send_frame(w.data());
+  return rid;
+}
+
+Response Client::recv_response() {
+  auto read_exact = [&](std::uint8_t* dst, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t got = ::recv(fd_, dst + off, n - off, 0);
+      if (got == 0) throw ProtocolError("connection closed by server");
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        throw std::system_error(errno, std::generic_category(), "recv");
+      }
+      off += static_cast<std::size_t>(got);
+    }
+  };
+  std::uint32_t len = 0;
+  read_exact(reinterpret_cast<std::uint8_t*>(&len), sizeof(len));
+  if (len == 0 || len > kMaxFrameBytes) throw ProtocolError("corrupt response frame");
+  std::vector<std::uint8_t> payload(len);
+  read_exact(payload.data(), len);
+
+  Reader r(payload);
+  Response resp;
+  resp.header = read_response_header(r);
+  resp.body.assign(payload.begin() + static_cast<std::ptrdiff_t>(payload.size() - r.remaining()),
+                   payload.end());
+  return resp;
+}
+
+Response Client::ping() {
+  send_request(MsgType::kPing, Writer{});
+  return recv_response();
+}
+
+Response Client::upload_tensor(std::uint64_t tensor_id, const CooTensor& tensor) {
+  Writer body;
+  encode_upload_body(body, tensor_id, tensor);
+  send_request(MsgType::kUploadTensor, body);
+  return recv_response();
+}
+
+Response Client::run_op(std::uint64_t tensor_id, WireOp op, int mode,
+                        const Partitioning& part, std::span<const DenseMatrix> inputs,
+                        std::uint32_t timeout_ms) {
+  send_run(tensor_id, op, mode, part, inputs, timeout_ms);
+  return recv_response();
+}
+
+Response Client::drop_tensor(std::uint64_t tensor_id) {
+  Writer body;
+  body.u64(tensor_id);
+  send_request(MsgType::kDropTensor, body);
+  return recv_response();
+}
+
+Response Client::stats() {
+  send_request(MsgType::kStats, Writer{});
+  return recv_response();
+}
+
+Response Client::run_with_retry(std::uint64_t tensor_id, WireOp op, int mode,
+                                const Partitioning& part,
+                                std::span<const DenseMatrix> inputs, int max_attempts,
+                                int backoff_ms) {
+  Response resp;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    resp = run_op(tensor_id, op, mode, part, inputs);
+    if (!resp.header.retryable || attempt == max_attempts) return resp;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms * attempt));
+  }
+  return resp;
+}
+
+std::uint64_t Client::send_run(std::uint64_t tensor_id, WireOp op, int mode,
+                               const Partitioning& part,
+                               std::span<const DenseMatrix> inputs,
+                               std::uint32_t timeout_ms) {
+  Writer body;
+  encode_run_body(body, tensor_id, op, mode, part, inputs, timeout_ms);
+  return send_request(MsgType::kRunOp, body);
+}
+
+}  // namespace ust::service

@@ -1,0 +1,100 @@
+// Blocking TCP client for the tensor-op service: one connection, synchronous
+// request/response by default, with split send_*/recv_response primitives so
+// callers (the load generator, the queue-full tests) can pipeline many
+// requests onto the socket before reading any reply. The client never
+// interprets Status beyond decoding it -- retry policy lives in
+// run_with_retry, which retries exactly the responses the server marked
+// retryable (kQueueFull) with linear backoff.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/fcoo.hpp"
+#include "tensor/dense.hpp"
+#include "util/common.hpp"
+
+namespace ust::service {
+
+/// One decoded response: the fixed header plus the message-specific body.
+struct Response {
+  ResponseHeader header;
+  std::vector<std::uint8_t> body;
+
+  bool ok() const noexcept { return header.status == Status::kOk; }
+  /// Error message of a non-kOk response.
+  std::string message() const;
+  /// Output matrix of a successful kRunOp response.
+  DenseMatrix matrix() const;
+  /// Key/value counters of a successful kStats response.
+  std::vector<std::pair<std::string, std::uint64_t>> stats() const;
+};
+
+class Client {
+ public:
+  /// Connects (blocking) to host:port; throws std::system_error on failure.
+  Client(const std::string& host, std::uint16_t port, std::uint64_t tenant);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+
+  std::uint64_t tenant() const noexcept { return tenant_; }
+
+  // -- synchronous API ----------------------------------------------------
+  Response ping();
+  Response upload_tensor(std::uint64_t tensor_id, const CooTensor& tensor);
+  Response run_op(std::uint64_t tensor_id, WireOp op, int mode, const Partitioning& part,
+                  std::span<const DenseMatrix> inputs, std::uint32_t timeout_ms = 0);
+  Response drop_tensor(std::uint64_t tensor_id);
+  Response stats();
+
+  /// run_op, retrying responses the server marked retryable up to
+  /// `max_attempts` total tries with `backoff_ms * attempt` sleeps between
+  /// them. Returns the final response (retryable iff every attempt was
+  /// rejected).
+  Response run_with_retry(std::uint64_t tensor_id, WireOp op, int mode,
+                          const Partitioning& part, std::span<const DenseMatrix> inputs,
+                          int max_attempts = 8, int backoff_ms = 2);
+
+  // -- pipelined API ------------------------------------------------------
+  /// Sends a kRunOp request without waiting; returns its request id.
+  std::uint64_t send_run(std::uint64_t tensor_id, WireOp op, int mode,
+                         const Partitioning& part, std::span<const DenseMatrix> inputs,
+                         std::uint32_t timeout_ms = 0);
+  /// Blocks for the next response frame on the socket (responses to
+  /// pipelined sends arrive in submission order for errors, completion order
+  /// for results -- match by header.request_id).
+  Response recv_response();
+
+  // -- raw access (protocol tests) ----------------------------------------
+  /// Writes arbitrary bytes to the socket, bypassing framing.
+  void send_raw(std::span<const std::uint8_t> bytes);
+  /// Half-closes the write side (server sees EOF).
+  void shutdown_write();
+  int fd() const noexcept { return fd_; }
+
+ private:
+  std::uint64_t send_request(MsgType type, const Writer& body);
+  void send_frame(std::span<const std::uint8_t> payload);
+
+  int fd_ = -1;
+  std::uint64_t tenant_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Serialises the body of a kRunOp request (shared by Client and tests that
+/// craft malformed variants of it).
+void encode_run_body(Writer& w, std::uint64_t tensor_id, WireOp op, int mode,
+                     const Partitioning& part, std::span<const DenseMatrix> inputs,
+                     std::uint32_t timeout_ms);
+/// Serialises the body of a kUploadTensor request.
+void encode_upload_body(Writer& w, std::uint64_t tensor_id, const CooTensor& tensor);
+
+}  // namespace ust::service

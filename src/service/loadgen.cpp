@@ -1,0 +1,182 @@
+#include "service/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "engine/engine.hpp"
+#include "io/generate.hpp"
+#include "util/prng.hpp"
+
+namespace ust::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One entry of the op mix: request parameters + the locally-computed truth.
+struct MixEntry {
+  WireOp op;
+  int mode;
+  std::vector<DenseMatrix> inputs;
+  DenseMatrix expected;
+};
+
+engine::OpKind to_kind(WireOp op) {
+  switch (op) {
+    case WireOp::kSpTTM: return engine::OpKind::kSpTTM;
+    case WireOp::kSpMTTKRP: return engine::OpKind::kSpMTTKRP;
+    case WireOp::kSpTTMc: return engine::OpKind::kSpTTMc;
+    case WireOp::kSpTTV: return engine::OpKind::kSpTTV;
+  }
+  UST_ENSURES(false);
+}
+
+/// Builds the inputs for (op, mode) -- one factor per product mode, rank
+/// columns (1 for TTV) -- and computes the expected output on `local`.
+MixEntry make_entry(engine::Engine& local, const CooTensor& tensor, WireOp op, int mode,
+                    index_t rank, Prng& rng, const Partitioning& part) {
+  MixEntry e{op, mode, {}, {}};
+  auto plan = local.plan(tensor, to_kind(op), mode, part);
+  const index_t cols = op == WireOp::kSpTTV ? 1 : rank;
+  for (int pm : plan->product_modes) {
+    DenseMatrix f(tensor.dim(pm), cols);
+    f.fill_random(rng, -1.0f, 1.0f);
+    e.inputs.push_back(std::move(f));
+  }
+  index_t out_cols = cols;
+  if (op == WireOp::kSpTTMc) out_cols = cols * cols;
+  if (op == WireOp::kSpTTV) out_cols = 1;
+  e.expected = DenseMatrix(plan->out_rows(), out_cols);
+
+  engine::OpRequest req;
+  req.plan = plan;
+  for (const DenseMatrix& m : e.inputs) {
+    req.inputs.push_back({m.data(), m.rows(), m.cols()});
+  }
+  req.out = e.expected.data();
+  req.out_rows = e.expected.rows();
+  req.out_cols = e.expected.cols();
+  local.run(req);
+  return e;
+}
+
+struct WorkerResult {
+  std::uint64_t ok = 0, corrupt = 0, lost = 0, queue_full = 0, timeouts = 0;
+  std::vector<double> latencies_us;
+};
+
+void run_worker(const LoadgenOptions& opt, const CooTensor& tensor,
+                const std::vector<MixEntry>& mix, int worker, WorkerResult& out) {
+  out.latencies_us.reserve(static_cast<std::size_t>(opt.requests_per_connection));
+  try {
+    Client client(opt.host, opt.port, /*tenant=*/static_cast<std::uint64_t>(worker) + 1);
+    const Response up = client.upload_tensor(1, tensor);
+    if (!up.ok()) {
+      out.lost += static_cast<std::uint64_t>(opt.requests_per_connection);
+      return;
+    }
+    for (int i = 0; i < opt.requests_per_connection; ++i) {
+      // Stagger the mix across workers so the server sees interleaved ops.
+      const MixEntry& e = mix[static_cast<std::size_t>(worker + i) % mix.size()];
+      const auto t0 = Clock::now();
+      Response resp;
+      bool sent = false;
+      for (int attempt = 1; attempt <= opt.max_attempts && !sent; ++attempt) {
+        resp = client.run_op(1, e.op, e.mode, opt.part, e.inputs, opt.timeout_ms);
+        if (resp.header.status == Status::kQueueFull) ++out.queue_full;
+        if (!resp.header.retryable) {
+          sent = true;
+        } else if (attempt < opt.max_attempts) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(opt.backoff_ms * attempt));
+        }
+      }
+      const auto t1 = Clock::now();
+      out.latencies_us.push_back(
+          std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0)
+              .count());
+      if (!sent) {
+        ++out.lost;  // retries exhausted
+        continue;
+      }
+      if (resp.header.status == Status::kTimeout) {
+        ++out.timeouts;
+        continue;
+      }
+      if (!resp.ok()) {
+        ++out.lost;
+        continue;
+      }
+      const DenseMatrix got = resp.matrix();
+      if (got.rows() != e.expected.rows() || got.cols() != e.expected.cols() ||
+          std::memcmp(got.data(), e.expected.data(), got.byte_size()) != 0) {
+        ++out.corrupt;
+      } else {
+        ++out.ok;
+      }
+    }
+  } catch (const std::exception&) {
+    // Connection-level failure: whatever this worker didn't verify is lost.
+    const auto done = out.ok + out.corrupt + out.lost + out.timeouts;
+    out.lost += static_cast<std::uint64_t>(opt.requests_per_connection) - done;
+  }
+}
+
+}  // namespace
+
+double LoadgenReport::percentile_us(double p) const {
+  if (latencies_us.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(latencies_us.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return latencies_us[lo] * (1.0 - frac) + latencies_us[hi] * frac;
+}
+
+LoadgenReport run_loadgen(const LoadgenOptions& opt) {
+  const CooTensor tensor = io::generate_uniform(opt.dims, opt.nnz, opt.seed);
+
+  // Local ground truth: one mix entry per op, on the same tensor. Mode
+  // choices exercise different index/product splits.
+  engine::Engine local;
+  Prng rng(opt.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<MixEntry> mix;
+  mix.push_back(make_entry(local, tensor, WireOp::kSpMTTKRP, 0, opt.rank, rng, opt.part));
+  mix.push_back(make_entry(local, tensor, WireOp::kSpTTM, 2, opt.rank, rng, opt.part));
+  mix.push_back(make_entry(local, tensor, WireOp::kSpTTV, 1, opt.rank, rng, opt.part));
+  mix.push_back(make_entry(local, tensor, WireOp::kSpTTMc, 0, opt.rank, rng, opt.part));
+
+  std::vector<WorkerResult> results(static_cast<std::size_t>(opt.connections));
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  const auto t0 = Clock::now();
+  for (int w = 0; w < opt.connections; ++w) {
+    threads.emplace_back(run_worker, std::cref(opt), std::cref(tensor), std::cref(mix), w,
+                         std::ref(results[static_cast<std::size_t>(w)]));
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = Clock::now();
+
+  LoadgenReport report;
+  report.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  for (const WorkerResult& r : results) {
+    report.ok += r.ok;
+    report.corrupt += r.corrupt;
+    report.lost += r.lost;
+    report.queue_full += r.queue_full;
+    report.timeouts += r.timeouts;
+    report.latencies_us.insert(report.latencies_us.end(), r.latencies_us.begin(),
+                               r.latencies_us.end());
+  }
+  report.requests = static_cast<std::uint64_t>(opt.connections) *
+                    static_cast<std::uint64_t>(opt.requests_per_connection);
+  std::sort(report.latencies_us.begin(), report.latencies_us.end());
+  report.throughput_rps =
+      report.wall_s > 0.0 ? static_cast<double>(report.latencies_us.size()) / report.wall_s
+                          : 0.0;
+  return report;
+}
+
+}  // namespace ust::service

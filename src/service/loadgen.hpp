@@ -1,0 +1,62 @@
+// Load generator for the tensor-op service: N concurrent connections (one
+// tenant each) driving a mixed-op request stream against one server, with
+// end-to-end latency recording and full response verification. Every worker
+// replays requests whose expected outputs were computed up front on a local
+// Engine -- submitted jobs are bitwise identical to sequential execution
+// (engine.hpp), so any response that is not byte-for-byte the local result is
+// counted corrupt. Queue-full rejections are retried through the client's
+// retryable path; a request that exhausts its retries or loses its
+// connection is counted lost. The bench target (BENCH_service.json) is
+// zero lost + zero corrupt under >= 32 connections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+
+namespace ust::service {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connections = 32;
+  int requests_per_connection = 32;
+  /// Factor rank of the generated traffic (TTMc output is rank^2 wide).
+  index_t rank = 8;
+  /// Generated tensor shape.
+  std::vector<index_t> dims = {64, 48, 56};
+  nnz_t nnz = 20000;
+  std::uint64_t seed = 4242;
+  Partitioning part{};
+  /// Client retry policy for kQueueFull responses.
+  int max_attempts = 64;
+  int backoff_ms = 1;
+  /// Deadline attached to every run request (0 = none).
+  std::uint32_t timeout_ms = 0;
+};
+
+struct LoadgenReport {
+  std::uint64_t requests = 0;   // run-op requests issued (excl. uploads)
+  std::uint64_t ok = 0;         // verified byte-identical responses
+  std::uint64_t corrupt = 0;    // responded kOk but wrong bytes/shape
+  std::uint64_t lost = 0;       // connection error / retries exhausted / non-OK
+  std::uint64_t queue_full = 0; // kQueueFull responses observed (pre-retry)
+  std::uint64_t timeouts = 0;   // kTimeout responses observed
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  /// End-to-end per-request latencies (including retries), sorted ascending.
+  std::vector<double> latencies_us;
+
+  double percentile_us(double p) const;
+};
+
+/// Runs the full workload (upload phase + mixed-op phase) and blocks until
+/// every connection drains. Thread-safe against a live server only; the
+/// server must already be listening on opt.host:opt.port.
+LoadgenReport run_loadgen(const LoadgenOptions& opt);
+
+}  // namespace ust::service

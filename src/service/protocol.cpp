@@ -1,0 +1,92 @@
+#include "service/protocol.hpp"
+
+namespace ust::service {
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kQueueFull: return "queue-full";
+    case Status::kShuttingDown: return "shutting-down";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kNotFound: return "not-found";
+    case Status::kQuotaExceeded: return "quota-exceeded";
+    case Status::kTimeout: return "timeout";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+RequestHeader read_request_header(Reader& r) {
+  RequestHeader h;
+  const std::uint8_t type = r.u8();
+  if (type > static_cast<std::uint8_t>(MsgType::kStats)) {
+    throw ProtocolError("unknown message type " + std::to_string(type));
+  }
+  h.type = static_cast<MsgType>(type);
+  h.tenant = r.u64();
+  h.request_id = r.u64();
+  return h;
+}
+
+void write_request_header(Writer& w, const RequestHeader& h) {
+  w.u8(static_cast<std::uint8_t>(h.type));
+  w.u64(h.tenant);
+  w.u64(h.request_id);
+}
+
+ResponseHeader read_response_header(Reader& r) {
+  ResponseHeader h;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(Status::kInternal)) {
+    throw ProtocolError("unknown status " + std::to_string(status));
+  }
+  h.status = static_cast<Status>(status);
+  h.retryable = r.u8() != 0;
+  h.request_id = r.u64();
+  return h;
+}
+
+void write_response_header(Writer& w, Status status, std::uint64_t request_id) {
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u8(status_retryable(status) ? 1 : 0);
+  w.u64(request_id);
+}
+
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) throw ProtocolError("frame too large");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(sizeof(len) + payload.size());
+  const auto* lp = reinterpret_cast<const std::uint8_t*>(&len);
+  out.insert(out.end(), lp, lp + sizeof(len));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameAssembler::feed(const std::uint8_t* data, std::size_t n) {
+  // Drop already-consumed prefix before growing, so a long-lived session
+  // doesn't accumulate every frame it ever received.
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameAssembler::next(std::vector<std::uint8_t>& payload) {
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < sizeof(std::uint32_t)) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + consumed_, sizeof(len));
+  if (len == 0) throw ProtocolError("zero-length frame");
+  if (len > kMaxFrameBytes) {
+    throw ProtocolError("frame length " + std::to_string(len) + " exceeds limit");
+  }
+  if (avail < sizeof(len) + len) return false;
+  const std::uint8_t* body = buf_.data() + consumed_ + sizeof(len);
+  payload.assign(body, body + len);
+  consumed_ += sizeof(len) + len;
+  return true;
+}
+
+}  // namespace ust::service

@@ -1,0 +1,177 @@
+// Wire protocol of the tensor-op service (DESIGN.md §12): little-endian,
+// length-prefixed frames over TCP. A frame is a u32 payload length followed
+// by that many bytes; the payload starts with a fixed request (or response)
+// header and continues with a message-specific body. The framing layer is
+// deliberately dumb -- no compression, no versioned schema registry -- so a
+// FrameAssembler can be driven byte-by-byte from a non-blocking socket and
+// every parse failure is a typed ProtocolError the server maps to
+// Status::kBadRequest (malformed body) or a connection close (corrupt
+// framing).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ust::service {
+
+/// Hard ceiling on one frame's payload: large enough for a whole uploaded
+/// tensor at the service's scale, small enough that a corrupt or hostile
+/// length prefix cannot make the assembler buffer gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kPing = 0,
+  kUploadTensor = 1,
+  kRunOp = 2,
+  kDropTensor = 3,
+  kStats = 4,
+};
+
+/// Response status. Exactly one status is retryable: kQueueFull, the typed
+/// surface of engine::QueueFull admission rejections -- the client is told
+/// the request was well-formed and will succeed once queued jobs drain.
+/// Everything else is terminal for the request (and kShuttingDown for the
+/// connection).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kQueueFull = 1,      // bounded engine queue at capacity; retry after drain
+  kShuttingDown = 2,   // server/engine stopping; do not retry here
+  kBadRequest = 3,     // malformed body, bad shapes, unknown op/msg type
+  kNotFound = 4,       // tensor_id not uploaded by this tenant
+  kQuotaExceeded = 5,  // tenant tensor-byte quota exhausted
+  kTimeout = 6,        // job missed its client-supplied deadline
+  kInternal = 7,       // unexpected server-side failure
+};
+
+inline bool status_retryable(Status s) noexcept { return s == Status::kQueueFull; }
+
+const char* status_name(Status s) noexcept;
+
+/// Parse/underrun failure anywhere in the protocol layer.
+class ProtocolError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Every request payload begins with this header.
+struct RequestHeader {
+  MsgType type = MsgType::kPing;
+  std::uint64_t tenant = 0;
+  std::uint64_t request_id = 0;
+};
+
+/// Every response payload begins with this header. `retryable` is redundant
+/// with `status` by construction (status_retryable), carried explicitly so
+/// clients never hard-code the status table.
+struct ResponseHeader {
+  Status status = Status::kOk;
+  bool retryable = false;
+  std::uint64_t request_id = 0;
+};
+
+/// Op selector of a kRunOp body; values are pinned to the wire.
+enum class WireOp : std::uint8_t {
+  kSpTTM = 0,
+  kSpMTTKRP = 1,
+  kSpTTMc = 2,
+  kSpTTV = 3,
+};
+
+/// Append-only little-endian serializer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void bytes(const void* data, std::size_t n) { raw(data, n); }
+  void str(std::string_view s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over one frame payload; every
+/// overrun throws ProtocolError.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  float f32() { return take<float>(); }
+  std::string str() {
+    const std::uint16_t n = u16();
+    const auto* p = bytes(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+  /// Raw view of `n` bytes (for bulk value arrays); advances the cursor.
+  const std::uint8_t* bytes(std::size_t n) {
+    if (n > remaining()) throw ProtocolError("payload truncated");
+    const std::uint8_t* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  void expect_done() const {
+    if (remaining() != 0) throw ProtocolError("trailing bytes in payload");
+  }
+
+ private:
+  template <typename T>
+  T take() {
+    T v;
+    std::memcpy(&v, bytes(sizeof(T)), sizeof(T));
+    return v;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+RequestHeader read_request_header(Reader& r);
+void write_request_header(Writer& w, const RequestHeader& h);
+ResponseHeader read_response_header(Reader& r);
+void write_response_header(Writer& w, Status status, std::uint64_t request_id);
+
+/// Wraps a payload in a length prefix.
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload);
+
+/// Incremental frame splitter for a non-blocking receive path: feed() raw
+/// bytes as they arrive (any fragmentation, down to one byte at a time),
+/// next() pops complete payloads in order. A length prefix of zero (no
+/// header can follow) or above kMaxFrameBytes is corrupt framing and throws
+/// ProtocolError -- the stream cannot be resynchronised, so the server drops
+/// the connection.
+class FrameAssembler {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  /// Pops the next complete frame payload into `payload`; false if more
+  /// bytes are needed.
+  bool next(std::vector<std::uint8_t>& payload);
+  std::size_t buffered() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  // bytes of buf_ already handed out
+};
+
+}  // namespace ust::service

@@ -1,0 +1,662 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <list>
+#include <optional>
+#include <system_error>
+#include <unordered_map>
+
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+
+namespace ust::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::system_error(errno, std::generic_category(), "fcntl(O_NONBLOCK)");
+  }
+}
+
+engine::OpKind to_op_kind(WireOp op) {
+  switch (op) {
+    case WireOp::kSpTTM: return engine::OpKind::kSpTTM;
+    case WireOp::kSpMTTKRP: return engine::OpKind::kSpMTTKRP;
+    case WireOp::kSpTTMc: return engine::OpKind::kSpTTMc;
+    case WireOp::kSpTTV: return engine::OpKind::kSpTTV;
+  }
+  throw ProtocolError("unknown op");
+}
+
+/// Mirror of the engine's output-width rule (engine.cpp expected_out_cols).
+index_t out_cols_for(engine::OpKind kind, std::span<const DenseMatrix> inputs) {
+  switch (kind) {
+    case engine::OpKind::kSpTTM:
+    case engine::OpKind::kSpMTTKRP:
+      return inputs[0].cols();
+    case engine::OpKind::kSpTTMc:
+      return inputs[0].cols() * inputs[1].cols();
+    case engine::OpKind::kSpTTV:
+      return 1;
+  }
+  UST_ENSURES(false);
+}
+
+}  // namespace
+
+struct TensorOpServer::Impl {
+  engine::Engine& engine;
+  ServerOptions opt;
+  int listener = -1;
+  std::atomic<bool> stop{false};
+
+  struct Session {
+    int fd = -1;
+    FrameAssembler in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+  };
+  std::unordered_map<int, Session> sessions;  // keyed by fd
+
+  /// One submitted job awaiting its future. The matrices anchor every
+  /// pointer the OpRequest handed to the engine, so a Pending must outlive
+  /// its job even when the response was abandoned (timeout / dead session).
+  struct Pending {
+    int fd = -1;
+    std::uint64_t request_id = 0;
+    std::future<void> future;
+    std::vector<DenseMatrix> inputs;
+    DenseMatrix out;
+    std::shared_ptr<const engine::OpPlan> plan;
+    std::optional<Clock::time_point> deadline;
+    bool abandoned = false;
+  };
+  std::list<Pending> pending;
+
+  struct PlanSlot {
+    std::uint64_t tensor = 0;
+    std::uint8_t op = 0;
+    std::uint8_t mode = 0;
+    std::uint32_t threadlen = 0;
+    std::uint32_t block_size = 0;
+    std::shared_ptr<const engine::OpPlan> plan;
+    std::size_t bytes = 0;
+
+    bool matches(std::uint64_t t, std::uint8_t o, std::uint8_t m, const Partitioning& p) const {
+      return tensor == t && op == o && mode == m && threadlen == p.threadlen &&
+             block_size == p.block_size;
+    }
+  };
+  struct Tenant {
+    struct TensorEntry {
+      CooTensor tensor;
+      std::size_t bytes = 0;
+    };
+    std::unordered_map<std::uint64_t, TensorEntry> tensors;
+    std::size_t tensor_bytes = 0;
+    std::list<PlanSlot> plans;  // front = most recent
+    std::size_t plan_bytes = 0;
+  };
+  std::unordered_map<std::uint64_t, Tenant> tenants;
+
+  // Counters (atomics: stats() reads from foreign threads).
+  std::atomic<std::uint64_t> sessions_accepted{0}, requests{0}, responses{0},
+      queue_full{0}, timeouts{0}, bad_requests{0}, bytes_rx{0}, bytes_tx{0},
+      tensors_gauge{0}, tensor_bytes_gauge{0}, plans_gauge{0}, plan_bytes_gauge{0},
+      sessions_gauge{0}, tenants_gauge{0};
+
+  explicit Impl(engine::Engine& eng, ServerOptions o) : engine(eng), opt(std::move(o)) {}
+
+  // ---- plan quota ------------------------------------------------------
+
+  void drop_plan(Tenant& tenant, std::list<PlanSlot>::iterator it) {
+    engine.forget(*it->plan);
+    tenant.plan_bytes -= it->bytes;
+    plan_bytes_gauge -= it->bytes;
+    --plans_gauge;
+    tenant.plans.erase(it);
+  }
+
+  /// Tenant-LRU plan acquisition. A hit refreshes recency; a miss plans
+  /// through the engine (primary PlanCache) and charges the tenant quota,
+  /// evicting the tenant's stalest plans via Engine::forget until it fits
+  /// (always-keep-one: the newest plan is never evicted by its own
+  /// admission).
+  std::shared_ptr<const engine::OpPlan> plan_for(Tenant& tenant, std::uint64_t tensor_id,
+                                                 const CooTensor& tensor, WireOp op,
+                                                 std::uint8_t mode, const Partitioning& part) {
+    const auto raw_op = static_cast<std::uint8_t>(op);
+    for (auto it = tenant.plans.begin(); it != tenant.plans.end(); ++it) {
+      if (it->matches(tensor_id, raw_op, mode, part)) {
+        tenant.plans.splice(tenant.plans.begin(), tenant.plans, it);
+        return tenant.plans.front().plan;
+      }
+    }
+    auto plan = engine.plan(tensor, to_op_kind(op), mode, part);
+    const std::size_t bytes = plan->resident_bytes();
+    while (tenant.plan_bytes + bytes > opt.tenant_plan_quota && !tenant.plans.empty()) {
+      drop_plan(tenant, std::prev(tenant.plans.end()));
+    }
+    tenant.plans.push_front(PlanSlot{tensor_id, raw_op, mode, part.threadlen,
+                                     part.block_size, plan, bytes});
+    tenant.plan_bytes += bytes;
+    plan_bytes_gauge += bytes;
+    ++plans_gauge;
+    return plan;
+  }
+
+  void drop_tensor(Tenant& tenant, std::uint64_t tensor_id) {
+    const auto it = tenant.tensors.find(tensor_id);
+    if (it == tenant.tensors.end()) return;
+    for (auto p = tenant.plans.begin(); p != tenant.plans.end();) {
+      if (p->tensor == tensor_id) {
+        const auto victim = p++;
+        drop_plan(tenant, victim);
+      } else {
+        ++p;
+      }
+    }
+    tenant.tensor_bytes -= it->second.bytes;
+    tensor_bytes_gauge -= it->second.bytes;
+    --tensors_gauge;
+    tenant.tensors.erase(it);
+  }
+
+  // ---- responses -------------------------------------------------------
+
+  void enqueue(Session& s, const Writer& payload) {
+    const auto frame = encode_frame(payload.data());
+    s.out.insert(s.out.end(), frame.begin(), frame.end());
+    ++responses;
+  }
+
+  void respond_error(Session& s, Status status, std::uint64_t request_id,
+                     std::string_view message) {
+    Writer w;
+    write_response_header(w, status, request_id);
+    w.str(message);
+    if (status == Status::kQueueFull) ++queue_full;
+    if (status == Status::kTimeout) ++timeouts;
+    if (status == Status::kBadRequest || status == Status::kNotFound ||
+        status == Status::kQuotaExceeded) {
+      ++bad_requests;
+    }
+    enqueue(s, w);
+  }
+
+  // ---- request handlers ------------------------------------------------
+
+  void handle_frame(Session& s, std::span<const std::uint8_t> payload) {
+    ++requests;
+    Reader r(payload);
+    RequestHeader h;
+    try {
+      h = read_request_header(r);
+    } catch (const ProtocolError& e) {
+      ++bad_requests;
+      Writer w;
+      write_response_header(w, Status::kBadRequest, 0);
+      w.str(e.what());
+      enqueue(s, w);
+      return;
+    }
+    try {
+      switch (h.type) {
+        case MsgType::kPing: {
+          Writer w;
+          write_response_header(w, Status::kOk, h.request_id);
+          enqueue(s, w);
+          return;
+        }
+        case MsgType::kUploadTensor: return handle_upload(s, h, r);
+        case MsgType::kRunOp: return handle_run(s, h, r);
+        case MsgType::kDropTensor: return handle_drop(s, h, r);
+        case MsgType::kStats: return handle_stats(s, h);
+      }
+    } catch (const ProtocolError& e) {
+      respond_error(s, Status::kBadRequest, h.request_id, e.what());
+    } catch (const ContractViolation& e) {
+      // Bad shapes / indices out of range: a malformed request, not a
+      // server fault.
+      respond_error(s, Status::kBadRequest, h.request_id, e.what());
+    } catch (const core::InvalidOptions& e) {
+      respond_error(s, Status::kBadRequest, h.request_id, e.what());
+    } catch (const std::exception& e) {
+      respond_error(s, Status::kInternal, h.request_id, e.what());
+    }
+  }
+
+  void handle_upload(Session& s, const RequestHeader& h, Reader& r) {
+    const std::uint64_t tensor_id = r.u64();
+    const int order = r.u8();
+    if (order < 1 || order > static_cast<int>(engine::kMaxProductModes) + 1) {
+      throw ProtocolError("unsupported tensor order " + std::to_string(order));
+    }
+    std::vector<index_t> dims(static_cast<std::size_t>(order));
+    for (auto& d : dims) d = r.u32();
+    const std::uint64_t nnz = r.u64();
+    const std::size_t need =
+        static_cast<std::size_t>(nnz) * (static_cast<std::size_t>(order) + 1) * 4;
+    if (r.remaining() != need) throw ProtocolError("tensor body size mismatch");
+
+    CooTensor tensor(dims);
+    std::vector<std::span<const index_t>> cols;
+    cols.reserve(static_cast<std::size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      const auto* p = r.bytes(static_cast<std::size_t>(nnz) * sizeof(index_t));
+      cols.emplace_back(reinterpret_cast<const index_t*>(p), nnz);
+    }
+    const auto* vals = reinterpret_cast<const value_t*>(
+        r.bytes(static_cast<std::size_t>(nnz) * sizeof(value_t)));
+    std::vector<index_t> idx(static_cast<std::size_t>(order));
+    for (std::uint64_t x = 0; x < nnz; ++x) {
+      for (int m = 0; m < order; ++m) idx[static_cast<std::size_t>(m)] = cols[static_cast<std::size_t>(m)][x];
+      tensor.push_back(idx, vals[x]);
+    }
+
+    Tenant& tenant = get_tenant(h.tenant);
+    drop_tensor(tenant, tensor_id);  // re-upload replaces
+    const std::size_t bytes = tensor.storage_bytes();
+    if (tenant.tensor_bytes + bytes > opt.tenant_tensor_quota) {
+      respond_error(s, Status::kQuotaExceeded, h.request_id,
+                    "tenant tensor quota exceeded");
+      return;
+    }
+    tenant.tensor_bytes += bytes;
+    tensor_bytes_gauge += bytes;
+    ++tensors_gauge;
+    tenant.tensors.emplace(tensor_id, Tenant::TensorEntry{std::move(tensor), bytes});
+    Writer w;
+    write_response_header(w, Status::kOk, h.request_id);
+    enqueue(s, w);
+  }
+
+  void handle_drop(Session& s, const RequestHeader& h, Reader& r) {
+    const std::uint64_t tensor_id = r.u64();
+    r.expect_done();
+    const auto t = tenants.find(h.tenant);
+    if (t == tenants.end() || !t->second.tensors.contains(tensor_id)) {
+      respond_error(s, Status::kNotFound, h.request_id, "unknown tensor");
+      return;
+    }
+    drop_tensor(t->second, tensor_id);
+    Writer w;
+    write_response_header(w, Status::kOk, h.request_id);
+    enqueue(s, w);
+  }
+
+  void handle_run(Session& s, const RequestHeader& h, Reader& r) {
+    const std::uint64_t tensor_id = r.u64();
+    const auto raw_op = r.u8();
+    if (raw_op > static_cast<std::uint8_t>(WireOp::kSpTTV)) {
+      throw ProtocolError("unknown op " + std::to_string(raw_op));
+    }
+    const auto op = static_cast<WireOp>(raw_op);
+    const std::uint8_t mode = r.u8();
+    Partitioning part;
+    part.threadlen = r.u32();
+    part.block_size = r.u32();
+    const std::uint32_t timeout_ms = r.u32();
+    const int num_inputs = r.u8();
+    std::vector<DenseMatrix> inputs;
+    inputs.reserve(static_cast<std::size_t>(num_inputs));
+    for (int i = 0; i < num_inputs; ++i) {
+      const index_t rows = r.u32();
+      const index_t cols = r.u32();
+      const std::size_t n = static_cast<std::size_t>(rows) * cols;
+      if (n > r.remaining() / sizeof(value_t)) throw ProtocolError("matrix truncated");
+      DenseMatrix m(rows, cols);
+      std::memcpy(m.data(), r.bytes(n * sizeof(value_t)), n * sizeof(value_t));
+      inputs.push_back(std::move(m));
+    }
+    r.expect_done();
+
+    const auto t = tenants.find(h.tenant);
+    if (t == tenants.end()) {
+      respond_error(s, Status::kNotFound, h.request_id, "unknown tensor");
+      return;
+    }
+    const auto entry = t->second.tensors.find(tensor_id);
+    if (entry == t->second.tensors.end()) {
+      respond_error(s, Status::kNotFound, h.request_id, "unknown tensor");
+      return;
+    }
+    auto plan = plan_for(t->second, tensor_id, entry->second.tensor, op, mode, part);
+    if (inputs.size() != plan->product_modes.size()) {
+      respond_error(s, Status::kBadRequest, h.request_id,
+                    "expected " + std::to_string(plan->product_modes.size()) +
+                        " input matrices, got " + std::to_string(inputs.size()));
+      return;
+    }
+
+    Pending job;
+    job.fd = s.fd;
+    job.request_id = h.request_id;
+    job.inputs = std::move(inputs);
+    job.out = DenseMatrix(plan->out_rows(),
+                          out_cols_for(plan->kind, job.inputs));
+    job.plan = plan;
+    if (timeout_ms != 0) {
+      job.deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+
+    engine::OpRequest req;
+    req.plan = std::move(plan);
+    req.inputs.reserve(job.inputs.size());
+    for (const DenseMatrix& m : job.inputs) {
+      req.inputs.push_back({m.data(), m.rows(), m.cols()});
+    }
+    req.out = job.out.data();
+    req.out_rows = job.out.rows();
+    req.out_cols = job.out.cols();
+
+    try {
+      job.future = engine.submit(std::move(req), nullptr, engine::Admission::kReject);
+    } catch (const engine::QueueFull& e) {
+      respond_error(s, Status::kQueueFull, h.request_id, e.what());
+      return;
+    } catch (const engine::ShuttingDown& e) {
+      respond_error(s, Status::kShuttingDown, h.request_id, e.what());
+      return;
+    }
+    pending.push_back(std::move(job));
+  }
+
+  void handle_stats(Session& s, const RequestHeader& h) {
+    const engine::EngineStats es = engine.stats();
+    Writer w;
+    write_response_header(w, Status::kOk, h.request_id);
+    std::vector<std::pair<std::string_view, std::uint64_t>> kv = {
+        {"engine.devices", es.devices.size()},
+        {"engine.jobs_submitted", es.jobs_submitted},
+        {"engine.jobs_completed", es.jobs_completed},
+        {"engine.jobs_queued", es.jobs_queued},
+        {"engine.jobs_active", es.jobs_active},
+        {"engine.cache_hits", es.cache_total.hits},
+        {"engine.cache_misses", es.cache_total.misses},
+        {"engine.cache_evictions", es.cache_total.evictions},
+        {"engine.cache_bytes", es.cache_total.bytes_in_use},
+        {"server.sessions_accepted", sessions_accepted.load()},
+        {"server.sessions_open", sessions_gauge.load()},
+        {"server.requests", requests.load()},
+        {"server.responses", responses.load()},
+        {"server.queue_full", queue_full.load()},
+        {"server.timeouts", timeouts.load()},
+        {"server.bad_requests", bad_requests.load()},
+        {"server.tenants", tenants_gauge.load()},
+        {"server.tensors", tensors_gauge.load()},
+        {"server.tensor_bytes", tensor_bytes_gauge.load()},
+        {"server.plans", plans_gauge.load()},
+        {"server.plan_bytes", plan_bytes_gauge.load()},
+    };
+    w.u32(static_cast<std::uint32_t>(kv.size()));
+    for (const auto& [k, v] : kv) {
+      w.str(k);
+      w.u64(v);
+    }
+    enqueue(s, w);
+  }
+
+  Tenant& get_tenant(std::uint64_t id) {
+    const auto [it, inserted] = tenants.try_emplace(id);
+    if (inserted) ++tenants_gauge;
+    return it->second;
+  }
+
+  // ---- completion harvesting -------------------------------------------
+
+  void harvest() {
+    const auto now = Clock::now();
+    for (auto it = pending.begin(); it != pending.end();) {
+      const bool ready =
+          it->future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+      if (!ready) {
+        if (!it->abandoned && it->deadline && now >= *it->deadline) {
+          // Missed deadline: answer now, keep holding the buffers until the
+          // engine job drains (it cannot be preempted mid-kernel).
+          if (auto* s = find_session(it->fd)) {
+            respond_error(*s, Status::kTimeout, it->request_id, "deadline exceeded");
+          } else {
+            ++timeouts;
+          }
+          it->abandoned = true;
+        }
+        ++it;
+        continue;
+      }
+      if (it->abandoned || find_session(it->fd) == nullptr) {
+        // Response already sent (timeout) or the session is gone: just let
+        // the buffers go.
+        try {
+          it->future.get();
+        } catch (...) {
+        }
+        it = pending.erase(it);
+        continue;
+      }
+      Session& s = *find_session(it->fd);
+      try {
+        it->future.get();
+        Writer w;
+        write_response_header(w, Status::kOk, it->request_id);
+        w.u32(it->out.rows());
+        w.u32(it->out.cols());
+        w.bytes(it->out.data(), it->out.byte_size());
+        enqueue(s, w);
+      } catch (const std::exception& e) {
+        respond_error(s, Status::kInternal, it->request_id, e.what());
+      }
+      it = pending.erase(it);
+    }
+  }
+
+  // ---- socket plumbing -------------------------------------------------
+
+  Session* find_session(int fd) {
+    const auto it = sessions.find(fd);
+    return it != sessions.end() ? &it->second : nullptr;
+  }
+
+  void close_session(int fd) {
+    const auto it = sessions.find(fd);
+    if (it == sessions.end()) return;
+    ::close(fd);
+    sessions.erase(it);
+    --sessions_gauge;
+  }
+
+  void accept_all() {
+    for (;;) {
+      const int fd = ::accept4(listener, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) return;  // EAGAIN / transient
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      sessions.emplace(fd, Session{fd, {}, {}, 0});
+      ++sessions_accepted;
+      ++sessions_gauge;
+    }
+  }
+
+  /// Drains readable bytes; false when the peer closed or framing broke.
+  bool read_session(Session& s) {
+    std::uint8_t chunk[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(s.fd, chunk, sizeof(chunk), 0);
+      if (n == 0) return false;  // orderly or abrupt close
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      bytes_rx += static_cast<std::uint64_t>(n);
+      try {
+        s.in.feed(chunk, static_cast<std::size_t>(n));
+        std::vector<std::uint8_t> payload;
+        while (s.in.next(payload)) handle_frame(s, payload);
+      } catch (const ProtocolError&) {
+        // Corrupt framing (zero / oversized length prefix): the byte stream
+        // cannot be resynchronised -- drop the connection.
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Flushes as much of the out buffer as the socket accepts.
+  bool write_session(Session& s) {
+    while (s.out_off < s.out.size()) {
+      const ssize_t n = ::send(s.fd, s.out.data() + s.out_off, s.out.size() - s.out_off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      s.out_off += static_cast<std::size_t>(n);
+      bytes_tx += static_cast<std::uint64_t>(n);
+    }
+    s.out.clear();
+    s.out_off = 0;
+    return true;
+  }
+
+  void loop() {
+    std::vector<pollfd> fds;
+    std::vector<int> dead;
+    while (!stop.load(std::memory_order_relaxed)) {
+      fds.clear();
+      fds.push_back({listener, POLLIN, 0});
+      for (auto& [fd, s] : sessions) {
+        short events = POLLIN;
+        if (s.out_off < s.out.size()) events |= POLLOUT;
+        fds.push_back({fd, events, 0});
+      }
+      const int timeout = pending.empty() ? opt.poll_idle_ms : opt.poll_busy_ms;
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout);
+
+      if (fds[0].revents & POLLIN) accept_all();
+      dead.clear();
+      for (std::size_t i = 1; i < fds.size(); ++i) {
+        const int fd = fds[i].fd;
+        Session* s = find_session(fd);
+        if (s == nullptr) continue;
+        if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Abrupt disconnect mid-request: drain what arrived (POLLIN may
+          // accompany HUP), then drop.
+          if (fds[i].revents & POLLIN) (void)read_session(*s);
+          dead.push_back(fd);
+          continue;
+        }
+        if ((fds[i].revents & POLLIN) && !read_session(*s)) {
+          dead.push_back(fd);
+          continue;
+        }
+        if (!write_session(*s)) dead.push_back(fd);
+      }
+      for (int fd : dead) close_session(fd);
+
+      harvest();
+      // Responses enqueued by harvest() go out on the next poll tick's
+      // POLLOUT -- except most sockets are writable now, so try eagerly.
+      dead.clear();
+      for (auto& [fd, s] : sessions) {
+        if (s.out_off < s.out.size() && !write_session(s)) dead.push_back(fd);
+      }
+      for (int fd : dead) close_session(fd);
+    }
+  }
+
+  void shutdown_sockets() {
+    for (auto& [fd, s] : sessions) ::close(fd);
+    sessions.clear();
+    sessions_gauge = 0;
+    if (listener >= 0) {
+      ::close(listener);
+      listener = -1;
+    }
+    // Drain abandoned jobs so their buffers outlive the engine work.
+    for (auto& p : pending) {
+      try {
+        if (p.future.valid()) p.future.get();
+      } catch (...) {
+      }
+    }
+    pending.clear();
+  }
+};
+
+TensorOpServer::TensorOpServer(engine::Engine& engine, ServerOptions opt)
+    : impl_(std::make_unique<Impl>(engine, std::move(opt))) {}
+
+TensorOpServer::~TensorOpServer() { stop(); }
+
+void TensorOpServer::start() {
+  UST_EXPECTS(!started_.load());
+  Impl& im = *impl_;
+  im.listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (im.listener < 0) throw std::system_error(errno, std::generic_category(), "socket");
+  const int one = 1;
+  ::setsockopt(im.listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(im.opt.port);
+  if (::inet_pton(AF_INET, im.opt.bind_address.c_str(), &addr.sin_addr) != 1) {
+    throw std::system_error(EINVAL, std::generic_category(), "bind address");
+  }
+  if (::bind(im.listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(im.listener, 128) < 0) {
+    const int err = errno;
+    ::close(im.listener);
+    im.listener = -1;
+    throw std::system_error(err, std::generic_category(), "bind/listen");
+  }
+  set_nonblocking(im.listener);
+  socklen_t len = sizeof(addr);
+  ::getsockname(im.listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  started_ = true;
+  io_ = std::thread([this] { impl_->loop(); });
+}
+
+void TensorOpServer::stop() {
+  if (!started_.exchange(false)) return;
+  impl_->stop = true;
+  if (io_.joinable()) io_.join();
+  impl_->shutdown_sockets();
+}
+
+ServerStats TensorOpServer::stats() const {
+  const Impl& im = *impl_;
+  ServerStats s;
+  s.sessions_accepted = im.sessions_accepted;
+  s.sessions_open = im.sessions_gauge;
+  s.requests = im.requests;
+  s.responses = im.responses;
+  s.queue_full = im.queue_full;
+  s.timeouts = im.timeouts;
+  s.bad_requests = im.bad_requests;
+  s.bytes_rx = im.bytes_rx;
+  s.bytes_tx = im.bytes_tx;
+  s.tenants = im.tenants_gauge;
+  s.tensors = im.tensors_gauge;
+  s.tensor_bytes = im.tensor_bytes_gauge;
+  s.plans = im.plans_gauge;
+  s.plan_bytes = im.plan_bytes_gauge;
+  return s;
+}
+
+}  // namespace ust::service

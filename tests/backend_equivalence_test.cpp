@@ -13,6 +13,7 @@
 #include "core/spttmc.hpp"
 #include "core/spttv.hpp"
 #include "io/generate.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "test_support.hpp"
 #include "util/prng.hpp"
@@ -37,6 +38,7 @@ constexpr core::UnifiedOptions kNativeOpt{.backend = core::ExecBackend::kNative}
 TEST(BackendEquivalence, RandomizedSweepAllOpsAllStrategies) {
   Prng rng(0x5EED);
   sim::Device dev;
+  engine::Engine eng(dev);
   for (int trial = 0; trial < 6; ++trial) {
     const CooTensor t = test::random_coo3(rng, 24, 1500);
     const auto mode = static_cast<int>(rng.next_below(3));
@@ -50,14 +52,14 @@ TEST(BackendEquivalence, RandomizedSweepAllOpsAllStrategies) {
 
     // SpMTTKRP: native vs every sim strategy vs reference.
     const DenseMatrix native_kr =
-        core::spmttkrp_unified(dev, t, mode, factors, part, kNativeOpt);
+        test::spmttkrp_unified(dev, t, mode, factors, part, kNativeOpt);
     const DenseMatrix want_kr = baseline::mttkrp_reference(t, mode, factors);
     ASSERT_LT(test::relative_error(native_kr, want_kr), test::kUnifiedTol)
         << "trial " << trial << " native vs reference (tl " << part.threadlen
         << " bs " << part.block_size << " rank " << rank << " mode " << mode << ")";
     for (const auto strategy : kAllStrategies) {
       const DenseMatrix sim_kr =
-          core::spmttkrp_unified(dev, t, mode, factors, part, sim_opt(strategy, tile));
+          test::spmttkrp_unified(dev, t, mode, factors, part, sim_opt(strategy, tile));
       ASSERT_LT(test::relative_error(native_kr, sim_kr), test::kUnifiedTol)
           << "trial " << trial << " SpMTTKRP strategy "
           << static_cast<int>(strategy);
@@ -66,7 +68,7 @@ TEST(BackendEquivalence, RandomizedSweepAllOpsAllStrategies) {
     // SpTTM: semi-sparse outputs share the fiber ordering, so values compare
     // elementwise.
     {
-      core::UnifiedSpttm op(dev, t, mode, part);
+      core::UnifiedSpttm op(eng, t, mode, part);
       const SemiSparseTensor native_y = op.run(factors[static_cast<std::size_t>(mode)],
                                                kNativeOpt);
       for (const auto strategy : kAllStrategies) {
@@ -79,7 +81,7 @@ TEST(BackendEquivalence, RandomizedSweepAllOpsAllStrategies) {
 
     // SpTTMc (Kronecker expression, wide output rows).
     {
-      core::UnifiedTtmc op(dev, t, mode, part);
+      core::UnifiedTtmc op(eng, t, mode, part);
       const int a = mode == 0 ? 1 : 0;
       const int b = mode == 2 ? 1 : 2;
       const auto& ua = factors[static_cast<std::size_t>(a)];
@@ -100,7 +102,7 @@ TEST(BackendEquivalence, RandomizedSweepAllOpsAllStrategies) {
         for (auto& e : v) e = rng.next_float(-1.0f, 1.0f);
         vecs.push_back(std::move(v));
       }
-      core::UnifiedTtv op(dev, t, mode, part);
+      core::UnifiedTtv op(eng, t, mode, part);
       const auto native_v = op.run(vecs, kNativeOpt);
       for (const auto strategy : kAllStrategies) {
         const auto sim_v = op.run(vecs, sim_opt(strategy, tile));
@@ -125,8 +127,8 @@ TEST(BackendEquivalence, NativeIsRunToRunDeterministic) {
   const CooTensor t = test::random_coo3(rng, 20, 900);
   const auto factors = test::random_factors(t, 9, rng);
   const Partitioning part{.threadlen = 3, .block_size = 64};
-  const DenseMatrix a = core::spmttkrp_unified(dev, t, 0, factors, part, kNativeOpt);
-  const DenseMatrix b = core::spmttkrp_unified(dev, t, 0, factors, part, kNativeOpt);
+  const DenseMatrix a = test::spmttkrp_unified(dev, t, 0, factors, part, kNativeOpt);
+  const DenseMatrix b = test::spmttkrp_unified(dev, t, 0, factors, part, kNativeOpt);
   EXPECT_EQ(DenseMatrix::max_abs_diff(a, b), 0.0);
 }
 
@@ -142,8 +144,8 @@ TEST(BackendEquivalence, SingleBlockAndSinglePartitionLayouts) {
                                   Partitioning{.threadlen = 1024, .block_size = 32},
                                   Partitioning{.threadlen = 1, .block_size = 1}}) {
     const DenseMatrix native =
-        core::spmttkrp_unified(dev, t, 1, factors, part, kNativeOpt);
-    const DenseMatrix sim = core::spmttkrp_unified(
+        test::spmttkrp_unified(dev, t, 1, factors, part, kNativeOpt);
+    const DenseMatrix sim = test::spmttkrp_unified(
         dev, t, 1, factors, part, sim_opt(core::ReduceStrategy::kSegmentedScan, 0));
     EXPECT_LT(test::relative_error(native, sim), test::kUnifiedTol)
         << "tl " << part.threadlen << " bs " << part.block_size;
@@ -165,7 +167,7 @@ TEST(BackendEquivalence, GiantSegmentCrossesEveryChunkBoundary) {
   const auto factors = test::random_factors(t, 11, rng);
   sim::Device dev;
   const Partitioning part{.threadlen = 4, .block_size = 32};
-  const DenseMatrix native = core::spmttkrp_unified(dev, t, 0, factors, part, kNativeOpt);
+  const DenseMatrix native = test::spmttkrp_unified(dev, t, 0, factors, part, kNativeOpt);
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
   EXPECT_LT(test::relative_error(native, want), test::kUnifiedTol);
   EXPECT_EQ(dev.counters().atomic_ops, 0u);  // native never touches atomics
@@ -178,7 +180,7 @@ TEST(BackendEquivalence, EmptyTensorYieldsZeroOutputOnBothBackends) {
   sim::Device dev;
   for (const auto opt : {kNativeOpt, sim_opt(core::ReduceStrategy::kSegmentedScan, 0)}) {
     const DenseMatrix got =
-        core::spmttkrp_unified(dev, t, 0, factors, Partitioning{}, opt);
+        test::spmttkrp_unified(dev, t, 0, factors, Partitioning{}, opt);
     EXPECT_EQ(got.rows(), 6);
     EXPECT_EQ(got.cols(), 3);
     for (index_t i = 0; i < got.rows(); ++i) {

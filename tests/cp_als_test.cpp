@@ -7,6 +7,7 @@
 #include "baselines/splatt.hpp"
 #include "core/cp_als.hpp"
 #include "io/generate.hpp"
+#include "test_support.hpp"
 
 namespace ust {
 namespace {
@@ -28,7 +29,7 @@ TEST(CpAls, RecoversExactLowRankTensor) {
   const auto lr = io::generate_low_rank({15, 12, 10}, 3, 15 * 12 * 10, 0.0, 101);
   ASSERT_EQ(lr.tensor.nnz(), 1800u);
   sim::Device dev;
-  const auto result = core::cp_als_unified(dev, lr.tensor, basic_options(3));
+  const auto result = test::cp_als_unified(dev, lr.tensor, basic_options(3));
   EXPECT_GT(result.fit, 0.98) << "final fit " << result.fit;
   // Residual evaluated independently at the non-zeros.
   const double resid = baseline::cp_residual_at_nonzeros(
@@ -39,7 +40,7 @@ TEST(CpAls, RecoversExactLowRankTensor) {
 TEST(CpAls, FitHistoryIsNonDecreasing) {
   const auto lr = io::generate_low_rank({20, 18, 16}, 4, 2000, 0.05, 102);
   sim::Device dev;
-  const auto result = core::cp_als_unified(dev, lr.tensor, basic_options(4));
+  const auto result = test::cp_als_unified(dev, lr.tensor, basic_options(4));
   ASSERT_GE(result.fit_history.size(), 2u);
   for (std::size_t i = 1; i < result.fit_history.size(); ++i) {
     EXPECT_GE(result.fit_history[i], result.fit_history[i - 1] - 1e-4)
@@ -50,7 +51,7 @@ TEST(CpAls, FitHistoryIsNonDecreasing) {
 TEST(CpAls, LambdaSortedDescendingAndFactorsNormalized) {
   const auto lr = io::generate_low_rank({20, 20, 20}, 4, 2000, 0.01, 103);
   sim::Device dev;
-  const auto result = core::cp_als_unified(dev, lr.tensor, basic_options(4));
+  const auto result = test::cp_als_unified(dev, lr.tensor, basic_options(4));
   for (std::size_t r = 1; r < result.lambda.size(); ++r) {
     EXPECT_GE(result.lambda[r - 1], result.lambda[r]);
   }
@@ -69,7 +70,7 @@ TEST(CpAls, ConvergesAndStopsEarly) {
   auto opt = basic_options(2);
   opt.max_iterations = 200;
   opt.fit_tolerance = 1e-4;
-  const auto result = core::cp_als_unified(dev, lr.tensor, opt);
+  const auto result = test::cp_als_unified(dev, lr.tensor, opt);
   EXPECT_TRUE(result.converged);
   EXPECT_LT(result.iterations, 200);
 }
@@ -81,9 +82,9 @@ TEST(CpAls, StreamedAndSerialGiveSameFactors) {
   opt.max_iterations = 10;
   opt.fit_tolerance = 0.0;  // run all iterations
   opt.use_streams = true;
-  const auto with_streams = core::cp_als_unified(dev, lr.tensor, opt);
+  const auto with_streams = test::cp_als_unified(dev, lr.tensor, opt);
   opt.use_streams = false;
-  const auto serial = core::cp_als_unified(dev, lr.tensor, opt);
+  const auto serial = test::cp_als_unified(dev, lr.tensor, opt);
   ASSERT_EQ(with_streams.factors.size(), serial.factors.size());
   for (std::size_t m = 0; m < serial.factors.size(); ++m) {
     EXPECT_LT(DenseMatrix::max_abs_diff(with_streams.factors[m], serial.factors[m]), 1e-4);
@@ -98,7 +99,7 @@ TEST(CpAls, HandlesRankLargerThanSmallestMode) {
   sim::Device dev;
   auto opt = basic_options(8);
   opt.max_iterations = 15;
-  const auto result = core::cp_als_unified(dev, lr.tensor, opt);
+  const auto result = test::cp_als_unified(dev, lr.tensor, opt);
   EXPECT_GT(result.fit, 0.5);
   for (double f : result.fit_history) EXPECT_TRUE(std::isfinite(f));
 }
@@ -109,7 +110,7 @@ TEST(CpAls, TimingsBreakdownIsConsistent) {
   auto opt = basic_options(3);
   opt.max_iterations = 5;
   opt.fit_tolerance = 0.0;
-  const auto result = core::cp_als_unified(dev, lr.tensor, opt);
+  const auto result = test::cp_als_unified(dev, lr.tensor, opt);
   ASSERT_EQ(result.timings.mttkrp_seconds.size(), 3u);
   double mttkrp_total = 0.0;
   for (double s : result.timings.mttkrp_seconds) {
@@ -129,7 +130,7 @@ TEST(CpAls, UnifiedModeTimesAreBalanced) {
   auto opt = basic_options(8);
   opt.max_iterations = 10;
   opt.fit_tolerance = 0.0;
-  const auto result = core::cp_als_unified(dev, lr.tensor, opt);
+  const auto result = test::cp_als_unified(dev, lr.tensor, opt);
   const auto& t = result.timings.mttkrp_seconds;
   const double max_t = *std::max_element(t.begin(), t.end());
   const double min_t = *std::min_element(t.begin(), t.end());
@@ -141,7 +142,7 @@ TEST(CpAls, SplattDriverAgreesOnFit) {
   sim::Device dev;
   auto opt = basic_options(3);
   opt.max_iterations = 20;
-  const auto unified = core::cp_als_unified(dev, lr.tensor, opt);
+  const auto unified = test::cp_als_unified(dev, lr.tensor, opt);
   const auto splatt = baseline::cp_als_splatt(lr.tensor, opt);
   // Same ALS driver + same init seed -> same trajectory, up to float noise.
   EXPECT_NEAR(unified.fit, splatt.fit, 1e-3);
@@ -155,7 +156,7 @@ TEST(CpAls, FourthOrderTensor) {
   sim::Device dev;
   auto opt = basic_options(2);
   opt.max_iterations = 30;
-  const auto result = core::cp_als_unified(dev, lr.tensor, opt);
+  const auto result = test::cp_als_unified(dev, lr.tensor, opt);
   EXPECT_EQ(result.factors.size(), 4u);
   EXPECT_GT(result.fit, 0.95);
 }
@@ -164,10 +165,10 @@ TEST(CpAls, RejectsInvalidOptions) {
   const auto lr = io::generate_low_rank({10, 10, 10}, 2, 300, 0.0, 110);
   sim::Device dev;
   auto opt = basic_options(0);  // rank 0
-  EXPECT_THROW(core::cp_als_unified(dev, lr.tensor, opt), ContractViolation);
+  EXPECT_THROW(test::cp_als_unified(dev, lr.tensor, opt), ContractViolation);
   opt = basic_options(2);
   opt.max_iterations = 0;
-  EXPECT_THROW(core::cp_als_unified(dev, lr.tensor, opt), ContractViolation);
+  EXPECT_THROW(test::cp_als_unified(dev, lr.tensor, opt), ContractViolation);
 }
 
 }  // namespace

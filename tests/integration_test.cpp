@@ -14,6 +14,7 @@
 #include "core/tuning.hpp"
 #include "io/datasets.hpp"
 #include "io/generate.hpp"
+#include "test_support.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -45,12 +46,12 @@ TEST(Integration, UnifiedCorrectOnAllDatasetReplicas) {
     sim::Device dev;
 
     const DenseMatrix got =
-        core::spmttkrp_unified(dev, t, 0, factors, spec.best_spmttkrp);
+        test::spmttkrp_unified(dev, t, 0, factors, spec.best_spmttkrp);
     const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
     EXPECT_LT(mat_err(got, want), 1e-3) << spec.name;
 
     const SemiSparseTensor ttm_got =
-        core::spttm_unified(dev, t, 2, factors[2], spec.best_spttm);
+        test::spttm_unified(dev, t, 2, factors[2], spec.best_spttm);
     const SemiSparseTensor ttm_want = baseline::ttm_reference(t, 2, factors[2]);
     EXPECT_LT(SemiSparseTensor::max_abs_diff(ttm_got, ttm_want) /
                   std::max(1.0, static_cast<double>(ttm_want.values().frobenius_norm())),
@@ -62,11 +63,12 @@ TEST(Integration, UnifiedCorrectOnAllDatasetReplicas) {
 TEST(Integration, DeviceMemoryBalancesToZeroAfterPipeline) {
   sim::Device dev;
   {
+    engine::Engine eng(dev);
     const CooTensor t = io::generate_uniform({30, 30, 30}, 2000, 301);
     const auto factors = random_factors(t, 8, 302);
-    core::UnifiedMttkrp mttkrp(dev, t, 0, Partitioning{});
+    core::UnifiedMttkrp mttkrp(eng, t, 0, Partitioning{});
     mttkrp.run(factors);
-    core::UnifiedSpttm spttm(dev, t, 2, Partitioning{});
+    core::UnifiedSpttm spttm(eng, t, 2, Partitioning{});
     spttm.run(factors[2]);
     baseline::PartiGpuMttkrp parti(dev, t, 0);
     parti.run(factors);
@@ -88,9 +90,10 @@ TEST(Integration, UnifiedFitsWhereParTIOoms) {
   sim::DeviceProps props;
   props.global_mem_bytes = budget;
   sim::Device dev(props);
+  engine::Engine eng(dev);
   const auto factors = random_factors(t, rank, 304);
 
-  core::UnifiedMttkrp unified(dev, t, 0, Partitioning{.threadlen = 16, .block_size = 128});
+  core::UnifiedMttkrp unified(eng, t, 0, Partitioning{.threadlen = 16, .block_size = 128});
   const DenseMatrix got = unified.run(factors);
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
   EXPECT_LT(mat_err(got, want), 1e-3);
@@ -109,6 +112,7 @@ TEST(Integration, UnifiedIsModeInsensitiveOnOddShapes) {
   const CooTensor t = io::make_replica(*spec, 0.6);
   const auto factors = random_factors(t, 16, 305);
   sim::Device dev;
+  engine::Engine eng(dev);
 
   std::vector<double> parti_fibers;
   for (int mode = 0; mode < 3; ++mode) {
@@ -121,7 +125,7 @@ TEST(Integration, UnifiedIsModeInsensitiveOnOddShapes) {
   for (int attempt = 0; attempt < 3 && best_cv >= 0.6; ++attempt) {
     std::vector<double> unified_times;
     for (int mode = 0; mode < 3; ++mode) {
-      core::UnifiedMttkrp op(dev, t, mode, Partitioning{.threadlen = 16, .block_size = 128});
+      core::UnifiedMttkrp op(eng, t, mode, Partitioning{.threadlen = 16, .block_size = 128});
       op.run(factors);  // warm
       const auto timing = time_repeated([&] { op.run(factors); }, 5);
       unified_times.push_back(timing.median_s);
@@ -139,9 +143,10 @@ TEST(Integration, TunerFindsValidConfigurationAndImproves) {
   const CooTensor t = io::generate_zipf({200, 150, 250}, 30000, {0.9, 0.9, 0.9}, 306);
   const auto factors = random_factors(t, 16, 307);
   sim::Device dev;
+  engine::Engine eng(dev);
 
   const auto runner = [&](Partitioning part) {
-    core::UnifiedMttkrp op(dev, t, 0, part);
+    core::UnifiedMttkrp op(eng, t, 0, part);
     Timer timer;
     op.run(factors);
     return timer.seconds();
@@ -164,7 +169,7 @@ TEST(Integration, CpOnBrainqReplicaRunsEndToEnd) {
   opt.rank = 8;  // the paper's CP rank (mode-3 dim is 9, so rank < 9)
   opt.max_iterations = 5;
   opt.part = spec->best_spmttkrp;
-  const auto result = core::cp_als_unified(dev, t, opt);
+  const auto result = test::cp_als_unified(dev, t, opt);
   EXPECT_EQ(result.factors.size(), 3u);
   EXPECT_GT(result.fit, 0.0);
   EXPECT_TRUE(std::isfinite(result.fit));
@@ -174,7 +179,8 @@ TEST(Integration, CountersTrackKernelLaunches) {
   const CooTensor t = io::generate_uniform({20, 20, 20}, 500, 308);
   const auto factors = random_factors(t, 8, 309);
   sim::Device dev;
-  core::UnifiedMttkrp op(dev, t, 0, Partitioning{});
+  engine::Engine eng(dev);
+  core::UnifiedMttkrp op(eng, t, 0, Partitioning{});
   dev.reset_counters();
   op.run(factors);
   EXPECT_EQ(dev.counters().kernel_launches, 1u);  // one-shot: a single kernel

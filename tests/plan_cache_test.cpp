@@ -6,6 +6,7 @@
 #include "core/spmttkrp.hpp"
 #include "core/spttm.hpp"
 #include "pipeline/plan_cache.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "test_support.hpp"
 
@@ -266,13 +267,14 @@ TEST(PlanCache, OpsShareCachedPlansAndAgreeWithUncached) {
   const CooTensor t = test::random_coo3(rng, 20, 800);
   const auto factors = test::random_factors(t, 6, 21);
   PlanCache cache(1u << 30);
+  engine::Engine eng(dev);
 
-  core::UnifiedMttkrp cold(dev, t, 0, {}, {}, &cache);
-  core::UnifiedMttkrp warm(dev, t, 0, {}, {}, &cache);
+  core::UnifiedMttkrp cold(eng, t, 0, {}, {}, &cache);
+  core::UnifiedMttkrp warm(eng, t, 0, {}, {}, &cache);
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 1u);
 
-  core::UnifiedMttkrp uncached(dev, t, 0, {});
+  core::UnifiedMttkrp uncached(eng, t, 0, {}, {}, nullptr);
   const DenseMatrix a = cold.run(factors);
   const DenseMatrix b = warm.run(factors);
   const DenseMatrix c = uncached.run(factors);
@@ -280,8 +282,8 @@ TEST(PlanCache, OpsShareCachedPlansAndAgreeWithUncached) {
   EXPECT_EQ(DenseMatrix::max_abs_diff(a, c), 0.0);
 
   // SpTTM caches its host fiber coordinates alongside the device plan.
-  core::UnifiedSpttm s1(dev, t, 2, {}, {}, &cache);
-  core::UnifiedSpttm s2(dev, t, 2, {}, {}, &cache);
+  core::UnifiedSpttm s1(eng, t, 2, {}, {}, &cache);
+  core::UnifiedSpttm s2(eng, t, 2, {}, {}, &cache);
   const DenseMatrix u = test::random_matrix(t.dim(2), 5, 33);
   const SemiSparseTensor y1 = s1.run(u);
   const SemiSparseTensor y2 = s2.run(u);

@@ -56,7 +56,7 @@ TEST(ReduceStrategyFuzz, AllStrategiesAgreeOnSharedInputs) {
       const core::UnifiedOptions opt{.strategy = kAllStrategies[s],
                                      .column_tile = column_tile,
                                      .backend = core::ExecBackend::kSim};
-      results[s] = core::spmttkrp_unified(dev, t, mode, factors, part, opt);
+      results[s] = test::spmttkrp_unified(dev, t, mode, factors, part, opt);
       ASSERT_LT(test::relative_error(results[s], want), test::kUnifiedTol)
           << "trial " << trial << " strategy " << strategy_name(kAllStrategies[s])
           << " vs reference (tl " << part.threadlen << " bs " << part.block_size
@@ -88,8 +88,8 @@ TEST(ReduceStrategyFuzz, DeterministicPerStrategy) {
     const core::UnifiedOptions opt{.strategy = strategy,
                                    .column_tile = 0,
                                    .backend = core::ExecBackend::kSim};
-    const DenseMatrix a = core::spmttkrp_unified(dev, t, 0, factors, part, opt);
-    const DenseMatrix b = core::spmttkrp_unified(dev, t, 0, factors, part, opt);
+    const DenseMatrix a = test::spmttkrp_unified(dev, t, 0, factors, part, opt);
+    const DenseMatrix b = test::spmttkrp_unified(dev, t, 0, factors, part, opt);
     EXPECT_EQ(DenseMatrix::max_abs_diff(a, b), 0.0)
         << "strategy " << strategy_name(strategy) << " is not run-to-run deterministic";
   }
@@ -125,7 +125,7 @@ TEST(ReduceStrategyFuzz, AdversarialSegmentLayouts) {
       const core::UnifiedOptions opt{.strategy = strategy,
                                      .column_tile = 1,
                                      .backend = core::ExecBackend::kSim};
-      const DenseMatrix got = core::spmttkrp_unified(dev, *t, 0, factors, part, opt);
+      const DenseMatrix got = test::spmttkrp_unified(dev, *t, 0, factors, part, opt);
       EXPECT_LT(test::relative_error(got, want), test::kUnifiedTol)
           << "strategy " << strategy_name(strategy);
     }

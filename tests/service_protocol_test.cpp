@@ -1,0 +1,167 @@
+// Wire-protocol framing and serialisation edge cases (DESIGN.md §12): the
+// FrameAssembler driven byte-by-byte (a non-blocking socket delivers
+// arbitrary fragmentation), corrupt length prefixes (zero, oversized),
+// Reader underruns, and header roundtrips including the retryable bit's
+// status coupling.
+#include <gtest/gtest.h>
+
+#include "service/protocol.hpp"
+
+namespace ust::service {
+namespace {
+
+TEST(ServiceProtocol, WriterReaderRoundtrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f32(3.25f);
+  w.str("hello frame");
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f32(), 3.25f);
+  EXPECT_EQ(r.str(), "hello frame");
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(ServiceProtocol, ReaderUnderrunThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  EXPECT_THROW(r.u32(), ProtocolError);  // only 2 bytes available
+  Reader r2(w.data());
+  r2.u16();
+  EXPECT_THROW(r2.u8(), ProtocolError);  // fully consumed
+  Reader r3(w.data());
+  EXPECT_THROW(r3.str(), ProtocolError);  // declared length 7 > remaining 0
+}
+
+TEST(ServiceProtocol, TrailingBytesAreDetected) {
+  Writer w;
+  w.u32(1);
+  w.u8(9);
+  Reader r(w.data());
+  r.u32();
+  EXPECT_THROW(r.expect_done(), ProtocolError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(ServiceProtocol, RequestHeaderRoundtripAndUnknownType) {
+  Writer w;
+  write_request_header(w, RequestHeader{MsgType::kRunOp, 42, 777});
+  Reader r(w.data());
+  const RequestHeader h = read_request_header(r);
+  EXPECT_EQ(h.type, MsgType::kRunOp);
+  EXPECT_EQ(h.tenant, 42u);
+  EXPECT_EQ(h.request_id, 777u);
+
+  Writer bad;
+  bad.u8(0x7F);  // no such MsgType
+  bad.u64(1);
+  bad.u64(2);
+  Reader rb(bad.data());
+  EXPECT_THROW(read_request_header(rb), ProtocolError);
+}
+
+TEST(ServiceProtocol, ResponseHeaderCarriesRetryableOnlyForQueueFull) {
+  for (int s = 0; s <= static_cast<int>(Status::kInternal); ++s) {
+    const auto status = static_cast<Status>(s);
+    Writer w;
+    write_response_header(w, status, 99);
+    Reader r(w.data());
+    const ResponseHeader h = read_response_header(r);
+    EXPECT_EQ(h.status, status);
+    EXPECT_EQ(h.request_id, 99u);
+    EXPECT_EQ(h.retryable, status == Status::kQueueFull) << status_name(status);
+  }
+}
+
+TEST(ServiceProtocol, FrameRoundtripThroughAssembler) {
+  Writer w;
+  w.str("payload one");
+  const auto f1 = encode_frame(w.data());
+  Writer w2;
+  w2.u64(1234);
+  const auto f2 = encode_frame(w2.data());
+
+  FrameAssembler a;
+  std::vector<std::uint8_t> wire(f1);
+  wire.insert(wire.end(), f2.begin(), f2.end());
+  a.feed(wire.data(), wire.size());
+
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(a.next(payload));
+  EXPECT_EQ(payload, w.data());
+  ASSERT_TRUE(a.next(payload));
+  EXPECT_EQ(payload, w2.data());
+  EXPECT_FALSE(a.next(payload));
+}
+
+TEST(ServiceProtocol, AssemblerHandlesBytewiseFragmentation) {
+  // A partial read boundary can land anywhere, including inside the length
+  // prefix; feed three frames one byte at a time.
+  std::vector<std::vector<std::uint8_t>> want;
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 3; ++i) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(i));
+    for (int j = 0; j <= i * 5; ++j) w.u8(static_cast<std::uint8_t>(j));
+    want.push_back(w.data());
+    const auto f = encode_frame(w.data());
+    wire.insert(wire.end(), f.begin(), f.end());
+  }
+
+  FrameAssembler a;
+  std::vector<std::vector<std::uint8_t>> got;
+  std::vector<std::uint8_t> payload;
+  for (const std::uint8_t b : wire) {
+    a.feed(&b, 1);
+    while (a.next(payload)) got.push_back(payload);
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(ServiceProtocol, AssemblerIncompleteFrameReturnsFalse) {
+  Writer w;
+  w.u64(5);
+  const auto frame = encode_frame(w.data());
+  FrameAssembler a;
+  std::vector<std::uint8_t> payload;
+  // Everything but the last byte: length prefix complete, body short.
+  a.feed(frame.data(), frame.size() - 1);
+  EXPECT_FALSE(a.next(payload));
+  a.feed(frame.data() + frame.size() - 1, 1);
+  EXPECT_TRUE(a.next(payload));
+  EXPECT_EQ(payload, w.data());
+}
+
+TEST(ServiceProtocol, AssemblerRejectsZeroLengthPrefix) {
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  FrameAssembler a;
+  a.feed(zeros, sizeof(zeros));
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(a.next(payload), ProtocolError);
+}
+
+TEST(ServiceProtocol, AssemblerRejectsOversizedPrefix) {
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &len, sizeof(len));
+  FrameAssembler a;
+  a.feed(prefix, sizeof(prefix));
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(a.next(payload), ProtocolError);
+}
+
+TEST(ServiceProtocol, EncodeFrameRejectsOversizedPayload) {
+  std::vector<std::uint8_t> huge(kMaxFrameBytes + 1u);
+  EXPECT_THROW(encode_frame(huge), ProtocolError);
+}
+
+}  // namespace
+}  // namespace ust::service

@@ -1,0 +1,420 @@
+// End-to-end tests of the tensor-op service (DESIGN.md §12): a real
+// TensorOpServer on a loopback ephemeral port, driven through the blocking
+// Client. Covers the full request surface (ping/upload/run/drop/stats), the
+// typed error statuses (not-found, bad-request, quota, queue-full, timeout),
+// bitwise equivalence of served results against a local engine, and the
+// failure modes an open TCP port invites: malformed payloads, corrupt
+// framing, and abrupt disconnects mid-frame.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/engine.hpp"
+#include "io/generate.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "test_support.hpp"
+
+namespace ust::service {
+namespace {
+
+constexpr Partitioning kPart{.threadlen = 8, .block_size = 64};
+
+engine::OpKind to_kind(WireOp op) {
+  switch (op) {
+    case WireOp::kSpTTM: return engine::OpKind::kSpTTM;
+    case WireOp::kSpMTTKRP: return engine::OpKind::kSpMTTKRP;
+    case WireOp::kSpTTMc: return engine::OpKind::kSpTTMc;
+    case WireOp::kSpTTV: return engine::OpKind::kSpTTV;
+  }
+  UST_ENSURES(false);
+}
+
+/// Product-mode inputs for (op, mode) plus the local-engine golden output.
+struct Golden {
+  std::vector<DenseMatrix> inputs;
+  DenseMatrix expected;
+};
+
+Golden compute_golden(engine::Engine& local, const CooTensor& t, WireOp op, int mode,
+                      index_t rank, std::uint64_t seed) {
+  Golden g;
+  auto plan = local.plan(t, to_kind(op), mode, kPart);
+  const index_t cols = op == WireOp::kSpTTV ? 1 : rank;
+  Prng rng(seed);
+  for (int pm : plan->product_modes) {
+    DenseMatrix f(t.dim(pm), cols);
+    f.fill_random(rng, -1.0f, 1.0f);
+    g.inputs.push_back(std::move(f));
+  }
+  index_t out_cols = cols;
+  if (op == WireOp::kSpTTMc) out_cols = cols * cols;
+  g.expected = DenseMatrix(plan->out_rows(), out_cols);
+  engine::OpRequest req;
+  req.plan = plan;
+  for (const DenseMatrix& m : g.inputs) req.inputs.push_back({m.data(), m.rows(), m.cols()});
+  req.out = g.expected.data();
+  req.out_rows = g.expected.rows();
+  req.out_cols = g.expected.cols();
+  local.run(req);
+  return g;
+}
+
+TEST(Service, PingUploadRunDropLifecycle) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), /*tenant=*/7);
+
+  EXPECT_TRUE(c.ping().ok());
+
+  Prng rng(0x5E21);
+  const CooTensor t = test::random_coo3(rng, 20, 800);
+  EXPECT_TRUE(c.upload_tensor(1, t).ok());
+
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpMTTKRP, 0, 6, 99);
+  const Response run = c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs);
+  ASSERT_TRUE(run.ok()) << run.message();
+  EXPECT_EQ(run.matrix(), g.expected);  // bitwise
+
+  EXPECT_TRUE(c.drop_tensor(1).ok());
+  const Response gone = c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs);
+  EXPECT_EQ(gone.header.status, Status::kNotFound);
+  EXPECT_FALSE(gone.header.retryable);
+  server.stop();
+}
+
+TEST(Service, AllFourOpsServedBitwiseEqualToLocalEngine) {
+  engine::Engine eng(engine::EngineOptions{.num_devices = 2});
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 1);
+
+  Prng rng(0xBEE5);
+  const CooTensor t = test::random_coo3(rng, 24, 1500);
+  ASSERT_TRUE(c.upload_tensor(5, t).ok());
+
+  engine::Engine local;
+  const struct {
+    WireOp op;
+    int mode;
+  } cases[] = {{WireOp::kSpMTTKRP, 0},
+               {WireOp::kSpTTM, 2},
+               {WireOp::kSpTTMc, 0},
+               {WireOp::kSpTTV, 1}};
+  for (const auto& [op, mode] : cases) {
+    const Golden g = compute_golden(local, t, op, mode, 5, 1000 + mode);
+    const Response run = c.run_op(5, op, mode, kPart, g.inputs);
+    ASSERT_TRUE(run.ok()) << status_name(run.header.status) << ": " << run.message();
+    EXPECT_EQ(run.matrix(), g.expected) << "op " << static_cast<int>(op);
+  }
+  server.stop();
+}
+
+TEST(Service, TenantsAreIsolated) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Prng rng(0x1507);
+  const CooTensor t = test::random_coo3(rng, 16, 400);
+
+  Client alice("127.0.0.1", server.port(), 1);
+  Client bob("127.0.0.1", server.port(), 2);
+  ASSERT_TRUE(alice.upload_tensor(1, t).ok());
+  // Bob cannot see (or drop) Alice's tensor id.
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpTTV, 1, 1, 7);
+  EXPECT_EQ(bob.run_op(1, WireOp::kSpTTV, 1, kPart, g.inputs).header.status,
+            Status::kNotFound);
+  EXPECT_EQ(bob.drop_tensor(1).header.status, Status::kNotFound);
+  EXPECT_TRUE(alice.run_op(1, WireOp::kSpTTV, 1, kPart, g.inputs).ok());
+  server.stop();
+}
+
+TEST(Service, MalformedPayloadIsBadRequestAndSessionSurvives) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 3);
+
+  // Valid header, truncated run body: typed kBadRequest, same connection
+  // keeps serving.
+  Writer w;
+  write_request_header(w, RequestHeader{MsgType::kRunOp, 3, 41});
+  w.u32(123);  // not even a full tensor_id
+  c.send_raw(encode_frame(w.data()));
+  Response resp = c.recv_response();
+  EXPECT_EQ(resp.header.status, Status::kBadRequest);
+  EXPECT_EQ(resp.header.request_id, 41u);
+  EXPECT_FALSE(resp.header.retryable);
+
+  // Unknown message type: kBadRequest too (request id unknowable -> 0).
+  Writer u;
+  u.u8(0x66);
+  u.u64(3);
+  u.u64(42);
+  c.send_raw(encode_frame(u.data()));
+  resp = c.recv_response();
+  EXPECT_EQ(resp.header.status, Status::kBadRequest);
+
+  // Bad shapes that parse fine but violate the op contract: rank mismatch
+  // between the two MTTKRP factors.
+  Prng rng(0xFEED);
+  const CooTensor t = test::random_coo3(rng, 12, 200);
+  ASSERT_TRUE(c.upload_tensor(1, t).ok());
+  std::vector<DenseMatrix> bad;
+  bad.emplace_back(t.dim(1), 4);
+  bad.emplace_back(t.dim(2), 5);
+  resp = c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, bad);
+  EXPECT_EQ(resp.header.status, Status::kBadRequest);
+
+  EXPECT_TRUE(c.ping().ok());
+  server.stop();
+  EXPECT_GE(server.stats().bad_requests, 3u);
+}
+
+TEST(Service, CorruptFramingDropsConnectionOnly) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+
+  Client bad("127.0.0.1", server.port(), 4);
+  ASSERT_TRUE(bad.ping().ok());
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};  // zero-length frame: corrupt
+  bad.send_raw(zeros);
+  EXPECT_THROW(bad.recv_response(), ProtocolError);  // server closed it
+
+  // The listener and other sessions are unaffected.
+  Client good("127.0.0.1", server.port(), 5);
+  EXPECT_TRUE(good.ping().ok());
+  server.stop();
+}
+
+TEST(Service, AbruptDisconnectMidFrameLeavesServerServing) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  {
+    Client doomed("127.0.0.1", server.port(), 6);
+    Writer w;
+    write_request_header(w, RequestHeader{MsgType::kUploadTensor, 6, 1});
+    const auto frame = encode_frame(w.data());
+    // Half a frame, then vanish.
+    doomed.send_raw(std::span(frame).first(frame.size() / 2));
+  }
+  Client c("127.0.0.1", server.port(), 7);
+  EXPECT_TRUE(c.ping().ok());
+
+  // Disconnect with a RUNNING job: the pending entry is orphaned, buffers
+  // stay alive until the engine drains, nothing leaks (ASan-checked).
+  Prng rng(0xD15C);
+  const CooTensor t = test::random_coo3(rng, 30, 12000);
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpMTTKRP, 0, 16, 8);
+  {
+    Client impatient("127.0.0.1", server.port(), 8);
+    ASSERT_TRUE(impatient.upload_tensor(1, t).ok());
+    impatient.send_run(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs);
+    // Destructor closes the socket without reading the response.
+  }
+  EXPECT_TRUE(c.ping().ok());
+  server.stop();
+}
+
+TEST(Service, QueueFullBurstIsRetryableTypedAndRetrySucceeds) {
+  // Queue depth 1 + pipelined burst: later submissions find the queue
+  // occupied while the first job still runs, so the server must surface
+  // engine::QueueFull as the retryable protocol status. A follow-up
+  // run_with_retry on the same connection must then succeed.
+  engine::Engine eng(engine::EngineOptions{.num_devices = 1, .max_queued_jobs = 1});
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 9);
+
+  const CooTensor t = io::generate_uniform({48, 48, 48}, 50000, 0xF111);
+  ASSERT_TRUE(c.upload_tensor(1, t).ok());
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpMTTKRP, 0, 16, 17);
+
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) c.send_run(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs);
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const Response r = c.recv_response();
+    if (r.ok()) {
+      ++ok;
+      EXPECT_EQ(r.matrix(), g.expected);
+    } else {
+      ASSERT_EQ(r.header.status, Status::kQueueFull) << r.message();
+      EXPECT_TRUE(r.header.retryable);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kBurst);
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1) << "burst never hit the bounded queue";
+
+  const Response retried = c.run_with_retry(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs);
+  ASSERT_TRUE(retried.ok()) << status_name(retried.header.status);
+  EXPECT_EQ(retried.matrix(), g.expected);
+  EXPECT_GE(server.stats().queue_full, static_cast<std::uint64_t>(rejected));
+  server.stop();
+}
+
+TEST(Service, TensorQuotaIsEnforcedPerTenant) {
+  Prng rng(0x0A11);
+  const CooTensor big = test::random_coo3(rng, 32, 3000);
+  const CooTensor small = test::random_coo3(rng, 16, 600);
+  // Size the quota from the actual (coalesced) footprints: one small tensor
+  // fits, two small ones or the big one don't.
+  engine::Engine eng;
+  ServerOptions opt;
+  opt.tenant_tensor_quota = small.storage_bytes() + small.storage_bytes() / 2;
+  ASSERT_GT(big.storage_bytes(), opt.tenant_tensor_quota);
+  TensorOpServer server(eng, opt);
+  server.start();
+
+  Client c("127.0.0.1", server.port(), 10);
+  const Response over = c.upload_tensor(1, big);
+  EXPECT_EQ(over.header.status, Status::kQuotaExceeded);
+  EXPECT_FALSE(over.header.retryable);
+  EXPECT_TRUE(c.upload_tensor(2, small).ok());
+  // A second small one would breach the sum: quota counts the tenant, not
+  // the upload.
+  EXPECT_EQ(c.upload_tensor(3, small).header.status, Status::kQuotaExceeded);
+  // Dropping frees quota.
+  EXPECT_TRUE(c.drop_tensor(2).ok());
+  EXPECT_TRUE(c.upload_tensor(3, small).ok());
+  // Another tenant's quota is untouched.
+  Client other("127.0.0.1", server.port(), 11);
+  EXPECT_TRUE(other.upload_tensor(1, small).ok());
+  server.stop();
+}
+
+TEST(Service, PlanQuotaEvictsLeastRecentlyUsedThroughEngineForget) {
+  Prng rng(0x91A2);
+  const CooTensor t = test::random_coo3(rng, 24, 2000);
+  // Size the quota from the real plan footprint: one plan fits, two don't.
+  std::size_t one_plan = 0;
+  {
+    engine::Engine probe;
+    one_plan = probe.plan(t, engine::OpKind::kSpMTTKRP, 0, kPart)->resident_bytes();
+  }
+  ASSERT_GT(one_plan, 0u);
+
+  engine::Engine eng;
+  ServerOptions opt;
+  opt.tenant_plan_quota = one_plan + one_plan / 2;
+  TensorOpServer server(eng, opt);
+  server.start();
+  Client c("127.0.0.1", server.port(), 12);
+  ASSERT_TRUE(c.upload_tensor(1, t).ok());
+
+  engine::Engine local;
+  const Golden g0 = compute_golden(local, t, WireOp::kSpMTTKRP, 0, 6, 1);
+  const Golden g1 = compute_golden(local, t, WireOp::kSpMTTKRP, 1, 6, 2);
+
+  ASSERT_TRUE(c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g0.inputs).ok());
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.plans, 1u);
+  // Mode 1 needs a second plan; admitting it must evict mode 0's (LRU)
+  // through Engine::forget, keeping the tenant inside its quota.
+  ASSERT_TRUE(c.run_op(1, WireOp::kSpMTTKRP, 1, kPart, g1.inputs).ok());
+  s = server.stats();
+  EXPECT_EQ(s.plans, 1u);
+  EXPECT_LE(s.plan_bytes, opt.tenant_plan_quota);
+
+  // Each re-admission after eviction rebuilds: three runs alternating modes
+  // means three engine-cache misses (no plan ever survives to be hit).
+  ASSERT_TRUE(c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g0.inputs).ok());
+  const auto kv = c.stats();
+  ASSERT_TRUE(kv.ok());
+  for (const auto& [key, value] : kv.stats()) {
+    if (key == "engine.cache_misses") {
+      EXPECT_EQ(value, 3u);
+    } else if (key == "engine.cache_hits") {
+      EXPECT_EQ(value, 0u);
+    } else if (key == "server.plans") {
+      EXPECT_EQ(value, 1u);
+    }
+  }
+  server.stop();
+}
+
+TEST(Service, DeadlineMissRespondsTimeoutAndKeepsServing) {
+  // One device, three front jobs without deadlines, then a 1 ms-deadline job
+  // queued behind them: its deadline passes while it waits, the server
+  // answers kTimeout, and the abandoned job's buffers survive until the
+  // engine drains it (ASan-checked by the following traffic).
+  engine::Engine eng(engine::EngineOptions{.num_devices = 1, .max_queued_jobs = 16});
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 13);
+
+  // SpTTMc at rank 32 writes rank^2 = 1024 output columns per row: each job
+  // holds the single device for tens of milliseconds, so the 1 ms deadline
+  // of the job queued behind four of them passes deterministically.
+  const CooTensor t = io::generate_uniform({64, 64, 64}, 200000, 0x7134);
+  ASSERT_TRUE(c.upload_tensor(1, t).ok());
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpTTMc, 0, 32, 3);
+
+  constexpr int kFront = 4;
+  for (int i = 0; i < kFront; ++i) {
+    c.send_run(1, WireOp::kSpTTMc, 0, kPart, g.inputs, /*timeout_ms=*/0);
+  }
+  const std::uint64_t doomed_id =
+      c.send_run(1, WireOp::kSpTTMc, 0, kPart, g.inputs, /*timeout_ms=*/1);
+
+  int ok = 0, timed_out = 0;
+  for (int i = 0; i < kFront + 1; ++i) {
+    const Response r = c.recv_response();
+    if (r.header.request_id == doomed_id) {
+      EXPECT_EQ(r.header.status, Status::kTimeout);
+      EXPECT_FALSE(r.header.retryable);
+      ++timed_out;
+    } else {
+      ASSERT_TRUE(r.ok()) << status_name(r.header.status);
+      EXPECT_EQ(r.matrix(), g.expected);
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok, kFront);
+  EXPECT_EQ(timed_out, 1);
+  EXPECT_TRUE(c.ping().ok());
+  EXPECT_GE(server.stats().timeouts, 1u);
+  server.stop();
+}
+
+TEST(Service, StatsRequestMergesEngineAndServerCounters) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 14);
+
+  Prng rng(0x57A5);
+  const CooTensor t = test::random_coo3(rng, 16, 500);
+  ASSERT_TRUE(c.upload_tensor(1, t).ok());
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpTTM, 2, 4, 5);
+  ASSERT_TRUE(c.run_op(1, WireOp::kSpTTM, 2, kPart, g.inputs).ok());
+
+  const Response resp = c.stats();
+  ASSERT_TRUE(resp.ok());
+  std::uint64_t jobs = 0, tensors = 0, requests = 0, open = 0;
+  for (const auto& [key, value] : resp.stats()) {
+    if (key == "engine.jobs_completed") jobs = value;
+    if (key == "server.tensors") tensors = value;
+    if (key == "server.requests") requests = value;
+    if (key == "server.sessions_open") open = value;
+  }
+  EXPECT_EQ(jobs, 1u);
+  EXPECT_EQ(tensors, 1u);
+  EXPECT_GE(requests, 3u);  // upload + run + this stats request
+  EXPECT_EQ(open, 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ust::service

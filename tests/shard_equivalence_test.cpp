@@ -16,6 +16,7 @@
 #include "core/spttv.hpp"
 #include "pipeline/chunker.hpp"
 #include "shard/shard_executor.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "test_support.hpp"
 
@@ -46,6 +47,7 @@ UnifiedOptions sharded_options(nnz_t cap, unsigned devices, ShardBalance balance
 
 TEST(ShardEquivalence, SpMttkrpBitwiseMatchesSingleDevice) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(6001);
   for (int trial = 0; trial < 12; ++trial) {
     const CooTensor t = test::random_coo3(rng, 30, 2000);
@@ -55,7 +57,7 @@ TEST(ShardEquivalence, SpMttkrpBitwiseMatchesSingleDevice) {
     const auto factors = test::random_factors(t, rank, rng);
     const nnz_t cap = random_cap(rng, part.threadlen);
 
-    UnifiedMttkrp op(dev, t, mode, part);
+    UnifiedMttkrp op(eng, t, mode, part);
     const DenseMatrix want = op.run(factors, UnifiedOptions{.chunk_nnz = cap});
     for (unsigned devices : kDeviceCounts) {
       for (ShardBalance balance : kBalances) {
@@ -75,6 +77,7 @@ TEST(ShardEquivalence, SpMttkrpBitwiseMatchesSingleDevice) {
 
 TEST(ShardEquivalence, SpttmBitwiseMatchesSingleDevice) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(6002);
   for (int trial = 0; trial < 10; ++trial) {
     const CooTensor t = test::random_coo3(rng, 30, 1500);
@@ -84,7 +87,7 @@ TEST(ShardEquivalence, SpttmBitwiseMatchesSingleDevice) {
     const DenseMatrix u = test::random_matrix(t.dim(mode), rank, rng.next_u64());
     const nnz_t cap = random_cap(rng, part.threadlen);
 
-    UnifiedSpttm op(dev, t, mode, part);
+    UnifiedSpttm op(eng, t, mode, part);
     const SemiSparseTensor want = op.run(u, UnifiedOptions{.chunk_nnz = cap});
     for (unsigned devices : {2u, 3u, 5u}) {
       for (ShardBalance balance : kBalances) {
@@ -98,6 +101,7 @@ TEST(ShardEquivalence, SpttmBitwiseMatchesSingleDevice) {
 
 TEST(ShardEquivalence, SpttmcBitwiseMatchesSingleDevice) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(6003);
   for (int trial = 0; trial < 10; ++trial) {
     const CooTensor t = test::random_coo3(rng, 24, 1200);
@@ -111,7 +115,7 @@ TEST(ShardEquivalence, SpttmcBitwiseMatchesSingleDevice) {
     const DenseMatrix u1 = test::random_matrix(t.dim(b), r1, rng.next_u64());
     const nnz_t cap = random_cap(rng, part.threadlen);
 
-    UnifiedTtmc op(dev, t, mode, part);
+    UnifiedTtmc op(eng, t, mode, part);
     const DenseMatrix want = op.run(u0, u1, UnifiedOptions{.chunk_nnz = cap});
     for (unsigned devices : {2u, 3u, 5u}) {
       for (ShardBalance balance : kBalances) {
@@ -125,6 +129,7 @@ TEST(ShardEquivalence, SpttmcBitwiseMatchesSingleDevice) {
 
 TEST(ShardEquivalence, SpttvBitwiseMatchesSingleDevice) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(6004);
   for (int trial = 0; trial < 12; ++trial) {
     const CooTensor t = test::random_coo3(rng, 30, 2000);
@@ -138,7 +143,7 @@ TEST(ShardEquivalence, SpttvBitwiseMatchesSingleDevice) {
     }
     const nnz_t cap = random_cap(rng, part.threadlen);
 
-    UnifiedTtv op(dev, t, mode, part);
+    UnifiedTtv op(eng, t, mode, part);
     const std::vector<value_t> want = op.run(vectors, UnifiedOptions{.chunk_nnz = cap});
     for (unsigned devices : {2u, 3u, 5u}) {
       for (ShardBalance balance : kBalances) {
@@ -158,6 +163,7 @@ TEST(ShardEquivalence, ShardsComposeWithStreaming) {
   // bounded stream chunks on the shard's device. Result must stay bitwise
   // identical to a single-device native run at the chunker-resolved cap.
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(6005);
   for (int trial = 0; trial < 10; ++trial) {
     const CooTensor t = test::random_coo3(rng, 30, 1800);
@@ -173,8 +179,8 @@ TEST(ShardEquivalence, ShardsComposeWithStreaming) {
     s.chunk_bytes = (1 + rng.next_below(3)) * s.chunk_nnz * pipeline::plan_bytes_per_nnz(2);
     const nnz_t cap = pipeline::resolve_chunk_nnz(t.nnz(), 2, part, s);
 
-    UnifiedMttkrp streaming_op(dev, t, mode, part, s);
-    UnifiedMttkrp mono(dev, t, mode, part);
+    UnifiedMttkrp streaming_op(eng, t, mode, part, s);
+    UnifiedMttkrp mono(eng, t, mode, part);
     const DenseMatrix want = mono.run(factors, UnifiedOptions{.chunk_nnz = cap});
     for (unsigned devices : {2u, 4u}) {
       for (ShardBalance balance : kBalances) {
@@ -189,11 +195,12 @@ TEST(ShardEquivalence, ShardsComposeWithStreaming) {
 
 TEST(ShardEquivalence, RepeatRunsHitShardPlanCachesAndStayBitwise) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(6006);
   const CooTensor t = test::random_coo3(rng, 25, 1500);
   const Partitioning part{.threadlen = 8, .block_size = 64};
   const auto factors = test::random_factors(t, 6, 99);
-  UnifiedMttkrp op(dev, t, 0, part);
+  UnifiedMttkrp op(eng, t, 0, part);
   const UnifiedOptions opt = sharded_options(/*cap=*/32, 3, ShardBalance::kSegments);
   const DenseMatrix first = op.run(factors, opt);
   const DenseMatrix second = op.run(factors, opt);
@@ -207,6 +214,7 @@ TEST(ShardEquivalence, GiantSegmentSpanningAllShards) {
   // interior commits vanish, and the entire result flows through the
   // cross-shard carry merge.
   sim::Device dev;
+  engine::Engine eng(dev);
   CooTensor t({1, 6, 7});
   for (index_t j = 0; j < 6; ++j) {
     for (index_t k = 0; k < 7; ++k) {
@@ -216,7 +224,7 @@ TEST(ShardEquivalence, GiantSegmentSpanningAllShards) {
   }
   const Partitioning part{.threadlen = 4, .block_size = 32};
   const auto factors = test::random_factors(t, 5, 7);
-  UnifiedMttkrp op(dev, t, 0, part);
+  UnifiedMttkrp op(eng, t, 0, part);
   const DenseMatrix want = op.run(factors, UnifiedOptions{.chunk_nnz = 4});
   for (unsigned devices : kDeviceCounts) {
     for (ShardBalance balance : kBalances) {
@@ -230,12 +238,13 @@ TEST(ShardEquivalence, GiantSegmentSpanningAllShards) {
 
 TEST(ShardEquivalence, EmptyShardsAndTinyTensors) {
   sim::Device dev;
+  engine::Engine eng(dev);
   const Partitioning part{.threadlen = 8, .block_size = 32};
 
   // Empty tensor: nothing to shard, output stays zero.
   CooTensor empty({4, 5, 6});
   const auto factors = test::random_factors(empty, 3, 7);
-  UnifiedMttkrp op_empty(dev, empty, 0, part);
+  UnifiedMttkrp op_empty(eng, empty, 0, part);
   DenseMatrix m(4, 3);
   op_empty.run_sharded(factors, m, sharded_options(0, 5, ShardBalance::kSegments));
   for (index_t i = 0; i < m.rows(); ++i) {
@@ -247,7 +256,7 @@ TEST(ShardEquivalence, EmptyShardsAndTinyTensors) {
   const index_t idx[3] = {1, 2, 3};
   one.push_back(idx, 2.5f);
   const auto f1 = test::random_factors(one, 4, 11);
-  UnifiedMttkrp op_one(dev, one, 0, part);
+  UnifiedMttkrp op_one(eng, one, 0, part);
   const DenseMatrix want = op_one.run(f1, UnifiedOptions{.chunk_nnz = 8});
   DenseMatrix got(want.rows(), want.cols());
   op_one.run_sharded(f1, got, sharded_options(8, 5, ShardBalance::kNnz));
@@ -256,11 +265,12 @@ TEST(ShardEquivalence, EmptyShardsAndTinyTensors) {
 
 TEST(ShardEquivalence, ReportAccountsForEveryDeviceAndChunk) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(6007);
   const CooTensor t = test::random_coo3(rng, 25, 1600);
   const Partitioning part{.threadlen = 8, .block_size = 64};
   const auto factors = test::random_factors(t, 6, 13);
-  UnifiedMttkrp op(dev, t, 0, part);
+  UnifiedMttkrp op(eng, t, 0, part);
   shard::Report report;
   DenseMatrix out(t.dim(0), 6);
   op.run_sharded(factors, out, sharded_options(16, 3, ShardBalance::kSegments), &report);
@@ -297,9 +307,9 @@ TEST(ShardEquivalence, CpAlsShardedMatchesSingleDevice) {
   opt.part = Partitioning{.threadlen = 8, .block_size = 64};
   opt.kernel.chunk_nnz = 16;
   opt.seed = 5;
-  const CpResult want = cp_als_unified(dev, t, opt);
+  const CpResult want = test::cp_als_unified(dev, t, opt);
   opt.kernel.shard = ShardOptions{.num_devices = 2, .balance = ShardBalance::kSegments};
-  const CpResult got = cp_als_unified(dev, t, opt);
+  const CpResult got = test::cp_als_unified(dev, t, opt);
   ASSERT_EQ(got.factors.size(), want.factors.size());
   for (std::size_t m = 0; m < got.factors.size(); ++m) {
     EXPECT_EQ(DenseMatrix::max_abs_diff(got.factors[m], want.factors[m]), 0.0) << m;
@@ -309,10 +319,11 @@ TEST(ShardEquivalence, CpAlsShardedMatchesSingleDevice) {
 
 TEST(ShardEquivalence, RejectsInvalidShardOptions) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(6009);
   const CooTensor t = test::random_coo3(rng, 10, 200);
   const Partitioning part{.threadlen = 8, .block_size = 32};
-  UnifiedMttkrp op(dev, t, 0, part);
+  UnifiedMttkrp op(eng, t, 0, part);
   const auto factors = test::random_factors(t, 3, 9);
 
   UnifiedOptions zero_devices;

@@ -7,6 +7,7 @@
 #include "baselines/two_step.hpp"
 #include "core/spmttkrp.hpp"
 #include "io/generate.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "test_support.hpp"
 #include "util/prng.hpp"
@@ -51,7 +52,7 @@ TEST_P(MttkrpSweep, MatchesSerialReference) {
   const core::UnifiedOptions opt{.strategy = p.strategy,
                                  .column_tile = p.column_tile,
                                  .backend = core::ExecBackend::kSim};
-  const DenseMatrix got = core::spmttkrp_unified(dev, t, p.mode, factors, part, opt);
+  const DenseMatrix got = test::spmttkrp_unified(dev, t, p.mode, factors, part, opt);
   const DenseMatrix want = baseline::mttkrp_reference(t, p.mode, factors);
   EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
 }
@@ -95,7 +96,7 @@ TEST(Mttkrp, MatchesKhatriRaoFormulation) {
   sim::Device dev;
   for (int mode = 0; mode < 3; ++mode) {
     const DenseMatrix got =
-        core::spmttkrp_unified(dev, t, mode, factors, Partitioning{});
+        test::spmttkrp_unified(dev, t, mode, factors, Partitioning{});
     const DenseMatrix via_kr = baseline::mttkrp_via_khatri_rao(t, mode, factors);
     EXPECT_LT(relative_error(got, via_kr), test::kUnifiedTol) << "mode " << mode;
   }
@@ -114,7 +115,7 @@ TEST(Mttkrp, SingleGiantSliceSpansManyBlocks) {
   const auto factors = random_factors(t, 16, 18);
   sim::Device dev;
   const Partitioning part{.threadlen = 4, .block_size = 32};  // many blocks
-  const DenseMatrix got = core::spmttkrp_unified(
+  const DenseMatrix got = test::spmttkrp_unified(
       dev, t, 0, factors, part, core::UnifiedOptions{.backend = core::ExecBackend::kSim});
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
   EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
@@ -131,7 +132,7 @@ TEST(Mttkrp, AllSingletonSlices) {
   }
   const auto factors = random_factors(t, 8, 20);
   sim::Device dev;
-  const DenseMatrix got = core::spmttkrp_unified(
+  const DenseMatrix got = test::spmttkrp_unified(
       dev, t, 0, factors, Partitioning{.threadlen = 8, .block_size = 64},
       core::UnifiedOptions{.backend = core::ExecBackend::kSim});
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
@@ -146,7 +147,7 @@ TEST(Mttkrp, EmptySlicesAreHandled) {
   t.push_back(std::vector<index_t>{7, 3, 2}, -2.5f);
   const auto factors = random_factors(t, 4, 21);
   sim::Device dev;
-  const DenseMatrix got = core::spmttkrp_unified(dev, t, 0, factors, Partitioning{});
+  const DenseMatrix got = test::spmttkrp_unified(dev, t, 0, factors, Partitioning{});
   const DenseMatrix want = baseline::mttkrp_reference(t, 0, factors);
   EXPECT_LT(relative_error(got, want), 1e-4);
   for (index_t c = 0; c < 4; ++c) {
@@ -162,7 +163,7 @@ TEST(Mttkrp, FourthOrderTensor) {
   const auto factors = random_factors(t, 8, 24);
   sim::Device dev;
   for (int mode = 0; mode < 4; ++mode) {
-    const DenseMatrix got = core::spmttkrp_unified(dev, t, mode, factors,
+    const DenseMatrix got = test::spmttkrp_unified(dev, t, mode, factors,
                                                    Partitioning{.threadlen = 8, .block_size = 64});
     const DenseMatrix want = baseline::mttkrp_reference(t, mode, factors);
     EXPECT_LT(relative_error(got, want), test::kUnifiedTol) << "mode " << mode;
@@ -177,13 +178,15 @@ TEST(Mttkrp, SegmentedScanUsesFarFewerAtomicsThanAllAtomic) {
   const Partitioning part{.threadlen = 8, .block_size = 128};
 
   sim::Device dev_scan;
-  core::UnifiedMttkrp op_scan(dev_scan, t, 0, part);
+  engine::Engine eng_scan(dev_scan);
+  core::UnifiedMttkrp op_scan(eng_scan, t, 0, part);
   op_scan.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan,
                             .backend = core::ExecBackend::kSim});
   const auto scan_atomics = dev_scan.counters().atomic_ops;
 
   sim::Device dev_atomic;
-  core::UnifiedMttkrp op_atomic(dev_atomic, t, 0, part);
+  engine::Engine eng_atomic(dev_atomic);
+  core::UnifiedMttkrp op_atomic(eng_atomic, t, 0, part);
   op_atomic.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAllAtomic,
                               .backend = core::ExecBackend::kSim});
   const auto all_atomics = dev_atomic.counters().atomic_ops;
@@ -207,8 +210,9 @@ TEST(Mttkrp, AdjacentSyncUsesZeroAtomics) {
   }
   const auto factors = random_factors(t, 16, 24);
   sim::Device dev;
+  engine::Engine eng(dev);
   const Partitioning part{.threadlen = 4, .block_size = 32};  // many blocks
-  core::UnifiedMttkrp op(dev, t, 0, part);
+  core::UnifiedMttkrp op(eng, t, 0, part);
   dev.reset_counters();
   const DenseMatrix got =
       op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kAdjacentSync,
@@ -224,7 +228,8 @@ TEST(Mttkrp, AdjacentSyncMatchesSegmentedScan) {
   const CooTensor t = io::generate_zipf({50, 40, 60}, 6000, {0.9, 0.9, 0.9}, 29);
   const auto factors = random_factors(t, 16, 30);
   sim::Device dev;
-  core::UnifiedMttkrp op(dev, t, 0, Partitioning{.threadlen = 8, .block_size = 64});
+  engine::Engine eng(dev);
+  core::UnifiedMttkrp op(eng, t, 0, Partitioning{.threadlen = 8, .block_size = 64});
   const DenseMatrix scan =
       op.run(factors, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan,
                             .backend = core::ExecBackend::kSim});
@@ -243,7 +248,7 @@ TEST(Mttkrp, OneShotEquivalentToTwoStep) {
   sim::Device dev;
   for (int mode = 0; mode < 3; ++mode) {
     const DenseMatrix one_shot =
-        core::spmttkrp_unified(dev, t, mode, factors, Partitioning{});
+        test::spmttkrp_unified(dev, t, mode, factors, Partitioning{});
     const auto two_step =
         baseline::mttkrp_two_step(dev, t, mode, factors, Partitioning{});
     EXPECT_LT(relative_error(two_step.m, one_shot), 1e-3) << "mode " << mode;
@@ -266,7 +271,8 @@ TEST(Mttkrp, PlanReuseAcrossRuns) {
   // A plan must be reusable with different factor values (the CP-ALS usage).
   const CooTensor t = io::generate_uniform({20, 20, 20}, 800, 41);
   sim::Device dev;
-  core::UnifiedMttkrp op(dev, t, 1, Partitioning{});
+  engine::Engine eng(dev);
+  core::UnifiedMttkrp op(eng, t, 1, Partitioning{});
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
     const auto factors = random_factors(t, 8, seed);
     const DenseMatrix got = op.run(factors);
@@ -279,7 +285,8 @@ TEST(Mttkrp, RejectsMismatchedFactorShapes) {
   const CooTensor t = io::generate_uniform({10, 10, 10}, 100, 43);
   auto factors = random_factors(t, 8, 44);
   sim::Device dev;
-  core::UnifiedMttkrp op(dev, t, 0, Partitioning{});
+  engine::Engine eng(dev);
+  core::UnifiedMttkrp op(eng, t, 0, Partitioning{});
   factors[1] = DenseMatrix(5, 8);  // wrong rows
   EXPECT_THROW(op.run(factors), ContractViolation);
   factors = random_factors(t, 8, 44);

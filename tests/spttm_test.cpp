@@ -5,6 +5,7 @@
 #include "baselines/reference.hpp"
 #include "core/spttm.hpp"
 #include "io/generate.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "test_support.hpp"
 #include "util/prng.hpp"
@@ -30,7 +31,7 @@ TEST_P(SpttmSweep, MatchesSerialReference) {
 
   sim::Device dev;
   const Partitioning part{.threadlen = p.threadlen, .block_size = p.block_size};
-  const SemiSparseTensor got = core::spttm_unified(dev, t, p.mode, u, part);
+  const SemiSparseTensor got = test::spttm_unified(dev, t, p.mode, u, part);
   const SemiSparseTensor want = baseline::ttm_reference(t, p.mode, u);
   ASSERT_EQ(got.num_fibers(), want.num_fibers());
   EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
@@ -55,7 +56,7 @@ TEST(Spttm, OutputIsSemiSparseWithDenseFibers) {
   const CooTensor t = io::generate_uniform({15, 12, 20}, 400, 3);
   const DenseMatrix u = test::random_matrix(t.dim(2), 10, 4);
   sim::Device dev;
-  const SemiSparseTensor y = core::spttm_unified(dev, t, 2, u, Partitioning{});
+  const SemiSparseTensor y = test::spttm_unified(dev, t, 2, u, Partitioning{});
   const std::vector<int> ij{0, 1};
   EXPECT_EQ(y.num_fibers(), t.count_distinct(ij));
   EXPECT_EQ(y.dense_length(), 10u);
@@ -67,7 +68,7 @@ TEST(Spttm, FiberCoordinatesSorted) {
   const CooTensor t = io::generate_uniform({9, 11, 13}, 350, 5);
   const DenseMatrix u = test::random_matrix(t.dim(2), 6, 6);
   sim::Device dev;
-  const SemiSparseTensor y = core::spttm_unified(dev, t, 2, u, Partitioning{});
+  const SemiSparseTensor y = test::spttm_unified(dev, t, 2, u, Partitioning{});
   const auto ci = y.coords(0);
   const auto cj = y.coords(1);
   for (nnz_t f = 1; f < y.num_fibers(); ++f) {
@@ -81,7 +82,8 @@ TEST(Spttm, AllStrategiesAgree) {
   const CooTensor t = io::generate_zipf({30, 25, 35}, 2500, {1.0, 0.8, 0.9}, 9);
   const DenseMatrix u = test::random_matrix(t.dim(2), 16, 10);
   sim::Device dev;
-  core::UnifiedSpttm op(dev, t, 2, Partitioning{.threadlen = 8, .block_size = 64});
+  engine::Engine eng(dev);
+  core::UnifiedSpttm op(eng, t, 2, Partitioning{.threadlen = 8, .block_size = 64});
   const SemiSparseTensor scan =
       op.run(u, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan,
                            .backend = core::ExecBackend::kSim});
@@ -104,7 +106,7 @@ TEST(Spttm, RankOneAndRankOddColumns) {
   sim::Device dev;
   for (index_t r : {1u, 3u, 17u}) {
     const DenseMatrix u = test::random_matrix(t.dim(2), r, 13 + r);
-    const SemiSparseTensor got = core::spttm_unified(dev, t, 2, u, Partitioning{});
+    const SemiSparseTensor got = test::spttm_unified(dev, t, 2, u, Partitioning{});
     const SemiSparseTensor want = baseline::ttm_reference(t, 2, u);
     EXPECT_LT(relative_error(got, want), test::kUnifiedTol) << "rank " << r;
   }
@@ -115,7 +117,7 @@ TEST(Spttm, TinyTensorSingleNnz) {
   t.push_back(std::vector<index_t>{1, 0, 1}, 3.0f);
   const DenseMatrix u = test::random_matrix(2, 4, 14);
   sim::Device dev;
-  const SemiSparseTensor y = core::spttm_unified(dev, t, 2, u, Partitioning{});
+  const SemiSparseTensor y = test::spttm_unified(dev, t, 2, u, Partitioning{});
   ASSERT_EQ(y.num_fibers(), 1u);
   for (index_t c = 0; c < 4; ++c) {
     EXPECT_NEAR(y.fiber(0)[c], 3.0f * u(1, c), 1e-5);
@@ -128,7 +130,7 @@ TEST(Spttm, FourthOrderTensor) {
   const CooTensor t = io::generate_uniform({8, 7, 6, 20}, 600, 17);
   const DenseMatrix u = test::random_matrix(t.dim(3), 5, 18);
   sim::Device dev;
-  const SemiSparseTensor got = core::spttm_unified(dev, t, 3, u, Partitioning{});
+  const SemiSparseTensor got = test::spttm_unified(dev, t, 3, u, Partitioning{});
   const SemiSparseTensor want = baseline::ttm_reference(t, 3, u);
   ASSERT_EQ(got.num_fibers(), want.num_fibers());
   EXPECT_EQ(got.num_sparse_modes(), 3);
@@ -138,7 +140,8 @@ TEST(Spttm, FourthOrderTensor) {
 TEST(Spttm, RejectsWrongFactorRows) {
   const CooTensor t = io::generate_uniform({5, 5, 5}, 50, 15);
   sim::Device dev;
-  core::UnifiedSpttm op(dev, t, 2, Partitioning{});
+  engine::Engine eng(dev);
+  core::UnifiedSpttm op(eng, t, 2, Partitioning{});
   const DenseMatrix bad = test::random_matrix(4, 8, 16);
   EXPECT_THROW(op.run(bad), ContractViolation);
 }

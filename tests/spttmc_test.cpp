@@ -4,6 +4,7 @@
 #include "baselines/reference.hpp"
 #include "core/spttmc.hpp"
 #include "io/generate.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "test_support.hpp"
 #include "util/prng.hpp"
@@ -23,7 +24,7 @@ TEST(Ttmc, MatchesReferenceOnAllModes) {
     }
     const DenseMatrix u1 = test::random_matrix(t.dim(prod[0]), 4, 1);
     const DenseMatrix u2 = test::random_matrix(t.dim(prod[1]), 5, 2);
-    const DenseMatrix got = core::spttmc_unified(dev, t, mode, u1, u2, Partitioning{});
+    const DenseMatrix got = test::spttmc_unified(dev, t, mode, u1, u2, Partitioning{});
     const DenseMatrix want = baseline::ttmc_reference(t, mode, u1, u2);
     ASSERT_EQ(got.rows(), want.rows());
     ASSERT_EQ(got.cols(), want.cols());
@@ -39,7 +40,7 @@ TEST(Ttmc, KroneckerColumnLayout) {
   const DenseMatrix u1 = test::random_matrix(2, 3, 7);  // mode-2 factor
   const DenseMatrix u2 = test::random_matrix(2, 2, 8);  // mode-3 factor
   sim::Device dev;
-  const DenseMatrix y = core::spttmc_unified(dev, t, 0, u1, u2, Partitioning{});
+  const DenseMatrix y = test::spttmc_unified(dev, t, 0, u1, u2, Partitioning{});
   ASSERT_EQ(y.cols(), 6u);
   for (index_t c0 = 0; c0 < 3; ++c0) {
     for (index_t c1 = 0; c1 < 2; ++c1) {
@@ -59,7 +60,7 @@ TEST(Ttmc, LargeColumnCounts) {
   const DenseMatrix u1 = test::random_matrix(t.dim(1), 16, 11);
   const DenseMatrix u2 = test::random_matrix(t.dim(2), 16, 12);
   sim::Device dev;
-  const DenseMatrix got = core::spttmc_unified(dev, t, 0, u1, u2,
+  const DenseMatrix got = test::spttmc_unified(dev, t, 0, u1, u2,
                                                Partitioning{.threadlen = 8, .block_size = 64});
   const DenseMatrix want = baseline::ttmc_reference(t, 0, u1, u2);
   EXPECT_LT(relative_error(got, want), test::kUnifiedTol);
@@ -72,7 +73,7 @@ TEST(Ttmc, AgreesWithMttkrpWhenDiagonal) {
   const DenseMatrix u1 = test::random_matrix(t.dim(1), 4, 14);
   const DenseMatrix u2 = test::random_matrix(t.dim(2), 4, 15);
   sim::Device dev;
-  const DenseMatrix ttmc = core::spttmc_unified(dev, t, 0, u1, u2, Partitioning{});
+  const DenseMatrix ttmc = test::spttmc_unified(dev, t, 0, u1, u2, Partitioning{});
   const std::vector<DenseMatrix> factors{DenseMatrix(t.dim(0), 4), u1, u2};
   const DenseMatrix mttkrp = baseline::mttkrp_reference(t, 0, factors);
   for (index_t i = 0; i < t.dim(0); ++i) {
@@ -85,7 +86,8 @@ TEST(Ttmc, AgreesWithMttkrpWhenDiagonal) {
 TEST(Ttmc, RejectsNon3OrderTensors) {
   const CooTensor t4 = io::generate_uniform({4, 4, 4, 4}, 50, 16);
   sim::Device dev;
-  EXPECT_THROW(core::UnifiedTtmc(dev, t4, 0, Partitioning{}), ContractViolation);
+  engine::Engine eng(dev);
+  EXPECT_THROW(core::UnifiedTtmc(eng, t4, 0, Partitioning{}), ContractViolation);
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include "baselines/reference.hpp"
 #include "core/spttv.hpp"
 #include "io/generate.hpp"
+#include "test_support.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "util/prng.hpp"
 
@@ -30,7 +32,7 @@ TEST(Ttv, MatchesRankOneMttkrpReference) {
   const auto vecs = random_vectors(t, 52);
   sim::Device dev;
   for (int mode = 0; mode < 3; ++mode) {
-    const auto got = core::spttv_unified(dev, t, mode, vecs, Partitioning{});
+    const auto got = test::spttv_unified(dev, t, mode, vecs, Partitioning{});
     // Oracle: MTTKRP with the vectors as 1-column factors.
     std::vector<DenseMatrix> factors;
     for (int m = 0; m < 3; ++m) {
@@ -51,7 +53,8 @@ TEST(Ttv, FourthOrderAndAllStrategies) {
   const CooTensor t = io::generate_uniform({10, 9, 8, 7}, 800, 53);
   const auto vecs = random_vectors(t, 54);
   sim::Device dev;
-  core::UnifiedTtv op(dev, t, 0, Partitioning{.threadlen = 4, .block_size = 32});
+  engine::Engine eng(dev);
+  core::UnifiedTtv op(eng, t, 0, Partitioning{.threadlen = 4, .block_size = 32});
   const auto scan =
       op.run(vecs, core::UnifiedOptions{.strategy = core::ReduceStrategy::kSegmentedScan,
                            .backend = core::ExecBackend::kSim});
@@ -98,8 +101,9 @@ TEST(Ttv, PowerIterationRecoversDominantRankOneComponent) {
   }
 
   sim::Device dev;
+  engine::Engine eng(dev);
   std::vector<core::UnifiedTtv> ops;
-  for (int m = 0; m < 3; ++m) ops.emplace_back(dev, t, m, Partitioning{});
+  for (int m = 0; m < 3; ++m) ops.emplace_back(eng, t, m, Partitioning{});
   auto guesses = random_vectors(t, 57);
   auto normalize = [](std::vector<value_t>& v) {
     double norm = 0.0;
@@ -128,7 +132,8 @@ TEST(Ttv, PowerIterationRecoversDominantRankOneComponent) {
 TEST(Ttv, RejectsWrongVectorLengths) {
   const CooTensor t = io::generate_uniform({5, 5, 5}, 50, 58);
   sim::Device dev;
-  core::UnifiedTtv op(dev, t, 0, Partitioning{});
+  engine::Engine eng(dev);
+  core::UnifiedTtv op(eng, t, 0, Partitioning{});
   auto vecs = random_vectors(t, 59);
   vecs[1].resize(3);
   EXPECT_THROW(op.run(vecs), ContractViolation);

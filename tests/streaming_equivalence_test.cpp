@@ -11,6 +11,7 @@
 #include "core/spttmc.hpp"
 #include "core/spttv.hpp"
 #include "pipeline/chunker.hpp"
+#include "engine/engine.hpp"
 #include "sim/device.hpp"
 #include "test_support.hpp"
 
@@ -62,6 +63,7 @@ Partitioning random_part(Prng& rng) {
 
 TEST(StreamingEquivalence, SpMttkrpBitwiseMatchesSingleShot) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(1001);
   for (int trial = 0; trial < 25; ++trial) {
     const CooTensor t = test::random_coo3(rng, 30, 2000);
@@ -73,8 +75,8 @@ TEST(StreamingEquivalence, SpMttkrpBitwiseMatchesSingleShot) {
     const StreamingOptions s = random_stream(rng, part.threadlen, t.nnz(), 2);
     const UnifiedOptions mono = mirror_options(s, part.threadlen, t.nnz(), 2);
 
-    UnifiedMttkrp streaming_op(dev, t, mode, part, s);
-    UnifiedMttkrp single_shot(dev, t, mode, part);
+    UnifiedMttkrp streaming_op(eng, t, mode, part, s);
+    UnifiedMttkrp single_shot(eng, t, mode, part);
     const DenseMatrix got = streaming_op.run(factors);
     const DenseMatrix want = single_shot.run(factors, mono);
     ASSERT_EQ(DenseMatrix::max_abs_diff(got, want), 0.0)
@@ -85,6 +87,7 @@ TEST(StreamingEquivalence, SpMttkrpBitwiseMatchesSingleShot) {
 
 TEST(StreamingEquivalence, SpttmBitwiseMatchesSingleShot) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(2002);
   for (int trial = 0; trial < 25; ++trial) {
     const CooTensor t = test::random_coo3(rng, 30, 2000);
@@ -95,8 +98,8 @@ TEST(StreamingEquivalence, SpttmBitwiseMatchesSingleShot) {
     const StreamingOptions s = random_stream(rng, part.threadlen, t.nnz(), 1);
     const UnifiedOptions mono = mirror_options(s, part.threadlen, t.nnz(), 1);
 
-    UnifiedSpttm streaming_op(dev, t, mode, part, s);
-    UnifiedSpttm single_shot(dev, t, mode, part);
+    UnifiedSpttm streaming_op(eng, t, mode, part, s);
+    UnifiedSpttm single_shot(eng, t, mode, part);
     const SemiSparseTensor got = streaming_op.run(u);
     const SemiSparseTensor want = single_shot.run(u, mono);
     ASSERT_EQ(SemiSparseTensor::max_abs_diff(got, want), 0.0)
@@ -106,6 +109,7 @@ TEST(StreamingEquivalence, SpttmBitwiseMatchesSingleShot) {
 
 TEST(StreamingEquivalence, SpttmcBitwiseMatchesSingleShot) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(3003);
   for (int trial = 0; trial < 20; ++trial) {
     const CooTensor t = test::random_coo3(rng, 24, 1500);
@@ -120,8 +124,8 @@ TEST(StreamingEquivalence, SpttmcBitwiseMatchesSingleShot) {
     const StreamingOptions s = random_stream(rng, part.threadlen, t.nnz(), 2);
     const UnifiedOptions mono = mirror_options(s, part.threadlen, t.nnz(), 2);
 
-    UnifiedTtmc streaming_op(dev, t, mode, part, s);
-    UnifiedTtmc single_shot(dev, t, mode, part);
+    UnifiedTtmc streaming_op(eng, t, mode, part, s);
+    UnifiedTtmc single_shot(eng, t, mode, part);
     const DenseMatrix got = streaming_op.run(u0, u1);
     const DenseMatrix want = single_shot.run(u0, u1, mono);
     ASSERT_EQ(DenseMatrix::max_abs_diff(got, want), 0.0)
@@ -131,6 +135,7 @@ TEST(StreamingEquivalence, SpttmcBitwiseMatchesSingleShot) {
 
 TEST(StreamingEquivalence, SpttvBitwiseMatchesSingleShot) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(4004);
   for (int trial = 0; trial < 25; ++trial) {
     const CooTensor t = test::random_coo3(rng, 30, 2000);
@@ -145,8 +150,8 @@ TEST(StreamingEquivalence, SpttvBitwiseMatchesSingleShot) {
     const StreamingOptions s = random_stream(rng, part.threadlen, t.nnz(), 2);
     const UnifiedOptions mono = mirror_options(s, part.threadlen, t.nnz(), 2);
 
-    UnifiedTtv streaming_op(dev, t, mode, part, s);
-    UnifiedTtv single_shot(dev, t, mode, part);
+    UnifiedTtv streaming_op(eng, t, mode, part, s);
+    UnifiedTtv single_shot(eng, t, mode, part);
     const std::vector<value_t> got = streaming_op.run(vectors);
     const std::vector<value_t> want = single_shot.run(vectors, mono);
     ASSERT_EQ(got.size(), want.size());
@@ -158,12 +163,13 @@ TEST(StreamingEquivalence, SpttvBitwiseMatchesSingleShot) {
 
 TEST(StreamingEquivalence, EmptyAndTinyTensors) {
   sim::Device dev;
+  engine::Engine eng(dev);
   const Partitioning part{.threadlen = 8, .block_size = 32};
   const StreamingOptions s{.enabled = true, .chunk_bytes = 0, .chunk_nnz = 8};
 
   CooTensor empty({4, 5, 6});
   const auto factors = test::random_factors(empty, 3, 7);
-  UnifiedMttkrp op_empty(dev, empty, 0, part, s);
+  UnifiedMttkrp op_empty(eng, empty, 0, part, s);
   const DenseMatrix m = op_empty.run(factors);
   EXPECT_EQ(m.rows(), 4u);
   for (index_t i = 0; i < m.rows(); ++i) {
@@ -173,8 +179,8 @@ TEST(StreamingEquivalence, EmptyAndTinyTensors) {
   CooTensor one({4, 5, 6});
   const index_t idx[3] = {1, 2, 3};
   one.push_back(idx, 2.5f);
-  UnifiedMttkrp op_one(dev, one, 0, part, s);
-  UnifiedMttkrp mono(dev, one, 0, part);
+  UnifiedMttkrp op_one(eng, one, 0, part, s);
+  UnifiedMttkrp mono(eng, one, 0, part);
   const auto f1 = test::random_factors(one, 4, 11);
   EXPECT_EQ(DenseMatrix::max_abs_diff(op_one.run(f1),
                                       mono.run(f1, UnifiedOptions{.chunk_nnz = 8})),
@@ -183,28 +189,29 @@ TEST(StreamingEquivalence, EmptyAndTinyTensors) {
 
 TEST(StreamingEquivalence, RejectsInvalidOptions) {
   sim::Device dev;
+  engine::Engine eng(dev);
   Prng rng(5005);
   const CooTensor t = test::random_coo3(rng, 10, 200);
   const Partitioning part{.threadlen = 8, .block_size = 32};
 
   // Central validation: zero threadlen / block_size, misaligned chunk_nnz,
   // streaming on the sim backend, zero in-flight depth.
-  EXPECT_THROW(UnifiedMttkrp(dev, t, 0, Partitioning{.threadlen = 0}), InvalidOptions);
-  EXPECT_THROW(UnifiedSpttm(dev, t, 0, Partitioning{.block_size = 0}), InvalidOptions);
-  EXPECT_THROW(UnifiedTtv(dev, t, 0, Partitioning{.threadlen = 0}), InvalidOptions);
-  EXPECT_THROW(UnifiedTtmc(dev, t, 0, Partitioning{.block_size = 0}), InvalidOptions);
+  EXPECT_THROW(UnifiedMttkrp(eng, t, 0, Partitioning{.threadlen = 0}), InvalidOptions);
+  EXPECT_THROW(UnifiedSpttm(eng, t, 0, Partitioning{.block_size = 0}), InvalidOptions);
+  EXPECT_THROW(UnifiedTtv(eng, t, 0, Partitioning{.threadlen = 0}), InvalidOptions);
+  EXPECT_THROW(UnifiedTtmc(eng, t, 0, Partitioning{.block_size = 0}), InvalidOptions);
 
-  UnifiedMttkrp op(dev, t, 0, part);
+  UnifiedMttkrp op(eng, t, 0, part);
   const auto factors = test::random_factors(t, 3, 9);
   EXPECT_THROW(op.run(factors, UnifiedOptions{.chunk_nnz = 12}), InvalidOptions);
 
   EXPECT_THROW(
-      UnifiedMttkrp(dev, t, 0, part, StreamingOptions{.enabled = true, .chunk_nnz = 12}),
+      UnifiedMttkrp(eng, t, 0, part, StreamingOptions{.enabled = true, .chunk_nnz = 12}),
       InvalidOptions);
-  EXPECT_THROW(UnifiedMttkrp(dev, t, 0, part,
+  EXPECT_THROW(UnifiedMttkrp(eng, t, 0, part,
                              StreamingOptions{.enabled = true, .max_in_flight = 0}),
                InvalidOptions);
-  UnifiedMttkrp streaming_op(dev, t, 0, part, StreamingOptions{.enabled = true});
+  UnifiedMttkrp streaming_op(eng, t, 0, part, StreamingOptions{.enabled = true});
   EXPECT_THROW(streaming_op.run(factors, UnifiedOptions{.backend = ExecBackend::kSim}),
                InvalidOptions);
 }

@@ -10,7 +10,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cp_als.hpp"
 #include "core/mode_plan.hpp"
+#include "core/spmttkrp.hpp"
+#include "core/spttm.hpp"
+#include "core/spttmc.hpp"
+#include "core/spttv.hpp"
+#include "core/tucker.hpp"
+#include "engine/engine.hpp"
 #include "io/generate.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
@@ -87,6 +94,60 @@ inline CooTensor random_coo3(Prng& rng, index_t max_dim = 40, nnz_t max_nnz = 30
   const nnz_t nnz = 1 + rng.next_below(static_cast<std::uint64_t>(
                             std::min(static_cast<double>(max_nnz), cells * 0.9)));
   return io::generate_uniform({d0, d1, d2}, nnz, rng.next_u64());
+}
+
+/// Engine-backed one-shot op helpers. Each builds a throwaway non-owning
+/// engine around the caller's device and runs a single op through the Engine
+/// API -- the test-side replacement for the retired
+/// core::*_unified(sim::Device&, ...) wrappers. Plans live (and die) with the
+/// temporary engine, so every call re-plans, matching the old uncached
+/// one-shot semantics.
+inline DenseMatrix spmttkrp_unified(sim::Device& dev, const CooTensor& t, int mode,
+                                    std::span<const DenseMatrix> factors, Partitioning part,
+                                    const core::UnifiedOptions& opt = {},
+                                    const core::StreamingOptions& stream = {}) {
+  engine::Engine eng(dev);
+  core::UnifiedMttkrp op(eng, t, mode, part, stream);
+  return op.run(factors, opt);
+}
+
+inline SemiSparseTensor spttm_unified(sim::Device& dev, const CooTensor& t, int mode,
+                                      const DenseMatrix& u, Partitioning part,
+                                      const core::UnifiedOptions& opt = {},
+                                      const core::StreamingOptions& stream = {}) {
+  engine::Engine eng(dev);
+  core::UnifiedSpttm op(eng, t, mode, part, stream);
+  return op.run(u, opt);
+}
+
+inline std::vector<value_t> spttv_unified(sim::Device& dev, const CooTensor& t, int mode,
+                                          std::span<const std::vector<value_t>> vectors,
+                                          Partitioning part, const core::UnifiedOptions& opt = {},
+                                          const core::StreamingOptions& stream = {}) {
+  engine::Engine eng(dev);
+  core::UnifiedTtv op(eng, t, mode, part, stream);
+  return op.run(vectors, opt);
+}
+
+inline DenseMatrix spttmc_unified(sim::Device& dev, const CooTensor& t, int mode,
+                                  const DenseMatrix& u_first, const DenseMatrix& u_second,
+                                  Partitioning part, const core::UnifiedOptions& opt = {},
+                                  const core::StreamingOptions& stream = {}) {
+  engine::Engine eng(dev);
+  core::UnifiedTtmc op(eng, t, mode, part, stream);
+  return op.run(u_first, u_second, opt);
+}
+
+inline core::CpResult cp_als_unified(sim::Device& dev, const CooTensor& t,
+                                     const core::CpOptions& options) {
+  engine::Engine eng(dev);
+  return core::cp_als_unified(eng, t, options);
+}
+
+inline core::TuckerResult tucker_hooi_unified(sim::Device& dev, const CooTensor& t,
+                                              const core::TuckerOptions& options) {
+  engine::Engine eng(dev);
+  return core::tucker_hooi_unified(eng, t, options);
 }
 
 }  // namespace ust::test

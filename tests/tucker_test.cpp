@@ -5,6 +5,7 @@
 
 #include "core/tucker.hpp"
 #include "io/generate.hpp"
+#include "test_support.hpp"
 #include "linalg/dense_ops.hpp"
 
 namespace ust {
@@ -23,7 +24,7 @@ core::TuckerOptions basic_options(index_t r) {
 TEST(Tucker, FactorsAreOrthonormal) {
   const auto lr = io::generate_low_rank({22, 18, 14}, 3, 1800, 0.05, 201);
   sim::Device dev;
-  const auto result = core::tucker_hooi_unified(dev, lr.tensor, basic_options(3));
+  const auto result = test::tucker_hooi_unified(dev, lr.tensor, basic_options(3));
   for (const auto& u : result.factors) {
     const DenseMatrix g = linalg::gram(u);
     for (index_t p = 0; p < g.rows(); ++p) {
@@ -37,7 +38,7 @@ TEST(Tucker, FactorsAreOrthonormal) {
 TEST(Tucker, FitImprovesAndIsBounded) {
   const auto lr = io::generate_low_rank({20, 20, 20}, 3, 2000, 0.05, 202);
   sim::Device dev;
-  const auto result = core::tucker_hooi_unified(dev, lr.tensor, basic_options(4));
+  const auto result = test::tucker_hooi_unified(dev, lr.tensor, basic_options(4));
   ASSERT_GE(result.fit_history.size(), 2u);
   EXPECT_GE(result.fit_history.back(), result.fit_history.front() - 1e-3);
   EXPECT_LE(result.fit, 1.0 + 1e-9);
@@ -51,7 +52,7 @@ TEST(Tucker, CapturesLowRankStructure) {
   // structural zeros break the CP structure.)
   const auto lr = io::generate_low_rank({12, 11, 10}, 2, 12 * 11 * 10, 0.0, 203);
   sim::Device dev;
-  const auto result = core::tucker_hooi_unified(dev, lr.tensor, basic_options(2));
+  const auto result = test::tucker_hooi_unified(dev, lr.tensor, basic_options(2));
   EXPECT_GT(result.fit, 0.9);
 }
 
@@ -61,7 +62,7 @@ TEST(Tucker, CoreTensorShapeAndEnergy) {
   core::TuckerOptions opt;
   opt.core_dims = {4, 3, 2};
   opt.part = Partitioning{.threadlen = 8, .block_size = 64};
-  const auto result = core::tucker_hooi_unified(dev, lr.tensor, opt);
+  const auto result = test::tucker_hooi_unified(dev, lr.tensor, opt);
   EXPECT_EQ(result.core.dims(), (std::vector<index_t>{4, 3, 2}));
   // Core energy never exceeds the tensor's (orthonormal projections).
   EXPECT_LE(result.core.frobenius_norm(), lr.tensor.frobenius_norm() + 1e-3);
@@ -72,7 +73,7 @@ TEST(Tucker, RejectsCoreLargerThanModes) {
   sim::Device dev;
   core::TuckerOptions opt;
   opt.core_dims = {8, 2, 2};  // 8 > dim 6
-  EXPECT_THROW(core::tucker_hooi_unified(dev, lr.tensor, opt), ContractViolation);
+  EXPECT_THROW(test::tucker_hooi_unified(dev, lr.tensor, opt), ContractViolation);
 }
 
 }  // namespace

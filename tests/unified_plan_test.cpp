@@ -106,13 +106,13 @@ TEST(Composition, TtmChainEqualsTtmc) {
   sim::Device dev;
 
   // Step 1: contract mode 2 (j). Result modes: (i, k, c2).
-  const SemiSparseTensor y1 = core::spttm_unified(dev, x, 1, u2, Partitioning{});
+  const SemiSparseTensor y1 = test::spttm_unified(dev, x, 1, u2, Partitioning{});
   const CooTensor y1_coo = y1.to_coo();
   // Step 2: contract the original mode 3 (now mode 1 of y1_coo).
-  const SemiSparseTensor y2 = core::spttm_unified(dev, y1_coo, 1, u3, Partitioning{});
+  const SemiSparseTensor y2 = test::spttm_unified(dev, y1_coo, 1, u3, Partitioning{});
   const CooTensor y2_coo = y2.to_coo();  // modes (i, c2, c3)
 
-  const DenseMatrix ttmc = core::spttmc_unified(dev, x, 0, u2, u3, Partitioning{});
+  const DenseMatrix ttmc = test::spttmc_unified(dev, x, 0, u2, u3, Partitioning{});
   // Compare: ttmc(i, c2 * 3 + c3) vs y2_coo entries.
   DenseMatrix via_chain(x.dim(0), 12);
   for (nnz_t e = 0; e < y2_coo.nnz(); ++e) {
@@ -146,9 +146,9 @@ TEST(Composition, MttkrpIsLinearInTensorValues) {
     factors.push_back(std::move(f));
   }
   sim::Device dev;
-  const DenseMatrix mx = core::spmttkrp_unified(dev, x, 0, factors, Partitioning{});
-  const DenseMatrix my = core::spmttkrp_unified(dev, y, 0, factors, Partitioning{});
-  const DenseMatrix mc = core::spmttkrp_unified(dev, combo, 0, factors, Partitioning{});
+  const DenseMatrix mx = test::spmttkrp_unified(dev, x, 0, factors, Partitioning{});
+  const DenseMatrix my = test::spmttkrp_unified(dev, y, 0, factors, Partitioning{});
+  const DenseMatrix mc = test::spmttkrp_unified(dev, combo, 0, factors, Partitioning{});
   DenseMatrix expect(mx.rows(), mx.cols());
   for (std::size_t i = 0; i < expect.size(); ++i) {
     expect.span()[i] = 2.0f * mx.span()[i] - 3.0f * my.span()[i];
@@ -173,7 +173,7 @@ TEST(Fuzz, RandomTensorsModesAndConfigsMatchReference) {
                                    .column_tile = rng.next_index(4)};  // 0 = auto
 
     const auto factors = test::random_factors(t, rank, rng);
-    const DenseMatrix got = core::spmttkrp_unified(dev, t, mode, factors, part, opt);
+    const DenseMatrix got = test::spmttkrp_unified(dev, t, mode, factors, part, opt);
     const DenseMatrix want = baseline::mttkrp_reference(t, mode, factors);
     const double err =
         DenseMatrix::max_abs_diff(got, want) / std::max(1.0, want.frobenius_norm());

@@ -1,0 +1,78 @@
+// ust_serve: the tensor-op service daemon (DESIGN.md §12). Binds a TCP port,
+// maps protocol sessions onto one engine::Engine, and serves until SIGINT /
+// SIGTERM, then drains and prints a final stats report.
+//
+//   ust_serve --port 7077 --devices 2 --queue 64
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "engine/engine.hpp"
+#include "service/server.hpp"
+#include "util/cli.hpp"
+
+using namespace ust;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("ust_serve", "tensor-op service daemon over the execution engine");
+  cli.option("bind", "127.0.0.1", "address to bind");
+  cli.option("port", "7077", "TCP port (0 = ephemeral, printed on startup)");
+  cli.option("devices", "1", "engine device-group size");
+  cli.option("queue", "64", "bounded engine job queue (admission control depth)");
+  cli.option("cache-mb", "256", "plan-cache byte budget per device, MiB");
+  cli.option("tensor-quota-mb", "256", "per-tenant uploaded-tensor quota, MiB");
+  cli.option("plan-quota-mb", "64", "per-tenant resident-plan quota, MiB");
+  if (!cli.parse(argc, argv)) return 1;
+
+  engine::EngineOptions eopt;
+  eopt.num_devices = static_cast<unsigned>(std::max(1l, cli.get_int("devices")));
+  eopt.max_queued_jobs = static_cast<std::size_t>(std::max(1l, cli.get_int("queue")));
+  eopt.cache_bytes_per_device =
+      static_cast<std::size_t>(std::max(1l, cli.get_int("cache-mb"))) << 20;
+  engine::Engine engine(eopt);
+
+  service::ServerOptions sopt;
+  sopt.bind_address = cli.get("bind");
+  sopt.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  sopt.tenant_tensor_quota =
+      static_cast<std::size_t>(std::max(1l, cli.get_int("tensor-quota-mb"))) << 20;
+  sopt.tenant_plan_quota =
+      static_cast<std::size_t>(std::max(1l, cli.get_int("plan-quota-mb"))) << 20;
+  service::TensorOpServer server(engine, sopt);
+  server.start();
+  std::printf("ust_serve: listening on %s:%u (%u device%s, queue depth %zu)\n",
+              sopt.bind_address.c_str(), server.port(), eopt.num_devices,
+              eopt.num_devices == 1 ? "" : "s", eopt.max_queued_jobs);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("ust_serve: shutting down...\n");
+  server.stop();
+
+  const service::ServerStats s = server.stats();
+  const engine::EngineStats es = engine.stats();
+  std::printf(
+      "sessions=%llu requests=%llu responses=%llu queue_full=%llu timeouts=%llu "
+      "bad_requests=%llu rx=%llu tx=%llu jobs=%llu\n",
+      static_cast<unsigned long long>(s.sessions_accepted),
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.responses),
+      static_cast<unsigned long long>(s.queue_full),
+      static_cast<unsigned long long>(s.timeouts),
+      static_cast<unsigned long long>(s.bad_requests),
+      static_cast<unsigned long long>(s.bytes_rx),
+      static_cast<unsigned long long>(s.bytes_tx),
+      static_cast<unsigned long long>(es.jobs_completed));
+  return 0;
+}
