@@ -12,8 +12,10 @@
 #include <chrono>
 #include <cstring>
 #include <list>
+#include <map>
 #include <optional>
 #include <system_error>
+#include <tuple>
 #include <unordered_map>
 
 #include "tensor/coo.hpp"
@@ -113,9 +115,22 @@ struct TensorOpServer::Impl {
   };
   std::unordered_map<std::uint64_t, Tenant> tenants;
 
+  /// The engine's plan caches key on tensor *content* (fingerprint), not on
+  /// tenants, so two tenants holding plans for identical content share one
+  /// cache entry. Refcount that shared key across every tenant's PlanSlots
+  /// and call Engine::forget only when the last slot drops -- otherwise one
+  /// tenant's quota eviction would evict another tenant's engine-cached plan.
+  using EngineKey = std::tuple<std::uint64_t, int, int, std::uint32_t, std::uint32_t>;
+  std::map<EngineKey, std::size_t> engine_plan_refs;
+
+  static EngineKey engine_key(const engine::OpPlan& p) {
+    return {p.tensor_fp, static_cast<int>(p.cache_op), p.mode, p.part.threadlen,
+            p.part.block_size};
+  }
+
   // Counters (atomics: stats() reads from foreign threads).
   std::atomic<std::uint64_t> sessions_accepted{0}, requests{0}, responses{0},
-      queue_full{0}, timeouts{0}, bad_requests{0}, bytes_rx{0}, bytes_tx{0},
+      queue_full{0}, timeouts{0}, bad_requests{0}, slow_closes{0}, bytes_rx{0}, bytes_tx{0},
       tensors_gauge{0}, tensor_bytes_gauge{0}, plans_gauge{0}, plan_bytes_gauge{0},
       sessions_gauge{0}, tenants_gauge{0};
 
@@ -124,7 +139,12 @@ struct TensorOpServer::Impl {
   // ---- plan quota ------------------------------------------------------
 
   void drop_plan(Tenant& tenant, std::list<PlanSlot>::iterator it) {
-    engine.forget(*it->plan);
+    const auto ref = engine_plan_refs.find(engine_key(*it->plan));
+    UST_ENSURES(ref != engine_plan_refs.end() && ref->second > 0);
+    if (--ref->second == 0) {
+      engine_plan_refs.erase(ref);
+      engine.forget(*it->plan);
+    }
     tenant.plan_bytes -= it->bytes;
     plan_bytes_gauge -= it->bytes;
     --plans_gauge;
@@ -147,6 +167,7 @@ struct TensorOpServer::Impl {
       }
     }
     auto plan = engine.plan(tensor, to_op_kind(op), mode, part);
+    ++engine_plan_refs[engine_key(*plan)];
     const std::size_t bytes = plan->resident_bytes();
     while (tenant.plan_bytes + bytes > opt.tenant_plan_quota && !tenant.plans.empty()) {
       drop_plan(tenant, std::prev(tenant.plans.end()));
@@ -249,8 +270,16 @@ struct TensorOpServer::Impl {
     std::vector<index_t> dims(static_cast<std::size_t>(order));
     for (auto& d : dims) d = r.u32();
     const std::uint64_t nnz = r.u64();
-    const std::size_t need =
-        static_cast<std::size_t>(nnz) * (static_cast<std::size_t>(order) + 1) * 4;
+    // One nonzero costs `order` indices plus one value on the wire. Bound nnz
+    // by the frame payload ceiling BEFORE any multiplication: a hostile
+    // 64-bit nnz must not wrap `need` (or the per-column byte counts below)
+    // into a small number that passes the size check.
+    const std::size_t per_nnz =
+        static_cast<std::size_t>(order) * sizeof(index_t) + sizeof(value_t);
+    if (nnz > kMaxFrameBytes / per_nnz) {
+      throw ProtocolError("nnz " + std::to_string(nnz) + " exceeds frame capacity");
+    }
+    const std::size_t need = static_cast<std::size_t>(nnz) * per_nnz;
     if (r.remaining() != need) throw ProtocolError("tensor body size mismatch");
 
     CooTensor tensor(dims);
@@ -269,13 +298,18 @@ struct TensorOpServer::Impl {
     }
 
     Tenant& tenant = get_tenant(h.tenant);
-    drop_tensor(tenant, tensor_id);  // re-upload replaces
     const std::size_t bytes = tensor.storage_bytes();
-    if (tenant.tensor_bytes + bytes > opt.tenant_tensor_quota) {
+    // Quota-check the prospective usage (old tensor replaced by the new one)
+    // before mutating anything: a rejected re-upload must leave the existing
+    // tensor and its cached plans intact.
+    const auto old = tenant.tensors.find(tensor_id);
+    const std::size_t old_bytes = old != tenant.tensors.end() ? old->second.bytes : 0;
+    if (tenant.tensor_bytes - old_bytes + bytes > opt.tenant_tensor_quota) {
       respond_error(s, Status::kQuotaExceeded, h.request_id,
                     "tenant tensor quota exceeded");
       return;
     }
+    drop_tensor(tenant, tensor_id);  // re-upload replaces
     tenant.tensor_bytes += bytes;
     tensor_bytes_gauge += bytes;
     ++tensors_gauge;
@@ -397,6 +431,7 @@ struct TensorOpServer::Impl {
         {"server.queue_full", queue_full.load()},
         {"server.timeouts", timeouts.load()},
         {"server.bad_requests", bad_requests.load()},
+        {"server.slow_reader_closes", slow_closes.load()},
         {"server.tenants", tenants_gauge.load()},
         {"server.tensors", tensors_gauge.load()},
         {"server.tensor_bytes", tensor_bytes_gauge.load()},
@@ -572,9 +607,18 @@ struct TensorOpServer::Impl {
       harvest();
       // Responses enqueued by harvest() go out on the next poll tick's
       // POLLOUT -- except most sockets are writable now, so try eagerly.
+      // Sessions whose unflushed backlog still exceeds the cap after the
+      // flush are slow readers (the kernel socket buffers are full and the
+      // client is not consuming): disconnect them instead of buffering
+      // response bytes without bound.
       dead.clear();
       for (auto& [fd, s] : sessions) {
-        if (s.out_off < s.out.size() && !write_session(s)) dead.push_back(fd);
+        if (s.out_off < s.out.size() && !write_session(s)) {
+          dead.push_back(fd);
+        } else if (s.out.size() - s.out_off > opt.session_backlog_limit) {
+          ++slow_closes;
+          dead.push_back(fd);
+        }
       }
       for (int fd : dead) close_session(fd);
     }
@@ -649,6 +693,7 @@ ServerStats TensorOpServer::stats() const {
   s.queue_full = im.queue_full;
   s.timeouts = im.timeouts;
   s.bad_requests = im.bad_requests;
+  s.slow_reader_closes = im.slow_closes;
   s.bytes_rx = im.bytes_rx;
   s.bytes_tx = im.bytes_tx;
   s.tenants = im.tenants_gauge;

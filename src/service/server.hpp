@@ -41,6 +41,14 @@ struct ServerOptions {
   /// single plan larger than the whole quota stays resident alone, matching
   /// the PlanCache always-keep-one rule).
   std::size_t tenant_plan_quota = 64u << 20;
+  /// Hard cap on response bytes buffered in userspace for one session (on
+  /// top of whatever the kernel socket buffers absorb). A client that
+  /// submits requests but never reads responses would otherwise grow the
+  /// server's out buffer without bound; a session whose backlog exceeds the
+  /// cap is disconnected (counted in ServerStats::slow_reader_closes). Must
+  /// comfortably exceed kMaxFrameBytes so a single large result never trips
+  /// it.
+  std::size_t session_backlog_limit = 256u << 20;
   /// poll() timeout while jobs are in flight / while idle.
   int poll_busy_ms = 1;
   int poll_idle_ms = 20;
@@ -55,6 +63,7 @@ struct ServerStats {
   std::uint64_t queue_full = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t bad_requests = 0;
+  std::uint64_t slow_reader_closes = 0;
   std::uint64_t bytes_rx = 0;
   std::uint64_t bytes_tx = 0;
   std::uint64_t tenants = 0;       // gauge

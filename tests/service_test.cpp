@@ -7,6 +7,7 @@
 // framing, and abrupt disconnects mid-frame.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "engine/engine.hpp"
@@ -19,6 +20,7 @@ namespace ust::service {
 namespace {
 
 constexpr Partitioning kPart{.threadlen = 8, .block_size = 64};
+using Clock = std::chrono::steady_clock;
 
 engine::OpKind to_kind(WireOp op) {
   switch (op) {
@@ -262,6 +264,33 @@ TEST(Service, QueueFullBurstIsRetryableTypedAndRetrySucceeds) {
   server.stop();
 }
 
+TEST(Service, HostileNnzOverflowIsBadRequestAndSessionSurvives) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 20);
+
+  // order 1, nnz = 2^62 + 1: a naive `nnz * (order+1) * 4` byte count wraps
+  // to 8, so an 8-byte body would pass a post-multiplication size check and
+  // the copy loop would read far out of bounds. The server must reject the
+  // nnz before any size arithmetic.
+  Writer w;
+  write_request_header(w, RequestHeader{MsgType::kUploadTensor, 20, 77});
+  w.u64(1);                             // tensor_id
+  w.u8(1);                              // order
+  w.u32(16);                            // dims[0]
+  w.u64((std::uint64_t{1} << 62) + 1);  // nnz
+  w.u64(0);                             // 8-byte "body" matching the wrapped size
+  c.send_raw(encode_frame(w.data()));
+  const Response resp = c.recv_response();
+  EXPECT_EQ(resp.header.status, Status::kBadRequest);
+  EXPECT_EQ(resp.header.request_id, 77u);
+  EXPECT_FALSE(resp.header.retryable);
+  EXPECT_TRUE(c.ping().ok());
+  server.stop();
+  EXPECT_EQ(server.stats().tensors, 0u);
+}
+
 TEST(Service, TensorQuotaIsEnforcedPerTenant) {
   Prng rng(0x0A11);
   const CooTensor big = test::random_coo3(rng, 32, 3000);
@@ -289,6 +318,117 @@ TEST(Service, TensorQuotaIsEnforcedPerTenant) {
   // Another tenant's quota is untouched.
   Client other("127.0.0.1", server.port(), 11);
   EXPECT_TRUE(other.upload_tensor(1, small).ok());
+  server.stop();
+}
+
+TEST(Service, QuotaRejectedReuploadLeavesExistingTensorIntact) {
+  const CooTensor small = io::generate_uniform({16, 16, 16}, 600, 0x2B2B);
+  const CooTensor big = io::generate_uniform({32, 32, 32}, 6000, 0x2B2C);
+  engine::Engine eng;
+  ServerOptions opt;
+  opt.tenant_tensor_quota = small.storage_bytes() + small.storage_bytes() / 2;
+  ASSERT_GT(big.storage_bytes(), opt.tenant_tensor_quota);
+  TensorOpServer server(eng, opt);
+  server.start();
+  Client c("127.0.0.1", server.port(), 21);
+  ASSERT_TRUE(c.upload_tensor(1, small).ok());
+
+  engine::Engine local;
+  const Golden g = compute_golden(local, small, WireOp::kSpMTTKRP, 0, 4, 5);
+  ASSERT_TRUE(c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs).ok());
+
+  // Replacing id 1 with a tensor over quota must be rejected BEFORE any
+  // state change: the resident tensor and its cached plan survive.
+  EXPECT_EQ(c.upload_tensor(1, big).header.status, Status::kQuotaExceeded);
+  const Response rerun = c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs);
+  ASSERT_TRUE(rerun.ok()) << status_name(rerun.header.status);
+  EXPECT_EQ(rerun.matrix(), g.expected);
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.tensors, 1u);
+  EXPECT_EQ(st.tensor_bytes, small.storage_bytes());
+  EXPECT_EQ(st.plans, 1u);
+
+  // A within-quota replacement still works: the quota charges the tenant's
+  // prospective usage with the old tensor replaced, not old + new together.
+  EXPECT_TRUE(c.upload_tensor(1, small).ok());
+  server.stop();
+}
+
+TEST(Service, SharedEngineCacheEntrySurvivesOtherTenantsEviction) {
+  Prng rng(0x5A5A);
+  const CooTensor t = test::random_coo3(rng, 20, 800);
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client alice("127.0.0.1", server.port(), 30);
+  Client bob("127.0.0.1", server.port(), 31);
+  ASSERT_TRUE(alice.upload_tensor(1, t).ok());
+  ASSERT_TRUE(bob.upload_tensor(9, t).ok());  // identical content => same fingerprint
+
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpMTTKRP, 0, 4, 6);
+  ASSERT_TRUE(alice.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs).ok());
+  ASSERT_TRUE(bob.run_op(9, WireOp::kSpMTTKRP, 0, kPart, g.inputs).ok());
+
+  const auto engine_cache_bytes = [&alice]() -> std::uint64_t {
+    const Response r = alice.stats();
+    EXPECT_TRUE(r.ok());
+    for (const auto& [key, value] : r.stats()) {
+      if (key == "engine.cache_bytes") return value;
+    }
+    return 0;
+  };
+  const std::uint64_t resident = engine_cache_bytes();
+  ASSERT_GT(resident, 0u);
+
+  // Both tenants' plan slots reference ONE engine cache entry (the caches
+  // key on tensor content, not tenants). Alice dropping her tensor must not
+  // Engine::forget the entry out from under Bob.
+  ASSERT_TRUE(alice.drop_tensor(1).ok());
+  EXPECT_EQ(engine_cache_bytes(), resident);
+  const Response rerun = bob.run_op(9, WireOp::kSpMTTKRP, 0, kPart, g.inputs);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(rerun.matrix(), g.expected);
+
+  // The last slot dropping releases the shared entry.
+  ASSERT_TRUE(bob.drop_tensor(9).ok());
+  EXPECT_EQ(engine_cache_bytes(), 0u);
+  server.stop();
+}
+
+TEST(Service, SlowReaderIsDisconnectedAtBacklogCap) {
+  // SpTTMc at rank 32 returns 64 x 1024 floats = 256 KiB per response; 64
+  // pipelined requests produce ~16 MiB of responses for a client that never
+  // reads. The kernel socket buffers absorb a few MiB at most, so the
+  // server-side backlog must cross the 1 MiB cap and the session must be
+  // disconnected instead of buffering response bytes without bound.
+  engine::Engine eng(engine::EngineOptions{.num_devices = 1, .max_queued_jobs = 64});
+  ServerOptions opt;
+  opt.session_backlog_limit = 1u << 20;
+  TensorOpServer server(eng, opt);
+  server.start();
+
+  const CooTensor t = io::generate_uniform({64, 64, 64}, 4000, 0xABCD);
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpTTMc, 0, 32, 9);
+  {
+    Client hog("127.0.0.1", server.port(), 40);
+    ASSERT_TRUE(hog.upload_tensor(1, t).ok());
+    try {
+      for (int i = 0; i < 64; ++i) hog.send_run(1, WireOp::kSpTTMc, 0, kPart, g.inputs);
+    } catch (const std::system_error&) {
+      // The server may reset the connection mid-send once it drops us.
+    }
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    while (server.stats().slow_reader_closes == 0 && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(server.stats().slow_reader_closes, 1u);
+  }
+  // The listener and other sessions are unaffected; the dropped session's
+  // in-flight jobs drain harmlessly (ASan-checked).
+  Client c("127.0.0.1", server.port(), 41);
+  EXPECT_TRUE(c.ping().ok());
   server.stop();
 }
 
