@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "core/unified_kernel.hpp"
 #include "io/datasets.hpp"
 #include "io/tns.hpp"
@@ -129,7 +130,15 @@ inline core::UnifiedOptions kernel_options(const Cli& cli) {
 /// diff the resulting BENCH_*.json files across commits.
 class JsonResults {
  public:
-  explicit JsonResults(std::string bench_name) : bench_(std::move(bench_name)) {}
+  explicit JsonResults(std::string bench_name) : bench_(std::move(bench_name)) {
+    // Every BENCH_*.json is self-describing about the SIMD substrate it ran
+    // on: detected CPU features plus the kernel variant the runtime dispatch
+    // actually selected (after any UST_SIMD clamp), so perf diffs across
+    // machines and forced-scalar CI runs are attributable.
+    add("cpu_avx2", core::simd::cpu_has_avx2() ? 1.0 : 0.0);
+    add("cpu_avx512", core::simd::cpu_has_avx512() ? 1.0 : 0.0);
+    add("simd_dispatch", std::string(core::simd::level_name(core::simd::active_level())));
+  }
 
   void add(const std::string& key, double value) {
     if (!std::isfinite(value)) {

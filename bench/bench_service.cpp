@@ -9,6 +9,15 @@
 //     as a retryable response is eventually served (ok == requests).
 // Latency percentiles (p50/p99) and request throughput are recorded for
 // trend diffing; absolute values are loopback-machine-dependent.
+//
+// A second experiment measures request batching (DESIGN.md §13): a
+// same-plan multi-tenant burst is replayed against a batching-on server
+// (engine max_batch + submit coalescing) and a batching-off server
+// (max_batch 1, coalescing disabled); batch_speedup is the throughput
+// ratio. A third forced-scalar replay yields the service-level
+// simd_speedup. Both phases keep full byte-for-byte verification -- a
+// fused or vectorized response that diverges from the sequential scalar
+// truth counts corrupt and fails the smoke.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -17,6 +26,41 @@
 #include "service/server.hpp"
 
 using namespace ust;
+
+namespace {
+
+struct BurstResult {
+  service::LoadgenReport report;
+  engine::EngineStats engine_stats;
+  service::ServerStats server_stats;
+};
+
+/// One same-plan burst against a fresh engine + server configured by
+/// (max_batch, coalesce). Fresh instances per phase keep the counters and
+/// plan caches phase-local.
+BurstResult run_burst(const service::LoadgenOptions& base, std::size_t max_batch,
+                      bool coalesce, std::size_t queue) {
+  engine::EngineOptions eopt;
+  eopt.num_devices = 1;
+  eopt.max_queued_jobs = queue;
+  eopt.max_batch = max_batch;
+  engine::Engine eng(eopt);
+  service::ServerOptions sopt;
+  sopt.coalesce_submits = coalesce;
+  service::TensorOpServer server(eng, sopt);
+  server.start();
+  service::LoadgenOptions lopt = base;
+  lopt.port = server.port();
+  lopt.same_plan = true;
+  BurstResult r;
+  r.report = service::run_loadgen(lopt);
+  server.stop();
+  r.engine_stats = eng.stats();
+  r.server_stats = server.stats();
+  return r;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli("bench_service", "TCP service latency/throughput on loopback");
@@ -28,6 +72,20 @@ int main(int argc, char** argv) {
   cli.option("queue", "8",
              "bounded engine queue depth -- small enough that the burst phase "
              "exercises kQueueFull rejections and the retry path");
+  cli.option("burst-connections", "16",
+             "concurrent connections of the same-plan batching burst");
+  cli.option("burst-requests", "32",
+             "run-op requests per burst connection -- enough to amortize each "
+             "tenant's one-time tensor upload, which is identical across the "
+             "batching-on/off phases and would otherwise dilute the ratio");
+  cli.option("burst-nnz", "300000",
+             "non-zeros of the burst tensor -- large enough that kernel time "
+             "dominates per-request protocol cost");
+  cli.option("burst-rank", "16",
+             "factor rank of the burst traffic -- at rank 16 the fused "
+             "multi-request dispatch (one axpy2b per non-zero) has a full "
+             "vector register per request tile and the batch's tiles still "
+             "fit L1");
   cli.option("json", "", "also write results to this path as a BENCH_*.json file");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -73,6 +131,52 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.requests),
               static_cast<unsigned long long>(r.queue_full));
 
+  // --- same-plan burst: batching on vs off vs forced-scalar -------------
+  print_banner("Same-plan burst: request batching (DESIGN.md §13)");
+  service::LoadgenOptions burst;
+  burst.connections = static_cast<int>(std::max(1l, cli.get_int("burst-connections")));
+  burst.requests_per_connection =
+      static_cast<int>(std::max(1l, cli.get_int("burst-requests")));
+  burst.rank = static_cast<index_t>(std::max(1l, cli.get_int("burst-rank")));
+  burst.nnz = static_cast<nnz_t>(std::max(1l, cli.get_int("burst-nnz")));
+  const std::size_t burst_queue = 64;
+
+  const BurstResult on = run_burst(burst, /*max_batch=*/8, /*coalesce=*/true, burst_queue);
+  const BurstResult off = run_burst(burst, /*max_batch=*/1, /*coalesce=*/false, burst_queue);
+  BurstResult scalar_off;
+  {
+    core::simd::ScopedLevel forced(core::simd::Level::kScalar);
+    scalar_off = run_burst(burst, /*max_batch=*/1, /*coalesce=*/false, burst_queue);
+  }
+  const double batch_speedup = off.report.throughput_rps > 0
+                                   ? on.report.throughput_rps / off.report.throughput_rps
+                                   : 0.0;
+  const double simd_speedup = scalar_off.report.throughput_rps > 0
+                                  ? off.report.throughput_rps / scalar_off.report.throughput_rps
+                                  : 0.0;
+  Table bt({"phase", "req/s", "p99 (us)", "batches", "jobs batched", "coalesced"});
+  bt.add_row({"batching on", Table::num(on.report.throughput_rps, 1),
+              Table::num(on.report.percentile_us(99), 0),
+              std::to_string(on.engine_stats.batches_formed),
+              std::to_string(on.engine_stats.jobs_batched),
+              std::to_string(on.server_stats.coalesced_submits)});
+  bt.add_row({"batching off", Table::num(off.report.throughput_rps, 1),
+              Table::num(off.report.percentile_us(99), 0),
+              std::to_string(off.engine_stats.batches_formed),
+              std::to_string(off.engine_stats.jobs_batched),
+              std::to_string(off.server_stats.coalesced_submits)});
+  bt.add_row({"off + forced scalar", Table::num(scalar_off.report.throughput_rps, 1),
+              Table::num(scalar_off.report.percentile_us(99), 0), "0", "0", "0"});
+  bt.print();
+  std::printf("batch_speedup %.2fx, service simd_speedup %.2fx\n", batch_speedup,
+              simd_speedup);
+
+  const auto burst_clean = [](const BurstResult& b) {
+    return b.report.corrupt == 0 && b.report.lost == 0 && b.report.ok == b.report.requests;
+  };
+  const bool all_clean =
+      clean && burst_clean(on) && burst_clean(off) && burst_clean(scalar_off);
+
   bench::JsonResults json("service");
   json.add("connections", static_cast<double>(lopt.connections));
   json.add("requests", static_cast<double>(r.requests));
@@ -85,7 +189,16 @@ int main(int argc, char** argv) {
   json.add("p90_us", r.percentile_us(90));
   json.add("p99_us", r.percentile_us(99));
   json.add("wall_s", r.wall_s);
-  json.add("zero_loss", clean ? "true" : "false");
+  json.add("zero_loss", all_clean ? "true" : "false");
+  json.add("burst_rps_batching_on", on.report.throughput_rps);
+  json.add("burst_rps_batching_off", off.report.throughput_rps);
+  json.add("burst_rps_forced_scalar", scalar_off.report.throughput_rps);
+  json.add("burst_batches_formed", static_cast<double>(on.engine_stats.batches_formed));
+  json.add("burst_jobs_batched", static_cast<double>(on.engine_stats.jobs_batched));
+  json.add("burst_coalesced_submits",
+           static_cast<double>(on.server_stats.coalesced_submits));
+  json.add("batch_speedup", batch_speedup);
+  json.add("simd_speedup", simd_speedup);
   if (!json.write(cli.get("json"))) return 1;
-  return clean ? 0 : 1;
+  return all_clean ? 0 : 1;
 }

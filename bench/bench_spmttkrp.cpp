@@ -100,6 +100,59 @@ int main(int argc, char** argv) {
             ? uni_s
             : bench::time_median([&] { unified_op.run(factors, native_opt); }, reps);
 
+    // SIMD speedup (DESIGN.md §13): the identical native configuration timed
+    // with the kernel dispatch pinned to the honest scalar variant vs the
+    // CPU's widest level. Expr makers re-read the dispatch level per run, so
+    // the RAII override applies to these timed runs only. Results are
+    // bitwise identical across levels; only the clock moves.
+    double scalar_s;
+    {
+      core::simd::ScopedLevel forced(core::simd::Level::kScalar);
+      scalar_s = bench::time_median([&] { unified_op.run(factors, native_opt); }, reps);
+    }
+    const double simd_speedup = uni_native_s > 0 ? scalar_s / uni_native_s : 0.0;
+
+    // Batch speedup: N same-plan requests with distinct factor/output sets,
+    // run back-to-back vs fused into one pass over the non-zeros via
+    // Engine::run_batched (§13 request batching). A fused batch stages all
+    // N requests' factor/output buffers at once, and the OOM-scaled device
+    // above (sized to reproduce ParTI-GPU's failures) cannot hold that at
+    // small --scale -- so this phase runs on a default-capacity device.
+    constexpr int kBatchN = 4;
+    sim::Device batch_dev;
+    engine::Engine batch_eng(batch_dev);
+    core::UnifiedMttkrp batch_op(batch_eng, d.tensor, mode, part);
+    std::vector<std::vector<DenseMatrix>> bfactors;
+    std::vector<DenseMatrix> bouts;
+    for (int j = 0; j < kBatchN; ++j) {
+      bfactors.push_back(bench::make_factors(d.tensor, rank, 500 + static_cast<std::uint64_t>(j)));
+      bouts.emplace_back(d.tensor.dim(mode), rank);
+    }
+    const double seq_batch_s = bench::time_median(
+        [&] {
+          for (int j = 0; j < kBatchN; ++j) {
+            batch_eng.run(batch_op.request(bfactors[static_cast<std::size_t>(j)],
+                                           bouts[static_cast<std::size_t>(j)], native_opt));
+          }
+        },
+        reps);
+    const double fused_batch_s = bench::time_median(
+        [&] {
+          engine::BatchedRequest br;
+          for (int j = 0; j < kBatchN; ++j) {
+            br.requests.push_back(batch_op.request(bfactors[static_cast<std::size_t>(j)],
+                                                   bouts[static_cast<std::size_t>(j)],
+                                                   native_opt));
+          }
+          batch_eng.run_batched(br);
+        },
+        reps);
+    const double batch_speedup = fused_batch_s > 0 ? seq_batch_s / fused_batch_s : 0.0;
+    std::printf("  %s: simd %.2fx (scalar %.4fs vs %s %.4fs), batch(%d) %.2fx\n",
+                d.name.c_str(), simd_speedup, scalar_s,
+                core::simd::level_name(core::simd::active_level()), uni_native_s,
+                kBatchN, batch_speedup);
+
     t.add_row({d.name, Table::num(omp_s, 4), gpu_cell, Table::num(splatt_s, 4),
                Table::num(uni_s, 4), Table::num(uni_sim_s, 4), gpu_spd,
                Table::num(omp_s / splatt_s, 2) + "x",
@@ -112,6 +165,15 @@ int main(int argc, char** argv) {
     json.add(d.name + ".unified_sim_s", uni_sim_s);
     json.add(d.name + ".unified_speedup_vs_omp", omp_s / uni_s);
     json.add(d.name + ".native_speedup_vs_sim", uni_sim_s / uni_native_s);
+    json.add(d.name + ".unified_native_scalar_s", scalar_s);
+    json.add(d.name + ".simd_speedup", simd_speedup);
+    json.add(d.name + ".batch_speedup", batch_speedup);
+    if (datasets.size() == 1) {
+      // Single-dataset runs (the CI bench-smoke) also emit unprefixed keys
+      // so threshold checks need not know the dataset name.
+      json.add("simd_speedup", simd_speedup);
+      json.add("batch_speedup", batch_speedup);
+    }
   }
   t.print();
   if (!json.write(cli.get("json"))) return 1;

@@ -19,27 +19,35 @@ namespace {
 /// enough to show whether capping the worker grid pays on a dataset.
 const std::vector<nnz_t> kChunkAxis{0, 16384};
 
+/// Rank-block axis for the sweeps below: auto (full-L1 tile) plus one narrow
+/// cap. Like the chunk axis, two values keep the sample count in check while
+/// showing whether tiling the accumulator pays on a dataset.
+const std::vector<index_t> kRankBlockAxis{0, 32};
+
 core::TuneResult tune_mttkrp(engine::Engine& eng, const CooTensor& t,
                              const std::vector<DenseMatrix>& factors,
                              const std::vector<unsigned>& threadlens,
                              const std::vector<unsigned>& blocks, int reps) {
-  // The backend, the native worker-chunk cap and the shard device count join
-  // the search grid: every (threadlen, BLOCK_SIZE) cell is measured on both
-  // backends (and per chunk cap / device count on native) and the best sample
-  // records the winners. Tuning runs against ONE engine: the device group and
-  // per-device plan caches persist across cells, so sharded cells stop
-  // re-creating replica devices and repeat visits to a partitioning fetch the
-  // plan from the engine cache instead of re-sorting the tensor.
+  // The backend, the native worker-chunk cap, the shard device count and the
+  // rank-block width join the search grid: every (threadlen, BLOCK_SIZE)
+  // cell is measured on both backends (and per chunk cap / device count /
+  // rank block on native) and the best sample records the winners. Tuning
+  // runs against ONE engine: the device group and per-device plan caches
+  // persist across cells, so sharded cells stop re-creating replica devices
+  // and repeat visits to a partitioning fetch the plan from the engine cache
+  // instead of re-sorting the tensor.
   return core::tune_backends(
-      [&](Partitioning part, core::ExecBackend backend, nnz_t chunk, unsigned devices) {
+      [&](Partitioning part, core::ExecBackend backend, nnz_t chunk, unsigned devices,
+          index_t rank_block) {
         core::UnifiedMttkrp op(eng, t, 0, part);
         const core::UnifiedOptions opt{.backend = backend,
                                        .chunk_nnz = chunk,
+                                       .rank_block = rank_block,
                                        .shard = {.num_devices = devices}};
         return bench::time_median([&] { op.run(factors, opt); }, reps);
       },
       threadlens, blocks, core::default_backends(), kChunkAxis,
-      core::default_num_devices());
+      core::default_num_devices(), kRankBlockAxis);
 }
 
 core::TuneResult tune_spttm(engine::Engine& eng, const CooTensor& t, const DenseMatrix& u,
@@ -149,6 +157,7 @@ int main(int argc, char** argv) {
       json.add(d.name + ".spmttkrp.best_backend", core::backend_name(r.best_backend));
       json.add(d.name + ".spmttkrp.best_chunk_nnz", static_cast<double>(r.best_chunk_nnz));
       json.add(d.name + ".spmttkrp.best_num_devices", static_cast<double>(r.best_num_devices));
+      json.add(d.name + ".spmttkrp.best_rank_block", static_cast<double>(r.best_rank_block));
     }
   }
   t.print();

@@ -29,4 +29,34 @@ std::vector<Chunk> make_chunks(nnz_t nnz, unsigned threadlen, unsigned workers,
   return chunks;
 }
 
+std::vector<ColBlock> make_col_blocks(std::span<const index_t> widths, index_t rank_block,
+                                      std::vector<std::size_t>& pass_off) {
+  const index_t block = rank_block == 0 ? kAutoRankBlock : rank_block;
+  std::vector<ColBlock> blocks;
+  std::size_t acc_off = 0;
+  for (std::size_t req = 0; req < widths.size(); ++req) {
+    for (index_t c0 = 0; c0 < widths[req]; c0 += block) {
+      const index_t nc = std::min<index_t>(block, widths[req] - c0);
+      blocks.push_back(ColBlock{static_cast<std::uint32_t>(req), c0, nc, acc_off + c0});
+    }
+    acc_off += widths[req];
+  }
+  // Greedy pass packing: a pass accumulates at most `block` columns total, so
+  // a batch of narrow requests shares one walk of the nnz stream while a
+  // wide output still tiles. Splitting and packing never reorder a column's
+  // per-non-zero operations, so any (rank_block, batch) combination is
+  // bitwise identical to solo full-width runs.
+  pass_off.clear();
+  index_t pass_cols = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (pass_off.empty() || pass_cols + blocks[i].nc > block) {
+      pass_off.push_back(i);
+      pass_cols = 0;
+    }
+    pass_cols += blocks[i].nc;
+  }
+  pass_off.push_back(blocks.size());
+  return blocks;
+}
+
 }  // namespace ust::core::native

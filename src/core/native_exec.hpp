@@ -11,9 +11,10 @@
 //
 //   * each worker owns a chunk of non-zeros aligned to threadlen partition
 //     boundaries (so `thread_first_seg` gives its starting segment id),
-//   * the per-non-zero product is a branch-free FMA over a *contiguous*
-//     per-chunk accumulator tile -- factor-row base pointers are hoisted once
-//     per non-zero by the op-specific Expr (see `accumulate` below),
+//   * the per-non-zero product is a SIMD mul-then-add over *contiguous*
+//     per-chunk accumulator tiles (core/simd.hpp; the rank dimension is the
+//     vector axis) -- factor-row base pointers are hoisted once per non-zero
+//     by the op-specific Expr (see `accumulate`),
 //   * segments fully contained in a chunk are committed with plain stores
 //     (seg_row is injective: one segment per output row, as the sim kernel's
 //     conflict-free interior writes already assume),
@@ -23,15 +24,27 @@
 //     parallel phase. Zero atomics, and (unlike the GPU carry chain) no
 //     spinning: the handoff runs after the pool joins.
 //
+// Rank blocking + request batching (DESIGN.md §13) generalise the walk: the
+// columns a chunk accumulates are described by ColBlocks -- contiguous column
+// sub-ranges of one or more *batched* requests -- grouped into passes whose
+// total width is bounded by the rank block, so wide outputs (SpTTMc's r0*r1
+// columns) tile through L1 instead of thrashing the accumulator, and N
+// same-plan requests share one walk of the nnz stream (per-request tiles
+// side by side in the same pass). Both are bitwise neutral: columns are
+// independent, every column sees exactly the storage-order per-non-zero
+// mul-then-add sequence and the same boundary-carry handoff it would see in
+// a solo scalar run, no matter how columns are grouped into passes.
+//
 // The result is bitwise deterministic run-to-run regardless of worker
 // scheduling: chunk boundaries are fixed by (nnz, threadlen, pool size), each
 // segment's partials are summed in storage order, and boundary partials are
 // combined left-to-right. The simulator remains the fidelity/ablation oracle
 // (ReduceStrategy only changes the dataflow there); this backend is the
-// default for end-to-end runs. See DESIGN.md §8.
+// default for end-to-end runs. See DESIGN.md §8 and §13.
 #pragma once
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "core/unified_kernel.hpp"
@@ -59,8 +72,34 @@ struct Chunk {
 std::vector<Chunk> make_chunks(nnz_t nnz, unsigned threadlen, unsigned workers,
                                nnz_t max_chunk_nnz = 0);
 
+/// One contiguous column sub-range of one batched request's output, placed in
+/// the request-concatenated accumulator tile at `acc_off`. Column `c0 + c` of
+/// request `req` accumulates at tile offset `acc_off + c`.
+struct ColBlock {
+  std::uint32_t req = 0;  // index into the batch's outs/exprs arrays
+  index_t c0 = 0;         // first output column this block covers
+  index_t nc = 0;         // block width (>= 1)
+  std::size_t acc_off = 0;  // offset into the concatenated accumulator tile
+};
+
+/// Default pass width (columns) when UnifiedOptions::rank_block is 0: 512
+/// floats = 2 KiB of accumulator per pass, leaving most of a 32 KiB L1 for
+/// the factor rows the expression gathers.
+constexpr index_t kAutoRankBlock = 512;
+
+/// Splits the batched requests' output widths into ColBlocks of at most
+/// `rank_block` columns (0 = kAutoRankBlock) and groups them into passes
+/// whose total width never exceeds the block size (a single block is a pass
+/// of its own). Pass p covers blocks [pass_off[p], pass_off[p+1]); each pass
+/// is one walk over a chunk's non-zeros. Zero-width requests get no blocks
+/// (their zero-initialised outputs are already the correct result).
+std::vector<ColBlock> make_col_blocks(std::span<const index_t> widths, index_t rank_block,
+                                      std::vector<std::size_t>& pass_off);
+
 /// Per-chunk boundary state produced by the parallel phase and consumed by
-/// the serial carry pass.
+/// the serial carry pass. The segment structure is a property of the tensor
+/// alone, so one ChunkState serves every request and every rank-block pass of
+/// a batch (each pass recomputes identical values).
 struct ChunkState {
   index_t first_seg = 0;          // segment id of the chunk's first non-zero
   index_t tail_seg = 0;           // segment id open at chunk end
@@ -69,125 +108,217 @@ struct ChunkState {
   std::uint8_t tail_committed = 0;    // trailing run already written in phase 1
 };
 
-/// Phase 1 worker body: walks one chunk, committing interior segments
-/// directly and leaving boundary partials in `acc` (trailing run) and
-/// `head_partial` (leading run continuing the previous chunk). `acc` and
-/// `head_partial` are this chunk's contiguous `cols`-wide tiles.
+/// Phase 1 worker body: walks one chunk once per rank-block pass, committing
+/// interior segments directly and leaving boundary partials in `acc`
+/// (trailing run) and `head_partial` (leading run continuing the previous
+/// chunk). `acc` and `head_partial` are this chunk's contiguous tiles of
+/// `total_cols` floats (the concatenated width of all batched requests);
+/// block b of the batch lives at tile offset b.acc_off. The multi-pass walk
+/// re-reads flags and values identically per pass, so every column -- and the
+/// ChunkState -- is exactly what a solo single-pass run would produce.
+template <class Expr>
+inline void run_chunk(const FcooView& f, std::span<const OutView> outs,
+                      std::span<const Expr> exprs, std::span<const ColBlock> blocks,
+                      std::span<const std::size_t> pass_off, std::size_t total_cols,
+                      Chunk ch, float* UST_RESTRICT acc, float* UST_RESTRICT head_partial,
+                      ChunkState& st) {
+  st = ChunkState{};
+  st.first_seg = f.thread_first_seg[ch.lo / f.threadlen];
+  const bool starts_fresh = f.head(ch.lo);
+  std::fill(acc, acc + total_cols, 0.0f);
+
+  // Fused multi-request dispatch (DESIGN.md §13): when the expression offers
+  // a pass fuser and the pass qualifies (equal-width blocks of a shared-plan
+  // batch), one SIMD dispatch per non-zero covers all fused tiles -- the
+  // generic per-block loop would pay one indirect call per request, capping
+  // what request fusion can win to the shared stream decode.
+  constexpr bool kFusable = requires(std::span<const Expr> es, std::span<const ColBlock> ps,
+                                     float* a) { Expr::make_pass_fuser(es, ps, a); };
+
+  for (std::size_t p = 0; p + 1 < pass_off.size(); ++p) {
+    const std::span<const ColBlock> pass = blocks.subspan(pass_off[p], pass_off[p + 1] - pass_off[p]);
+    const auto fuser = [&] {
+      if constexpr (kFusable) return Expr::make_pass_fuser(exprs, pass, acc);
+      else return false;  // placeholder; never read
+    }();
+    index_t seg = st.first_seg;
+    bool closed_any = false;
+    // The bit-flag word is cached across up to 64 non-zeros, as in the sim
+    // kernel ("read bf in registers").
+    std::uint64_t bf_word = f.bf_words[ch.lo >> 6];
+    for (nnz_t x = ch.lo; x < ch.hi; ++x) {
+      if ((x & 63) == 0) bf_word = f.bf_words[x >> 6];
+      if (x > ch.lo && ((bf_word >> (x & 63)) & 1ull)) {
+        // The run [.., x-1] of segment `seg` closes here.
+        if (!starts_fresh && !closed_any) {
+          // Leading run of a segment opened in an earlier chunk: defer.
+          for (const ColBlock& b : pass) {
+            std::copy(acc + b.acc_off, acc + b.acc_off + b.nc, head_partial + b.acc_off);
+          }
+          st.has_head_partial = 1;
+        } else {
+          // Interior segment, exclusively owned: plain stores.
+          for (const ColBlock& b : pass) {
+            const OutView& o = outs[b.req];
+            value_t* UST_RESTRICT dst =
+                o.data + static_cast<std::size_t>(f.seg_row[seg]) * o.ld + b.c0;
+            const float* UST_RESTRICT a = acc + b.acc_off;
+            for (index_t c = 0; c < b.nc; ++c) dst[c] += a[c];
+          }
+        }
+        for (const ColBlock& b : pass) {
+          std::fill(acc + b.acc_off, acc + b.acc_off + b.nc, 0.0f);
+        }
+        closed_any = true;
+        ++seg;
+      }
+      const float v = f.vals[x];
+      if constexpr (kFusable) {
+        if (fuser) {
+          (*fuser)(x, v);
+          continue;
+        }
+      }
+      for (const ColBlock& b : pass) {
+        exprs[b.req].accumulate(x, v, acc + b.acc_off, b.c0, b.nc);
+      }
+    }
+
+    st.tail_seg = seg;
+    st.tail_closes = (ch.hi >= f.nnz) || f.head(ch.hi);
+    if (st.tail_closes && (starts_fresh || closed_any)) {
+      // Trailing segment both opened and closed within this chunk: commit now.
+      for (const ColBlock& b : pass) {
+        const OutView& o = outs[b.req];
+        value_t* UST_RESTRICT dst =
+            o.data + static_cast<std::size_t>(f.seg_row[seg]) * o.ld + b.c0;
+        const float* UST_RESTRICT a = acc + b.acc_off;
+        for (index_t c = 0; c < b.nc; ++c) dst[c] += a[c];
+      }
+      st.tail_committed = 1;
+    }
+    // Otherwise this pass's slices of `acc` (the chunk's tails tile) carry
+    // the open partial into the serial boundary pass.
+  }
+}
+
+/// Single-request convenience overload: one full-width block, one pass --
+/// byte-for-byte the pre-blocking walk.
 template <class Expr>
 inline void run_chunk(const FcooView& f, const OutView& out, const Expr& expr,
                       Chunk ch, float* UST_RESTRICT acc,
                       float* UST_RESTRICT head_partial, ChunkState& st) {
-  const std::size_t cols = out.num_cols;
-  index_t seg = f.thread_first_seg[ch.lo / f.threadlen];
-  st.first_seg = seg;
-  const bool starts_fresh = f.head(ch.lo);
-  bool closed_any = false;
-  std::fill(acc, acc + cols, 0.0f);
-
-  // The bit-flag word is cached across up to 64 non-zeros, as in the sim
-  // kernel ("read bf in registers").
-  std::uint64_t bf_word = f.bf_words[ch.lo >> 6];
-  for (nnz_t x = ch.lo; x < ch.hi; ++x) {
-    if ((x & 63) == 0) bf_word = f.bf_words[x >> 6];
-    if (x > ch.lo && ((bf_word >> (x & 63)) & 1ull)) {
-      // The run [.., x-1] of segment `seg` closes here.
-      if (!starts_fresh && !closed_any) {
-        // Leading run of a segment opened in an earlier chunk: defer.
-        std::copy(acc, acc + cols, head_partial);
-        st.has_head_partial = 1;
-      } else {
-        // Interior segment, exclusively owned: plain stores.
-        value_t* UST_RESTRICT dst =
-            out.data + static_cast<std::size_t>(f.seg_row[seg]) * out.ld;
-        for (std::size_t c = 0; c < cols; ++c) dst[c] += acc[c];
-      }
-      std::fill(acc, acc + cols, 0.0f);
-      closed_any = true;
-      ++seg;
-    }
-    expr.accumulate(x, f.vals[x], acc);
-  }
-
-  st.tail_seg = seg;
-  st.tail_closes = (ch.hi >= f.nnz) || f.head(ch.hi);
-  if (st.tail_closes && (starts_fresh || closed_any)) {
-    // Trailing segment both opened and closed within this chunk: commit now.
-    value_t* UST_RESTRICT dst =
-        out.data + static_cast<std::size_t>(f.seg_row[seg]) * out.ld;
-    for (std::size_t c = 0; c < cols; ++c) dst[c] += acc[c];
-    st.tail_committed = 1;
-  }
-  // Otherwise `acc` (the chunk's tails tile) carries the open partial into
-  // the serial boundary pass.
+  const ColBlock block{0, 0, static_cast<index_t>(out.num_cols), 0};
+  const std::size_t pass_off[2] = {0, 1};
+  run_chunk<Expr>(f, std::span<const OutView>(&out, 1), std::span<const Expr>(&expr, 1),
+                  std::span<const ColBlock>(&block, 1),
+                  std::span<const std::size_t>(pass_off, 2), out.num_cols, ch, acc,
+                  head_partial, st);
 }
 
 /// Phase 2: the serial left-to-right carry fold over per-chunk boundary
 /// state. `seg_row` maps the segment ids stored in `states` to output rows
 /// (the plan's global table for single-shot, a chunk-local slice for the
-/// streaming executor). `carry` must hold `cols` floats and persists across
-/// calls -- the streaming pipeline folds chunk after chunk with one running
-/// carry, which is exactly what keeps streamed results bitwise identical to
-/// single-shot execution. Shared by both callers so the handoff rule can
-/// never diverge between them.
+/// streaming executor). `carry` must hold `total_cols` floats and persists
+/// across calls -- the streaming pipeline folds chunk after chunk with one
+/// running carry, which is exactly what keeps streamed results bitwise
+/// identical to single-shot execution. Shared by every caller (single-shot,
+/// streaming, sharded, batched) so the handoff rule can never diverge. The
+/// chunk flags apply to every block at once -- the segment structure doesn't
+/// depend on the request -- so folding the concatenated tile is the same as
+/// folding each request independently.
 inline void fold_boundaries(const index_t* seg_row, std::span<const ChunkState> states,
                             const float* UST_RESTRICT tails,
-                            const float* UST_RESTRICT head_partials, std::size_t cols,
-                            const OutView& out, float* UST_RESTRICT carry) {
+                            const float* UST_RESTRICT head_partials, std::size_t total_cols,
+                            std::span<const OutView> outs, std::span<const ColBlock> blocks,
+                            float* UST_RESTRICT carry) {
   for (std::size_t k = 0; k < states.size(); ++k) {
     const ChunkState& st = states[k];
     if (st.has_head_partial) {
       // Segment st.first_seg opened earlier and closed inside chunk k.
-      value_t* UST_RESTRICT dst =
-          out.data + static_cast<std::size_t>(seg_row[st.first_seg]) * out.ld;
-      const float* UST_RESTRICT hp = &head_partials[k * cols];
-      for (std::size_t c = 0; c < cols; ++c) dst[c] += carry[c] + hp[c];
-      std::fill(carry, carry + cols, 0.0f);
+      const float* hp = &head_partials[k * total_cols];
+      for (const ColBlock& b : blocks) {
+        const OutView& o = outs[b.req];
+        value_t* UST_RESTRICT dst =
+            o.data + static_cast<std::size_t>(seg_row[st.first_seg]) * o.ld + b.c0;
+        for (index_t c = 0; c < b.nc; ++c) dst[c] += carry[b.acc_off + c] + hp[b.acc_off + c];
+      }
+      std::fill(carry, carry + total_cols, 0.0f);
     }
     if (st.tail_committed == 0) {
-      const float* UST_RESTRICT tp = &tails[k * cols];
+      const float* UST_RESTRICT tp = &tails[k * total_cols];
       if (st.tail_closes) {
-        value_t* UST_RESTRICT dst =
-            out.data + static_cast<std::size_t>(seg_row[st.tail_seg]) * out.ld;
-        for (std::size_t c = 0; c < cols; ++c) dst[c] += carry[c] + tp[c];
-        std::fill(carry, carry + cols, 0.0f);
+        for (const ColBlock& b : blocks) {
+          const OutView& o = outs[b.req];
+          value_t* UST_RESTRICT dst =
+              o.data + static_cast<std::size_t>(seg_row[st.tail_seg]) * o.ld + b.c0;
+          for (index_t c = 0; c < b.nc; ++c) dst[c] += carry[b.acc_off + c] + tp[b.acc_off + c];
+        }
+        std::fill(carry, carry + total_cols, 0.0f);
       } else {
-        for (std::size_t c = 0; c < cols; ++c) carry[c] += tp[c];
+        for (std::size_t c = 0; c < total_cols; ++c) carry[c] += tp[c];
       }
     }
   }
 }
 
-/// Executes the unified operation natively over `device`'s worker pool.
-/// `expr.accumulate(x, v, acc)` must add v * expr(x, c) into acc[c] for every
-/// output column c (the contiguous-tile form of the sim kernel's
-/// expr(x, col)). The output must be zero-initialised, exactly as for the
-/// sim path.
+/// Single-output compatibility overload.
+inline void fold_boundaries(const index_t* seg_row, std::span<const ChunkState> states,
+                            const float* UST_RESTRICT tails,
+                            const float* UST_RESTRICT head_partials, std::size_t cols,
+                            const OutView& out, float* UST_RESTRICT carry) {
+  const ColBlock block{0, 0, static_cast<index_t>(cols), 0};
+  fold_boundaries(seg_row, states, tails, head_partials, cols,
+                  std::span<const OutView>(&out, 1), std::span<const ColBlock>(&block, 1),
+                  carry);
+}
+
+/// Executes a batch of N same-plan requests natively over `device`'s worker
+/// pool in one pass over the nnz stream per rank block: `outs[i]` /
+/// `exprs[i]` are request i's output and expression (all over the same
+/// FcooView). Every output must be zero-initialised, exactly as for the sim
+/// path. Each request's result is bitwise identical to running it alone --
+/// per-request tiles are disjoint and the boundary fold treats them
+/// independently -- which is the invariant Engine::run_batched and the
+/// coalescing submit queue rely on.
 template <class Expr>
-void execute(sim::Device& device, const FcooView& f, const OutView& out,
-             const Expr& expr, nnz_t max_chunk_nnz = 0) {
-  if (f.nnz == 0) return;
+void execute_batched(sim::Device& device, const FcooView& f, std::span<const OutView> outs,
+                     std::span<const Expr> exprs, nnz_t max_chunk_nnz = 0,
+                     index_t rank_block = 0) {
+  UST_EXPECTS(outs.size() == exprs.size());
+  if (f.nnz == 0 || outs.empty()) return;
+  std::vector<index_t> widths;
+  widths.reserve(outs.size());
+  std::size_t total_cols = 0;
+  for (const OutView& o : outs) {
+    widths.push_back(static_cast<index_t>(o.num_cols));
+    total_cols += o.num_cols;
+  }
+  if (total_cols == 0) return;
   ThreadPool& pool = device.pool();
   const std::vector<Chunk> chunks =
       make_chunks(f.nnz, f.threadlen, pool.size() + 1, max_chunk_nnz);
-  const std::size_t cols = out.num_cols;
-  if (chunks.empty() || cols == 0) return;
+  if (chunks.empty()) return;
+  std::vector<std::size_t> pass_off;
+  const std::vector<ColBlock> blocks = make_col_blocks(widths, rank_block, pass_off);
   // A native run still counts as one launch in the device counters so
   // end-to-end accounting (launches per ALS iteration etc.) stays meaningful
   // across backends; blocks_executed counts worker chunks.
   device.note_kernel_launch(chunks.size());
 
   // Contiguous per-chunk accumulator tiles: tails doubles as the running
-  // accumulator during phase 1 and holds the trailing open partial after.
-  std::vector<float> tails(chunks.size() * cols);
-  std::vector<float> head_partials(chunks.size() * cols);
+  // accumulator during phase 1 and holds the trailing open partials after.
+  std::vector<float> tails(chunks.size() * total_cols);
+  std::vector<float> head_partials(chunks.size() * total_cols);
   std::vector<ChunkState> states(chunks.size());
 
-  // ---- Phase 1 (parallel): one tight loop per chunk ----------------------
+  // ---- Phase 1 (parallel): one tight loop per chunk per pass -------------
   pool.parallel_ranges(chunks.size(), /*grain=*/1,
                        [&](unsigned /*worker*/, std::size_t begin, std::size_t end) {
                          for (std::size_t k = begin; k < end; ++k) {
-                           run_chunk(f, out, expr, chunks[k], &tails[k * cols],
-                                     &head_partials[k * cols], states[k]);
+                           run_chunk<Expr>(f, outs, exprs, blocks, pass_off, total_cols,
+                                           chunks[k], &tails[k * total_cols],
+                                           &head_partials[k * total_cols], states[k]);
                          }
                        });
 
@@ -195,10 +326,21 @@ void execute(sim::Device& device, const FcooView& f, const OutView& out,
   // Walks chunks left to right with one running carry tile; each boundary
   // segment receives exactly one closing write (the kAdjacentSync ownership
   // rule), so no atomics are needed here either.
-  std::vector<float> carry(cols, 0.0f);
-  fold_boundaries(f.seg_row, states, tails.data(), head_partials.data(), cols, out,
-                  carry.data());
+  std::vector<float> carry(total_cols, 0.0f);
+  fold_boundaries(f.seg_row, states, tails.data(), head_partials.data(), total_cols, outs,
+                  blocks, carry.data());
   // The last chunk always closes at nnz, so the carry has been flushed.
+}
+
+/// Executes one unified operation natively: a batch of one.
+/// `expr.accumulate(x, v, acc, c0, nc)` must add v * expr(x, c0 + c) into
+/// acc[c] for the block's columns (the contiguous-tile form of the sim
+/// kernel's expr(x, col)).
+template <class Expr>
+void execute(sim::Device& device, const FcooView& f, const OutView& out,
+             const Expr& expr, nnz_t max_chunk_nnz = 0, index_t rank_block = 0) {
+  execute_batched<Expr>(device, f, std::span<const OutView>(&out, 1),
+                        std::span<const Expr>(&expr, 1), max_chunk_nnz, rank_block);
 }
 
 }  // namespace ust::core::native

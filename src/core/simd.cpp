@@ -1,0 +1,339 @@
+// SIMD primitive variants + runtime dispatch (see simd.hpp for the bitwise
+// contract). This translation unit is compiled with -ffp-contract=off
+// (CMakeLists.txt source property) so neither the scalar loops nor the
+// intrinsic mul/add pairs can be contracted into FMAs -- AVX-512F implies
+// EVEX FMA availability and GCC would otherwise happily fuse them, silently
+// breaking scalar/vector bitwise identity. Target attributes request plain
+// "avx2" / "avx512f", deliberately NOT "fma".
+#include "core/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define UST_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ust::core::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar variants. These are the semantic definition every vector variant
+// must match bitwise AND the honest baseline for the simd_speedup bench
+// ratio, so auto-vectorization is disabled: GCC via the optimize attribute,
+// clang via loop pragmas. (Auto-vectorizing them would not change results --
+// lanes are independent -- but would fake the baseline.)
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define UST_NO_AUTOVEC __attribute__((optimize("no-tree-vectorize")))
+#define UST_NO_AUTOVEC_LOOP
+#elif defined(__clang__)
+#define UST_NO_AUTOVEC
+#define UST_NO_AUTOVEC_LOOP _Pragma("clang loop vectorize(disable) interleave(disable)")
+#else
+#define UST_NO_AUTOVEC
+#define UST_NO_AUTOVEC_LOOP
+#endif
+
+UST_NO_AUTOVEC void axpy_scalar(float* UST_RESTRICT acc, const float* UST_RESTRICT a,
+                                float v, std::size_t n) {
+  UST_NO_AUTOVEC_LOOP
+  for (std::size_t c = 0; c < n; ++c) acc[c] += v * a[c];
+}
+
+UST_NO_AUTOVEC void axpy2_scalar(float* UST_RESTRICT acc, const float* UST_RESTRICT a,
+                                 const float* UST_RESTRICT b, float v, std::size_t n) {
+  UST_NO_AUTOVEC_LOOP
+  for (std::size_t c = 0; c < n; ++c) acc[c] += v * a[c] * b[c];
+}
+
+UST_NO_AUTOVEC void axpyn_scalar(float* UST_RESTRICT acc, const float* const* rows,
+                                 std::size_t nrows, float v, std::size_t n) {
+  UST_NO_AUTOVEC_LOOP
+  for (std::size_t c = 0; c < n; ++c) {
+    float h = v;
+    for (std::size_t p = 0; p < nrows; ++p) h *= rows[p][c];
+    acc[c] += h;
+  }
+}
+
+UST_NO_AUTOVEC void axpy2b_scalar(float* const* UST_RESTRICT accs, const float* const* as,
+                                  std::size_t ao, const float* const* bs, std::size_t bo,
+                                  std::size_t nreq, float v, std::size_t n) {
+  for (std::size_t j = 0; j < nreq; ++j) {
+    float* UST_RESTRICT acc = accs[j];
+    const float* UST_RESTRICT a = as[j] + ao;
+    const float* UST_RESTRICT b = bs[j] + bo;
+    UST_NO_AUTOVEC_LOOP
+    for (std::size_t c = 0; c < n; ++c) acc[c] += v * a[c] * b[c];
+  }
+}
+
+constexpr Ops kScalarOps{Level::kScalar, &axpy_scalar, &axpy2_scalar, &axpyn_scalar,
+                         &axpy2b_scalar};
+
+// ---------------------------------------------------------------------------
+// AVX2: 8-wide main loop, scalar remainder (same mul-then-add sequence, so
+// the tail is bitwise identical to the vector body's per-lane math).
+// ---------------------------------------------------------------------------
+
+#ifdef UST_SIMD_X86
+
+__attribute__((target("avx2"))) void axpy_avx2(float* UST_RESTRICT acc,
+                                               const float* UST_RESTRICT a, float v,
+                                               std::size_t n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m256 t = _mm256_mul_ps(vv, _mm256_loadu_ps(a + c));
+    _mm256_storeu_ps(acc + c, _mm256_add_ps(_mm256_loadu_ps(acc + c), t));
+  }
+  for (; c < n; ++c) acc[c] += v * a[c];
+}
+
+__attribute__((target("avx2"))) void axpy2_avx2(float* UST_RESTRICT acc,
+                                                const float* UST_RESTRICT a,
+                                                const float* UST_RESTRICT b, float v,
+                                                std::size_t n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m256 t = _mm256_mul_ps(_mm256_mul_ps(vv, _mm256_loadu_ps(a + c)),
+                                   _mm256_loadu_ps(b + c));
+    _mm256_storeu_ps(acc + c, _mm256_add_ps(_mm256_loadu_ps(acc + c), t));
+  }
+  for (; c < n; ++c) acc[c] += v * a[c] * b[c];
+}
+
+__attribute__((target("avx2"))) void axpyn_avx2(float* UST_RESTRICT acc,
+                                                const float* const* rows,
+                                                std::size_t nrows, float v,
+                                                std::size_t n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    __m256 h = vv;
+    for (std::size_t p = 0; p < nrows; ++p) h = _mm256_mul_ps(h, _mm256_loadu_ps(rows[p] + c));
+    _mm256_storeu_ps(acc + c, _mm256_add_ps(_mm256_loadu_ps(acc + c), h));
+  }
+  for (; c < n; ++c) {
+    float h = v;
+    for (std::size_t p = 0; p < nrows; ++p) h *= rows[p][c];
+    acc[c] += h;
+  }
+}
+
+__attribute__((target("avx2"))) void axpy2b_avx2(float* const* UST_RESTRICT accs,
+                                                 const float* const* as, std::size_t ao,
+                                                 const float* const* bs, std::size_t bo,
+                                                 std::size_t nreq, float v, std::size_t n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  for (std::size_t j = 0; j < nreq; ++j) {
+    float* UST_RESTRICT acc = accs[j];
+    const float* UST_RESTRICT a = as[j] + ao;
+    const float* UST_RESTRICT b = bs[j] + bo;
+    std::size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+      const __m256 t = _mm256_mul_ps(_mm256_mul_ps(vv, _mm256_loadu_ps(a + c)),
+                                     _mm256_loadu_ps(b + c));
+      _mm256_storeu_ps(acc + c, _mm256_add_ps(_mm256_loadu_ps(acc + c), t));
+    }
+    for (; c < n; ++c) acc[c] += v * a[c] * b[c];
+  }
+}
+
+constexpr Ops kAvx2Ops{Level::kAvx2, &axpy_avx2, &axpy2_avx2, &axpyn_avx2, &axpy2b_avx2};
+
+// ---------------------------------------------------------------------------
+// AVX-512F: 16-wide main loop, masked remainder (mask lanes never touch
+// memory or interact, so per-column math is unchanged).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f"))) void axpy_avx512(float* UST_RESTRICT acc,
+                                                    const float* UST_RESTRICT a, float v,
+                                                    std::size_t n) {
+  const __m512 vv = _mm512_set1_ps(v);
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    const __m512 t = _mm512_mul_ps(vv, _mm512_loadu_ps(a + c));
+    _mm512_storeu_ps(acc + c, _mm512_add_ps(_mm512_loadu_ps(acc + c), t));
+  }
+  if (c < n) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (n - c)) - 1u);
+    const __m512 t = _mm512_mul_ps(vv, _mm512_maskz_loadu_ps(m, a + c));
+    const __m512 r = _mm512_add_ps(_mm512_maskz_loadu_ps(m, acc + c), t);
+    _mm512_mask_storeu_ps(acc + c, m, r);
+  }
+}
+
+__attribute__((target("avx512f"))) void axpy2_avx512(float* UST_RESTRICT acc,
+                                                     const float* UST_RESTRICT a,
+                                                     const float* UST_RESTRICT b, float v,
+                                                     std::size_t n) {
+  const __m512 vv = _mm512_set1_ps(v);
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    const __m512 t = _mm512_mul_ps(_mm512_mul_ps(vv, _mm512_loadu_ps(a + c)),
+                                   _mm512_loadu_ps(b + c));
+    _mm512_storeu_ps(acc + c, _mm512_add_ps(_mm512_loadu_ps(acc + c), t));
+  }
+  if (c < n) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (n - c)) - 1u);
+    const __m512 t = _mm512_mul_ps(_mm512_mul_ps(vv, _mm512_maskz_loadu_ps(m, a + c)),
+                                   _mm512_maskz_loadu_ps(m, b + c));
+    const __m512 r = _mm512_add_ps(_mm512_maskz_loadu_ps(m, acc + c), t);
+    _mm512_mask_storeu_ps(acc + c, m, r);
+  }
+}
+
+__attribute__((target("avx512f"))) void axpyn_avx512(float* UST_RESTRICT acc,
+                                                     const float* const* rows,
+                                                     std::size_t nrows, float v,
+                                                     std::size_t n) {
+  const __m512 vv = _mm512_set1_ps(v);
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    __m512 h = vv;
+    for (std::size_t p = 0; p < nrows; ++p) h = _mm512_mul_ps(h, _mm512_loadu_ps(rows[p] + c));
+    _mm512_storeu_ps(acc + c, _mm512_add_ps(_mm512_loadu_ps(acc + c), h));
+  }
+  if (c < n) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (n - c)) - 1u);
+    __m512 h = vv;
+    for (std::size_t p = 0; p < nrows; ++p)
+      h = _mm512_mul_ps(h, _mm512_maskz_loadu_ps(m, rows[p] + c));
+    const __m512 r = _mm512_add_ps(_mm512_maskz_loadu_ps(m, acc + c), h);
+    _mm512_mask_storeu_ps(acc + c, m, r);
+  }
+}
+
+__attribute__((target("avx512f"))) void axpy2b_avx512(float* const* UST_RESTRICT accs,
+                                                      const float* const* as, std::size_t ao,
+                                                      const float* const* bs, std::size_t bo,
+                                                      std::size_t nreq, float v,
+                                                      std::size_t n) {
+  const __m512 vv = _mm512_set1_ps(v);
+  for (std::size_t j = 0; j < nreq; ++j) {
+    float* UST_RESTRICT acc = accs[j];
+    const float* UST_RESTRICT a = as[j] + ao;
+    const float* UST_RESTRICT b = bs[j] + bo;
+    std::size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+      const __m512 t = _mm512_mul_ps(_mm512_mul_ps(vv, _mm512_loadu_ps(a + c)),
+                                     _mm512_loadu_ps(b + c));
+      _mm512_storeu_ps(acc + c, _mm512_add_ps(_mm512_loadu_ps(acc + c), t));
+    }
+    if (c < n) {
+      const __mmask16 m = static_cast<__mmask16>((1u << (n - c)) - 1u);
+      const __m512 t = _mm512_mul_ps(_mm512_mul_ps(vv, _mm512_maskz_loadu_ps(m, a + c)),
+                                     _mm512_maskz_loadu_ps(m, b + c));
+      const __m512 r = _mm512_add_ps(_mm512_maskz_loadu_ps(m, acc + c), t);
+      _mm512_mask_storeu_ps(acc + c, m, r);
+    }
+  }
+}
+
+constexpr Ops kAvx512Ops{Level::kAvx512, &axpy_avx512, &axpy2_avx512, &axpyn_avx512,
+                         &axpy2b_avx512};
+
+#endif  // UST_SIMD_X86
+
+Level detect_level() noexcept {
+  Level hw = Level::kScalar;
+  if (cpu_has_avx512())
+    hw = Level::kAvx512;
+  else if (cpu_has_avx2())
+    hw = Level::kAvx2;
+  if (const char* env = std::getenv("UST_SIMD")) {
+    Level cap = Level::kScalar;
+    if (parse_level(env, cap) && cap < hw) hw = cap;
+  }
+  return hw;
+}
+
+std::atomic<int>& active_slot() noexcept {
+  static std::atomic<int> slot{static_cast<int>(max_level())};
+  return slot;
+}
+
+}  // namespace
+
+bool cpu_has_avx2() noexcept {
+#ifdef UST_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() noexcept {
+#ifdef UST_SIMD_X86
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+Level max_level() noexcept {
+  static const Level detected = detect_level();
+  return detected;
+}
+
+Level active_level() noexcept {
+  return static_cast<Level>(active_slot().load(std::memory_order_relaxed));
+}
+
+void set_level(Level level) noexcept {
+  if (level > max_level()) level = max_level();
+  if (level < Level::kScalar) level = Level::kScalar;
+  active_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const Ops& ops(Level level) noexcept {
+  if (level > max_level()) level = max_level();
+#ifdef UST_SIMD_X86
+  switch (level) {
+    case Level::kAvx512:
+      return kAvx512Ops;
+    case Level::kAvx2:
+      return kAvx2Ops;
+    default:
+      return kScalarOps;
+  }
+#else
+  (void)level;
+  return kScalarOps;
+#endif
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kAvx512:
+      return "avx512";
+    case Level::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+bool parse_level(std::string_view name, Level& out) noexcept {
+  if (name == "scalar") {
+    out = Level::kScalar;
+    return true;
+  }
+  if (name == "avx2") {
+    out = Level::kAvx2;
+    return true;
+  }
+  if (name == "avx512") {
+    out = Level::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ust::core::simd

@@ -19,6 +19,8 @@ std::vector<nnz_t> default_chunk_nnzs() { return {0, 8192, 65536}; }
 
 std::vector<unsigned> default_num_devices() { return {1, 2}; }
 
+std::vector<index_t> default_rank_blocks() { return {0, 16, 128}; }
+
 const char* backend_name(ExecBackend backend) {
   return backend == ExecBackend::kNative ? "native" : "sim";
 }
@@ -56,8 +58,20 @@ TuneResult tune_backends(
     std::vector<unsigned> threadlens, std::vector<unsigned> block_sizes,
     std::vector<ExecBackend> backends, std::vector<nnz_t> chunk_nnzs,
     std::vector<unsigned> num_devices) {
+  return tune_backends(
+      [&](Partitioning part, ExecBackend backend, nnz_t chunk, unsigned devices,
+          index_t) { return runner(part, backend, chunk, devices); },
+      std::move(threadlens), std::move(block_sizes), std::move(backends),
+      std::move(chunk_nnzs), std::move(num_devices), {index_t{0}});
+}
+
+TuneResult tune_backends(
+    const std::function<double(Partitioning, ExecBackend, nnz_t, unsigned, index_t)>& runner,
+    std::vector<unsigned> threadlens, std::vector<unsigned> block_sizes,
+    std::vector<ExecBackend> backends, std::vector<nnz_t> chunk_nnzs,
+    std::vector<unsigned> num_devices, std::vector<index_t> rank_blocks) {
   UST_EXPECTS(!threadlens.empty() && !block_sizes.empty() && !backends.empty() &&
-              !chunk_nnzs.empty() && !num_devices.empty());
+              !chunk_nnzs.empty() && !num_devices.empty() && !rank_blocks.empty());
   // The chunk and device axes are native-only; a sim-only sweep lacking
   // their neutral values (chunk 0, one device) would skip every cell and die
   // on the empty-sweep invariant below -- reject it up front with a
@@ -75,6 +89,12 @@ TuneResult tune_backends(
     throw InvalidOptions(
         "sim-only tuning sweep needs num_devices 1 in the device axis "
         "(sharding is a native-backend knob)");
+  }
+  if (!has_native &&
+      std::find(rank_blocks.begin(), rank_blocks.end(), index_t{0}) == rank_blocks.end()) {
+    throw InvalidOptions(
+        "sim-only tuning sweep needs rank_block 0 in the rank-block axis "
+        "(rank blocking is a native-backend knob)");
   }
   TuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
@@ -104,22 +124,28 @@ TuneResult tune_backends(
           for (unsigned devices : num_devices) {
             // Sharding is native-only (validate rejects it on sim).
             if (backend == ExecBackend::kSim && devices != 1) continue;
-            double s = std::numeric_limits<double>::quiet_NaN();
-            try {
-              s = runner(part, backend, aligned, devices);
-            } catch (const std::exception& e) {
-              UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << ","
-                            << backend_name(backend) << "," << aligned << ","
-                            << devices << "): " << e.what();
-              continue;
-            }
-            result.samples.push_back({part, backend, aligned, devices, s});
-            if (s < result.best_seconds) {
-              result.best_seconds = s;
-              result.best = part;
-              result.best_backend = backend;
-              result.best_chunk_nnz = aligned;
-              result.best_num_devices = devices;
+            for (index_t rblock : rank_blocks) {
+              // Rank blocking is native-only; on sim it is ignored, so
+              // non-zero values would just duplicate samples.
+              if (backend == ExecBackend::kSim && rblock != 0) continue;
+              double s = std::numeric_limits<double>::quiet_NaN();
+              try {
+                s = runner(part, backend, aligned, devices, rblock);
+              } catch (const std::exception& e) {
+                UST_LOG_DEBUG << "tune: skipping (" << bs << "," << tl << ","
+                              << backend_name(backend) << "," << aligned << ","
+                              << devices << "," << rblock << "): " << e.what();
+                continue;
+              }
+              result.samples.push_back({part, backend, aligned, devices, rblock, s});
+              if (s < result.best_seconds) {
+                result.best_seconds = s;
+                result.best = part;
+                result.best_backend = backend;
+                result.best_chunk_nnz = aligned;
+                result.best_num_devices = devices;
+                result.best_rank_block = rblock;
+              }
             }
           }
         }

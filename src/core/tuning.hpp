@@ -1,12 +1,16 @@
 // Parameter auto-tuner for the (threadlen, BLOCK_SIZE) launch configuration
 // (the paper's Section V, Figure 5 / Table V experiment), extended with the
 // execution backend, the native worker-chunk size
-// (UnifiedOptions::chunk_nnz) and the shard device count
-// (ShardOptions::num_devices) as third, fourth and fifth grid axes. The
+// (UnifiedOptions::chunk_nnz), the shard device count
+// (ShardOptions::num_devices) and the native rank-block width
+// (UnifiedOptions::rank_block) as third through sixth grid axes. The
 // sweep measures a caller-supplied runner over the full grid and reports
 // every sample so the tuning surface can be printed. Chunk-axis values are
 // aligned up to each threadlen and deduplicated per (threadlen, block,
-// backend) cell, so aliasing caps are never timed twice.
+// backend) cell, so aliasing caps are never timed twice. The rank-block
+// axis is bitwise neutral (DESIGN.md §13) -- it only trades accumulator-tile
+// locality against extra passes over the non-zero stream -- and, like chunk
+// and devices, is native-only: sim samples are taken at rank_block 0.
 //
 // Runners should build their ops against ONE engine::Engine (see
 // bench_tuning): the engine owns the device group and per-device plan
@@ -29,6 +33,7 @@ struct TuneSample {
   ExecBackend backend = ExecBackend::kNative;
   nnz_t chunk_nnz = 0;  // native worker-chunk cap (0 = auto); aligned up to threadlen
   unsigned num_devices = 1;  // shard device count (native only)
+  index_t rank_block = 0;    // native accumulator-tile width cap (0 = auto)
   double seconds = 0.0;
 };
 
@@ -37,6 +42,7 @@ struct TuneResult {
   ExecBackend best_backend = ExecBackend::kNative;
   nnz_t best_chunk_nnz = 0;
   unsigned best_num_devices = 1;
+  index_t best_rank_block = 0;
   double best_seconds = 0.0;
   std::vector<TuneSample> samples;  // full sweep, row-major over the grid
 };
@@ -57,6 +63,10 @@ std::vector<nnz_t> default_chunk_nnzs();
 /// configuration. Applies to the native backend only (sharding is rejected
 /// on the sim backend); sim samples are taken at num_devices == 1 only.
 std::vector<unsigned> default_num_devices();
+/// Rank-block axis: auto (kAutoRankBlock's full-L1 tile) plus a narrow and a
+/// medium accumulator-tile cap. Native-only and bitwise neutral; sim samples
+/// are taken at rank_block 0 only.
+std::vector<index_t> default_rank_blocks();
 
 /// Runs `runner` (which should execute the operation once and return elapsed
 /// seconds, typically a median of repeats) for every configuration.
@@ -84,8 +94,8 @@ TuneResult tune_backends(
     std::vector<ExecBackend> backends = default_backends(),
     std::vector<nnz_t> chunk_nnzs = default_chunk_nnzs());
 
-/// Full five-axis sweep: (partitioning, backend, chunk_nnz, num_devices).
-/// Sim samples are taken only at chunk 0 and one device; aligned chunk caps
+/// Five-axis sweep: (partitioning, backend, chunk_nnz, num_devices). Sim
+/// samples are taken only at chunk 0 and one device; aligned chunk caps
 /// that alias within a (threadlen, block, backend) cell are measured once.
 TuneResult tune_backends(
     const std::function<double(Partitioning, ExecBackend, nnz_t, unsigned)>& runner,
@@ -94,6 +104,18 @@ TuneResult tune_backends(
     std::vector<ExecBackend> backends = default_backends(),
     std::vector<nnz_t> chunk_nnzs = default_chunk_nnzs(),
     std::vector<unsigned> num_devices = default_num_devices());
+
+/// Full six-axis sweep: (partitioning, backend, chunk_nnz, num_devices,
+/// rank_block). Sim samples are taken only at chunk 0, one device and
+/// rank_block 0; the rank-block axis never changes results, only locality.
+TuneResult tune_backends(
+    const std::function<double(Partitioning, ExecBackend, nnz_t, unsigned, index_t)>& runner,
+    std::vector<unsigned> threadlens = default_threadlens(),
+    std::vector<unsigned> block_sizes = default_block_sizes(),
+    std::vector<ExecBackend> backends = default_backends(),
+    std::vector<nnz_t> chunk_nnzs = default_chunk_nnzs(),
+    std::vector<unsigned> num_devices = default_num_devices(),
+    std::vector<index_t> rank_blocks = default_rank_blocks());
 
 /// Short display name for a backend ("native" / "sim").
 const char* backend_name(ExecBackend backend);

@@ -104,6 +104,14 @@ struct UnifiedOptions {
   /// makes chunked execution bitwise identical to single-shot native; the
   /// auto-tuner sweeps it as a fourth grid axis (core::tune_backends).
   nnz_t chunk_nnz = 0;
+  /// Native backend only: caps the accumulator-tile width (output columns)
+  /// one pass over a chunk's non-zeros accumulates, so wide outputs
+  /// (SpTTMc's r0*r1 columns, large-rank MTTKRP) tile through L1 instead of
+  /// thrashing the per-chunk tile. 0 = auto (native::kAutoRankBlock). Any
+  /// value is bitwise neutral -- columns are independent, so blocking never
+  /// changes a column's per-non-zero operation order -- which is why the
+  /// auto-tuner can sweep it freely as a sixth grid axis.
+  index_t rank_block = 0;
   /// Multi-device sharding (native backend only; see src/shard/ and
   /// DESIGN.md §10). The tuner sweeps num_devices as a fifth grid axis.
   ShardOptions shard = {};

@@ -106,12 +106,14 @@ index_t OpPlan::out_rows() const {
 
 Engine::Engine(const EngineOptions& opt)
     : owned_primary_(std::make_unique<sim::Device>(opt.props)),
-      max_queued_(std::max<std::size_t>(1, opt.max_queued_jobs)) {
+      max_queued_(std::max<std::size_t>(1, opt.max_queued_jobs)),
+      max_batch_(std::max<std::size_t>(1, opt.max_batch)) {
   init_group(*owned_primary_, opt);
 }
 
 Engine::Engine(sim::Device& primary, const EngineOptions& opt)
-    : max_queued_(std::max<std::size_t>(1, opt.max_queued_jobs)) {
+    : max_queued_(std::max<std::size_t>(1, opt.max_queued_jobs)),
+      max_batch_(std::max<std::size_t>(1, opt.max_batch)) {
   init_group(primary, opt);
 }
 
@@ -342,9 +344,12 @@ void Engine::prewarm(const OpPlan& plan) {
   for (unsigned d = 1; d < n; ++d) (void)replica_plan(d, plan);
 }
 
-void Engine::exec_single(unsigned d, DeviceRt& rt, const OpRequest& req) {
-  const OpPlan& p = *req.plan;
-  const core::UnifiedOptions& opt = req.options;
+void Engine::exec_batch(unsigned d, DeviceRt& rt, std::span<const OpRequest* const> reqs) {
+  const std::size_t n = reqs.size();
+  UST_EXPECTS(n >= 1);
+  const OpRequest& first = *reqs[0];
+  const OpPlan& p = *first.plan;
+  const core::UnifiedOptions& opt = first.options;
   sim::Device* devp = nullptr;
   {
     std::lock_guard lock(state_mutex_);
@@ -352,12 +357,13 @@ void Engine::exec_single(unsigned d, DeviceRt& rt, const OpRequest& req) {
   }
   sim::Device& dev = *devp;
 
+  // Batches are formed from pairwise batch_compatible() requests, so every
+  // shape and grid parameter below is shared by the whole batch.
   const std::size_t nprod = p.product_modes.size();
-  const index_t r0 = req.inputs[0].cols;
-  const index_t r1 = req.inputs.size() > 1 ? req.inputs[1].cols : 1;
-  const index_t cols = req.out_cols;
-  const std::size_t out_elems = static_cast<std::size_t>(req.out_rows) * cols;
-  const std::span<value_t> host_out{req.out, out_elems};
+  const index_t r0 = first.inputs[0].cols;
+  const index_t r1 = first.inputs.size() > 1 ? first.inputs[1].cols : 1;
+  const index_t cols = first.out_cols;
+  const std::size_t out_elems = static_cast<std::size_t>(first.out_rows) * cols;
 
   // Takes a staging buffer of exactly `elems` floats from the device's
   // scratch pool (jobs on this device are serialised by exec_mutex, which we
@@ -375,58 +381,77 @@ void Engine::exec_single(unsigned d, DeviceRt& rt, const OpRequest& req) {
     return dev.alloc<value_t>(elems);
   };
 
-  // Stage the product-mode inputs on the target device (transfers are
-  // re-done every run: CP-ALS mutates the factors between calls).
-  std::vector<sim::DeviceBuffer<value_t>> fac(nprod);
-  std::array<const value_t*, kMaxProductModes> fc{};
-  for (std::size_t i = 0; i < nprod; ++i) {
-    const HostMatrixView& in = req.inputs[i];
-    const std::size_t elems = static_cast<std::size_t>(in.rows) * in.cols;
-    fac[i] = take(elems);
-    fac[i].copy_from_host({in.data, elems});
-    fc[i] = fac[i].data();
+  // Stage every request's product-mode inputs and output on the target
+  // device (transfers are re-done every run: CP-ALS mutates the factors
+  // between calls). fcs[j] are request j's factor pointers, out_views[j] its
+  // zero-filled output tile.
+  std::vector<sim::DeviceBuffer<value_t>> fac(n * nprod);
+  std::vector<std::array<const value_t*, kMaxProductModes>> fcs(n);
+  std::vector<sim::DeviceBuffer<value_t>> out_bufs(n);
+  std::vector<core::OutView> out_views(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < nprod; ++i) {
+      const HostMatrixView& in = reqs[j]->inputs[i];
+      const std::size_t elems = static_cast<std::size_t>(in.rows) * in.cols;
+      sim::DeviceBuffer<value_t>& b = fac[j * nprod + i];
+      b = take(elems);
+      b.copy_from_host({in.data, elems});
+      fcs[j][i] = b.data();
+    }
+    out_bufs[j] = take(out_elems);
+    out_bufs[j].fill(value_t{0});
+    out_views[j] = core::OutView{out_bufs[j].data(), cols, cols};
   }
-  sim::DeviceBuffer<value_t> out_buf = take(out_elems);
-  out_buf.fill(value_t{0});
-  const core::OutView out_view{out_buf.data(), cols, cols};
 
   // Returns the staging buffers to the pool (bounded; oldest evicted) once
-  // the run has copied its result out.
+  // the run has copied its results out. The cap leaves room for a full
+  // batch's working set so a steady same-plan burst reuses every buffer.
   const auto retire = [&] {
-    constexpr std::size_t kMaxPooled = 16;
+    const std::size_t max_pooled = std::max<std::size_t>(16, max_batch_ * 4);
     for (auto& b : fac) {
       if (!b.empty()) rt.scratch.push_back(std::move(b));
     }
-    if (!out_buf.empty()) rt.scratch.push_back(std::move(out_buf));
-    while (rt.scratch.size() > kMaxPooled) rt.scratch.erase(rt.scratch.begin());
+    for (auto& b : out_bufs) {
+      if (!b.empty()) rt.scratch.push_back(std::move(b));
+    }
+    while (rt.scratch.size() > max_pooled) rt.scratch.erase(rt.scratch.begin());
+  };
+  const auto copy_out = [&] {
+    for (std::size_t j = 0; j < n; ++j) {
+      out_bufs[j].copy_to_host({reqs[j]->out, out_elems});
+    }
   };
 
   if (p.nnz == 0 || cols == 0) {
-    out_buf.copy_to_host(host_out);
+    copy_out();
     retire();
     return;
   }
 
   if (p.stream.enabled) {
+    UST_EXPECTS(n == 1);  // streaming requests never batch
     // Bounded-memory chunk plans built on (and released from) this device.
     with_expr_maker(p.kind, nprod, r0, r1, [&](auto maker) {
-      pipeline::stream_execute(dev, p.host(), p.part, out_view, p.stream,
-                               [&](const pipeline::ChunkPlan& c) {
-                                 std::array<const index_t*, kMaxProductModes> px{};
-                                 for (std::size_t i = 0; i < nprod; ++i) {
-                                   px[i] = c.product_indices(i);
-                                 }
-                                 return maker(px.data(), fc.data());
-                               });
+      pipeline::stream_execute(
+          dev, p.host(), p.part, out_views[0], p.stream,
+          [&](const pipeline::ChunkPlan& c) {
+            std::array<const index_t*, kMaxProductModes> px{};
+            for (std::size_t i = 0; i < nprod; ++i) {
+              px[i] = c.product_indices(i);
+            }
+            return maker(px.data(), fcs[0].data());
+          },
+          opt.rank_block);
     });
-    out_buf.copy_to_host(host_out);
+    copy_out();
     retire();
     return;
   }
 
   // Device-resident plan: the primary bundle on device 0, a cached
   // whole-range replica elsewhere (native only -- the simulator is pinned to
-  // the primary, where the UnifiedPlan lives).
+  // the primary, where the UnifiedPlan lives). Compatible requests share the
+  // plan by construction, so one view serves the whole batch.
   std::shared_ptr<const pipeline::CachedPlan> replica;
   core::FcooView view;
   std::array<const index_t*, kMaxProductModes> px{};
@@ -442,11 +467,18 @@ void Engine::exec_single(unsigned d, DeviceRt& rt, const OpRequest& req) {
   }
 
   with_expr_maker(p.kind, nprod, r0, r1, [&](auto maker) {
-    const auto expr = maker(px.data(), fc.data());
     if (opt.backend == core::ExecBackend::kNative) {
-      core::native::execute(dev, view, out_view, expr, opt.chunk_nnz);
+      using Expr = decltype(maker(px.data(), fcs[0].data()));
+      std::vector<Expr> exprs;
+      exprs.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) exprs.push_back(maker(px.data(), fcs[j].data()));
+      core::native::execute_batched(dev, view, out_views,
+                                    std::span<const Expr>(exprs.data(), exprs.size()),
+                                    opt.chunk_nnz, opt.rank_block);
       return;
     }
+    UST_EXPECTS(n == 1);  // sim-backend requests never batch
+    const auto expr = maker(px.data(), fcs[0].data());
     const core::UnifiedPlan& up = p.unified_plan();
     const core::UnifiedOptions ropt = up.resolve_options(cols, opt);
     const sim::LaunchConfig cfg = up.launch_config(cols, ropt);
@@ -455,11 +487,44 @@ void Engine::exec_single(unsigned d, DeviceRt& rt, const OpRequest& req) {
       chain = std::make_unique<sim::CarryChain>(cfg.total_blocks(), ropt.column_tile);
     }
     sim::launch(dev, cfg, [&](sim::BlockCtx& blk) {
-      core::unified_block_program(blk, view, out_view, ropt, expr, chain.get());
+      core::unified_block_program(blk, view, out_views[0], ropt, expr, chain.get());
     });
   });
-  out_buf.copy_to_host(host_out);
+  copy_out();
   retire();
+}
+
+void Engine::exec_single(unsigned d, DeviceRt& rt, const OpRequest& req) {
+  const OpRequest* ptr = &req;
+  exec_batch(d, rt, std::span<const OpRequest* const>(&ptr, 1));
+}
+
+bool Engine::batch_compatible(const OpRequest& a, const OpRequest& b) {
+  const OpPlan& pa = *a.plan;
+  const OpPlan& pb = *b.plan;
+  // One pass must serve both requests: same plan *content* (the cached
+  // bundle pointer -- two tenants uploading identical tensors share it, so
+  // cross-tenant bursts fuse too), same kind (SpTTV shares SpMTTKRP bundles
+  // but needs a different expression), same shapes (one maker, one worker
+  // grid, equal-width tiles) and same grid knobs.
+  if (pa.streaming() || pb.streaming()) return false;
+  if (pa.bundle == nullptr || pa.bundle.get() != pb.bundle.get()) return false;
+  if (pa.kind != pb.kind || pa.mode != pb.mode) return false;
+  if (a.options.backend != core::ExecBackend::kNative ||
+      b.options.backend != core::ExecBackend::kNative) {
+    return false;
+  }
+  if (a.options.shard.num_devices > 1 || b.options.shard.num_devices > 1) return false;
+  if (a.options.chunk_nnz != b.options.chunk_nnz) return false;
+  if (a.options.rank_block != b.options.rank_block) return false;
+  if (a.out_rows != b.out_rows || a.out_cols != b.out_cols) return false;
+  if (a.inputs.size() != b.inputs.size()) return false;
+  for (std::size_t i = 0; i < a.inputs.size(); ++i) {
+    if (a.inputs[i].rows != b.inputs[i].rows || a.inputs[i].cols != b.inputs[i].cols) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void Engine::run(const OpRequest& req) {
@@ -479,6 +544,56 @@ void Engine::run(const OpRequest& req) {
                        idle_cv_, space_cv_);
   std::lock_guard exec(rt->exec_mutex);
   exec_single(0, *rt, req);
+}
+
+void Engine::run_batched(const BatchedRequest& batch) {
+  UST_EXPECTS(!batch.requests.empty());
+  for (const OpRequest& req : batch.requests) {
+    validate_request(req);
+    core::validate(req.plan->part, req.options, req.plan->stream);
+  }
+  // Greedy run-length fusion: adjacent compatible requests execute as one
+  // pass; anything unfusable (streaming, sharded, sim backend, or simply
+  // different) falls back to its usual synchronous path.
+  std::size_t i = 0;
+  while (i < batch.requests.size()) {
+    const OpRequest& head = batch.requests[i];
+    const bool fusable = !head.plan->streaming() &&
+                         head.options.backend == core::ExecBackend::kNative &&
+                         head.options.shard.num_devices <= 1;
+    std::size_t len = 1;
+    if (fusable) {
+      while (i + len < batch.requests.size() &&
+             batch_compatible(head, batch.requests[i + len])) {
+        ++len;
+      }
+    }
+    if (len == 1) {
+      run(head);
+      ++i;
+      continue;
+    }
+    DeviceRt* rt = nullptr;
+    {
+      std::lock_guard lock(state_mutex_);
+      rt = &rt_[0];
+    }
+    ActiveJobGuard guard(state_mutex_, active_jobs_, queued_total_, grow_waiters_,
+                         idle_cv_, space_cv_);
+    {
+      std::lock_guard exec(rt->exec_mutex);
+      std::vector<const OpRequest*> reqs;
+      reqs.reserve(len);
+      for (std::size_t j = 0; j < len; ++j) reqs.push_back(&batch.requests[i + j]);
+      exec_batch(0, *rt, std::span<const OpRequest* const>(reqs.data(), reqs.size()));
+    }
+    {
+      std::lock_guard lock(state_mutex_);
+      jobs_batched_ += len;
+      ++batches_formed_;
+    }
+    i += len;
+  }
 }
 
 void Engine::run_sharded(const OpRequest& req, shard::Report* report) {
@@ -596,10 +711,27 @@ std::future<void> Engine::submit(OpRequest req, JobRecord* record, Admission adm
       // of tripping a precondition -- the engine is already tearing down.
       throw ShuttingDown();
     }
+    // Batch-affinity placement: a job that could fuse with one already
+    // queued lands on that job's device, so the worker's coalescing pop can
+    // actually find them together. Otherwise round-robin as before.
     unsigned d = 0;
     if (!pinned && rt_.size() > 1) {
-      d = next_device_;
-      next_device_ = (next_device_ + 1) % static_cast<unsigned>(rt_.size());
+      bool placed = false;
+      if (max_batch_ > 1) {
+        for (unsigned i = 0; i < rt_.size() && !placed; ++i) {
+          for (const Job& j : rt_[i].queue) {
+            if (batch_compatible(j.req, req)) {
+              d = i;
+              placed = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!placed) {
+        d = next_device_;
+        next_device_ = (next_device_ + 1) % static_cast<unsigned>(rt_.size());
+      }
     }
     Job job;
     job.req = std::move(req);
@@ -615,43 +747,71 @@ std::future<void> Engine::submit(OpRequest req, JobRecord* record, Admission adm
 
 void Engine::worker_loop(unsigned d, DeviceRt* rt) {
   for (;;) {
-    Job job;
+    std::vector<Job> batch;
     {
       std::unique_lock lock(state_mutex_);
       queue_cv_.wait(lock, [&] { return stop_ || !rt->queue.empty(); });
       if (rt->queue.empty()) return;  // stop requested and queue drained
-      job = std::move(rt->queue.front());
+      batch.push_back(std::move(rt->queue.front()));
       rt->queue.pop_front();
-      --queued_total_;
-      ++active_jobs_;
+      if (max_batch_ > 1) {
+        // Coalesce: drain every queued job fusable with the head (anywhere
+        // in the queue, preserving the remainder's order) up to the cap.
+        // Back-pressure admission already bounded the queue, so this only
+        // reorders relative to *incompatible* jobs -- same as multi-device
+        // placement does -- and submit()'s affinity keeps mates co-located.
+        for (auto it = rt->queue.begin();
+             it != rt->queue.end() && batch.size() < max_batch_;) {
+          if (batch_compatible(batch.front().req, it->req)) {
+            batch.push_back(std::move(*it));
+            it = rt->queue.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      queued_total_ -= batch.size();
+      active_jobs_ += batch.size();
+      if (batch.size() > 1) {
+        jobs_batched_ += batch.size();
+        ++batches_formed_;
+      }
     }
-    space_cv_.notify_one();
+    space_cv_.notify_all();
     Timer timer;
     std::exception_ptr err;
     try {
       std::lock_guard exec(rt->exec_mutex);
-      exec_single(d, *rt, job.req);
+      std::vector<const OpRequest*> reqs;
+      reqs.reserve(batch.size());
+      for (const Job& j : batch) reqs.push_back(&j.req);
+      exec_batch(d, *rt, std::span<const OpRequest* const>(reqs.data(), reqs.size()));
     } catch (...) {
       err = std::current_exception();
     }
     const double seconds = timer.seconds();
     {
       std::lock_guard lock(state_mutex_);
-      --active_jobs_;
-      ++rt->jobs;
+      active_jobs_ -= batch.size();
+      rt->jobs += batch.size();
       rt->busy_s += seconds;
-      ++jobs_completed_;
+      jobs_completed_ += batch.size();
       if (active_jobs_ == 0 && queued_total_ == 0) idle_cv_.notify_all();
     }
-    if (job.record != nullptr) {
-      // Written before the promise resolves: future.get() orders the read.
-      job.record->device = static_cast<int>(d);
-      job.record->exec_s = seconds;
-    }
-    if (err) {
-      job.done.set_exception(err);
-    } else {
-      job.done.set_value();
+    // A fused batch is one pass over the non-zeros; each job's exec_s is its
+    // amortised share so per-job sums stay comparable with solo execution.
+    const double share = seconds / static_cast<double>(batch.size());
+    for (Job& job : batch) {
+      if (job.record != nullptr) {
+        // Written before the promise resolves: future.get() orders the read.
+        job.record->device = static_cast<int>(d);
+        job.record->exec_s = share;
+      }
+      if (err) {
+        job.done.set_exception(err);
+      } else {
+        job.done.set_value();
+      }
     }
   }
 }
@@ -674,6 +834,8 @@ EngineStats Engine::stats() const {
   s.jobs_completed = jobs_completed_;
   s.jobs_queued = queued_total_;
   s.jobs_active = active_jobs_;
+  s.jobs_batched = jobs_batched_;
+  s.batches_formed = batches_formed_;
   return s;
 }
 

@@ -10,13 +10,23 @@
 // build an OpRequest and hand it here.
 //
 // Concurrency model (`submit`): jobs enter a bounded queue and are admitted
-// round-robin to per-device sub-queues, one in-flight job per device (the
-// per-device admission lock). A job executes the SAME single-device path
-// run() uses -- and because every device's worker pool has the primary's slot
-// count, the native worker grid (deterministic in nnz / threadlen / workers /
-// chunk_nnz) is identical on every device, so a job's result is bitwise
-// identical no matter which device it lands on and therefore bitwise
-// identical to sequential execution (tests/engine_concurrency_test.cpp).
+// to per-device sub-queues -- round-robin, except that a job batch-compatible
+// with an already-queued job lands on that job's device (batch affinity) --
+// with one in-flight execution per device (the per-device admission lock). A
+// job executes the SAME single-device path run() uses -- and because every
+// device's worker pool has the primary's slot count, the native worker grid
+// (deterministic in nnz / threadlen / workers / chunk_nnz) is identical on
+// every device, so a job's result is bitwise identical no matter which device
+// it lands on and therefore bitwise identical to sequential execution
+// (tests/engine_concurrency_test.cpp).
+//
+// Request batching (DESIGN.md §13): when a device worker dequeues a job it
+// also pulls up to EngineOptions::max_batch - 1 batch-compatible jobs (same
+// cached plan content, kind, shapes and grid options -- see BatchedRequest)
+// from its queue and executes them as ONE pass over the nnz stream with
+// per-request accumulator tiles (core::native::execute_batched). Per-request
+// results stay bitwise identical to solo runs, so coalescing is invisible
+// except in the jobs_batched / batches_formed counters and the wall clock.
 // Sim-backend jobs are pinned to device 0 (the simulator is the fidelity
 // oracle, not the serving path); sharded jobs are not admissible through
 // submit() -- they own the whole group and go through run().
@@ -126,6 +136,23 @@ struct EngineOptions {
   /// Bounded job queue: submit() blocks once this many jobs are queued
   /// (admission back-pressure, counted across all per-device sub-queues).
   std::size_t max_queued_jobs = 64;
+  /// Most jobs one device worker fuses into a single batched execution
+  /// (one pass over the nnz stream with per-request accumulator tiles).
+  /// 1 disables coalescing -- the batching-off baseline benches compare
+  /// against.
+  std::size_t max_batch = 8;
+};
+
+/// N requests executed as one engine call. Consecutive *batch-compatible*
+/// requests -- same plan content (identical cached bundle), same op kind,
+/// same factor/output shapes, native backend, non-streaming, non-sharded,
+/// equal chunk_nnz / rank_block -- are fused into one pass over the nnz
+/// stream; anything else (streaming, sharded, sim, or mismatched) executes
+/// sequentially in its position. Either way every request's result is
+/// bitwise identical to running it alone, so callers (CP-ALS inner
+/// iterations, the service's coalesced same-plan bursts) batch freely.
+struct BatchedRequest {
+  std::vector<OpRequest> requests;
 };
 
 /// Aggregated engine-wide report: the per-device PlanCache counters that
@@ -134,13 +161,14 @@ struct EngineOptions {
 /// Snapshot consistency (the service polls this per `stats` request under
 /// live traffic): every job counter and gauge below is captured in ONE
 /// critical section of the engine's state mutex -- the same lock every
-/// transition (submit, dequeue, completion) mutates them under -- so within
-/// one EngineStats the invariants
+/// transition (submit, dequeue, completion, batch formation) mutates them
+/// under -- so within one EngineStats the invariants
 ///     jobs_submitted <= jobs_queued + jobs_active + jobs_completed
 ///     jobs_completed == sum over devices of DeviceStats::jobs
+///     jobs_batched >= 2 * batches_formed
 /// hold exactly (the first with equality when no synchronous run() /
-/// run_sharded() is in flight -- those contribute to jobs_active only);
-/// no torn or half-applied transition is observable
+/// run_sharded() / run_batched() is in flight -- those contribute to
+/// jobs_active only); no torn or half-applied transition is observable
 /// (EngineConcurrency.StatsSnapshotConsistentUnderLiveTraffic proves both
 /// under TSan). Cache counters are read per device under each cache's own
 /// mutex: each DeviceStats::cache is internally consistent and cache_total
@@ -164,12 +192,19 @@ struct EngineStats {
   /// worker, and jobs currently executing (submitted or synchronous run()).
   std::uint64_t jobs_queued = 0;
   std::uint64_t jobs_active = 0;
+  /// Request-batching counters: jobs that executed inside a fused batch of
+  /// >= 2 (through worker coalescing or run_batched) and the number of such
+  /// batches. Solo executions count in neither.
+  std::uint64_t jobs_batched = 0;
+  std::uint64_t batches_formed = 0;
 };
 
 /// Optional per-job record for submit(): filled (device ordinal + execution
 /// seconds) before the job's future resolves, so reading it after
 /// future.get() is race-free. bench_engine uses it for the critical-path
-/// throughput model.
+/// throughput model. For a job executed inside a fused batch, exec_s is the
+/// batch wall time divided by the batch size -- the job's amortized share,
+/// so per-device sums still add up to device busy time.
 struct JobRecord {
   int device = -1;
   double exec_s = 0.0;
@@ -225,6 +260,14 @@ class Engine {
   /// code path), filling `report` when non-null. run() routes here for
   /// num_devices > 1.
   void run_sharded(const OpRequest& req, shard::Report* report = nullptr);
+
+  /// Synchronous batched execution: runs of consecutive batch-compatible
+  /// requests (see BatchedRequest) fuse into one pass over the nnz stream on
+  /// device 0; the rest execute sequentially in order. Every request's
+  /// result is bitwise identical to run() -- the deterministic entry point
+  /// the batched-equivalence tests and bench batch_speedup measurements use,
+  /// and the synchronous twin of the worker-side submit() coalescing.
+  void run_batched(const BatchedRequest& batch);
 
   /// Concurrent submission: enqueues the job, admits it round-robin to a
   /// device, and returns a future that resolves when it completes (or
@@ -286,8 +329,18 @@ class Engine {
   void grow_locked(unsigned n);
   void start_workers_locked();
   void worker_loop(unsigned d, DeviceRt* rt);
-  /// Single-device execution of `req` on device d (native / sim / streaming).
-  /// Caller holds rt.exec_mutex (rt is device d's runtime slot).
+  /// True when `a` and `b` can fuse into one batched native execution: same
+  /// cached plan content (bundle pointer), same kind, same factor/output
+  /// shapes, native backend, non-streaming, non-sharded, equal chunk_nnz and
+  /// rank_block (one worker grid and pass structure must serve the batch).
+  static bool batch_compatible(const OpRequest& a, const OpRequest& b);
+  /// Single-device execution of reqs on device d: one request follows the
+  /// full sim / native / streaming dispatch; two or more (callers guarantee
+  /// pairwise batch compatibility) stage per-request factors and outputs and
+  /// run core::native::execute_batched. Caller holds rt.exec_mutex (rt is
+  /// device d's runtime slot).
+  void exec_batch(unsigned d, DeviceRt& rt, std::span<const OpRequest* const> reqs);
+  /// exec_batch of one.
   void exec_single(unsigned d, DeviceRt& rt, const OpRequest& req);
   /// Cache-or-build the whole-range plan for `plan` on replica device d.
   std::shared_ptr<const pipeline::CachedPlan> replica_plan(unsigned d, const OpPlan& plan);
@@ -295,6 +348,7 @@ class Engine {
   std::unique_ptr<sim::Device> owned_primary_;
   std::unique_ptr<shard::DeviceGroup> group_;
   std::size_t max_queued_;
+  std::size_t max_batch_;
 
   // state_mutex_ guards the group/runtime structure (growth, worker spawn),
   // the queues and every counter below. Execution itself runs outside it,
@@ -315,6 +369,8 @@ class Engine {
   bool stop_ = false;
   std::uint64_t jobs_submitted_ = 0;
   std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_batched_ = 0;
+  std::uint64_t batches_formed_ = 0;
 };
 
 }  // namespace ust::engine

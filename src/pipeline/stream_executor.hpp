@@ -136,16 +136,23 @@ class ChunkPlanStream {
 /// chunk's device arrays (product_indices) plus whatever device-resident
 /// factor data the caller staged; the output must be zero-initialised, as
 /// for the other backends. Bitwise identical to
-/// native::execute(..., chunker-resolved chunk_nnz) on the same pool.
+/// native::execute(..., chunker-resolved chunk_nnz, rank_block) on the same
+/// pool -- rank blocking is bitwise neutral, so the streamed/single-shot
+/// identity holds for every (chunk_nnz, rank_block) pair.
 template <class ExprFactory>
 void stream_execute(sim::Device& device, const HostFcoo& host, const Partitioning& part,
                     const core::OutView& out, const core::StreamingOptions& opt,
-                    const ExprFactory& make_expr) {
+                    const ExprFactory& make_expr, index_t rank_block = 0) {
   if (host.nnz == 0 || out.num_cols == 0) return;
   ThreadPool& pool = device.pool();
   ChunkPlanStream stream(device, host, part, opt, pool.size() + 1);
 
   const std::size_t cols = out.num_cols;
+  const index_t width = static_cast<index_t>(cols);
+  std::vector<std::size_t> pass_off;
+  const std::vector<core::native::ColBlock> blocks = core::native::make_col_blocks(
+      std::span<const index_t>(&width, 1), rank_block, pass_off);
+  const std::span<const core::OutView> outs(&out, 1);
   std::vector<float> carry(cols, 0.0f);
   std::vector<float> tails;
   std::vector<float> head_partials;
@@ -163,14 +170,15 @@ void stream_execute(sim::Device& device, const HostFcoo& host, const Partitionin
 
     const core::FcooView f = plan->view();
     const auto expr = make_expr(*plan);
+    const std::span<const decltype(expr)> exprs(&expr, 1);
 
     // Phase 1 (parallel): identical worker loops over identical non-zero
     // ranges as a single-shot run -- only the backing buffers differ.
     pool.parallel_ranges(workers.size(), /*grain=*/1,
                          [&](unsigned /*worker*/, std::size_t begin, std::size_t end) {
                            for (std::size_t k = begin; k < end; ++k) {
-                             core::native::run_chunk(f, out, expr, workers[k],
-                                                     &tails[k * cols],
+                             core::native::run_chunk(f, outs, exprs, blocks, pass_off,
+                                                     cols, workers[k], &tails[k * cols],
                                                      &head_partials[k * cols], states[k]);
                            }
                          });

@@ -143,10 +143,19 @@ LoadgenReport run_loadgen(const LoadgenOptions& opt) {
   engine::Engine local;
   Prng rng(opt.seed ^ 0x9e3779b97f4a7c15ull);
   std::vector<MixEntry> mix;
-  mix.push_back(make_entry(local, tensor, WireOp::kSpMTTKRP, 0, opt.rank, rng, opt.part));
-  mix.push_back(make_entry(local, tensor, WireOp::kSpTTM, 2, opt.rank, rng, opt.part));
-  mix.push_back(make_entry(local, tensor, WireOp::kSpTTV, 1, opt.rank, rng, opt.part));
-  mix.push_back(make_entry(local, tensor, WireOp::kSpTTMc, 0, opt.rank, rng, opt.part));
+  if (opt.same_plan) {
+    // Four distinct factor sets against one (tensor, op, mode, part): the
+    // batching layers may fuse any of these, and each still has its own
+    // locally-computed truth to verify against.
+    for (int k = 0; k < 4; ++k) {
+      mix.push_back(make_entry(local, tensor, WireOp::kSpMTTKRP, 0, opt.rank, rng, opt.part));
+    }
+  } else {
+    mix.push_back(make_entry(local, tensor, WireOp::kSpMTTKRP, 0, opt.rank, rng, opt.part));
+    mix.push_back(make_entry(local, tensor, WireOp::kSpTTM, 2, opt.rank, rng, opt.part));
+    mix.push_back(make_entry(local, tensor, WireOp::kSpTTV, 1, opt.rank, rng, opt.part));
+    mix.push_back(make_entry(local, tensor, WireOp::kSpTTMc, 0, opt.rank, rng, opt.part));
+  }
 
   std::vector<WorkerResult> results(static_cast<std::size_t>(opt.connections));
   std::vector<std::thread> threads;

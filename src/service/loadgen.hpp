@@ -37,6 +37,14 @@ struct LoadgenOptions {
   int backoff_ms = 1;
   /// Deadline attached to every run request (0 = none).
   std::uint32_t timeout_ms = 0;
+  /// Same-plan burst mode: instead of the four-op mix, every request is an
+  /// SpMTTKRP mode-0 with one of several distinct factor sets. All tenants
+  /// upload identical tensor content, and the engine plan cache keys on
+  /// content, so the whole burst shares ONE cached plan -- the traffic shape
+  /// the service's submit coalescing and the engine's request batching
+  /// (DESIGN.md §13) are built to fuse. Verification is unchanged:
+  /// batched responses must stay byte-identical to the local truth.
+  bool same_plan = false;
 };
 
 struct LoadgenReport {

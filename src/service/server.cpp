@@ -89,6 +89,19 @@ struct TensorOpServer::Impl {
   };
   std::list<Pending> pending;
 
+  /// Run requests parsed this poll tick but not yet handed to the engine.
+  /// Deferring the submit to one flush point per tick (flush_submits, before
+  /// harvest) lets the server sort the tick's requests by cached-plan
+  /// identity, so same-plan requests enter a worker queue adjacently and the
+  /// engine's coalescing pop fuses them into one batched pass. The OpRequest
+  /// points into job's matrices; both live in list nodes, so neither sorting
+  /// the list nor splicing job onward moves the pointed-to storage.
+  struct Deferred {
+    Pending job;
+    engine::OpRequest req;
+  };
+  std::list<Deferred> deferred;
+
   struct PlanSlot {
     std::uint64_t tensor = 0;
     std::uint8_t op = 0;
@@ -132,7 +145,7 @@ struct TensorOpServer::Impl {
   std::atomic<std::uint64_t> sessions_accepted{0}, requests{0}, responses{0},
       queue_full{0}, timeouts{0}, bad_requests{0}, slow_closes{0}, bytes_rx{0}, bytes_tx{0},
       tensors_gauge{0}, tensor_bytes_gauge{0}, plans_gauge{0}, plan_bytes_gauge{0},
-      sessions_gauge{0}, tenants_gauge{0};
+      sessions_gauge{0}, tenants_gauge{0}, coalesced{0};
 
   explicit Impl(engine::Engine& eng, ServerOptions o) : engine(eng), opt(std::move(o)) {}
 
@@ -398,16 +411,72 @@ struct TensorOpServer::Impl {
     req.out_rows = job.out.rows();
     req.out_cols = job.out.cols();
 
-    try {
-      job.future = engine.submit(std::move(req), nullptr, engine::Admission::kReject);
-    } catch (const engine::QueueFull& e) {
-      respond_error(s, Status::kQueueFull, h.request_id, e.what());
-      return;
-    } catch (const engine::ShuttingDown& e) {
-      respond_error(s, Status::kShuttingDown, h.request_id, e.what());
-      return;
+    // Deferred: flush_submits() hands the whole tick's runs to the engine in
+    // plan order (QueueFull / ShuttingDown are answered there).
+    deferred.push_back(Deferred{std::move(job), std::move(req)});
+  }
+
+  /// Submits every run request parsed this tick. With coalescing on, the
+  /// batch is first sorted by cached-plan identity (stable: arrival order is
+  /// kept within a plan group) so the engine's worker can fuse same-plan
+  /// neighbours into one pass over the non-zeros.
+  void flush_submits() {
+    if (deferred.empty()) return;
+    if (opt.coalesce_submits && deferred.size() > 1) {
+      deferred.sort([](const Deferred& a, const Deferred& b) {
+        return a.job.plan->bundle.get() < b.job.plan->bundle.get();
+      });
+      // Count members of same-plan groups of >= 2: those are the submits the
+      // sort actually co-located for the engine's coalescing pop.
+      for (auto it = deferred.begin(); it != deferred.end();) {
+        auto run_end = std::next(it);
+        std::size_t len = 1;
+        while (run_end != deferred.end() &&
+               run_end->job.plan->bundle.get() == it->job.plan->bundle.get()) {
+          ++run_end;
+          ++len;
+        }
+        if (len >= 2) coalesced += len;
+        it = run_end;
+      }
     }
-    pending.push_back(std::move(job));
+    for (auto& d : deferred) {
+      try {
+        d.job.future = engine.submit(std::move(d.req), nullptr, engine::Admission::kReject);
+      } catch (const engine::QueueFull& e) {
+        if (auto* s = find_session(d.job.fd)) {
+          respond_error(*s, Status::kQueueFull, d.job.request_id, e.what());
+        } else {
+          ++queue_full;
+        }
+        continue;
+      } catch (const engine::ShuttingDown& e) {
+        if (auto* s = find_session(d.job.fd)) {
+          respond_error(*s, Status::kShuttingDown, d.job.request_id, e.what());
+        }
+        continue;
+      } catch (const ContractViolation& e) {
+        // Bad shapes the parse layer could not see (engine-side request
+        // validation): a malformed request, not a server fault -- the same
+        // mapping the dispatch layer applies.
+        if (auto* s = find_session(d.job.fd)) {
+          respond_error(*s, Status::kBadRequest, d.job.request_id, e.what());
+        }
+        continue;
+      } catch (const core::InvalidOptions& e) {
+        if (auto* s = find_session(d.job.fd)) {
+          respond_error(*s, Status::kBadRequest, d.job.request_id, e.what());
+        }
+        continue;
+      } catch (const std::exception& e) {
+        if (auto* s = find_session(d.job.fd)) {
+          respond_error(*s, Status::kInternal, d.job.request_id, e.what());
+        }
+        continue;
+      }
+      pending.push_back(std::move(d.job));
+    }
+    deferred.clear();
   }
 
   void handle_stats(Session& s, const RequestHeader& h) {
@@ -420,6 +489,8 @@ struct TensorOpServer::Impl {
         {"engine.jobs_completed", es.jobs_completed},
         {"engine.jobs_queued", es.jobs_queued},
         {"engine.jobs_active", es.jobs_active},
+        {"engine.jobs_batched", es.jobs_batched},
+        {"engine.batches_formed", es.batches_formed},
         {"engine.cache_hits", es.cache_total.hits},
         {"engine.cache_misses", es.cache_total.misses},
         {"engine.cache_evictions", es.cache_total.evictions},
@@ -437,6 +508,7 @@ struct TensorOpServer::Impl {
         {"server.tensor_bytes", tensor_bytes_gauge.load()},
         {"server.plans", plans_gauge.load()},
         {"server.plan_bytes", plan_bytes_gauge.load()},
+        {"server.coalesced_submits", coalesced.load()},
     };
     w.u32(static_cast<std::uint32_t>(kv.size()));
     for (const auto& [k, v] : kv) {
@@ -604,6 +676,7 @@ struct TensorOpServer::Impl {
       }
       for (int fd : dead) close_session(fd);
 
+      flush_submits();
       harvest();
       // Responses enqueued by harvest() go out on the next poll tick's
       // POLLOUT -- except most sockets are writable now, so try eagerly.
@@ -632,6 +705,8 @@ struct TensorOpServer::Impl {
       ::close(listener);
       listener = -1;
     }
+    // Parsed-but-never-submitted runs hold no engine work; just drop them.
+    deferred.clear();
     // Drain abandoned jobs so their buffers outlive the engine work.
     for (auto& p : pending) {
       try {
@@ -701,6 +776,7 @@ ServerStats TensorOpServer::stats() const {
   s.tensor_bytes = im.tensor_bytes_gauge;
   s.plans = im.plans_gauge;
   s.plan_bytes = im.plan_bytes_gauge;
+  s.coalesced_submits = im.coalesced;
   return s;
 }
 

@@ -155,6 +155,13 @@ void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partition
   std::vector<float> tails(sharding.grid_chunks * cols, 0.0f);
   std::vector<float> heads(sharding.grid_chunks * cols, 0.0f);
 
+  // Rank-block pass structure, shared by every shard (bitwise neutral; see
+  // native::make_col_blocks).
+  const index_t width = static_cast<index_t>(cols);
+  std::vector<std::size_t> pass_off;
+  const std::vector<core::native::ColBlock> blocks = core::native::make_col_blocks(
+      std::span<const index_t>(&width, 1), opt.rank_block, pass_off);
+
   std::size_t grid_offset = 0;  // global worker-chunk index of the next shard
   for (unsigned d = 0; d < sharding.shards.size(); ++d) {
     const pipeline::StreamChunk& shard = sharding.shards[d];
@@ -190,6 +197,8 @@ void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partition
       sdev.note_kernel_launch(plan.spec.workers.size());
       const core::FcooView f = plan.view();
       const auto expr = make_expr(sdev, d, plan);
+      const std::span<const decltype(expr)> exprs(&expr, 1);
+      const std::span<const core::OutView> louts(&lout, 1);
       const std::vector<core::native::Chunk>& workers = plan.spec.workers;
       // This plan's worker chunks are consecutive in the global grid
       // starting at grid_offset; write boundary tiles straight into the
@@ -199,7 +208,7 @@ void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partition
           workers.size(), /*grain=*/1,
           [&](unsigned /*worker*/, std::size_t begin, std::size_t end) {
             for (std::size_t k = begin; k < end; ++k) {
-              core::native::run_chunk(f, lout, expr, workers[k],
+              core::native::run_chunk(f, louts, exprs, blocks, pass_off, cols, workers[k],
                                       &tails[(base + k) * cols],
                                       &heads[(base + k) * cols], states[base + k]);
             }

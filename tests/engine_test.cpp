@@ -113,7 +113,11 @@ TEST(Engine, CachedAndUncachedPlansMatchBitwise) {
 }
 
 TEST(Engine, SubmitMatchesRunBitwiseAndRoundRobins) {
-  Engine eng(EngineOptions{.num_devices = 2});
+  // max_batch 1: with batching on, submit() prefers the device already
+  // queueing a compatible job (batch affinity, DESIGN.md §13) and all six
+  // identical jobs would land on one device. Round-robin is the placement
+  // contract for a non-batching engine; BatchedEquivalence covers the rest.
+  Engine eng(EngineOptions{.num_devices = 2, .max_batch = 1});
   Prng rng(104);
   const CooTensor t = test::random_coo3(rng, 24, 1500);
   const Partitioning part{.threadlen = 8, .block_size = 64};

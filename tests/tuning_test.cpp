@@ -90,6 +90,50 @@ TEST(Tuning, SimOnlySweepNeedsNeutralAxisValues) {
   EXPECT_EQ(r.samples.size(), 1u);
 }
 
+TEST(Tuning, RankBlockAxisSweepsNativeOnly) {
+  std::set<std::tuple<ExecBackend, unsigned, index_t>> cells;
+  const TuneResult r = tune_backends(
+      [&](Partitioning, ExecBackend backend, nnz_t, unsigned devices, index_t rank_block) {
+        EXPECT_TRUE(cells.insert({backend, devices, rank_block}).second);
+        // Make a narrow native tile the winner so best_rank_block records it.
+        if (backend == ExecBackend::kNative && rank_block == 16) return 0.5;
+        return 1.0;
+      },
+      /*threadlens=*/{8}, /*block_sizes=*/{32}, default_backends(),
+      /*chunk_nnzs=*/{0}, /*num_devices=*/{1}, /*rank_blocks=*/{0, 16});
+
+  // native x {0,16} rank blocks + sim pinned to rank_block 0 = 3 samples.
+  EXPECT_EQ(r.samples.size(), 3u);
+  for (const TuneSample& s : r.samples) {
+    if (s.backend == ExecBackend::kSim) EXPECT_EQ(s.rank_block, 0u);
+  }
+  EXPECT_EQ(r.best_backend, ExecBackend::kNative);
+  EXPECT_EQ(r.best_rank_block, 16u);
+  EXPECT_EQ(r.best_seconds, 0.5);
+}
+
+TEST(Tuning, SimOnlySweepNeedsNeutralRankBlock) {
+  const auto runner = [](Partitioning, ExecBackend, nnz_t, unsigned, index_t) {
+    return 1.0;
+  };
+  EXPECT_THROW(tune_backends(runner, {8}, {32}, {ExecBackend::kSim}, {0}, {1}, {16}),
+               InvalidOptions);
+  // Neutral value present: the sweep runs, skipping sim x non-zero cells.
+  const TuneResult r =
+      tune_backends(runner, {8}, {32}, {ExecBackend::kSim}, {0}, {1}, {0, 16});
+  EXPECT_EQ(r.samples.size(), 1u);
+  EXPECT_EQ(r.samples[0].rank_block, 0u);
+}
+
+TEST(Tuning, FiveAxisOverloadStaysUnblocked) {
+  const TuneResult r = tune_backends(
+      [&](Partitioning, ExecBackend, nnz_t, unsigned) { return 1.0; }, {8}, {32},
+      {ExecBackend::kNative}, {0}, {1, 2});
+  EXPECT_EQ(r.samples.size(), 2u);
+  for (const TuneSample& s : r.samples) EXPECT_EQ(s.rank_block, 0u);
+  EXPECT_EQ(r.best_rank_block, 0u);
+}
+
 TEST(Tuning, FourAxisOverloadStaysSingleDevice) {
   const TuneResult r = tune_backends(
       [&](Partitioning, ExecBackend, nnz_t) { return 1.0; }, {8}, {32},
