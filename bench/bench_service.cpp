@@ -22,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
+#include "obs/trace.hpp"
 #include "service/loadgen.hpp"
 #include "service/server.hpp"
 
@@ -87,6 +88,9 @@ int main(int argc, char** argv) {
              "vector register per request tile and the batch's tiles still "
              "fit L1");
   cli.option("json", "", "also write results to this path as a BENCH_*.json file");
+  cli.option("trace", "",
+             "trace the mixed-op phase and write Chrome trace-event JSON here "
+             "(loadable in Perfetto; DESIGN.md §14)");
   if (!cli.parse(argc, argv)) return 1;
 
   engine::EngineOptions eopt;
@@ -107,8 +111,25 @@ int main(int argc, char** argv) {
 
   std::printf("bench_service: %d connections x %d requests, queue depth %zu\n",
               lopt.connections, lopt.requests_per_connection, eopt.max_queued_jobs);
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) obs::set_tracing(true);
   const service::LoadgenReport r = service::run_loadgen(lopt);
   server.stop();
+  if (!trace_path.empty()) {
+    obs::set_tracing(false);
+    const std::string json_text = obs::chrome_trace_json();
+    if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
+      std::fwrite(json_text.data(), 1, json_text.size(), f);
+      std::fclose(f);
+      const obs::TraceStats ts = obs::trace_stats();
+      std::printf("trace: %llu spans (%llu dropped) from %zu threads -> %s\n",
+                  static_cast<unsigned long long>(ts.recorded),
+                  static_cast<unsigned long long>(ts.dropped), ts.threads,
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_service: cannot write %s\n", trace_path.c_str());
+    }
+  }
 
   const service::ServerStats ss = server.stats();
   print_banner("Service results");
@@ -188,6 +209,7 @@ int main(int argc, char** argv) {
   json.add("p50_us", r.percentile_us(50));
   json.add("p90_us", r.percentile_us(90));
   json.add("p99_us", r.percentile_us(99));
+  json.add("p_max_us", r.max_us());
   json.add("wall_s", r.wall_s);
   json.add("zero_loss", all_clean ? "true" : "false");
   json.add("burst_rps_batching_on", on.report.throughput_rps);

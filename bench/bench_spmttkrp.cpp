@@ -9,6 +9,7 @@
 #include "baselines/splatt.hpp"
 #include "bench_common.hpp"
 #include "core/spmttkrp.hpp"
+#include "obs/trace.hpp"
 
 using namespace ust;
 
@@ -112,6 +113,18 @@ int main(int argc, char** argv) {
     }
     const double simd_speedup = uni_native_s > 0 ? scalar_s / uni_native_s : 0.0;
 
+    // Observability overhead (DESIGN.md §14): the identical native run timed
+    // with the span tracer's runtime switch flipped on. Spans are per-pass /
+    // per-chunk, never per-non-zero, so the ratio must stay under 1.05; with
+    // UST_OBS=0 the hooks compile out entirely and the switch has no effect.
+    double traced_s;
+    {
+      obs::set_tracing(true);
+      traced_s = bench::time_median([&] { unified_op.run(factors, native_opt); }, reps);
+      obs::set_tracing(false);
+    }
+    const double obs_overhead = uni_native_s > 0 ? traced_s / uni_native_s : 0.0;
+
     // Batch speedup: N same-plan requests with distinct factor/output sets,
     // run back-to-back vs fused into one pass over the non-zeros via
     // Engine::run_batched (§13 request batching). A fused batch stages all
@@ -148,10 +161,12 @@ int main(int argc, char** argv) {
         },
         reps);
     const double batch_speedup = fused_batch_s > 0 ? seq_batch_s / fused_batch_s : 0.0;
-    std::printf("  %s: simd %.2fx (scalar %.4fs vs %s %.4fs), batch(%d) %.2fx\n",
-                d.name.c_str(), simd_speedup, scalar_s,
-                core::simd::level_name(core::simd::active_level()), uni_native_s,
-                kBatchN, batch_speedup);
+    std::printf(
+        "  %s: simd %.2fx (scalar %.4fs vs %s %.4fs), batch(%d) %.2fx, "
+        "trace overhead %.3fx\n",
+        d.name.c_str(), simd_speedup, scalar_s,
+        core::simd::level_name(core::simd::active_level()), uni_native_s, kBatchN,
+        batch_speedup, obs_overhead);
 
     t.add_row({d.name, Table::num(omp_s, 4), gpu_cell, Table::num(splatt_s, 4),
                Table::num(uni_s, 4), Table::num(uni_sim_s, 4), gpu_spd,
@@ -168,11 +183,13 @@ int main(int argc, char** argv) {
     json.add(d.name + ".unified_native_scalar_s", scalar_s);
     json.add(d.name + ".simd_speedup", simd_speedup);
     json.add(d.name + ".batch_speedup", batch_speedup);
+    json.add(d.name + ".obs_overhead", obs_overhead);
     if (datasets.size() == 1) {
       // Single-dataset runs (the CI bench-smoke) also emit unprefixed keys
       // so threshold checks need not know the dataset name.
       json.add("simd_speedup", simd_speedup);
       json.add("batch_speedup", batch_speedup);
+      json.add("obs_overhead", obs_overhead);
     }
   }
   t.print();

@@ -47,7 +47,9 @@
 #include <span>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "core/unified_kernel.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "util/thread_pool.hpp"
 
@@ -306,6 +308,14 @@ void execute_batched(sim::Device& device, const FcooView& f, std::span<const Out
   // across backends; blocks_executed counts worker chunks.
   device.note_kernel_launch(chunks.size());
 
+  // Kernel profiling hooks (DESIGN.md §14): one span per pass plus one per
+  // worker chunk -- never per non-zero. Pool workers have no thread-local
+  // trace context, so the caller's id is captured here and pinned per span.
+  obs::Span obs_pass("native.execute");
+  obs_pass.arg("nnz", static_cast<std::uint64_t>(f.nnz))
+      .arg("simd", static_cast<std::uint64_t>(simd::active_level()));
+  const std::uint64_t obs_id = obs::current_trace_id();
+
   // Contiguous per-chunk accumulator tiles: tails doubles as the running
   // accumulator during phase 1 and holds the trailing open partials after.
   std::vector<float> tails(chunks.size() * total_cols);
@@ -316,6 +326,11 @@ void execute_batched(sim::Device& device, const FcooView& f, std::span<const Out
   pool.parallel_ranges(chunks.size(), /*grain=*/1,
                        [&](unsigned /*worker*/, std::size_t begin, std::size_t end) {
                          for (std::size_t k = begin; k < end; ++k) {
+                           obs::Span obs_chunk("native.chunk", obs_id);
+                           obs_chunk
+                               .arg("nnz", static_cast<std::uint64_t>(chunks[k].hi -
+                                                                      chunks[k].lo))
+                               .arg("chunk", k);
                            run_chunk<Expr>(f, outs, exprs, blocks, pass_off, total_cols,
                                            chunks[k], &tails[k * total_cols],
                                            &head_partials[k * total_cols], states[k]);
@@ -327,6 +342,8 @@ void execute_batched(sim::Device& device, const FcooView& f, std::span<const Out
   // segment receives exactly one closing write (the kAdjacentSync ownership
   // rule), so no atomics are needed here either.
   std::vector<float> carry(total_cols, 0.0f);
+  obs::Span obs_fold("native.fold", obs_id);
+  obs_fold.arg("chunks", chunks.size());
   fold_boundaries(f.seg_row, states, tails.data(), head_partials.data(), total_cols, outs,
                   blocks, carry.data());
   // The last chunk always closes at nnz, so the carry has been flushed.

@@ -347,6 +347,10 @@ void Engine::prewarm(const OpPlan& plan) {
 void Engine::exec_batch(unsigned d, DeviceRt& rt, std::span<const OpRequest* const> reqs) {
   const std::size_t n = reqs.size();
   UST_EXPECTS(n >= 1);
+  // Trace id comes from the thread-local context (installed by worker_loop /
+  // run() from the head request) so nested kernel spans chain to it.
+  obs::Span obs_span("engine.exec");
+  obs_span.arg("device", d).arg("batch", n);
   const OpRequest& first = *reqs[0];
   const OpPlan& p = *first.plan;
   const core::UnifiedOptions& opt = first.options;
@@ -543,6 +547,8 @@ void Engine::run(const OpRequest& req) {
   ActiveJobGuard guard(state_mutex_, active_jobs_, queued_total_, grow_waiters_,
                        idle_cv_, space_cv_);
   std::lock_guard exec(rt->exec_mutex);
+  const obs::ScopedTraceId obs_id(req.trace_id != 0 ? req.trace_id
+                                                    : obs::current_trace_id());
   exec_single(0, *rt, req);
 }
 
@@ -736,6 +742,7 @@ std::future<void> Engine::submit(OpRequest req, JobRecord* record, Admission adm
     Job job;
     job.req = std::move(req);
     job.record = record;
+    if (obs::tracing_enabled()) job.t_enqueue_ns = obs::now_ns();
     fut = job.done.get_future();
     rt_[d].queue.push_back(std::move(job));
     ++queued_total_;
@@ -772,12 +779,20 @@ void Engine::worker_loop(unsigned d, DeviceRt* rt) {
       }
       queued_total_ -= batch.size();
       active_jobs_ += batch.size();
+      rt->active_now = batch.size();
       if (batch.size() > 1) {
         jobs_batched_ += batch.size();
         ++batches_formed_;
       }
     }
     space_cv_.notify_all();
+    // Queue-wait spans, one per job, measured submit -> dequeue (emitted
+    // after the fact since the interval is only known now).
+    for (const Job& j : batch) {
+      if (j.t_enqueue_ns != 0) {
+        obs::emit_span("engine.queue", j.req.trace_id, j.t_enqueue_ns, "device", d);
+      }
+    }
     Timer timer;
     std::exception_ptr err;
     try {
@@ -785,22 +800,30 @@ void Engine::worker_loop(unsigned d, DeviceRt* rt) {
       std::vector<const OpRequest*> reqs;
       reqs.reserve(batch.size());
       for (const Job& j : batch) reqs.push_back(&j.req);
+      const obs::ScopedTraceId obs_id(batch.front().req.trace_id);
       exec_batch(d, *rt, std::span<const OpRequest* const>(reqs.data(), reqs.size()));
     } catch (...) {
       err = std::current_exception();
     }
     const double seconds = timer.seconds();
-    {
-      std::lock_guard lock(state_mutex_);
-      active_jobs_ -= batch.size();
-      rt->jobs += batch.size();
-      rt->busy_s += seconds;
-      jobs_completed_ += batch.size();
-      if (active_jobs_ == 0 && queued_total_ == 0) idle_cv_.notify_all();
-    }
     // A fused batch is one pass over the non-zeros; each job's exec_s is its
     // amortised share so per-job sums stay comparable with solo execution.
     const double share = seconds / static_cast<double>(batch.size());
+    for (std::size_t j = 0; j < batch.size(); ++j) exec_latency_us_.record(share * 1e6);
+    {
+      std::lock_guard lock(state_mutex_);
+      active_jobs_ -= batch.size();
+      rt->active_now = 0;
+      rt->jobs += batch.size();
+      rt->busy_s += seconds;
+      jobs_completed_ += batch.size();
+      for (const Job& j : batch) {
+        job_history_.push_back({static_cast<int>(d), j.req.plan->kind, j.req.plan->nnz,
+                                static_cast<std::uint32_t>(batch.size()), share});
+      }
+      while (job_history_.size() > EngineStats::kJobHistoryCap) job_history_.pop_front();
+      if (active_jobs_ == 0 && queued_total_ == 0) idle_cv_.notify_all();
+    }
     for (Job& job : batch) {
       if (job.record != nullptr) {
         // Written before the promise resolves: future.get() orders the read.
@@ -826,6 +849,8 @@ EngineStats Engine::stats() const {
     if (d < rt_.size()) {
       ds.jobs = rt_[d].jobs;
       ds.busy_s = rt_[d].busy_s;
+      ds.queued = rt_[d].queue.size();
+      ds.active = rt_[d].active_now;
     }
     accumulate_cache_stats(s.cache_total, ds.cache);
     s.devices.push_back(ds);
@@ -836,7 +861,13 @@ EngineStats Engine::stats() const {
   s.jobs_active = active_jobs_;
   s.jobs_batched = jobs_batched_;
   s.batches_formed = batches_formed_;
+  s.exec_latency_us = exec_latency_us_.snapshot();
+  s.job_history.assign(job_history_.begin(), job_history_.end());
   return s;
+}
+
+std::string Engine::dump_trace(std::size_t max_events) {
+  return obs::chrome_trace_json(max_events);
 }
 
 }  // namespace ust::engine

@@ -45,6 +45,8 @@
 #include "core/unified_kernel.hpp"
 #include "engine/errors.hpp"
 #include "engine/op_exprs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/chunker.hpp"
 #include "pipeline/plan_cache.hpp"
 #include "shard/shard_executor.hpp"
@@ -121,6 +123,11 @@ struct OpRequest {
   index_t out_rows = 0;
   index_t out_cols = 0;
   core::UnifiedOptions options;
+  /// Observability correlation id (DESIGN.md §14): the service composes it
+  /// from (tenant, wire request_id); in-process callers may leave it 0. The
+  /// engine propagates it into every span the job emits, so one request's
+  /// trace chains service -> engine -> kernel.
+  std::uint64_t trace_id = 0;
 };
 
 struct EngineOptions {
@@ -182,6 +189,10 @@ struct EngineStats {
     pipeline::PlanCache::Stats cache;
     std::uint64_t jobs = 0;  // submitted jobs executed on this device
     double busy_s = 0.0;     // wall-clock this device spent on submitted jobs
+    /// Gauges for the metrics exposition (DESIGN.md §14): jobs waiting in
+    /// this device's sub-queue and jobs it is currently executing.
+    std::uint64_t queued = 0;
+    std::uint64_t active = 0;
   };
   std::vector<DeviceStats> devices;
   /// Sum of the per-device cache counters (hits/misses/evictions/bytes).
@@ -197,6 +208,21 @@ struct EngineStats {
   /// batches. Solo executions count in neither.
   std::uint64_t jobs_batched = 0;
   std::uint64_t batches_formed = 0;
+  /// Per-job execution-latency distribution in MICROSECONDS (each job's
+  /// amortised share of its batch, matching JobRecord::exec_s).
+  obs::HistogramSnapshot exec_latency_us;
+  /// Bounded trailing history of executed jobs, oldest first (cap
+  /// kJobHistoryCap) -- the exec_s stream the cost-model scheduler open item
+  /// consumes (ROADMAP).
+  struct JobHistoryEntry {
+    int device = 0;
+    OpKind kind = OpKind::kSpMTTKRP;
+    nnz_t nnz = 0;
+    std::uint32_t batch = 1;  // fused-batch size the job executed in
+    double exec_s = 0.0;      // amortised share, as in JobRecord
+  };
+  static constexpr std::size_t kJobHistoryCap = 512;
+  std::vector<JobHistoryEntry> job_history;
 };
 
 /// Optional per-job record for submit(): filled (device ordinal + execution
@@ -296,11 +322,18 @@ class Engine {
 
   EngineStats stats() const;
 
+  /// Chrome trace-event JSON of every span recorded so far (engine, kernel
+  /// and service spans share one process-wide tracer; this is a convenience
+  /// forwarder to obs::chrome_trace_json so engine embedders need not reach
+  /// into obs directly). max_events == 0 exports everything resident.
+  static std::string dump_trace(std::size_t max_events = 0);
+
  private:
   struct Job {
     OpRequest req;
     std::promise<void> done;
     JobRecord* record = nullptr;
+    std::uint64_t t_enqueue_ns = 0;  // obs: queue-wait span start
   };
   struct DeviceRt {
     std::deque<Job> queue;
@@ -308,6 +341,7 @@ class Engine {
     bool worker_started = false;
     std::uint64_t jobs = 0;
     double busy_s = 0.0;
+    std::size_t active_now = 0;  // jobs this device is executing (gauge)
     // One in-flight job per device: the per-device admission lock, shared
     // with synchronous run()/run_sharded().
     std::mutex exec_mutex;
@@ -371,6 +405,11 @@ class Engine {
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_batched_ = 0;
   std::uint64_t batches_formed_ = 0;
+  /// Per-job exec-share latency (us); internally thread-safe, recorded by
+  /// workers outside state_mutex_.
+  obs::Histogram exec_latency_us_;
+  /// Bounded exec_s history (state_mutex_), oldest at front.
+  std::deque<EngineStats::JobHistoryEntry> job_history_;
 };
 
 }  // namespace ust::engine

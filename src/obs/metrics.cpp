@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace ust::obs {
+namespace {
+
+/// Smallest bucket whose upper bound >= v. Values <= 1 land in bucket 0;
+/// the last bucket (+Inf) absorbs everything past 2^(126/4) ~ 3e9.
+int bucket_index(double v) noexcept {
+  if (!(v > 1.0)) return 0;  // also catches NaN
+  const int idx = static_cast<int>(std::ceil(4.0 * std::log2(v)));
+  return std::clamp(idx, 0, HistogramSnapshot::kBuckets - 1);
+}
+
+void atomic_add(std::atomic<double>& a, double delta) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void append_num(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string s = name;
+  for (char& c : s)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')) c = '_';
+  return s;
+}
+
+}  // namespace
+
+double HistogramSnapshot::bucket_upper(int i) noexcept {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::pow(2.0, static_cast<double>(i) / 4.0);
+}
+
+double HistogramSnapshot::quantile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) < target) continue;
+    const double lo = i == 0 ? 0.0 : bucket_upper(i - 1);
+    const double hi = i == kBuckets - 1 ? max : bucket_upper(i);
+    const double frac =
+        buckets[i] == 0 ? 1.0
+                        : (target - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+    return std::min(max, lo + (hi - lo) * std::clamp(frac, 0.0, 1.0));
+  }
+  return max;
+}
+
+void Histogram::record(double v) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot s;
+  for (int i = 0; i < HistogramSnapshot::kBuckets; ++i)
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string render_prometheus_histogram(const std::string& name,
+                                        const HistogramSnapshot& s) {
+  const std::string n = sanitize(name);
+  std::string out = "# TYPE " + n + " histogram\n";
+  // Emit cumulative buckets up to the highest non-empty one; +Inf always
+  // closes the series per the exposition format.
+  int last = -1;
+  for (int i = 0; i < HistogramSnapshot::kBuckets; ++i)
+    if (s.buckets[static_cast<std::size_t>(i)] != 0) last = i;
+  std::uint64_t cum = 0;
+  for (int i = 0; i <= last && i < HistogramSnapshot::kBuckets - 1; ++i) {
+    cum += s.buckets[static_cast<std::size_t>(i)];
+    out += n + "_bucket{le=\"";
+    append_num(out, HistogramSnapshot::bucket_upper(i));
+    out += "\"} " + std::to_string(cum) + "\n";
+  }
+  out += n + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+  out += n + "_sum ";
+  append_num(out, s.sum);
+  out.push_back('\n');
+  out += n + "_count " + std::to_string(s.count) + "\n";
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::get(const std::string& name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = entries_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *get(name, Kind::kCounter).counter;
+}
+Gauge& MetricsRegistry::gauge(const std::string& name) { return *get(name, Kind::kGauge).gauge; }
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *get(name, Kind::kHistogram).histogram;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(entries_.size() * 96 + 64);
+  for (const auto& [name, e] : entries_) {
+    const std::string n = sanitize(name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + n + " counter\n" + n + " ";
+        append_num(out, static_cast<double>(e.counter->value()));
+        out.push_back('\n');
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + n + " gauge\n" + n + " ";
+        append_num(out, e.gauge->value());
+        out.push_back('\n');
+        break;
+      case Kind::kHistogram:
+        out += render_prometheus_histogram(name, e.histogram->snapshot());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ust::obs

@@ -87,7 +87,8 @@ ChunkPlanStream::ChunkPlanStream(sim::Device& device, const HostFcoo& host,
       host_(host),
       part_(part),
       chunks_(make_stream_chunks(host, part, opt, workers)),
-      max_in_flight_(std::max(1u, opt.max_in_flight)) {
+      max_in_flight_(std::max(1u, opt.max_in_flight)),
+      trace_id_(obs::current_trace_id()) {
   // The thread starts after every member is initialised (cf. the sim::Stream
   // init-order race fixed in PR 1): producer_loop reads chunks_ and queue_.
   producer_ = std::thread([this] { producer_loop(); });
@@ -101,7 +102,8 @@ ChunkPlanStream::ChunkPlanStream(sim::Device& device, const HostFcoo& host,
       part_(part),
       chunks_(std::move(chunks)),
       max_in_flight_(std::max(1u, max_in_flight)),
-      row_base_(row_base) {
+      row_base_(row_base),
+      trace_id_(obs::current_trace_id()) {
   producer_ = std::thread([this] { producer_loop(); });
 }
 
@@ -128,9 +130,16 @@ void ChunkPlanStream::producer_loop() {
         if (stop_) return;
       }
       // Build (slice + upload) outside the lock: this is the work meant to
-      // overlap the consumer's execution of the previous chunk.
-      std::unique_ptr<ChunkPlan> plan =
-          build_chunk_plan(device_, host_, part_, spec, row_base_);
+      // overlap the consumer's execution of the previous chunk. The span id
+      // is pinned from the constructing thread (trace_id_): this producer
+      // thread has no thread-local context.
+      std::unique_ptr<ChunkPlan> plan;
+      {
+        obs::Span obs_build("pipeline.build", trace_id_);
+        obs_build.arg("nnz", static_cast<std::uint64_t>(spec.hi - spec.lo))
+            .arg("chunk", static_cast<std::uint64_t>(spec.lo));
+        plan = build_chunk_plan(device_, host_, part_, spec, row_base_);
+      }
       {
         std::lock_guard lock(mutex_);
         if (stop_) return;

@@ -121,6 +121,11 @@ class ChunkPlanStream {
   unsigned max_in_flight_;
   index_t row_base_ = 0;
 
+  /// Trace id snapshot from the CONSTRUCTING thread (the consumer, which
+  /// carries the request's thread-local context): the producer thread has no
+  /// context of its own, so its pipeline.build spans pin this id explicitly.
+  std::uint64_t trace_id_ = 0;
+
   std::mutex mutex_;
   std::condition_variable cv_space_;  // producer waits for queue space
   std::condition_variable cv_ready_;  // consumer waits for a plan
@@ -159,6 +164,9 @@ void stream_execute(sim::Device& device, const HostFcoo& host, const Partitionin
   std::vector<core::native::ChunkState> states;
 
   while (std::unique_ptr<ChunkPlan> plan = stream.next()) {
+    obs::Span obs_chunk("pipeline.chunk");
+    obs_chunk.arg("nnz", static_cast<std::uint64_t>(plan->spec.hi - plan->spec.lo))
+        .arg("chunk", static_cast<std::uint64_t>(plan->spec.lo));
     const std::vector<core::native::Chunk>& workers = plan->spec.workers;
     // One launch per streamed chunk keeps the device counters comparable
     // with single-shot accounting (blocks_executed still counts worker

@@ -30,9 +30,27 @@ DenseMatrix Response::matrix() const {
   return m;
 }
 
+namespace {
+
+/// Positions a reader past the v2 stats preamble (version echo), returning
+/// the kv count.
+std::uint32_t open_stats_body(Reader& r) {
+  (void)r.u32();  // version echo; stats_version() surfaces it
+  return r.u32();
+}
+
+std::string take_text_blob(Reader& r) {
+  const std::uint32_t len = r.u32();
+  const auto* p = r.bytes(len);
+  r.expect_done();
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+}  // namespace
+
 std::vector<std::pair<std::string, std::uint64_t>> Response::stats() const {
   Reader r(body);
-  const std::uint32_t count = r.u32();
+  const std::uint32_t count = open_stats_body(r);
   std::vector<std::pair<std::string, std::uint64_t>> kv;
   kv.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -40,8 +58,28 @@ std::vector<std::pair<std::string, std::uint64_t>> Response::stats() const {
     const std::uint64_t value = r.u64();
     kv.emplace_back(std::move(key), value);
   }
-  r.expect_done();
+  (void)take_text_blob(r);  // trailing Prometheus text (metrics_text())
   return kv;
+}
+
+std::uint32_t Response::stats_version() const {
+  Reader r(body);
+  return r.u32();
+}
+
+std::string Response::metrics_text() const {
+  Reader r(body);
+  const std::uint32_t count = open_stats_body(r);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    (void)r.str();
+    (void)r.u64();
+  }
+  return take_text_blob(r);
+}
+
+std::string Response::trace_json() const {
+  Reader r(body);
+  return take_text_blob(r);
 }
 
 void encode_run_body(Writer& w, std::uint64_t tensor_id, WireOp op, int mode,
@@ -183,8 +221,17 @@ Response Client::drop_tensor(std::uint64_t tensor_id) {
   return recv_response();
 }
 
-Response Client::stats() {
-  send_request(MsgType::kStats, Writer{});
+Response Client::stats(std::uint32_t version) {
+  Writer body;
+  body.u32(version);
+  send_request(MsgType::kStats, body);
+  return recv_response();
+}
+
+Response Client::trace(std::uint32_t max_events) {
+  Writer body;
+  body.u32(max_events);
+  send_request(MsgType::kTrace, body);
   return recv_response();
 }
 

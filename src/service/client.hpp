@@ -33,6 +33,12 @@ struct Response {
   DenseMatrix matrix() const;
   /// Key/value counters of a successful kStats response.
   std::vector<std::pair<std::string, std::uint64_t>> stats() const;
+  /// Version echo at the front of a successful kStats response.
+  std::uint32_t stats_version() const;
+  /// Prometheus text exposition at the tail of a successful kStats response.
+  std::string metrics_text() const;
+  /// Chrome trace-event JSON of a successful kTrace response.
+  std::string trace_json() const;
 };
 
 class Client {
@@ -53,7 +59,12 @@ class Client {
   Response run_op(std::uint64_t tensor_id, WireOp op, int mode, const Partitioning& part,
                   std::span<const DenseMatrix> inputs, std::uint32_t timeout_ms = 0);
   Response drop_tensor(std::uint64_t tensor_id);
-  Response stats();
+  /// Sends the version the client speaks (kStatsVersion by default; tests
+  /// pass a stale one to probe the mismatch path).
+  Response stats(std::uint32_t version = kStatsVersion);
+  /// Fetches the server's span rings as Chrome trace-event JSON;
+  /// `max_events` caps the export to the most recent spans (0 = all).
+  Response trace(std::uint32_t max_events = 0);
 
   /// run_op, retrying responses the server marked retryable up to
   /// `max_attempts` total tries with `backoff_ms * attempt` sleeps between

@@ -65,12 +65,11 @@ MixEntry make_entry(engine::Engine& local, const CooTensor& tensor, WireOp op, i
 
 struct WorkerResult {
   std::uint64_t ok = 0, corrupt = 0, lost = 0, queue_full = 0, timeouts = 0;
-  std::vector<double> latencies_us;
 };
 
 void run_worker(const LoadgenOptions& opt, const CooTensor& tensor,
-                const std::vector<MixEntry>& mix, int worker, WorkerResult& out) {
-  out.latencies_us.reserve(static_cast<std::size_t>(opt.requests_per_connection));
+                const std::vector<MixEntry>& mix, int worker, WorkerResult& out,
+                obs::Histogram& latency_us) {
   try {
     Client client(opt.host, opt.port, /*tenant=*/static_cast<std::uint64_t>(worker) + 1);
     const Response up = client.upload_tensor(1, tensor);
@@ -94,7 +93,7 @@ void run_worker(const LoadgenOptions& opt, const CooTensor& tensor,
         }
       }
       const auto t1 = Clock::now();
-      out.latencies_us.push_back(
+      latency_us.record(
           std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0)
               .count());
       if (!sent) {
@@ -126,15 +125,6 @@ void run_worker(const LoadgenOptions& opt, const CooTensor& tensor,
 
 }  // namespace
 
-double LoadgenReport::percentile_us(double p) const {
-  if (latencies_us.empty()) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(latencies_us.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(rank));
-  const auto hi = static_cast<std::size_t>(std::ceil(rank));
-  const double frac = rank - std::floor(rank);
-  return latencies_us[lo] * (1.0 - frac) + latencies_us[hi] * frac;
-}
-
 LoadgenReport run_loadgen(const LoadgenOptions& opt) {
   const CooTensor tensor = io::generate_uniform(opt.dims, opt.nnz, opt.seed);
 
@@ -160,10 +150,14 @@ LoadgenReport run_loadgen(const LoadgenOptions& opt) {
   std::vector<WorkerResult> results(static_cast<std::size_t>(opt.connections));
   std::vector<std::thread> threads;
   threads.reserve(results.size());
+  // One shared histogram across every worker: record() is a relaxed atomic
+  // increment, so there is no merge step and no per-worker sample storage.
+  obs::Histogram latency_us;
   const auto t0 = Clock::now();
   for (int w = 0; w < opt.connections; ++w) {
     threads.emplace_back(run_worker, std::cref(opt), std::cref(tensor), std::cref(mix), w,
-                         std::ref(results[static_cast<std::size_t>(w)]));
+                         std::ref(results[static_cast<std::size_t>(w)]),
+                         std::ref(latency_us));
   }
   for (auto& t : threads) t.join();
   const auto t1 = Clock::now();
@@ -176,14 +170,12 @@ LoadgenReport run_loadgen(const LoadgenOptions& opt) {
     report.lost += r.lost;
     report.queue_full += r.queue_full;
     report.timeouts += r.timeouts;
-    report.latencies_us.insert(report.latencies_us.end(), r.latencies_us.begin(),
-                               r.latencies_us.end());
   }
   report.requests = static_cast<std::uint64_t>(opt.connections) *
                     static_cast<std::uint64_t>(opt.requests_per_connection);
-  std::sort(report.latencies_us.begin(), report.latencies_us.end());
+  report.latency_us = latency_us.snapshot();
   report.throughput_rps =
-      report.wall_s > 0.0 ? static_cast<double>(report.latencies_us.size()) / report.wall_s
+      report.wall_s > 0.0 ? static_cast<double>(report.latency_us.count) / report.wall_s
                           : 0.0;
   return report;
 }

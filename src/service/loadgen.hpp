@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
@@ -56,10 +57,17 @@ struct LoadgenReport {
   std::uint64_t timeouts = 0;   // kTimeout responses observed
   double wall_s = 0.0;
   double throughput_rps = 0.0;
-  /// End-to-end per-request latencies (including retries), sorted ascending.
-  std::vector<double> latencies_us;
+  /// End-to-end per-request latency distribution (including retries): every
+  /// worker records into ONE shared obs::Histogram (lock-free), and this is
+  /// its snapshot -- the same log-bucketed instrument the server exports, so
+  /// the load generator's percentiles and the service's self-reported ones
+  /// are directly comparable.
+  obs::HistogramSnapshot latency_us;
 
-  double percentile_us(double p) const;
+  /// Percentile in microseconds; `p` in [0, 100] (bucket-interpolated).
+  double percentile_us(double p) const { return latency_us.quantile(p / 100.0); }
+  double max_us() const { return latency_us.max; }
+  double mean_us() const { return latency_us.mean(); }
 };
 
 /// Runs the full workload (upload phase + mixed-op phase) and blocks until

@@ -19,7 +19,7 @@ const char* status_name(Status s) noexcept {
 RequestHeader read_request_header(Reader& r) {
   RequestHeader h;
   const std::uint8_t type = r.u8();
-  if (type > static_cast<std::uint8_t>(MsgType::kStats)) {
+  if (type > static_cast<std::uint8_t>(MsgType::kTrace)) {
     throw ProtocolError("unknown message type " + std::to_string(type));
   }
   h.type = static_cast<MsgType>(type);

@@ -32,7 +32,15 @@ enum class MsgType : std::uint8_t {
   kRunOp = 2,
   kDropTensor = 3,
   kStats = 4,
+  kTrace = 5,  // Chrome trace-event JSON export of the server's span rings
 };
+
+/// Version of the kStats payload schema. A kStats request body carries the
+/// version the client expects (u32); a mismatch -- including the empty body
+/// pre-versioning clients sent -- gets a typed kBadRequest instead of a
+/// response the client would misparse. Bumped whenever the kStats response
+/// layout changes (v2: version echo + key/value counters + Prometheus text).
+inline constexpr std::uint32_t kStatsVersion = 2;
 
 /// Response status. Exactly one status is retryable: kQueueFull, the typed
 /// surface of engine::QueueFull admission rejections -- the client is told

@@ -18,6 +18,8 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
 
@@ -85,6 +87,7 @@ struct TensorOpServer::Impl {
     DenseMatrix out;
     std::shared_ptr<const engine::OpPlan> plan;
     std::optional<Clock::time_point> deadline;
+    Clock::time_point t_arrive{};  // parse time; harvest records the latency
     bool abandoned = false;
   };
   std::list<Pending> pending;
@@ -147,7 +150,69 @@ struct TensorOpServer::Impl {
       tensors_gauge{0}, tensor_bytes_gauge{0}, plans_gauge{0}, plan_bytes_gauge{0},
       sessions_gauge{0}, tenants_gauge{0}, coalesced{0};
 
+  /// Metrics registry (DESIGN.md §14). The run-op latency histogram is
+  /// recorded by the I/O thread (arrival -> response write); everything else
+  /// is a gauge filled from the counter atomics + Engine::stats() at scrape
+  /// time, so the scattered counters surface through ONE Prometheus text
+  /// exposition without being double-tracked.
+  obs::MetricsRegistry registry;
+
   explicit Impl(engine::Engine& eng, ServerOptions o) : engine(eng), opt(std::move(o)) {}
+
+  /// Observability correlation id: tenant in the top 24 bits, wire
+  /// request_id in the low 40 -- unique enough to chain one request's spans
+  /// service -> engine -> kernel (args carry the plain request_id too).
+  static std::uint64_t trace_id_for(const RequestHeader& h) noexcept {
+    return (h.tenant << 40) | (h.request_id & ((std::uint64_t{1} << 40) - 1));
+  }
+
+  std::string render_metrics() {
+    const engine::EngineStats es = engine.stats();
+    const auto g = [&](const std::string& name, double v) { registry.gauge(name).set(v); };
+    g("ust.engine.queue_depth", static_cast<double>(es.jobs_queued));
+    g("ust.engine.jobs.active", static_cast<double>(es.jobs_active));
+    g("ust.engine.jobs.submitted", static_cast<double>(es.jobs_submitted));
+    g("ust.engine.jobs.completed", static_cast<double>(es.jobs_completed));
+    g("ust.engine.jobs.batched", static_cast<double>(es.jobs_batched));
+    g("ust.engine.batches_formed", static_cast<double>(es.batches_formed));
+    const double lookups =
+        static_cast<double>(es.cache_total.hits + es.cache_total.misses);
+    g("ust.engine.cache.hit_ratio",
+      lookups > 0 ? static_cast<double>(es.cache_total.hits) / lookups : 0.0);
+    g("ust.engine.cache.bytes", static_cast<double>(es.cache_total.bytes_in_use));
+    g("ust.engine.batch_occupancy",
+      es.batches_formed > 0
+          ? static_cast<double>(es.jobs_batched) / static_cast<double>(es.batches_formed)
+          : 0.0);
+    for (const auto& d : es.devices) {
+      const std::string prefix = "ust.engine.device" + std::to_string(d.ordinal);
+      g(prefix + ".queued", static_cast<double>(d.queued));
+      g(prefix + ".inflight", static_cast<double>(d.active));
+      g(prefix + ".jobs", static_cast<double>(d.jobs));
+      g(prefix + ".busy_seconds", d.busy_s);
+    }
+    g("ust.server.sessions.open", static_cast<double>(sessions_gauge.load()));
+    g("ust.server.sessions.accepted", static_cast<double>(sessions_accepted.load()));
+    g("ust.server.requests", static_cast<double>(requests.load()));
+    g("ust.server.responses", static_cast<double>(responses.load()));
+    g("ust.server.queue_full", static_cast<double>(queue_full.load()));
+    g("ust.server.timeouts", static_cast<double>(timeouts.load()));
+    g("ust.server.bad_requests", static_cast<double>(bad_requests.load()));
+    g("ust.server.slow_reader_closes", static_cast<double>(slow_closes.load()));
+    g("ust.server.bytes.rx", static_cast<double>(bytes_rx.load()));
+    g("ust.server.bytes.tx", static_cast<double>(bytes_tx.load()));
+    g("ust.server.tenants", static_cast<double>(tenants_gauge.load()));
+    g("ust.server.tensors", static_cast<double>(tensors_gauge.load()));
+    g("ust.server.tensor_bytes", static_cast<double>(tensor_bytes_gauge.load()));
+    g("ust.server.plans", static_cast<double>(plans_gauge.load()));
+    g("ust.server.plan_bytes", static_cast<double>(plan_bytes_gauge.load()));
+    g("ust.server.coalesced_submits", static_cast<double>(coalesced.load()));
+    // The engine's per-job exec-share latency histogram lives in its stats
+    // snapshot, not this registry: render it alongside.
+    return registry.render_prometheus() +
+           obs::render_prometheus_histogram("ust.engine.exec_latency_us",
+                                            es.exec_latency_us);
+  }
 
   // ---- plan quota ------------------------------------------------------
 
@@ -248,6 +313,13 @@ struct TensorOpServer::Impl {
       enqueue(s, w);
       return;
     }
+    // Root of the request's span chain: everything the dispatch (and, via
+    // OpRequest::trace_id, the engine + kernels) records below carries this
+    // correlation id.
+    const obs::ScopedTraceId obs_id(trace_id_for(h));
+    obs::Span obs_span("service.request");
+    obs_span.arg("type", static_cast<std::uint64_t>(h.type))
+        .arg("req", h.request_id);
     try {
       switch (h.type) {
         case MsgType::kPing: {
@@ -259,7 +331,8 @@ struct TensorOpServer::Impl {
         case MsgType::kUploadTensor: return handle_upload(s, h, r);
         case MsgType::kRunOp: return handle_run(s, h, r);
         case MsgType::kDropTensor: return handle_drop(s, h, r);
-        case MsgType::kStats: return handle_stats(s, h);
+        case MsgType::kStats: return handle_stats(s, h, r);
+        case MsgType::kTrace: return handle_trace(s, h, r);
       }
     } catch (const ProtocolError& e) {
       respond_error(s, Status::kBadRequest, h.request_id, e.what());
@@ -393,6 +466,7 @@ struct TensorOpServer::Impl {
     Pending job;
     job.fd = s.fd;
     job.request_id = h.request_id;
+    job.t_arrive = Clock::now();
     job.inputs = std::move(inputs);
     job.out = DenseMatrix(plan->out_rows(),
                           out_cols_for(plan->kind, job.inputs));
@@ -402,6 +476,7 @@ struct TensorOpServer::Impl {
     }
 
     engine::OpRequest req;
+    req.trace_id = trace_id_for(h);
     req.plan = std::move(plan);
     req.inputs.reserve(job.inputs.size());
     for (const DenseMatrix& m : job.inputs) {
@@ -479,10 +554,26 @@ struct TensorOpServer::Impl {
     deferred.clear();
   }
 
-  void handle_stats(Session& s, const RequestHeader& h) {
+  /// kStats v2. The request body carries the version the client expects; a
+  /// mismatch -- including the empty body pre-versioning clients sent, which
+  /// the Reader turns into a ProtocolError -> kBadRequest upstream -- gets a
+  /// typed error instead of a payload the client would misparse. Response:
+  /// version echo, key/value counters (the pre-v2 schema), then the
+  /// Prometheus text exposition as a u32-length blob (Writer::str's u16
+  /// length is too small for it).
+  void handle_stats(Session& s, const RequestHeader& h, Reader& r) {
+    const std::uint32_t version = r.u32();
+    r.expect_done();
+    if (version != kStatsVersion) {
+      respond_error(s, Status::kBadRequest, h.request_id,
+                    "stats_version " + std::to_string(version) + " unsupported; server speaks " +
+                        std::to_string(kStatsVersion));
+      return;
+    }
     const engine::EngineStats es = engine.stats();
     Writer w;
     write_response_header(w, Status::kOk, h.request_id);
+    w.u32(kStatsVersion);
     std::vector<std::pair<std::string_view, std::uint64_t>> kv = {
         {"engine.devices", es.devices.size()},
         {"engine.jobs_submitted", es.jobs_submitted},
@@ -515,6 +606,32 @@ struct TensorOpServer::Impl {
       w.str(k);
       w.u64(v);
     }
+    const std::string metrics = render_metrics();
+    w.u32(static_cast<std::uint32_t>(metrics.size()));
+    w.bytes(metrics.data(), metrics.size());
+    enqueue(s, w);
+  }
+
+  /// kTrace: exports the process-wide span rings as Chrome trace-event JSON
+  /// (u32 length + bytes). The body's u32 caps the event count (0 = all);
+  /// if the JSON would overflow the frame ceiling, halve the cap until it
+  /// fits -- most recent events win, which is what a debugger wants anyway.
+  void handle_trace(Session& s, const RequestHeader& h, Reader& r) {
+    std::size_t max_events = r.u32();
+    r.expect_done();
+    std::string json = engine::Engine::dump_trace(max_events);
+    while (json.size() + 64 > kMaxFrameBytes) {
+      max_events = max_events == 0 ? 1u << 16 : max_events / 2;
+      if (max_events == 0) {
+        respond_error(s, Status::kInternal, h.request_id, "trace export too large");
+        return;
+      }
+      json = engine::Engine::dump_trace(max_events);
+    }
+    Writer w;
+    write_response_header(w, Status::kOk, h.request_id);
+    w.u32(static_cast<std::uint32_t>(json.size()));
+    w.bytes(json.data(), json.size());
     enqueue(s, w);
   }
 
@@ -567,6 +684,10 @@ struct TensorOpServer::Impl {
       } catch (const std::exception& e) {
         respond_error(s, Status::kInternal, it->request_id, e.what());
       }
+      // End-to-end run-op latency (parse -> response enqueued), answered or
+      // failed alike; only the single I/O thread records here.
+      registry.histogram("ust.server.request_latency_us")
+          .record(std::chrono::duration<double, std::micro>(now - it->t_arrive).count());
       it = pending.erase(it);
     }
   }
@@ -757,6 +878,8 @@ void TensorOpServer::stop() {
   if (io_.joinable()) io_.join();
   impl_->shutdown_sockets();
 }
+
+std::string TensorOpServer::metrics_text() const { return impl_->render_metrics(); }
 
 ServerStats TensorOpServer::stats() const {
   const Impl& im = *impl_;

@@ -99,6 +99,11 @@ class TensorOpServer {
   void stop();
   std::uint16_t port() const noexcept { return bound_port_; }
   ServerStats stats() const;
+  /// Prometheus text exposition of the server + engine metrics (DESIGN.md
+  /// §14) -- the same payload a v2 kStats response carries. Callable from any
+  /// thread (gauges are filled from atomics / Engine::stats at scrape time);
+  /// ust_serve dumps it on SIGUSR1.
+  std::string metrics_text() const;
 
  private:
   struct Impl;

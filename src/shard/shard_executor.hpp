@@ -166,6 +166,11 @@ void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partition
   for (unsigned d = 0; d < sharding.shards.size(); ++d) {
     const pipeline::StreamChunk& shard = sharding.shards[d];
     sim::Device& sdev = group.device(d);
+    // Per-shard makespan span (DESIGN.md §14): covers plan acquisition,
+    // execution and the range merge for this device.
+    obs::Span obs_shard("shard.device");
+    obs_shard.arg("device", d).arg("nnz",
+                                   static_cast<std::uint64_t>(shard.hi - shard.lo));
     DeviceReport dr;
     dr.ordinal = sdev.ordinal();
     dr.nnz = shard.hi - shard.lo;
@@ -271,6 +276,8 @@ void execute(DeviceGroup& group, const pipeline::HostFcoo& host, const Partition
   // boundaries get bitwise-identical closing writes. This is the only
   // genuinely serial tail of a sharded run (O(worker chunks x cols)).
   Timer fold_timer;
+  obs::Span obs_fold("shard.fold");
+  obs_fold.arg("chunks", sharding.grid_chunks);
   std::vector<float> carry(cols, 0.0f);
   core::native::fold_boundaries(host.seg_row.data(), states, tails.data(), heads.data(),
                                 cols, out, carry.data());

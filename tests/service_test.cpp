@@ -12,6 +12,7 @@
 
 #include "engine/engine.hpp"
 #include "io/generate.hpp"
+#include "obs/trace.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "test_support.hpp"
@@ -568,6 +569,135 @@ TEST(Service, StatsRequestMergesEngineAndServerCounters) {
   EXPECT_EQ(coalesced, 0u);
   server.stop();
 }
+
+TEST(Service, StatsVersionMismatchIsTypedBadRequest) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 3);
+
+  // A client speaking a future schema gets the typed rejection.
+  const Response stale = c.stats(kStatsVersion + 1);
+  EXPECT_EQ(stale.header.status, Status::kBadRequest);
+  EXPECT_FALSE(stale.header.retryable);
+  EXPECT_NE(stale.message().find("stats_version"), std::string::npos) << stale.message();
+
+  // A pre-versioning client sent an EMPTY kStats body; that must also come
+  // back as typed kBadRequest (Reader underrun), never as a payload the old
+  // client would misparse.
+  Writer w;
+  write_request_header(w, RequestHeader{MsgType::kStats, 3, 77});
+  c.send_raw(encode_frame(w.data()));
+  const Response legacy = c.recv_response();
+  EXPECT_EQ(legacy.header.status, Status::kBadRequest);
+
+  // The connection survives both rejections; the current version works.
+  const Response good = c.stats();
+  ASSERT_TRUE(good.ok()) << good.message();
+  EXPECT_EQ(good.stats_version(), kStatsVersion);
+  server.stop();
+}
+
+TEST(Service, StatsCarriesPrometheusMetricsText) {
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 4);
+
+  Prng rng(0x0B5);
+  const CooTensor t = test::random_coo3(rng, 16, 500);
+  ASSERT_TRUE(c.upload_tensor(1, t).ok());
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpMTTKRP, 0, 4, 5);
+  ASSERT_TRUE(c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs).ok());
+
+  const Response resp = c.stats();
+  ASSERT_TRUE(resp.ok()) << resp.message();
+  const std::string text = resp.metrics_text();
+  // The exposition covers server gauges, engine gauges, the request-latency
+  // histogram recorded by harvest, and the engine's exec-latency histogram.
+  EXPECT_NE(text.find("# TYPE ust_server_requests gauge"), std::string::npos) << text;
+  EXPECT_NE(text.find("ust_engine_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("ust_engine_cache_hit_ratio"), std::string::npos);
+  EXPECT_NE(text.find("ust_server_request_latency_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("ust_engine_exec_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ust_engine_device0_queued"), std::string::npos);
+  server.stop();
+}
+
+#if UST_OBS
+
+TEST(Service, TraceExportsConnectedSpanChain) {
+  obs::reset_trace();
+  obs::set_tracing(true);
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), /*tenant=*/9);
+
+  Prng rng(0x7ACE);
+  const CooTensor t = test::random_coo3(rng, 20, 800);
+  ASSERT_TRUE(c.upload_tensor(1, t).ok());  // request_id 1
+  engine::Engine local;
+  const Golden g = compute_golden(local, t, WireOp::kSpMTTKRP, 0, 4, 7);
+  ASSERT_TRUE(c.run_op(1, WireOp::kSpMTTKRP, 0, kPart, g.inputs).ok());  // request_id 2
+
+  const Response tr = c.trace();
+  ASSERT_TRUE(tr.ok()) << tr.message();
+  obs::set_tracing(false);
+  server.stop();
+
+  const std::string json = tr.trace_json();
+  ASSERT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  // The run request's spans chain service -> engine -> kernel under ONE
+  // correlation id: tenant in the top bits, wire request_id in the low
+  // (trace_id_for in server.cpp). The run was this connection's request 2.
+  const std::uint64_t run_id = (std::uint64_t{9} << 40) | 2u;
+  for (const char* name :
+       {"service.request", "engine.queue", "engine.exec", "native.execute"}) {
+    bool found = false;
+    const std::string needle = std::string("\"name\":\"") + name + "\"";
+    const std::string idstr = "\"trace_id\":" + std::to_string(run_id);
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size())) {
+      const std::size_t end = json.find("}}", pos);
+      if (end != std::string::npos &&
+          json.substr(pos, end - pos).find(idstr) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no span '" << name << "' with trace_id " << run_id;
+  }
+}
+
+TEST(Service, TraceExportHonorsMaxEvents) {
+  obs::reset_trace();
+  obs::set_tracing(true);
+  engine::Engine eng;
+  TensorOpServer server(eng);
+  server.start();
+  Client c("127.0.0.1", server.port(), 2);
+  ASSERT_TRUE(c.ping().ok());
+  ASSERT_TRUE(c.ping().ok());
+  ASSERT_TRUE(c.ping().ok());
+
+  const Response capped = c.trace(/*max_events=*/1);
+  ASSERT_TRUE(capped.ok());
+  obs::set_tracing(false);
+  server.stop();
+
+  const std::string json = capped.trace_json();
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 8)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 1u);
+}
+
+#endif  // UST_OBS
 
 }  // namespace
 }  // namespace ust::service

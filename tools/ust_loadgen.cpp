@@ -3,6 +3,8 @@
 // tenant, replays a mixed SpTTM/SpMTTKRP/SpTTMc/SpTTV stream whose expected
 // outputs were computed on a local engine, and reports latency percentiles
 // plus lost/corrupt counts (both must be zero against a healthy server).
+// Percentiles come from the run's shared log-bucketed histogram (DESIGN.md
+// §14) -- the same instrument the server itself exports over kStats.
 //
 //   ust_serve --port 7077 &
 //   ust_loadgen --port 7077 --connections 32 --requests 64
@@ -12,6 +14,20 @@
 #include "util/cli.hpp"
 
 using namespace ust;
+
+namespace {
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ust_loadgen: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli("ust_loadgen", "mixed-op load generator for the tensor-op service");
@@ -23,6 +39,8 @@ int main(int argc, char** argv) {
   cli.option("nnz", "20000", "non-zeros of the synthetic tensor");
   cli.option("timeout-ms", "0", "per-request deadline (0 = none)");
   cli.option("retries", "64", "max attempts per request on queue-full");
+  cli.option("json", "", "also write the report as JSON to this file");
+  cli.option("trace-out", "", "after the run, fetch the server's span trace (kTrace) here");
   if (!cli.parse(argc, argv)) return 1;
 
   service::LoadgenOptions opt;
@@ -46,8 +64,55 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(r.corrupt), static_cast<unsigned long long>(r.lost),
       static_cast<unsigned long long>(r.timeouts),
       static_cast<unsigned long long>(r.queue_full));
-  std::printf("wall=%.3fs throughput=%.1f req/s p50=%.0fus p90=%.0fus p99=%.0fus\n",
-              r.wall_s, r.throughput_rps, r.percentile_us(50), r.percentile_us(90),
-              r.percentile_us(99));
+  std::printf(
+      "wall=%.3fs throughput=%.1f req/s p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus\n",
+      r.wall_s, r.throughput_rps, r.percentile_us(50), r.percentile_us(90),
+      r.percentile_us(99), r.max_us());
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"requests\": %llu,\n"
+                  "  \"ok\": %llu,\n"
+                  "  \"corrupt\": %llu,\n"
+                  "  \"lost\": %llu,\n"
+                  "  \"timeouts\": %llu,\n"
+                  "  \"queue_full_seen\": %llu,\n"
+                  "  \"wall_s\": %.6f,\n"
+                  "  \"throughput_rps\": %.3f,\n"
+                  "  \"p50_us\": %.3f,\n"
+                  "  \"p90_us\": %.3f,\n"
+                  "  \"p99_us\": %.3f,\n"
+                  "  \"max_us\": %.3f\n"
+                  "}\n",
+                  static_cast<unsigned long long>(r.requests),
+                  static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(r.corrupt),
+                  static_cast<unsigned long long>(r.lost),
+                  static_cast<unsigned long long>(r.timeouts),
+                  static_cast<unsigned long long>(r.queue_full), r.wall_s,
+                  r.throughput_rps, r.percentile_us(50), r.percentile_us(90),
+                  r.percentile_us(99), r.max_us());
+    write_text_file(json_path, buf);
+  }
+
+  const std::string trace_out = cli.get("trace-out");
+  if (!trace_out.empty()) {
+    try {
+      service::Client probe(opt.host, opt.port, /*tenant=*/0);
+      const service::Response resp = probe.trace();
+      if (resp.ok()) {
+        write_text_file(trace_out, resp.trace_json());
+        std::printf("ust_loadgen: server trace written to %s\n", trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "ust_loadgen: kTrace failed: %s\n", resp.message().c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ust_loadgen: kTrace fetch failed: %s\n", e.what());
+    }
+  }
+
   return (r.corrupt == 0 && r.lost == 0) ? 0 : 1;
 }

@@ -2,12 +2,18 @@
 // maps protocol sessions onto one engine::Engine, and serves until SIGINT /
 // SIGTERM, then drains and prints a final stats report.
 //
-//   ust_serve --port 7077 --devices 2 --queue 64
+// Observability (DESIGN.md §14): SIGUSR1 dumps the Prometheus metrics text to
+// stdout and -- when --trace-file is set -- flushes the span rings to that
+// file as Chrome trace-event JSON, without disturbing service. The same dump
+// runs once more at the SIGINT/SIGTERM drain.
+//
+//   ust_serve --port 7077 --devices 2 --queue 64 --trace-file trace.json
 #include <csignal>
 #include <cstdio>
 #include <thread>
 
 #include "engine/engine.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
 
@@ -16,7 +22,36 @@ using namespace ust;
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 void on_signal(int) { g_stop = 1; }
+void on_dump(int) { g_dump = 1; }
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ust_serve: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+/// One observability dump: metrics exposition to stdout (if asked), span
+/// rings to the trace file (if asked). Runs on the main thread only -- the
+/// signal handler just sets a flag.
+void dump_obs(const service::TensorOpServer& server, bool metrics,
+              const std::string& trace_file) {
+  if (metrics) {
+    const std::string text = server.metrics_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+  }
+  if (!trace_file.empty()) {
+    write_text_file(trace_file, obs::chrome_trace_json());
+    std::printf("ust_serve: trace flushed to %s\n", trace_file.c_str());
+    std::fflush(stdout);
+  }
+}
 
 }  // namespace
 
@@ -29,7 +64,13 @@ int main(int argc, char** argv) {
   cli.option("cache-mb", "256", "plan-cache byte budget per device, MiB");
   cli.option("tensor-quota-mb", "256", "per-tenant uploaded-tensor quota, MiB");
   cli.option("plan-quota-mb", "64", "per-tenant resident-plan quota, MiB");
+  cli.option("trace-file", "", "enable span tracing; flush Chrome trace JSON here on SIGUSR1/exit");
+  cli.flag("metrics", "dump Prometheus metrics to stdout on SIGUSR1 and at shutdown");
   if (!cli.parse(argc, argv)) return 1;
+
+  const std::string trace_file = cli.get("trace-file");
+  const bool metrics = cli.get_flag("metrics");
+  if (!trace_file.empty()) obs::set_tracing(true);
 
   engine::EngineOptions eopt;
   eopt.num_devices = static_cast<unsigned>(std::max(1l, cli.get_int("devices")));
@@ -54,11 +95,17 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGUSR1, on_dump);
   while (g_stop == 0) {
+    if (g_dump != 0) {
+      g_dump = 0;
+      dump_obs(server, metrics, trace_file);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
   std::printf("ust_serve: shutting down...\n");
   server.stop();
+  dump_obs(server, metrics, trace_file);
 
   const service::ServerStats s = server.stats();
   const engine::EngineStats es = engine.stats();
