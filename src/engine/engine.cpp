@@ -1,6 +1,9 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "core/native_exec.hpp"
@@ -77,6 +80,26 @@ void accumulate_cache_stats(pipeline::PlanCache::Stats& total,
   total.entries += s.entries;
 }
 
+/// Steady-clock nanoseconds for JobRecord::wait_s -- independent of the obs
+/// tracer, which may be compiled out (obs::now_ns then returns 0).
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Cost-model work feature: the accumulator traffic is ~ nnz x output width.
+double cost_feature(const OpPlan& p, index_t out_cols) {
+  return static_cast<double>(p.nnz) * static_cast<double>(std::max<index_t>(1, out_cols));
+}
+
+int backend_index(core::ExecBackend b) {
+  return b == core::ExecBackend::kSim ? 1 : 0;
+}
+
+constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+
 }  // namespace
 
 const char* op_kind_name(OpKind kind) {
@@ -118,9 +141,18 @@ Engine::Engine(sim::Device& primary, const EngineOptions& opt)
 }
 
 void Engine::init_group(sim::Device& primary, const EngineOptions& opt) {
+  placement_ = opt.placement;
+  work_stealing_ = opt.work_stealing;
+  latency_max_skips_ = opt.latency_max_skips;
   group_ = std::make_unique<shard::DeviceGroup>(primary, std::max(1u, opt.num_devices),
                                                 opt.cache_bytes_per_device);
-  for (unsigned d = 0; d < group_->size(); ++d) rt_.emplace_back();
+  for (unsigned d = 0; d < group_->size(); ++d) {
+    rt_.emplace_back();
+    // Engine caches hold primaries + rebuildable replica/shard flavors side
+    // by side: evict the cheap-to-rebuild replicas first (DESIGN.md §15) so
+    // cache-aware placement is not fighting plain LRU.
+    group_->cache(d).set_eviction_policy(pipeline::PlanCache::EvictionPolicy::kReplicaFirst);
+  }
 }
 
 Engine::~Engine() {
@@ -130,6 +162,7 @@ Engine::~Engine() {
   }
   queue_cv_.notify_all();
   space_cv_.notify_all();
+  resv_cv_.notify_all();
   // Workers drain their queues (resolving every outstanding future) before
   // exiting; the group -- and with it every per-device cache entry -- is
   // destroyed afterwards, while all devices are still alive.
@@ -164,7 +197,11 @@ void Engine::ensure_devices(unsigned n) {
 
 void Engine::grow_locked(unsigned n) {
   group_->grow(n);
-  while (rt_.size() < group_->size()) rt_.emplace_back();
+  while (rt_.size() < group_->size()) {
+    group_->cache(static_cast<unsigned>(rt_.size()))
+        .set_eviction_policy(pipeline::PlanCache::EvictionPolicy::kReplicaFirst);
+    rt_.emplace_back();
+  }
   if (workers_started_) start_workers_locked();
 }
 
@@ -297,7 +334,9 @@ std::shared_ptr<const pipeline::CachedPlan> Engine::replica_plan(unsigned d,
     spec.first_seg = 0;
     spec.num_segments = p.num_segments;
     pipeline::CachedPlan cached;
+    Timer build_timer;
     cached.chunk = pipeline::build_chunk_plan(*dev, p.host(), p.part, spec, /*row_base=*/0);
+    cached.build_s = build_timer.seconds();
     return cached;
   });
 }
@@ -609,26 +648,39 @@ void Engine::run_sharded(const OpRequest& req, shard::Report* report) {
 }
 
 void Engine::run_sharded_impl(const OpRequest& req, shard::Report* report) {
-  const OpPlan& p = *req.plan;
   UST_EXPECTS(req.options.backend == core::ExecBackend::kNative);
   const unsigned n = std::max(1u, req.options.shard.num_devices);
   ensure_devices(n);
 
   std::vector<DeviceRt*> rts;
-  sim::Device* dev0 = nullptr;
   {
     std::lock_guard lock(state_mutex_);
     rts.reserve(n);
     for (unsigned d = 0; d < n; ++d) rts.push_back(&rt_[d]);
-    dev0 = &group_->device(0);
   }
   ActiveJobGuard guard(state_mutex_, active_jobs_, queued_total_, grow_waiters_,
                        idle_cv_, space_cv_);
   // One in-flight job per device: a sharded run owns devices 0..n-1 (locked
-  // in ascending order; workers only ever hold their own, so no deadlock).
+  // in ascending order; workers only ever hold their own single mutex or
+  // this same ascending span, so no deadlock).
   std::vector<std::unique_lock<std::mutex>> exec_locks;
   exec_locks.reserve(n);
   for (DeviceRt* rt : rts) exec_locks.emplace_back(rt->exec_mutex);
+  exec_sharded_body(req, report);
+}
+
+void Engine::exec_sharded_body(const OpRequest& req, shard::Report* report) {
+  const OpPlan& p = *req.plan;
+  const unsigned n = std::max(1u, req.options.shard.num_devices);
+  std::vector<DeviceRt*> rts;
+  sim::Device* dev0 = nullptr;
+  {
+    std::lock_guard lock(state_mutex_);
+    UST_EXPECTS(rt_.size() >= n);
+    rts.reserve(n);
+    for (unsigned d = 0; d < n; ++d) rts.push_back(&rt_[d]);
+    dev0 = &group_->device(0);
+  }
 
   const std::size_t nprod = p.product_modes.size();
   const index_t r0 = req.inputs[0].cols;
@@ -683,19 +735,171 @@ void Engine::run_sharded_impl(const OpRequest& req, shard::Report* report) {
   if (!out_buf.empty()) rts[0]->scratch.push_back(std::move(out_buf));
 }
 
+double Engine::predict_locked(OpKind kind, core::ExecBackend backend, double x) const {
+  const CostCell& c = cost_cells_[static_cast<int>(kind)][backend_index(backend)];
+  if (c.n < kCostModelMinSamples) return -1.0;
+  const double n = static_cast<double>(c.n);
+  const double denom = n * c.sum_xx - c.sum_x * c.sum_x;
+  double pred;
+  if (std::abs(denom) < 1e-12 * std::max(1.0, n * c.sum_xx)) {
+    // Degenerate feature spread (every sample the same size): the mean is
+    // the best available estimate.
+    pred = c.sum_y / n;
+  } else {
+    const double b = (n * c.sum_xy - c.sum_x * c.sum_y) / denom;
+    const double a = (c.sum_y - b * c.sum_x) / n;
+    pred = a + b * x;
+  }
+  return std::max(pred, 0.0);
+}
+
+double Engine::global_mean_locked() const {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& row : cost_cells_) {
+    for (const CostCell& c : row) {
+      sum += c.sum_y;
+      n += c.n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+bool Engine::plan_cached_locked(unsigned d, const OpPlan& p) const {
+  if (p.streaming()) return true;  // chunk plans are transient: no residency
+  if (d == 0) return p.bundle != nullptr;
+  pipeline::PlanKey key;
+  key.device = &group_->device(d);
+  key.tensor_fp = p.tensor_fp;
+  key.op = p.cache_op;
+  key.mode = p.mode;
+  key.threadlen = p.part.threadlen;
+  key.block_size = p.part.block_size;
+  key.shard_lo = 0;
+  key.shard_hi = p.nnz;
+  key.chunk_nnz = 0;
+  key.flavor = pipeline::PlanKey::kWholeReplica;
+  return group_->cache(d).contains(key);
+}
+
+unsigned Engine::pick_device_locked(Job& job) {
+  const OpRequest& req = job.req;
+  const OpPlan& p = *req.plan;
+  const unsigned n = static_cast<unsigned>(rt_.size());
+  const double x = cost_feature(p, req.out_cols);
+  const double pred = predict_locked(p.kind, req.options.backend, x);
+  job.predicted = pred >= 0.0;
+  job.pred_s = job.predicted ? pred : global_mean_locked();
+
+  // Pins: the simulator needs the primary's UnifiedPlan; a sharded job's
+  // reservation is anchored at device 0 (its worker performs it).
+  if (req.options.backend == core::ExecBackend::kSim ||
+      req.options.shard.num_devices > 1 || n <= 1) {
+    return 0;
+  }
+
+  // Batch-affinity placement first: a job that could fuse with one already
+  // queued lands on that job's device, so the worker's coalescing pop (and
+  // the group-preserving steal) find the mates together.
+  if (max_batch_ > 1) {
+    for (unsigned i = 0; i < n; ++i) {
+      for (const Job& j : rt_[i].queue) {
+        if (batch_compatible(j.req, req)) return i;
+      }
+    }
+  }
+
+  // Rotating pick among `candidates` (bitmask-free: a vector of ordinals):
+  // equally-good devices are cycled so identical bursts spread out.
+  const auto rotate_pick = [&](const std::vector<unsigned>& candidates) {
+    unsigned best = candidates.front();
+    for (unsigned step = 0; step < n; ++step) {
+      const unsigned d = (next_device_ + step) % n;
+      if (std::find(candidates.begin(), candidates.end(), d) != candidates.end()) {
+        best = d;
+        break;
+      }
+    }
+    next_device_ = (best + 1) % n;
+    return best;
+  };
+
+  if (placement_ == EngineOptions::Placement::kRoundRobin) {
+    const unsigned d = next_device_;
+    next_device_ = (next_device_ + 1) % n;
+    return d;
+  }
+
+  if (!job.predicted) {
+    // Cold model: least-loaded by job count, ties rotated.
+    std::size_t best_load = static_cast<std::size_t>(-1);
+    std::vector<unsigned> ties;
+    for (unsigned d = 0; d < n; ++d) {
+      const std::size_t load = rt_[d].queue.size() + rt_[d].active_now;
+      if (load < best_load) {
+        best_load = load;
+        ties.clear();
+      }
+      if (load == best_load) ties.push_back(d);
+    }
+    return rotate_pick(ties);
+  }
+
+  // Warm model: minimise predicted makespan = queued backlog + in-flight
+  // estimate + this job's cost. Within a 5% band of the best, prefer
+  // devices whose PlanCache already holds the plan (placement should not
+  // force a replica rebuild when an equally-loaded holder exists).
+  double best_finish = std::numeric_limits<double>::infinity();
+  std::vector<unsigned> band;
+  for (unsigned d = 0; d < n; ++d) {
+    const double finish = rt_[d].queue_pred_s + rt_[d].active_pred_s + job.pred_s;
+    best_finish = std::min(best_finish, finish);
+  }
+  for (unsigned d = 0; d < n; ++d) {
+    const double finish = rt_[d].queue_pred_s + rt_[d].active_pred_s + job.pred_s;
+    if (finish <= best_finish * 1.05 + 1e-9) band.push_back(d);
+  }
+  std::vector<unsigned> holders;
+  for (unsigned d : band) {
+    if (plan_cached_locked(d, p)) holders.push_back(d);
+  }
+  return rotate_pick(holders.empty() ? band : holders);
+}
+
+void Engine::enqueue_locked(unsigned d, Job&& job) {
+  DeviceRt& rt = rt_[d];
+  rt.queue_pred_s += job.pred_s;
+  if (job.req.service_class == OpRequest::ServiceClass::kLatency) {
+    // Jump ahead of batch-class backlog, but never past a batch job that has
+    // exhausted its skip budget (aging: bounded starvation), and keep FIFO
+    // order among latency jobs themselves.
+    auto pos = rt.queue.begin();
+    while (pos != rt.queue.end() &&
+           (pos->req.service_class == OpRequest::ServiceClass::kLatency ||
+            pos->skips >= latency_max_skips_)) {
+      ++pos;
+    }
+    for (auto it = pos; it != rt.queue.end(); ++it) {
+      if (it->req.service_class == OpRequest::ServiceClass::kBatch) ++it->skips;
+    }
+    rt.queue.insert(pos, std::move(job));
+    return;
+  }
+  rt.queue.push_back(std::move(job));
+}
+
 std::future<void> Engine::submit(OpRequest req, JobRecord* record, Admission admission) {
   validate_request(req);
   const OpPlan& p = *req.plan;
   core::validate(p.part, req.options, p.stream);
   if (req.options.shard.num_devices > 1) {
-    // A malformed request for this path, not back-pressure: retrying the
-    // identical submit can never succeed.
-    throw core::InvalidOptions(
-        "Engine::submit: sharded jobs own the whole device group; use run()");
+    if (req.options.backend != core::ExecBackend::kNative) {
+      throw core::InvalidOptions("Engine::submit: sharded jobs require the native backend");
+    }
+    // Grow on the submitting thread: ensure_devices waits for idleness, which
+    // a worker (whose own job counts as active) could never establish.
+    ensure_devices(req.options.shard.num_devices);
   }
-  // The simulator needs the primary's UnifiedPlan (and is the fidelity
-  // oracle, not the serving path): pin to device 0.
-  const bool pinned = req.options.backend == core::ExecBackend::kSim;
   std::future<void> fut;
   {
     std::unique_lock lock(state_mutex_);
@@ -717,34 +921,15 @@ std::future<void> Engine::submit(OpRequest req, JobRecord* record, Admission adm
       // of tripping a precondition -- the engine is already tearing down.
       throw ShuttingDown();
     }
-    // Batch-affinity placement: a job that could fuse with one already
-    // queued lands on that job's device, so the worker's coalescing pop can
-    // actually find them together. Otherwise round-robin as before.
-    unsigned d = 0;
-    if (!pinned && rt_.size() > 1) {
-      bool placed = false;
-      if (max_batch_ > 1) {
-        for (unsigned i = 0; i < rt_.size() && !placed; ++i) {
-          for (const Job& j : rt_[i].queue) {
-            if (batch_compatible(j.req, req)) {
-              d = i;
-              placed = true;
-              break;
-            }
-          }
-        }
-      }
-      if (!placed) {
-        d = next_device_;
-        next_device_ = (next_device_ + 1) % static_cast<unsigned>(rt_.size());
-      }
-    }
     Job job;
     job.req = std::move(req);
     job.record = record;
+    job.seq = seq_next_++;
+    job.t_submit_ns = steady_ns();
     if (obs::tracing_enabled()) job.t_enqueue_ns = obs::now_ns();
     fut = job.done.get_future();
-    rt_[d].queue.push_back(std::move(job));
+    const unsigned d = pick_device_locked(job);
+    enqueue_locked(d, std::move(job));
     ++queued_total_;
     ++jobs_submitted_;
   }
@@ -752,40 +937,132 @@ std::future<void> Engine::submit(OpRequest req, JobRecord* record, Admission adm
   return fut;
 }
 
+std::size_t Engine::poppable_index_locked(unsigned d) const {
+  const auto& q = rt_[d].queue;
+  if (resv_pending_ && d != 0 && d < resv_n_ && !stop_) {
+    // Reserved device: only work older than the reservation may start (the
+    // drain the sharded job is waiting for). On stop_ everything drains.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].seq < resv_seq_) return i;
+    }
+    return kNoJob;
+  }
+  return q.empty() ? kNoJob : 0;
+}
+
+int Engine::steal_victim_locked(unsigned d) const {
+  if (!work_stealing_) return -1;
+  if (resv_pending_ && d < resv_n_ && !stop_) return -1;  // reserved: drain own queue only
+  int best = -1;
+  std::size_t best_depth = 0;
+  for (unsigned v = 0; v < rt_.size(); ++v) {
+    if (v == d) continue;
+    const auto& q = rt_[v].queue;
+    std::size_t depth = 0;
+    for (const Job& j : q) {
+      // Pinned jobs (sim backend, sharded reservations) execute only where
+      // placed; everything else is device-agnostic by construction.
+      if (j.req.options.backend == core::ExecBackend::kSim) continue;
+      if (j.req.options.shard.num_devices > 1) continue;
+      ++depth;
+    }
+    if (depth == 0) continue;
+    // Steal backlog the victim cannot service promptly: its worker is mid-
+    // execution, reservation-blocked, or it has more than one job waiting.
+    const bool blocked = rt_[v].active_now > 0 ||
+                         (resv_pending_ && v != 0 && v < resv_n_ && !stop_);
+    if (!blocked && depth < 2) continue;
+    if (depth > best_depth) {
+      best_depth = depth;
+      best = static_cast<int>(v);
+    }
+  }
+  return best;
+}
+
+std::vector<Engine::Job> Engine::take_group_locked(unsigned v, std::size_t at) {
+  DeviceRt& rt = rt_[v];
+  std::vector<Job> group;
+  group.push_back(std::move(rt.queue[at]));
+  rt.queue.erase(rt.queue.begin() + static_cast<std::ptrdiff_t>(at));
+  if (max_batch_ > 1) {
+    // Keep the head's whole batch-affinity group together (anywhere in the
+    // queue, preserving the remainder's order) so PR 7's same-plan fusion
+    // still forms on the destination device.
+    for (auto it = rt.queue.begin();
+         it != rt.queue.end() && group.size() < max_batch_;) {
+      if (batch_compatible(group.front().req, it->req)) {
+        group.push_back(std::move(*it));
+        it = rt.queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const Job& j : group) rt.queue_pred_s -= j.pred_s;
+  if (rt.queue.empty()) rt.queue_pred_s = 0.0;  // absorb float drift at idle
+  return group;
+}
+
+bool Engine::reservation_drained_locked() const {
+  for (unsigned dd = 1; dd < resv_n_; ++dd) {
+    if (rt_[dd].active_now > 0) return false;
+    for (const Job& j : rt_[dd].queue) {
+      if (j.seq < resv_seq_) return false;
+    }
+  }
+  return true;
+}
+
 void Engine::worker_loop(unsigned d, DeviceRt* rt) {
   for (;;) {
     std::vector<Job> batch;
+    bool stole = false;
     {
       std::unique_lock lock(state_mutex_);
-      queue_cv_.wait(lock, [&] { return stop_ || !rt->queue.empty(); });
-      if (rt->queue.empty()) return;  // stop requested and queue drained
-      batch.push_back(std::move(rt->queue.front()));
-      rt->queue.pop_front();
-      if (max_batch_ > 1) {
-        // Coalesce: drain every queued job fusable with the head (anywhere
-        // in the queue, preserving the remainder's order) up to the cap.
-        // Back-pressure admission already bounded the queue, so this only
-        // reorders relative to *incompatible* jobs -- same as multi-device
-        // placement does -- and submit()'s affinity keeps mates co-located.
-        for (auto it = rt->queue.begin();
-             it != rt->queue.end() && batch.size() < max_batch_;) {
-          if (batch_compatible(batch.front().req, it->req)) {
-            batch.push_back(std::move(*it));
-            it = rt->queue.erase(it);
-          } else {
-            ++it;
-          }
+      std::size_t at = kNoJob;
+      int victim = -1;
+      queue_cv_.wait(lock, [&] {
+        at = poppable_index_locked(d);
+        if (at != kNoJob) return true;
+        victim = steal_victim_locked(d);
+        return victim >= 0 || stop_;
+      });
+      if (at == kNoJob && victim < 0) return;  // stop requested and queue drained
+      if (at != kNoJob) {
+        batch = take_group_locked(d, at);
+      } else {
+        // Steal the first STEALABLE job, not the head: the head may be
+        // pinned (sim-backend, or a sharded job that must reserve from its
+        // own device). steal_victim_locked guarantees one exists.
+        const auto& vq = rt_[static_cast<unsigned>(victim)].queue;
+        std::size_t sat = 0;
+        while (sat < vq.size() &&
+               (vq[sat].req.options.backend == core::ExecBackend::kSim ||
+                vq[sat].req.options.shard.num_devices > 1)) {
+          ++sat;
         }
+        UST_ENSURES(sat < vq.size());
+        batch = take_group_locked(static_cast<unsigned>(victim), sat);
+        stole = true;
+        ++steals_;
       }
       queued_total_ -= batch.size();
       active_jobs_ += batch.size();
       rt->active_now = batch.size();
+      for (const Job& j : batch) rt->active_pred_s += j.pred_s;
       if (batch.size() > 1) {
         jobs_batched_ += batch.size();
         ++batches_formed_;
       }
     }
     space_cv_.notify_all();
+    if (stole) {
+      // The victim's queue changed shape: its worker may now see different
+      // work, and a pending reservation may have just drained.
+      queue_cv_.notify_all();
+      resv_cv_.notify_all();
+    }
     // Queue-wait spans, one per job, measured submit -> dequeue (emitted
     // after the fact since the interval is only known now).
     for (const Job& j : batch) {
@@ -793,42 +1070,113 @@ void Engine::worker_loop(unsigned d, DeviceRt* rt) {
         obs::emit_span("engine.queue", j.req.trace_id, j.t_enqueue_ns, "device", d);
       }
     }
+    const std::uint64_t t_dequeue_ns = steady_ns();
+
+    const bool sharded = batch.front().req.options.shard.num_devices > 1;
     Timer timer;
     std::exception_ptr err;
-    try {
-      std::lock_guard exec(rt->exec_mutex);
-      std::vector<const OpRequest*> reqs;
-      reqs.reserve(batch.size());
-      for (const Job& j : batch) reqs.push_back(&j.req);
-      const obs::ScopedTraceId obs_id(batch.front().req.trace_id);
-      exec_batch(d, *rt, std::span<const OpRequest* const>(reqs.data(), reqs.size()));
-    } catch (...) {
-      err = std::current_exception();
+    if (sharded) {
+      // A sharded job reaches here only on device 0 (placement pins it and
+      // stealing skips it) and is always a singleton batch.
+      const OpRequest& req = batch.front().req;
+      const unsigned span = req.options.shard.num_devices;
+      {
+        std::unique_lock lock(state_mutex_);
+        resv_pending_ = true;
+        resv_n_ = span;
+        resv_seq_ = batch.front().seq;
+        // Wait out work admitted before this job on the reserved devices;
+        // newer work holds off (poppable_index_locked), so the drain is
+        // reachable under sustained traffic.
+        resv_cv_.wait(lock, [&] { return reservation_drained_locked(); });
+      }
+      timer.reset();
+      try {
+        // Collect runtime slots under the state lock, then lock exec
+        // mutexes with the state lock RELEASED (executing workers take
+        // state_mutex_ while holding their exec_mutex, so holding both here
+        // would invert the order) -- in the same ascending order as
+        // run_sharded_impl, deadlock-free against concurrent synchronous
+        // sharded runs. rt_ is a deque: references stay stable.
+        std::vector<DeviceRt*> rts;
+        {
+          std::lock_guard lock(state_mutex_);
+          rts.reserve(span);
+          for (unsigned dd = 0; dd < span; ++dd) rts.push_back(&rt_[dd]);
+        }
+        std::vector<std::unique_lock<std::mutex>> exec_locks;
+        exec_locks.reserve(span);
+        for (DeviceRt* r : rts) exec_locks.emplace_back(r->exec_mutex);
+        const obs::ScopedTraceId obs_id(req.trace_id);
+        exec_sharded_body(req, nullptr);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      {
+        std::lock_guard lock(state_mutex_);
+        resv_pending_ = false;
+        resv_n_ = 0;
+      }
+      queue_cv_.notify_all();  // reserved workers may pop newer work again
+    } else {
+      try {
+        std::lock_guard exec(rt->exec_mutex);
+        std::vector<const OpRequest*> reqs;
+        reqs.reserve(batch.size());
+        for (const Job& j : batch) reqs.push_back(&j.req);
+        const obs::ScopedTraceId obs_id(batch.front().req.trace_id);
+        exec_batch(d, *rt, std::span<const OpRequest* const>(reqs.data(), reqs.size()));
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
     const double seconds = timer.seconds();
     // A fused batch is one pass over the non-zeros; each job's exec_s is its
     // amortised share so per-job sums stay comparable with solo execution.
     const double share = seconds / static_cast<double>(batch.size());
     for (std::size_t j = 0; j < batch.size(); ++j) exec_latency_us_.record(share * 1e6);
+    for (const Job& j : batch) {
+      if (j.predicted) {
+        const double denom = std::max(share, 1e-9);
+        prediction_error_pct_.record(std::abs(j.pred_s - share) / denom * 100.0);
+      }
+    }
     {
       std::lock_guard lock(state_mutex_);
       active_jobs_ -= batch.size();
       rt->active_now = 0;
+      rt->active_pred_s = 0.0;
       rt->jobs += batch.size();
       rt->busy_s += seconds;
       jobs_completed_ += batch.size();
       for (const Job& j : batch) {
-        job_history_.push_back({static_cast<int>(d), j.req.plan->kind, j.req.plan->nnz,
+        const OpPlan& p = *j.req.plan;
+        job_history_.push_back({static_cast<int>(d), p.kind, p.nnz, j.req.out_cols,
+                                j.req.options.chunk_nnz,
                                 static_cast<std::uint32_t>(batch.size()), share});
+        // Feed the cost model with the amortised share: that is also what
+        // placement sums, so backlog estimates stay in one unit.
+        CostCell& cell = cost_cells_[static_cast<int>(p.kind)]
+                                    [backend_index(j.req.options.backend)];
+        const double x = cost_feature(p, j.req.out_cols);
+        cell.sum_x += x;
+        cell.sum_y += share;
+        cell.sum_xx += x * x;
+        cell.sum_xy += x * share;
+        ++cell.n;
+        if (j.predicted) ++sched_predictions_;
       }
       while (job_history_.size() > EngineStats::kJobHistoryCap) job_history_.pop_front();
       if (active_jobs_ == 0 && queued_total_ == 0) idle_cv_.notify_all();
+      if (resv_pending_) resv_cv_.notify_all();
     }
     for (Job& job : batch) {
       if (job.record != nullptr) {
         // Written before the promise resolves: future.get() orders the read.
         job.record->device = static_cast<int>(d);
         job.record->exec_s = share;
+        job.record->wait_s =
+            static_cast<double>(t_dequeue_ns - job.t_submit_ns) * 1e-9;
       }
       if (err) {
         job.done.set_exception(err);
@@ -861,7 +1209,10 @@ EngineStats Engine::stats() const {
   s.jobs_active = active_jobs_;
   s.jobs_batched = jobs_batched_;
   s.batches_formed = batches_formed_;
+  s.steals = steals_;
+  s.sched_predictions = sched_predictions_;
   s.exec_latency_us = exec_latency_us_.snapshot();
+  s.prediction_error_pct = prediction_error_pct_.snapshot();
   s.job_history.assign(job_history_.begin(), job_history_.end());
   return s;
 }

@@ -10,15 +10,27 @@
 // build an OpRequest and hand it here.
 //
 // Concurrency model (`submit`): jobs enter a bounded queue and are admitted
-// to per-device sub-queues -- round-robin, except that a job batch-compatible
-// with an already-queued job lands on that job's device (batch affinity) --
-// with one in-flight execution per device (the per-device admission lock). A
-// job executes the SAME single-device path run() uses -- and because every
-// device's worker pool has the primary's slot count, the native worker grid
-// (deterministic in nnz / threadlen / workers / chunk_nnz) is identical on
-// every device, so a job's result is bitwise identical no matter which device
-// it lands on and therefore bitwise identical to sequential execution
-// (tests/engine_concurrency_test.cpp).
+// to per-device sub-queues by the cost-model scheduler (DESIGN.md §15): a job
+// batch-compatible with an already-queued job lands on that job's device
+// (batch affinity); otherwise placement minimises the device's predicted
+// finish time (queued backlog + predicted exec_s from a per-(op kind,
+// backend) online regression over the nnz x rank feature, fed by the job
+// history), preferring devices whose PlanCache already holds the plan and
+// falling back to least-loaded placement until the model has enough samples.
+// A device that drains its own queue steals the whole batch-affinity group
+// at the head of the deepest backlogged queue, so one long job never idles
+// the rest of the group. Latency-class jobs (OpRequest::ServiceClass) jump
+// ahead of batch backlog but age it: each batch job is passed at most
+// EngineOptions::latency_max_skips times. Sharded jobs reserve their device
+// span through the same queues (the reservation drains older work first).
+// One in-flight execution per device (the per-device admission lock) is
+// unchanged. A job executes the SAME single-device path run() uses -- and
+// because every device's worker pool has the primary's slot count, the
+// native worker grid (deterministic in nnz / threadlen / workers /
+// chunk_nnz) is identical on every device, so a job's result is bitwise
+// identical no matter which device it lands on and therefore bitwise
+// identical to sequential execution (tests/engine_concurrency_test.cpp,
+// tests/scheduler_test.cpp).
 //
 // Request batching (DESIGN.md §13): when a device worker dequeues a job it
 // also pulls up to EngineOptions::max_batch - 1 batch-compatible jobs (same
@@ -28,8 +40,11 @@
 // results stay bitwise identical to solo runs, so coalescing is invisible
 // except in the jobs_batched / batches_formed counters and the wall clock.
 // Sim-backend jobs are pinned to device 0 (the simulator is the fidelity
-// oracle, not the serving path); sharded jobs are not admissible through
-// submit() -- they own the whole group and go through run().
+// oracle, not the serving path). Sharded jobs (shard.num_devices > 1) are
+// admitted through device 0's queue: when their turn comes, the scheduler
+// reserves devices 0..n-1 -- older queued work on those devices drains
+// first, newer work holds off -- and then executes the same multi-device
+// path run() uses, so results stay bitwise identical to direct execution.
 #pragma once
 
 #include <condition_variable>
@@ -117,12 +132,23 @@ struct OpPlan {
 /// overwritten by the run (no pre-zeroing needed). The buffer and the inputs
 /// must stay alive until the run returns (or the submit future resolves).
 struct OpRequest {
+  /// Scheduling class (DESIGN.md §15). kBatch is throughput work, served in
+  /// queue order. kLatency jobs may jump ahead of batch backlog on their
+  /// device, but never starve it: every batch job they pass ages, and a job
+  /// that has been passed EngineOptions::latency_max_skips times cannot be
+  /// passed again. The class never affects results -- only queue position.
+  enum class ServiceClass : std::uint8_t {
+    kBatch = 0,
+    kLatency = 1,
+  };
+
   std::shared_ptr<const OpPlan> plan;
   std::vector<HostMatrixView> inputs;
   value_t* out = nullptr;
   index_t out_rows = 0;
   index_t out_cols = 0;
   core::UnifiedOptions options;
+  ServiceClass service_class = ServiceClass::kBatch;
   /// Observability correlation id (DESIGN.md §14): the service composes it
   /// from (tenant, wire request_id); in-process callers may leave it 0. The
   /// engine propagates it into every span the job emits, so one request's
@@ -148,6 +174,23 @@ struct EngineOptions {
   /// 1 disables coalescing -- the batching-off baseline benches compare
   /// against.
   std::size_t max_batch = 8;
+  /// How submit() places jobs onto device sub-queues (DESIGN.md §15).
+  /// kCostModel predicts each device's finish time from the job-history
+  /// regression (least-loaded until the model is warm); kRoundRobin is the
+  /// legacy rotating cursor, kept as the scheduling-off bench baseline.
+  /// Batch affinity and the sim/sharded pins apply under either policy.
+  enum class Placement : std::uint8_t {
+    kCostModel = 0,
+    kRoundRobin = 1,
+  };
+  Placement placement = Placement::kCostModel;
+  /// A worker whose queue drains steals the head batch-affinity group of
+  /// the deepest backlogged queue. Off = jobs only run where placed (the
+  /// stealing-off bench baseline).
+  bool work_stealing = true;
+  /// Aging bound for latency-class queue jumps: a batch-class job passed
+  /// this many times cannot be passed again (see OpRequest::ServiceClass).
+  unsigned latency_max_skips = 4;
 };
 
 /// N requests executed as one engine call. Consecutive *batch-compatible*
@@ -212,17 +255,31 @@ struct EngineStats {
   /// amortised share of its batch, matching JobRecord::exec_s).
   obs::HistogramSnapshot exec_latency_us;
   /// Bounded trailing history of executed jobs, oldest first (cap
-  /// kJobHistoryCap) -- the exec_s stream the cost-model scheduler open item
-  /// consumes (ROADMAP).
+  /// kJobHistoryCap) -- the exec_s stream the cost-model scheduler
+  /// (DESIGN.md §15) fits its per-(op kind, backend) regression against.
   struct JobHistoryEntry {
     int device = 0;
     OpKind kind = OpKind::kSpMTTKRP;
     nnz_t nnz = 0;
+    /// Output width of the request (rank; rank^2 for SpTTMc, 1 for SpTTV):
+    /// together with nnz this is the cost model's work feature, nnz x rank.
+    index_t rank = 0;
+    /// Grid cap the job ran under (0 = whole-tensor single chunk).
+    nnz_t chunk_nnz = 0;
     std::uint32_t batch = 1;  // fused-batch size the job executed in
     double exec_s = 0.0;      // amortised share, as in JobRecord
   };
   static constexpr std::size_t kJobHistoryCap = 512;
   std::vector<JobHistoryEntry> job_history;
+  /// Scheduler counters (DESIGN.md §15): steal events (one per batch-
+  /// affinity group moved between device queues) and completed jobs whose
+  /// placement used a cost-model prediction (each contributes one sample to
+  /// prediction_error_pct).
+  std::uint64_t steals = 0;
+  std::uint64_t sched_predictions = 0;
+  /// |predicted - actual| / actual exec time, in PERCENT, for every
+  /// cost-model-placed job: the scheduler's own accuracy instrument.
+  obs::HistogramSnapshot prediction_error_pct;
 };
 
 /// Optional per-job record for submit(): filled (device ordinal + execution
@@ -234,6 +291,9 @@ struct EngineStats {
 struct JobRecord {
   int device = -1;
   double exec_s = 0.0;
+  /// Queue wait, submit -> dequeue by the executing worker. exec_s + wait_s
+  /// is the job's in-engine latency (the service-class benches' measure).
+  double wait_s = 0.0;
 };
 
 /// How submit() behaves when the bounded job queue is at capacity.
@@ -295,15 +355,18 @@ class Engine {
   /// and the synchronous twin of the worker-side submit() coalescing.
   void run_batched(const BatchedRequest& batch);
 
-  /// Concurrent submission: enqueues the job, admits it round-robin to a
-  /// device, and returns a future that resolves when it completes (or
-  /// carries the job's exception). Results are bitwise identical to run().
-  /// While the bounded queue is full, Admission::kBlock waits for a slot and
+  /// Concurrent submission: enqueues the job, places it onto a device
+  /// sub-queue via the cost-model scheduler (EngineOptions::placement), and
+  /// returns a future that resolves when it completes (or carries the job's
+  /// exception). Results are bitwise identical to run(). While the bounded
+  /// queue is full, Admission::kBlock waits for a slot and
   /// Admission::kReject throws engine::QueueFull (retryable). A submission
-  /// racing the destructor throws engine::ShuttingDown (terminal). Sim-
-  /// backend jobs are pinned to device 0; sharded jobs throw InvalidOptions
-  /// (a malformed request for this path -- they need the whole group, use
-  /// run()).
+  /// racing the destructor throws engine::ShuttingDown (terminal).
+  /// Sim-backend jobs are pinned to device 0. A sharded job
+  /// (options.shard.num_devices > 1, native backend) grows the group if
+  /// needed, queues on device 0, and at dequeue reserves devices 0..n-1:
+  /// work queued before it drains first, work queued after waits; execution
+  /// is the same multi-device path run() uses.
   std::future<void> submit(OpRequest req, JobRecord* record = nullptr,
                            Admission admission = Admission::kBlock);
 
@@ -334,6 +397,21 @@ class Engine {
     std::promise<void> done;
     JobRecord* record = nullptr;
     std::uint64_t t_enqueue_ns = 0;  // obs: queue-wait span start
+    /// Monotone admission sequence (state_mutex_): total order over
+    /// submissions, the "older than the reservation" test for sharded
+    /// admission.
+    std::uint64_t seq = 0;
+    /// Times a latency-class job has jumped ahead of this (batch-class) job;
+    /// at latency_max_skips_ the job becomes un-passable (aging).
+    unsigned skips = 0;
+    /// Scheduler's exec-seconds estimate for this job (cost-model prediction
+    /// when the model was warm -- `predicted` -- else the global-mean
+    /// fallback). Summed per queue for makespan-minimising placement.
+    double pred_s = 0.0;
+    bool predicted = false;
+    /// steady_clock ns at enqueue, for JobRecord::wait_s (always stamped;
+    /// t_enqueue_ns is the obs-gated twin).
+    std::uint64_t t_submit_ns = 0;
   };
   struct DeviceRt {
     std::deque<Job> queue;
@@ -342,6 +420,11 @@ class Engine {
     std::uint64_t jobs = 0;
     double busy_s = 0.0;
     std::size_t active_now = 0;  // jobs this device is executing (gauge)
+    /// Predicted seconds of queued (not yet dequeued) work; kept exactly in
+    /// sync with the queue's pred_s sum by enqueue/pop/steal.
+    double queue_pred_s = 0.0;
+    /// Predicted seconds of the batch currently executing (0 when idle).
+    double active_pred_s = 0.0;
     // One in-flight job per device: the per-device admission lock, shared
     // with synchronous run()/run_sharded().
     std::mutex exec_mutex;
@@ -353,11 +436,28 @@ class Engine {
     std::vector<sim::DeviceBuffer<value_t>> scratch;
   };
 
+  /// Per-(op kind, backend) online least-squares fit of exec seconds against
+  /// the work feature x = nnz x rank: y = a + b*x. Accumulators only -- a
+  /// prediction solves the 2x2 normal equations on demand. Guarded by
+  /// state_mutex_.
+  struct CostCell {
+    double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+    std::uint64_t n = 0;
+  };
+  /// Samples a cell needs before its predictions are trusted; below it the
+  /// scheduler falls back to least-loaded placement.
+  static constexpr std::uint64_t kCostModelMinSamples = 8;
+
   void init_group(sim::Device& primary, const EngineOptions& opt);
   void validate_request(const OpRequest& req) const;
   /// Sharded execution after validation (run() and run_sharded() both land
   /// here, validating exactly once).
   void run_sharded_impl(const OpRequest& req, shard::Report* report);
+  /// The sharded execution body shared by run_sharded_impl and the worker's
+  /// reserved execution: shards the tensor over devices 0..n-1 and reduces
+  /// into req.out. Caller holds exec mutexes 0..n-1 (ascending) and has
+  /// registered the job as active; devices must already exist.
+  void exec_sharded_body(const OpRequest& req, shard::Report* report);
   /// Grows group + runtime slots to `n` under state_mutex_; caller must have
   /// established idleness (no queued or active jobs).
   void grow_locked(unsigned n);
@@ -379,10 +479,48 @@ class Engine {
   /// Cache-or-build the whole-range plan for `plan` on replica device d.
   std::shared_ptr<const pipeline::CachedPlan> replica_plan(unsigned d, const OpPlan& plan);
 
+  // ---- scheduler internals (all require state_mutex_) --------------------
+  /// Cost-model prediction for (kind, backend) at feature x; < 0 when the
+  /// cell has too few samples.
+  double predict_locked(OpKind kind, core::ExecBackend backend, double x) const;
+  /// Mean exec_s across every cell -- the backlog estimate for jobs whose
+  /// own cell is cold (0 when no samples exist at all).
+  double global_mean_locked() const;
+  /// Fills job.pred_s / job.predicted and returns the target device for
+  /// job.req: pins (sim, sharded) -> 0; batch affinity; else cost-model
+  /// makespan minimisation with cache preference (or round-robin /
+  /// least-loaded fallback). Ties rotate through next_device_.
+  unsigned pick_device_locked(Job& job);
+  /// True when device d's PlanCache already holds the plan (device 0 always
+  /// does: the bundle rides the OpPlan itself).
+  bool plan_cached_locked(unsigned d, const OpPlan& p) const;
+  /// Queue insertion implementing the service classes: batch-class appends;
+  /// latency-class inserts ahead of batch jobs that still have skip budget
+  /// and ages every batch job it passes.
+  void enqueue_locked(unsigned d, Job&& job);
+  /// Index into device d's queue of the first job its worker may pop
+  /// (reservation-aware), or npos.
+  std::size_t poppable_index_locked(unsigned d) const;
+  /// Deepest queue worker d may steal from, or -1. A queue qualifies when it
+  /// holds stealable (non-pinned) work its own device cannot service
+  /// promptly: its worker is mid-execution, reservation-blocked, or more
+  /// than one job deep.
+  int steal_victim_locked(unsigned d) const;
+  /// Pops the job at `at` in device v's queue plus every queued job
+  /// batch-compatible with it (up to max_batch_, preserving the remainder's
+  /// order), maintaining queue_pred_s. The thief path of worker_loop.
+  std::vector<Job> take_group_locked(unsigned v, std::size_t at);
+  /// Sharded reservation drain test: no reserved device is executing and no
+  /// job older than the reservation remains on a reserved queue.
+  bool reservation_drained_locked() const;
+
   std::unique_ptr<sim::Device> owned_primary_;
   std::unique_ptr<shard::DeviceGroup> group_;
   std::size_t max_queued_;
   std::size_t max_batch_;
+  EngineOptions::Placement placement_ = EngineOptions::Placement::kCostModel;
+  bool work_stealing_ = true;
+  unsigned latency_max_skips_ = 4;
 
   // state_mutex_ guards the group/runtime structure (growth, worker spawn),
   // the queues and every counter below. Execution itself runs outside it,
@@ -398,16 +536,34 @@ class Engine {
   /// submit() stops admitting new jobs so the grower cannot be starved by
   /// sustained traffic (growth needs active == queued == 0).
   std::size_t grow_waiters_ = 0;
-  unsigned next_device_ = 0;  // round-robin admission cursor
+  /// Placement cursor: round-robin under Placement::kRoundRobin, tie
+  /// rotation under the cost model (equally-good devices are cycled so
+  /// bursts of identical jobs spread out instead of piling on device 0).
+  unsigned next_device_ = 0;
   bool workers_started_ = false;
   bool stop_ = false;
   std::uint64_t jobs_submitted_ = 0;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_batched_ = 0;
   std::uint64_t batches_formed_ = 0;
+  std::uint64_t seq_next_ = 0;  // admission sequence source (Job::seq)
+  std::uint64_t steals_ = 0;
+  std::uint64_t sched_predictions_ = 0;
+  /// kind x backend (0 = native, 1 = sim) regression cells.
+  CostCell cost_cells_[4][2];
+  /// Sharded reservation (one at a time: only device 0's worker creates
+  /// them). While pending, reserved workers 1..resv_n_-1 only pop jobs with
+  /// seq < resv_seq_ and never steal; the reserving worker waits on
+  /// resv_cv_ for reservation_drained_locked().
+  bool resv_pending_ = false;
+  unsigned resv_n_ = 0;
+  std::uint64_t resv_seq_ = 0;
+  std::condition_variable resv_cv_;
   /// Per-job exec-share latency (us); internally thread-safe, recorded by
   /// workers outside state_mutex_.
   obs::Histogram exec_latency_us_;
+  /// Cost-model accuracy instrument: |pred - actual| / actual, percent.
+  obs::Histogram prediction_error_pct_;
   /// Bounded exec_s history (state_mutex_), oldest at front.
   std::deque<EngineStats::JobHistoryEntry> job_history_;
 };

@@ -159,10 +159,10 @@ void Client::send_frame(std::span<const std::uint8_t> payload) {
   send_raw(encode_frame(payload));
 }
 
-std::uint64_t Client::send_request(MsgType type, const Writer& body) {
+std::uint64_t Client::send_request(MsgType type, const Writer& body, WireClass cls) {
   const std::uint64_t rid = next_id_++;
   Writer w;
-  write_request_header(w, RequestHeader{type, tenant_, rid});
+  write_request_header(w, RequestHeader{type, tenant_, rid, cls});
   w.bytes(body.data().data(), body.data().size());
   send_frame(w.data());
   return rid;
@@ -209,8 +209,8 @@ Response Client::upload_tensor(std::uint64_t tensor_id, const CooTensor& tensor)
 
 Response Client::run_op(std::uint64_t tensor_id, WireOp op, int mode,
                         const Partitioning& part, std::span<const DenseMatrix> inputs,
-                        std::uint32_t timeout_ms) {
-  send_run(tensor_id, op, mode, part, inputs, timeout_ms);
+                        std::uint32_t timeout_ms, WireClass cls) {
+  send_run(tensor_id, op, mode, part, inputs, timeout_ms, cls);
   return recv_response();
 }
 
@@ -238,10 +238,10 @@ Response Client::trace(std::uint32_t max_events) {
 Response Client::run_with_retry(std::uint64_t tensor_id, WireOp op, int mode,
                                 const Partitioning& part,
                                 std::span<const DenseMatrix> inputs, int max_attempts,
-                                int backoff_ms) {
+                                int backoff_ms, WireClass cls) {
   Response resp;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    resp = run_op(tensor_id, op, mode, part, inputs);
+    resp = run_op(tensor_id, op, mode, part, inputs, 0, cls);
     if (!resp.header.retryable || attempt == max_attempts) return resp;
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms * attempt));
   }
@@ -251,10 +251,10 @@ Response Client::run_with_retry(std::uint64_t tensor_id, WireOp op, int mode,
 std::uint64_t Client::send_run(std::uint64_t tensor_id, WireOp op, int mode,
                                const Partitioning& part,
                                std::span<const DenseMatrix> inputs,
-                               std::uint32_t timeout_ms) {
+                               std::uint32_t timeout_ms, WireClass cls) {
   Writer body;
   encode_run_body(body, tensor_id, op, mode, part, inputs, timeout_ms);
-  return send_request(MsgType::kRunOp, body);
+  return send_request(MsgType::kRunOp, body, cls);
 }
 
 }  // namespace ust::service

@@ -56,8 +56,11 @@ class Client {
   // -- synchronous API ----------------------------------------------------
   Response ping();
   Response upload_tensor(std::uint64_t tensor_id, const CooTensor& tensor);
+  /// `cls` is the scheduling class stamped into the request header: kLatency
+  /// jobs may jump the engine's batch backlog (bounded by aging).
   Response run_op(std::uint64_t tensor_id, WireOp op, int mode, const Partitioning& part,
-                  std::span<const DenseMatrix> inputs, std::uint32_t timeout_ms = 0);
+                  std::span<const DenseMatrix> inputs, std::uint32_t timeout_ms = 0,
+                  WireClass cls = WireClass::kBatch);
   Response drop_tensor(std::uint64_t tensor_id);
   /// Sends the version the client speaks (kStatsVersion by default; tests
   /// pass a stale one to probe the mismatch path).
@@ -72,13 +75,14 @@ class Client {
   /// rejected).
   Response run_with_retry(std::uint64_t tensor_id, WireOp op, int mode,
                           const Partitioning& part, std::span<const DenseMatrix> inputs,
-                          int max_attempts = 8, int backoff_ms = 2);
+                          int max_attempts = 8, int backoff_ms = 2,
+                          WireClass cls = WireClass::kBatch);
 
   // -- pipelined API ------------------------------------------------------
   /// Sends a kRunOp request without waiting; returns its request id.
   std::uint64_t send_run(std::uint64_t tensor_id, WireOp op, int mode,
                          const Partitioning& part, std::span<const DenseMatrix> inputs,
-                         std::uint32_t timeout_ms = 0);
+                         std::uint32_t timeout_ms = 0, WireClass cls = WireClass::kBatch);
   /// Blocks for the next response frame on the socket (responses to
   /// pipelined sends arrive in submission order for errors, completion order
   /// for results -- match by header.request_id).
@@ -92,7 +96,8 @@ class Client {
   int fd() const noexcept { return fd_; }
 
  private:
-  std::uint64_t send_request(MsgType type, const Writer& body);
+  std::uint64_t send_request(MsgType type, const Writer& body,
+                             WireClass cls = WireClass::kBatch);
   void send_frame(std::span<const std::uint8_t> payload);
 
   int fd_ = -1;

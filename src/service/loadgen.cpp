@@ -69,7 +69,7 @@ struct WorkerResult {
 
 void run_worker(const LoadgenOptions& opt, const CooTensor& tensor,
                 const std::vector<MixEntry>& mix, int worker, WorkerResult& out,
-                obs::Histogram& latency_us) {
+                obs::Histogram& latency_us, obs::Histogram& latency_class_us) {
   try {
     Client client(opt.host, opt.port, /*tenant=*/static_cast<std::uint64_t>(worker) + 1);
     const Response up = client.upload_tensor(1, tensor);
@@ -80,11 +80,13 @@ void run_worker(const LoadgenOptions& opt, const CooTensor& tensor,
     for (int i = 0; i < opt.requests_per_connection; ++i) {
       // Stagger the mix across workers so the server sees interleaved ops.
       const MixEntry& e = mix[static_cast<std::size_t>(worker + i) % mix.size()];
+      const bool latency_class = opt.latency_every > 0 && i % opt.latency_every == 0;
+      const WireClass cls = latency_class ? WireClass::kLatency : WireClass::kBatch;
       const auto t0 = Clock::now();
       Response resp;
       bool sent = false;
       for (int attempt = 1; attempt <= opt.max_attempts && !sent; ++attempt) {
-        resp = client.run_op(1, e.op, e.mode, opt.part, e.inputs, opt.timeout_ms);
+        resp = client.run_op(1, e.op, e.mode, opt.part, e.inputs, opt.timeout_ms, cls);
         if (resp.header.status == Status::kQueueFull) ++out.queue_full;
         if (!resp.header.retryable) {
           sent = true;
@@ -93,9 +95,11 @@ void run_worker(const LoadgenOptions& opt, const CooTensor& tensor,
         }
       }
       const auto t1 = Clock::now();
-      latency_us.record(
+      const double us =
           std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0)
-              .count());
+              .count();
+      latency_us.record(us);
+      if (latency_class) latency_class_us.record(us);
       if (!sent) {
         ++out.lost;  // retries exhausted
         continue;
@@ -153,11 +157,12 @@ LoadgenReport run_loadgen(const LoadgenOptions& opt) {
   // One shared histogram across every worker: record() is a relaxed atomic
   // increment, so there is no merge step and no per-worker sample storage.
   obs::Histogram latency_us;
+  obs::Histogram latency_class_us;
   const auto t0 = Clock::now();
   for (int w = 0; w < opt.connections; ++w) {
     threads.emplace_back(run_worker, std::cref(opt), std::cref(tensor), std::cref(mix), w,
                          std::ref(results[static_cast<std::size_t>(w)]),
-                         std::ref(latency_us));
+                         std::ref(latency_us), std::ref(latency_class_us));
   }
   for (auto& t : threads) t.join();
   const auto t1 = Clock::now();
@@ -174,6 +179,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& opt) {
   report.requests = static_cast<std::uint64_t>(opt.connections) *
                     static_cast<std::uint64_t>(opt.requests_per_connection);
   report.latency_us = latency_us.snapshot();
+  report.latency_class_us = latency_class_us.snapshot();
   report.throughput_rps =
       report.wall_s > 0.0 ? static_cast<double>(report.latency_us.count) / report.wall_s
                           : 0.0;

@@ -46,6 +46,11 @@ struct LoadgenOptions {
   /// (DESIGN.md §13) are built to fuse. Verification is unchanged:
   /// batched responses must stay byte-identical to the local truth.
   bool same_plan = false;
+  /// Service-class mix: every Nth request per worker is sent latency-class
+  /// (RequestHeader::service_class = kLatency), the rest batch-class. 0
+  /// disables classing (all batch). Latency requests record into
+  /// LoadgenReport::latency_class_us so the two tails are separable.
+  int latency_every = 0;
 };
 
 struct LoadgenReport {
@@ -63,6 +68,9 @@ struct LoadgenReport {
   /// the load generator's percentiles and the service's self-reported ones
   /// are directly comparable.
   obs::HistogramSnapshot latency_us;
+  /// Latency-class requests only (empty unless LoadgenOptions::latency_every
+  /// > 0); latency_us still includes every request of both classes.
+  obs::HistogramSnapshot latency_class_us;
 
   /// Percentile in microseconds; `p` in [0, 100] (bucket-interpolated).
   double percentile_us(double p) const { return latency_us.quantile(p / 100.0); }

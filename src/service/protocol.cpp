@@ -25,6 +25,11 @@ RequestHeader read_request_header(Reader& r) {
   h.type = static_cast<MsgType>(type);
   h.tenant = r.u64();
   h.request_id = r.u64();
+  const std::uint8_t cls = r.u8();
+  if (cls > static_cast<std::uint8_t>(WireClass::kLatency)) {
+    throw ProtocolError("unknown service class " + std::to_string(cls));
+  }
+  h.service_class = static_cast<WireClass>(cls);
   return h;
 }
 
@@ -32,6 +37,7 @@ void write_request_header(Writer& w, const RequestHeader& h) {
   w.u8(static_cast<std::uint8_t>(h.type));
   w.u64(h.tenant);
   w.u64(h.request_id);
+  w.u8(static_cast<std::uint8_t>(h.service_class));
 }
 
 ResponseHeader read_response_header(Reader& r) {

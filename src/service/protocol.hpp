@@ -67,11 +67,22 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Scheduling class of a request; values are pinned to the wire. The server
+/// copies it into OpRequest::service_class, where the engine's scheduler
+/// lets kLatency jobs jump ahead of batch backlog without starving it
+/// (DESIGN.md §15). Meaningful only on kRunOp; other message types carry
+/// kBatch.
+enum class WireClass : std::uint8_t {
+  kBatch = 0,
+  kLatency = 1,
+};
+
 /// Every request payload begins with this header.
 struct RequestHeader {
   MsgType type = MsgType::kPing;
   std::uint64_t tenant = 0;
   std::uint64_t request_id = 0;
+  WireClass service_class = WireClass::kBatch;
 };
 
 /// Every response payload begins with this header. `retryable` is redundant

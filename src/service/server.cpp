@@ -191,6 +191,8 @@ struct TensorOpServer::Impl {
       g(prefix + ".jobs", static_cast<double>(d.jobs));
       g(prefix + ".busy_seconds", d.busy_s);
     }
+    g("ust.engine.steals", static_cast<double>(es.steals));
+    g("ust.engine.predicted_vs_actual_exec", static_cast<double>(es.sched_predictions));
     g("ust.server.sessions.open", static_cast<double>(sessions_gauge.load()));
     g("ust.server.sessions.accepted", static_cast<double>(sessions_accepted.load()));
     g("ust.server.requests", static_cast<double>(requests.load()));
@@ -211,7 +213,9 @@ struct TensorOpServer::Impl {
     // snapshot, not this registry: render it alongside.
     return registry.render_prometheus() +
            obs::render_prometheus_histogram("ust.engine.exec_latency_us",
-                                            es.exec_latency_us);
+                                            es.exec_latency_us) +
+           obs::render_prometheus_histogram("ust.engine.prediction_error_pct",
+                                            es.prediction_error_pct);
   }
 
   // ---- plan quota ------------------------------------------------------
@@ -477,6 +481,9 @@ struct TensorOpServer::Impl {
 
     engine::OpRequest req;
     req.trace_id = trace_id_for(h);
+    req.service_class = h.service_class == WireClass::kLatency
+                            ? engine::OpRequest::ServiceClass::kLatency
+                            : engine::OpRequest::ServiceClass::kBatch;
     req.plan = std::move(plan);
     req.inputs.reserve(job.inputs.size());
     for (const DenseMatrix& m : job.inputs) {
@@ -582,6 +589,8 @@ struct TensorOpServer::Impl {
         {"engine.jobs_active", es.jobs_active},
         {"engine.jobs_batched", es.jobs_batched},
         {"engine.batches_formed", es.batches_formed},
+        {"engine.steals", es.steals},
+        {"engine.sched_predictions", es.sched_predictions},
         {"engine.cache_hits", es.cache_total.hits},
         {"engine.cache_misses", es.cache_total.misses},
         {"engine.cache_evictions", es.cache_total.evictions},

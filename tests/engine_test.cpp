@@ -177,7 +177,10 @@ TEST(Engine, SimJobsPinToPrimary) {
   for (const JobRecord& r : records) EXPECT_EQ(r.device, 0);
 }
 
-TEST(Engine, SubmitRejectsShardedJobsAndBadShapes) {
+TEST(Engine, SubmitAcceptsShardedJobsAndRejectsBadShapes) {
+  // Sharded jobs go through submit() since the scheduler gained device
+  // reservation (DESIGN.md §15): the job reserves shard.num_devices devices,
+  // drains their queues, and runs bitwise identical to the direct path.
   Engine eng(EngineOptions{.num_devices = 2});
   Prng rng(106);
   const CooTensor t = test::random_coo3(rng, 12, 300);
@@ -187,7 +190,20 @@ TEST(Engine, SubmitRejectsShardedJobsAndBadShapes) {
 
   core::UnifiedOptions sharded;
   sharded.shard.num_devices = 2;
-  EXPECT_THROW((void)eng.submit(op.request(factors, out, sharded)), core::InvalidOptions);
+  DenseMatrix direct(t.dim(0), 3);
+  eng.run(op.request(factors, direct, sharded));
+  eng.submit(op.request(factors, out, sharded)).get();
+  ASSERT_EQ(out.rows(), direct.rows());
+  ASSERT_EQ(out.cols(), direct.cols());
+  for (index_t i = 0; i < out.rows(); ++i) {
+    for (index_t j = 0; j < out.cols(); ++j) EXPECT_EQ(out(i, j), direct(i, j));
+  }
+
+  // Sharded jobs on the sim backend stay rejected: replicas are native-only.
+  core::UnifiedOptions sim_sharded = sharded;
+  sim_sharded.backend = core::ExecBackend::kSim;
+  EXPECT_THROW((void)eng.submit(op.request(factors, out, sim_sharded)),
+               core::InvalidOptions);
 
   DenseMatrix wrong(t.dim(0), 5);  // out width != rank
   EXPECT_THROW((void)eng.submit(op.request(factors, wrong)), ContractViolation);

@@ -1,0 +1,336 @@
+// Cost-model scheduler tests (DESIGN.md §15): skewed mixed-op traffic must
+// spread across the device group without idling it behind one long job, a
+// drained worker must steal backlogged work (preserving results), latency-
+// class jobs must jump batch backlog without starving it (aging bound),
+// sharded jobs must run through submit() via device reservation bitwise
+// identical to the direct path, and every scheduled result must stay bitwise
+// identical to sequential execution regardless of placement.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/spmttkrp.hpp"
+#include "core/spttm.hpp"
+#include "core/spttv.hpp"
+#include "engine/engine.hpp"
+#include "io/generate.hpp"
+#include "test_support.hpp"
+
+namespace ust::engine {
+namespace {
+
+/// Submits `req` and returns the future (thin alias to keep call sites flat).
+std::future<void> submit(Engine& eng, OpRequest req, JobRecord* rec = nullptr) {
+  return eng.submit(std::move(req), rec);
+}
+
+TEST(Scheduler, SkewedMixedFuzzKeepsEveryDeviceBusyAndBitwise) {
+  // One long job plus a burst of small ones: the cost model (or its
+  // least-loaded cold fallback) must not pile the smalls behind the long job,
+  // and stealing rescues any that land there anyway. Every output must equal
+  // the sequential truth bitwise.
+  Engine eng(EngineOptions{.num_devices = 2, .max_batch = 1});
+  Prng rng(301);
+  const CooTensor big = io::generate_uniform({96, 96, 96}, 180000, 3011);
+  const CooTensor small = io::generate_uniform({24, 24, 24}, 2500, 3012);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+
+  core::UnifiedMttkrp big_op(eng, big, 0, part);
+  core::UnifiedMttkrp small_op(eng, small, 0, part);
+  core::UnifiedTtv ttv_op(eng, small, 1, part);
+  eng.prewarm(*big_op.op_plan());
+  eng.prewarm(*small_op.op_plan());
+  eng.prewarm(*ttv_op.op_plan());
+
+  const auto big_factors = test::random_factors(big, 24, 41);
+  const auto small_factors = test::random_factors(small, 4, 43);
+  std::vector<std::vector<value_t>> vecs;
+  for (int m = 0; m < 3; ++m) {
+    std::vector<value_t> v(static_cast<std::size_t>(small.dim(m)));
+    for (auto& e : v) e = rng.next_float(-1.0f, 1.0f);
+    vecs.push_back(std::move(v));
+  }
+
+  DenseMatrix big_want(big.dim(0), 24);
+  big_op.run(big_factors, big_want);
+  DenseMatrix small_want(small.dim(0), 4);
+  small_op.run(small_factors, small_want);
+  const std::vector<value_t> ttv_want = ttv_op.run(vecs);
+
+  constexpr int kSmall = 20;
+  DenseMatrix big_out(big.dim(0), 24);
+  std::vector<DenseMatrix> small_outs(kSmall, DenseMatrix(small.dim(0), 4));
+  std::vector<std::vector<value_t>> ttv_outs(
+      kSmall, std::vector<value_t>(static_cast<std::size_t>(small.dim(1))));
+  std::vector<JobRecord> records(1 + 2 * kSmall);
+  std::vector<std::future<void>> futures;
+  futures.push_back(submit(eng, big_op.request(big_factors, big_out), &records[0]));
+  for (int j = 0; j < kSmall; ++j) {
+    futures.push_back(submit(eng, small_op.request(small_factors, small_outs[j]),
+                             &records[static_cast<std::size_t>(1 + 2 * j)]));
+    futures.push_back(submit(eng, ttv_op.request(vecs, ttv_outs[j]),
+                             &records[static_cast<std::size_t>(2 + 2 * j)]));
+  }
+  for (auto& f : futures) f.get();
+
+  EXPECT_EQ(DenseMatrix::max_abs_diff(big_out, big_want), 0.0);
+  for (int j = 0; j < kSmall; ++j) {
+    EXPECT_EQ(DenseMatrix::max_abs_diff(small_outs[j], small_want), 0.0) << "job " << j;
+    EXPECT_EQ(ttv_outs[j], ttv_want) << "ttv " << j;
+  }
+  bool used[2] = {false, false};
+  for (const JobRecord& r : records) {
+    ASSERT_TRUE(r.device == 0 || r.device == 1);
+    used[r.device] = true;
+  }
+  EXPECT_TRUE(used[0] && used[1]);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_completed, records.size());
+  // Satellite: history entries carry the cost-model feature (rank, chunk_nnz).
+  ASSERT_FALSE(s.job_history.empty());
+  bool saw_rank24 = false, saw_rank1 = false;
+  for (const auto& h : s.job_history) {
+    if (h.rank == 24) saw_rank24 = true;
+    if (h.rank == 1) saw_rank1 = true;
+  }
+  EXPECT_TRUE(saw_rank24);  // the long MTTKRP
+  EXPECT_TRUE(saw_rank1);   // the TTV jobs
+}
+
+TEST(Scheduler, DrainedWorkerStealsBackloggedQueue) {
+  // Round-robin placement with one long blocker: the blocker lands on device
+  // 0, half the smalls queue behind it. Device 1 drains its own share and
+  // must steal from device 0's backlog instead of idling.
+  EngineOptions opt;
+  opt.num_devices = 2;
+  opt.max_batch = 1;
+  opt.placement = EngineOptions::Placement::kRoundRobin;
+  Engine eng(opt);
+  const CooTensor big = io::generate_uniform({96, 96, 96}, 200000, 3021);
+  const CooTensor small = io::generate_uniform({20, 20, 20}, 1500, 3022);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+  core::UnifiedMttkrp big_op(eng, big, 0, part);
+  core::UnifiedMttkrp small_op(eng, small, 0, part);
+  eng.prewarm(*big_op.op_plan());
+  eng.prewarm(*small_op.op_plan());
+  const auto big_factors = test::random_factors(big, 32, 51);
+  const auto small_factors = test::random_factors(small, 4, 53);
+  DenseMatrix small_want(small.dim(0), 4);
+  small_op.run(small_factors, small_want);
+
+  constexpr int kSmall = 24;
+  DenseMatrix big_out(big.dim(0), 32);
+  std::vector<DenseMatrix> outs(kSmall, DenseMatrix(small.dim(0), 4));
+  std::vector<std::future<void>> futures;
+  futures.push_back(submit(eng, big_op.request(big_factors, big_out)));
+  for (int j = 0; j < kSmall; ++j) {
+    futures.push_back(submit(eng, small_op.request(small_factors, outs[j])));
+  }
+  for (auto& f : futures) f.get();
+
+  for (int j = 0; j < kSmall; ++j) {
+    EXPECT_EQ(DenseMatrix::max_abs_diff(outs[j], small_want), 0.0) << "job " << j;
+  }
+  // The blocker ran ~half the round-robin stream's solo time on device 0;
+  // device 1 drained its half and had stealable backlog available. At least
+  // one steal must have happened (more is fine).
+  EXPECT_GE(eng.stats().steals, 1u);
+}
+
+TEST(Scheduler, LatencyClassJumpsBatchBacklogButAgingBoundsTheSkips) {
+  // Single device, no batching: a blocker executes while one batch-class job
+  // and a stream of latency-class jobs queue behind it. Latency jobs pass
+  // the batch job only until its skip budget (2) is spent, so the completion
+  // order recorded in job_history shows the batch job behind AT MOST 2 -- and
+  // at least 1 -- latency jobs.
+  EngineOptions opt;
+  opt.num_devices = 1;
+  opt.max_batch = 1;
+  opt.latency_max_skips = 2;
+  Engine eng(opt);
+  const CooTensor big = io::generate_uniform({96, 96, 96}, 200000, 3031);
+  const CooTensor batch_t = io::generate_uniform({16, 16, 16}, 1000, 3032);
+  const CooTensor lat_t = io::generate_uniform({16, 16, 16}, 997, 3033);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+  core::UnifiedMttkrp big_op(eng, big, 0, part);
+  core::UnifiedMttkrp batch_op(eng, batch_t, 0, part);
+  core::UnifiedMttkrp lat_op(eng, lat_t, 0, part);
+  const auto big_factors = test::random_factors(big, 32, 61);
+  const auto batch_factors = test::random_factors(batch_t, 4, 63);
+  const auto lat_factors = test::random_factors(lat_t, 4, 65);
+
+  constexpr int kLatency = 5;
+  DenseMatrix big_out(big.dim(0), 32);
+  DenseMatrix batch_out(batch_t.dim(0), 4);
+  std::vector<DenseMatrix> lat_outs(kLatency, DenseMatrix(lat_t.dim(0), 4));
+  std::vector<std::future<void>> futures;
+  // Blocker first: it dequeues immediately and occupies the device while the
+  // rest of the stream queues up in submission order.
+  futures.push_back(submit(eng, big_op.request(big_factors, big_out)));
+  futures.push_back(submit(eng, batch_op.request(batch_factors, batch_out)));
+  for (int j = 0; j < kLatency; ++j) {
+    OpRequest req = lat_op.request(lat_factors, lat_outs[j]);
+    req.service_class = OpRequest::ServiceClass::kLatency;
+    futures.push_back(submit(eng, std::move(req)));
+  }
+  for (auto& f : futures) f.get();
+
+  // job_history is completion order. Count latency-tensor entries before the
+  // batch-tensor entry.
+  const EngineStats s = eng.stats();
+  int lat_before_batch = 0;
+  bool batch_seen = false;
+  for (const auto& h : s.job_history) {
+    if (h.nnz == batch_t.nnz()) batch_seen = true;
+    if (h.nnz == lat_t.nnz() && !batch_seen) ++lat_before_batch;
+  }
+  ASSERT_TRUE(batch_seen);
+  // Jumped: at least one latency job passed the earlier-queued batch job.
+  EXPECT_GE(lat_before_batch, 1);
+  // Not starved: the batch job was passed at most latency_max_skips times.
+  EXPECT_LE(lat_before_batch, 2);
+}
+
+TEST(Scheduler, ShardedSubmitReservesDevicesAmidConcurrentSingles) {
+  // A sharded job rides the same queues as singles: it must succeed through
+  // submit(), produce bitwise the direct run_sharded result, and the singles
+  // around it must be untouched.
+  Engine eng(EngineOptions{.num_devices = 2, .max_batch = 1});
+  const CooTensor t = io::generate_uniform({48, 48, 48}, 30000, 3041);
+  const CooTensor small = io::generate_uniform({20, 20, 20}, 2000, 3042);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+  core::UnifiedMttkrp sharded_op(eng, t, 0, part);
+  core::UnifiedMttkrp small_op(eng, small, 0, part);
+  eng.prewarm(*small_op.op_plan());
+  const auto t_factors = test::random_factors(t, 8, 71);
+  const auto small_factors = test::random_factors(small, 4, 73);
+
+  core::UnifiedOptions sharded;
+  sharded.shard.num_devices = 2;
+  DenseMatrix direct(t.dim(0), 8);
+  eng.run(sharded_op.request(t_factors, direct, sharded));
+  DenseMatrix small_want(small.dim(0), 4);
+  small_op.run(small_factors, small_want);
+
+  constexpr int kRounds = 4;
+  constexpr int kSingles = 6;
+  for (int round = 0; round < kRounds; ++round) {
+    DenseMatrix sharded_out(t.dim(0), 8);
+    std::vector<DenseMatrix> outs(kSingles, DenseMatrix(small.dim(0), 4));
+    std::vector<std::future<void>> futures;
+    for (int j = 0; j < kSingles / 2; ++j) {
+      futures.push_back(submit(eng, small_op.request(small_factors, outs[j])));
+    }
+    futures.push_back(submit(eng, sharded_op.request(t_factors, sharded_out, sharded)));
+    for (int j = kSingles / 2; j < kSingles; ++j) {
+      futures.push_back(submit(eng, small_op.request(small_factors, outs[j])));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(DenseMatrix::max_abs_diff(sharded_out, direct), 0.0) << "round " << round;
+    for (int j = 0; j < kSingles; ++j) {
+      EXPECT_EQ(DenseMatrix::max_abs_diff(outs[j], small_want), 0.0)
+          << "round " << round << " single " << j;
+    }
+  }
+}
+
+TEST(Scheduler, CostModelWarmsUpAndRecordsPredictionError) {
+  // Sequential submits feed job_history; once a (kind, backend) cell has
+  // kCostModelMinSamples the scheduler predicts and every completed
+  // predicted job contributes a prediction-error sample.
+  Engine eng(EngineOptions{.num_devices = 2, .max_batch = 1});
+  const CooTensor t = io::generate_uniform({32, 32, 32}, 8000, 3051);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+  core::UnifiedMttkrp op(eng, t, 0, part);
+  eng.prewarm(*op.op_plan());
+  const auto factors = test::random_factors(t, 8, 81);
+  DenseMatrix want(t.dim(0), 8);
+  op.run(factors, want);
+
+  DenseMatrix out(t.dim(0), 8);
+  for (int j = 0; j < 24; ++j) {
+    submit(eng, op.request(factors, out)).get();
+    EXPECT_EQ(DenseMatrix::max_abs_diff(out, want), 0.0) << "job " << j;
+  }
+  const EngineStats s = eng.stats();
+  EXPECT_GE(s.sched_predictions, 1u);
+  EXPECT_GE(s.prediction_error_pct.count, 1u);
+  // Every history entry of this run carries the nnz x rank feature.
+  for (const auto& h : s.job_history) {
+    EXPECT_EQ(h.nnz, t.nnz());
+    EXPECT_EQ(h.rank, 8);
+  }
+}
+
+TEST(Scheduler, BitwiseEqualityVsSequentialUnderRandomMixedLoad) {
+  // Fuzz: random ops, modes and service classes submitted concurrently on 2
+  // devices must reproduce the sequential truth bitwise, job for job.
+  Engine eng(EngineOptions{.num_devices = 2});
+  Prng rng(306);
+  const CooTensor t = io::generate_uniform({28, 30, 26}, 6000, 3061);
+  const Partitioning part{.threadlen = 8, .block_size = 64};
+  core::UnifiedMttkrp mttkrp(eng, t, 0, part);
+  core::UnifiedSpttm ttm(eng, t, 2, part);
+  core::UnifiedTtv ttv(eng, t, 1, part);
+  eng.prewarm(*mttkrp.op_plan());
+  eng.prewarm(*ttm.op_plan());
+  eng.prewarm(*ttv.op_plan());
+  const auto factors = test::random_factors(t, 6, 91);
+  std::vector<std::vector<value_t>> vecs;
+  for (int m = 0; m < 3; ++m) {
+    std::vector<value_t> v(static_cast<std::size_t>(t.dim(m)));
+    for (auto& e : v) e = rng.next_float(-1.0f, 1.0f);
+    vecs.push_back(std::move(v));
+  }
+
+  DenseMatrix mttkrp_want(t.dim(0), 6);
+  mttkrp.run(factors, mttkrp_want);
+  const SemiSparseTensor ttm_want = ttm.run(factors[2]);
+  const std::vector<value_t> ttv_want = ttv.run(vecs);
+
+  constexpr int kJobs = 48;
+  std::vector<DenseMatrix> mttkrp_outs;
+  std::vector<std::vector<value_t>> ttv_outs;
+  std::vector<SemiSparseTensor> ttm_outs;
+  std::vector<int> kinds;
+  std::vector<std::future<void>> futures;
+  // Reserve so views handed to the engine stay stable while we keep pushing.
+  mttkrp_outs.reserve(kJobs);
+  ttv_outs.reserve(kJobs);
+  ttm_outs.reserve(kJobs);
+  for (int j = 0; j < kJobs; ++j) {
+    const int kind = static_cast<int>(rng.next_u64() % 3);
+    kinds.push_back(kind);
+    if (kind == 0) {
+      mttkrp_outs.emplace_back(t.dim(0), 6);
+      OpRequest req = mttkrp.request(factors, mttkrp_outs.back());
+      if (rng.next_u64() % 4 == 0) req.service_class = OpRequest::ServiceClass::kLatency;
+      futures.push_back(submit(eng, std::move(req)));
+    } else if (kind == 1) {
+      ttm_outs.push_back(ttm.make_output(6));
+      futures.push_back(submit(eng, ttm.request(factors[2], ttm_outs.back())));
+    } else {
+      ttv_outs.emplace_back(static_cast<std::size_t>(t.dim(1)));
+      futures.push_back(submit(eng, ttv.request(vecs, ttv_outs.back())));
+    }
+  }
+  for (auto& f : futures) f.get();
+
+  std::size_t mi = 0, si = 0, vi = 0;
+  for (int j = 0; j < kJobs; ++j) {
+    if (kinds[static_cast<std::size_t>(j)] == 0) {
+      EXPECT_EQ(DenseMatrix::max_abs_diff(mttkrp_outs[mi++], mttkrp_want), 0.0)
+          << "mttkrp job " << j;
+    } else if (kinds[static_cast<std::size_t>(j)] == 1) {
+      EXPECT_EQ(
+          DenseMatrix::max_abs_diff(ttm_outs[si++].values(), ttm_want.values()), 0.0)
+          << "ttm job " << j;
+    } else {
+      EXPECT_EQ(ttv_outs[vi++], ttv_want) << "ttv job " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ust::engine

@@ -59,13 +59,28 @@ TEST(ServiceProtocol, RequestHeaderRoundtripAndUnknownType) {
   EXPECT_EQ(h.type, MsgType::kRunOp);
   EXPECT_EQ(h.tenant, 42u);
   EXPECT_EQ(h.request_id, 777u);
+  EXPECT_EQ(h.service_class, WireClass::kBatch);  // default when unset
+
+  Writer wl;
+  write_request_header(wl, RequestHeader{MsgType::kRunOp, 42, 778, WireClass::kLatency});
+  Reader rl(wl.data());
+  EXPECT_EQ(read_request_header(rl).service_class, WireClass::kLatency);
 
   Writer bad;
   bad.u8(0x7F);  // no such MsgType
   bad.u64(1);
   bad.u64(2);
+  bad.u8(0);
   Reader rb(bad.data());
   EXPECT_THROW(read_request_header(rb), ProtocolError);
+
+  Writer badcls;  // valid type, out-of-range service class
+  badcls.u8(static_cast<std::uint8_t>(MsgType::kRunOp));
+  badcls.u64(1);
+  badcls.u64(2);
+  badcls.u8(0x7F);
+  Reader rc(badcls.data());
+  EXPECT_THROW(read_request_header(rc), ProtocolError);
 }
 
 TEST(ServiceProtocol, ResponseHeaderCarriesRetryableOnlyForQueueFull) {

@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
   cli.option("nnz", "20000", "non-zeros of the synthetic tensor");
   cli.option("timeout-ms", "0", "per-request deadline (0 = none)");
   cli.option("retries", "64", "max attempts per request on queue-full");
+  cli.option("latency-every", "0",
+             "send every Nth request per connection latency-class (0 = all batch)");
   cli.option("json", "", "also write the report as JSON to this file");
   cli.option("trace-out", "", "after the run, fetch the server's span trace (kTrace) here");
   if (!cli.parse(argc, argv)) return 1;
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   opt.nnz = static_cast<nnz_t>(std::max(1l, cli.get_int("nnz")));
   opt.timeout_ms = static_cast<std::uint32_t>(std::max(0l, cli.get_int("timeout-ms")));
   opt.max_attempts = static_cast<int>(std::max(1l, cli.get_int("retries")));
+  opt.latency_every = static_cast<int>(std::max(0l, cli.get_int("latency-every")));
 
   std::printf("ust_loadgen: %d connections x %d requests against %s:%u\n", opt.connections,
               opt.requests_per_connection, opt.host.c_str(), opt.port);
@@ -68,6 +71,12 @@ int main(int argc, char** argv) {
       "wall=%.3fs throughput=%.1f req/s p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus\n",
       r.wall_s, r.throughput_rps, r.percentile_us(50), r.percentile_us(90),
       r.percentile_us(99), r.max_us());
+  if (opt.latency_every > 0 && r.latency_class_us.count > 0) {
+    std::printf("latency-class: n=%llu p50=%.0fus p99=%.0fus max=%.0fus\n",
+                static_cast<unsigned long long>(r.latency_class_us.count),
+                r.latency_class_us.quantile(0.50), r.latency_class_us.quantile(0.99),
+                r.latency_class_us.max);
+  }
 
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
